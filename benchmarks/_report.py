@@ -1,0 +1,22 @@
+"""Shared reporting for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artifacts (see DESIGN.md's
+experiment index).  Since pytest captures stdout, each experiment writes
+its table to ``benchmarks/results/<exp>.txt`` as well as printing it, so
+the reproduced rows survive a quiet run and EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(experiment: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"==== {experiment} ===="
+    body = f"{banner}\n{text.rstrip()}\n"
+    print(body)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(body)

@@ -1,0 +1,120 @@
+"""E1 — the Section 2 analysis-cost claim.
+
+The paper: naive Owicki–Gries non-interference checking needs ``(KN)²``
+triples; taking the isolation level's locking discipline into account
+collapses that — down to ``K²`` for SNAPSHOT "regardless of the number of
+operations per transaction".  This bench counts, for every example
+application and level, exactly how many obligations the theorems demand,
+and charts the reduction.
+"""
+
+import pytest
+
+from benchmarks._report import emit
+from repro.apps import banking, customers, employees, orders, tpcc
+from repro.core.conditions import (
+    READ_COMMITTED,
+    READ_COMMITTED_FCW,
+    READ_UNCOMMITTED,
+    REPEATABLE_READ,
+    SERIALIZABLE,
+    SNAPSHOT,
+    naive_triple_count,
+    obligation_count,
+)
+from repro.core.report import format_table
+
+LEVELS = (
+    READ_UNCOMMITTED,
+    READ_COMMITTED,
+    READ_COMMITTED_FCW,
+    REPEATABLE_READ,
+    SNAPSHOT,
+    SERIALIZABLE,
+)
+
+APPS = {
+    "banking": banking.make_application,
+    "customers": customers.make_application,
+    "employees": employees.make_application,
+    "orders[no_gap]": lambda: orders.make_application("no_gap"),
+    "tpcc-lite": tpcc.make_application,
+}
+
+
+@pytest.fixture(scope="module")
+def cost_table():
+    rows = []
+    for app_name, factory in APPS.items():
+        app = factory()
+        naive = naive_triple_count(app)
+        per_level = {
+            level: sum(obligation_count(app, txn, level) for txn in app.transactions)
+            for level in LEVELS
+        }
+        rows.append((app_name, naive, per_level, len(app.transactions)))
+    return rows
+
+
+def test_bench_obligation_reduction(benchmark, cost_table):
+    """The reduction table, with obligation counting as the timed kernel."""
+    app = APPS["orders[no_gap]"]()
+
+    def kernel():
+        return sum(
+            obligation_count(app, txn, level)
+            for txn in app.transactions
+            for level in LEVELS
+        )
+
+    benchmark(kernel)
+
+    table_rows = []
+    for app_name, naive, per_level, _k in cost_table:
+        table_rows.append(
+            (
+                app_name,
+                naive,
+                per_level[READ_UNCOMMITTED],
+                per_level[READ_COMMITTED],
+                per_level[READ_COMMITTED_FCW],
+                per_level[REPEATABLE_READ],
+                per_level[SNAPSHOT],
+                per_level[SERIALIZABLE],
+            )
+        )
+    emit(
+        "E1-analysis-cost",
+        format_table(
+            ("application", "naive (KN)^2", "RU", "RC", "RC-FCW", "RR", "SI", "SER"),
+            table_rows,
+        ),
+    )
+
+
+def test_unit_levels_beat_naive(cost_table):
+    """The unit-treatment theorems (RC and up) stay below the naive
+    quadratic on every application; Theorem 1 (RU) still checks individual
+    writes and only wins on applications of realistic size."""
+    for app_name, naive, per_level, _k in cost_table:
+        for level in (READ_COMMITTED, READ_COMMITTED_FCW, REPEATABLE_READ, SNAPSHOT):
+            count = per_level[level]
+            assert count < naive, f"{app_name} at {level}: {count} >= naive {naive}"
+
+
+def test_snapshot_cost_is_k_squared(cost_table):
+    """Theorem 5: exactly 2·K² obligations app-wide (read-step + Q per pair)."""
+    for app_name, _naive, per_level, k in cost_table:
+        assert per_level[SNAPSHOT] == 2 * k * k, app_name
+
+
+def test_serializable_cost_is_zero(cost_table):
+    for _app_name, _naive, per_level, _k in cost_table:
+        assert per_level[SERIALIZABLE] == 0
+
+
+def test_ru_is_heaviest_conditional_level(cost_table):
+    """Theorem 1 checks individual writes: the costliest of the theorems."""
+    for app_name, _naive, per_level, _k in cost_table:
+        conditional = [per_level[READ_COMMITTED], per_level[SNAPSHOT]]
+        assert per_level[READ_UNCOMMITTED] >= max(conditional), app_name

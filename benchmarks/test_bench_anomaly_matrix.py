@@ -1,0 +1,143 @@
+"""E7 — the Berenson et al. anomaly matrix the paper builds on.
+
+For each canonical phenomenon history and each isolation level, replay the
+history through the engine and decide whether the anomaly *occurred*.
+Occurrence is judged on observed values, not mere completion — SNAPSHOT
+histories often run to completion while the snapshot shields the reader
+from the anomaly.  The expected matrix is [2]'s, which is the ground the
+paper's per-level theorems stand on.
+"""
+
+import pytest
+
+from benchmarks._report import emit
+from repro.core.report import format_table
+from repro.core.state import DbState
+from repro.sched.histories import replay
+
+RU = "READ UNCOMMITTED"
+RC = "READ COMMITTED"
+FCW = "READ COMMITTED FCW"
+RR = "REPEATABLE READ"
+SI = "SNAPSHOT"
+SER = "SERIALIZABLE"
+
+LEVELS = (RU, RC, FCW, SI, RR, SER)
+
+
+def _first_values(result, token):
+    return [s.value for s in result.steps if s.token == token]
+
+
+def dirty_read_occurred(result):
+    values = _first_values(result, "r1[x]")
+    return bool(values) and values[0] == 1  # saw the uncommitted write
+
+
+def lost_update_occurred(result):
+    # T2's committed update must actually have happened and then been
+    # silently overwritten — a blocked w2 is prevention, not an anomaly
+    w2_ok = any(s.token == "w2[x=2]" and s.status == "ok" for s in result.steps)
+    c2_ok = any(s.token == "c2" and s.status == "ok" for s in result.steps)
+    return w2_ok and c2_ok and result.final.read_item("x") == 3
+
+
+def fuzzy_read_occurred(result):
+    values = _first_values(result, "r1[x]")
+    return len(values) == 2 and values[0] != values[1]
+
+
+def phantom_occurred(result):
+    reads = _first_values(result, "rp1[T:a=1]")
+    return len(reads) == 2 and reads[0] is not None and reads[1] is not None and len(
+        reads[1]
+    ) > len(reads[0])
+
+
+def write_skew_occurred(result):
+    return (
+        result.final.has_item("x")
+        and result.final.read_item("x") == -1
+        and result.final.read_item("y") == -1
+    )
+
+
+#: (name, history, initial, both_at_level, occurred-predicate)
+CASES = [
+    ("P1 dirty read", "w2[x=1] r1[x] c2 c1", None, False, dirty_read_occurred),
+    ("P4 lost update", "r1[x] r2[x] w2[x=2] c2 w1[x=3] c1", None, False, lost_update_occurred),
+    ("P2 fuzzy read", "r1[x] w2[x=5] c2 r1[x] c1", None, False, fuzzy_read_occurred),
+    (
+        "P3 phantom",
+        "rp1[T:a=1] ins2[T:a=1] c2 rp1[T:a=1] c1",
+        DbState(tables={"T": [{"a": 1}]}),
+        False,
+        phantom_occurred,
+    ),
+    (
+        "A5B write skew",
+        "r1[x] r1[y] r2[x] r2[y] w1[x=-1] w2[y=-1] c1 c2",
+        DbState(items={"x": 1, "y": 1}),
+        True,
+        write_skew_occurred,
+    ),
+]
+
+#: [2]'s matrix: the levels at which each phenomenon is POSSIBLE.
+EXPECTED_POSSIBLE = {
+    "P1 dirty read": {RU},
+    "P4 lost update": {RU, RC},
+    "P2 fuzzy read": {RU, RC, FCW},
+    "P3 phantom": {RU, RC, FCW, RR},
+    "A5B write skew": {RU, RC, FCW, SI},
+}
+
+
+def _probe(history, initial, level, both):
+    levels = {1: level, 2: level if both else RC}
+    result = replay(history, levels, initial=initial.copy() if initial else None)
+    return result
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    out = {}
+    for name, history, initial, both, occurred in CASES:
+        out[name] = {
+            level: occurred(_probe(history, initial, level, both)) for level in LEVELS
+        }
+    return out
+
+
+def test_bench_anomaly_matrix(benchmark, matrix):
+    name, history, initial, both, _pred = CASES[0]
+
+    def kernel():
+        return _probe(history, initial, RC, both)
+
+    benchmark(kernel)
+    rows = []
+    for case_name, _h, _i, _b, _p in CASES:
+        cells = ["ANOMALY" if matrix[case_name][level] else "-" for level in LEVELS]
+        rows.append((case_name, *cells))
+    emit("E7-anomaly-matrix", format_table(("phenomenon", *LEVELS), rows))
+
+
+@pytest.mark.parametrize("case", [c[0] for c in CASES])
+def test_matrix_matches_berenson(matrix, case):
+    possible = {level for level in LEVELS if matrix[case][level]}
+    assert possible == EXPECTED_POSSIBLE[case], f"{case}: {possible}"
+
+
+def test_serializable_prevents_everything(matrix):
+    for case, by_level in matrix.items():
+        assert not by_level[SER], case
+
+
+def test_snapshot_admits_only_write_skew(matrix):
+    """The paper's motivation for Theorem 5's special treatment."""
+    for case, by_level in matrix.items():
+        if case == "A5B write skew":
+            assert by_level[SI]
+        else:
+            assert not by_level[SI], case

@@ -1,0 +1,86 @@
+"""E5 — Example 2: Hours / Print_Record over the emp array.
+
+Paper facts regenerated: Print_Record must run at READ COMMITTED or above
+(Hours' two writes must appear atomic), and REPEATABLE READ's long read
+locks are *not* needed.  A scripted READ UNCOMMITTED schedule exhibits the
+torn snapshot dynamically.
+"""
+
+import pytest
+
+from benchmarks._report import emit
+from repro.apps import employees
+from repro.core.chooser import analyze_application
+from repro.core.conditions import READ_COMMITTED, READ_UNCOMMITTED
+from repro.core.interference import InterferenceChecker
+from repro.core.report import level_table
+from repro.core.state import DbState
+from repro.core.terms import Local
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+@pytest.fixture(scope="module")
+def report():
+    app = employees.make_application()
+    checker = InterferenceChecker(app.spec, budget=6000, seed=5)
+    return analyze_application(app, checker)
+
+
+def test_bench_example2_chooser(benchmark, report):
+    app = employees.make_application()
+    checker = InterferenceChecker(app.spec, budget=6000, seed=5)
+
+    def kernel():
+        from repro.core.conditions import check_transaction_at
+
+        return check_transaction_at(
+            app, app.transaction("Print_Record"), READ_COMMITTED, checker
+        )
+
+    benchmark(kernel)
+    emit("E5-example2-employees", level_table(report))
+
+
+def test_print_record_level(report):
+    assert report.levels()["Print_Record"] == READ_COMMITTED
+
+
+def test_print_record_fails_ru(report):
+    choice = report.choice_for("Print_Record")
+    assert choice.attempts[0].level == READ_UNCOMMITTED
+    assert not choice.attempts[0].ok
+
+
+def test_bench_torn_snapshot_dynamics(benchmark):
+    """Reading between Hours' writes at RU yields rate*hrs != sal."""
+    initial = DbState(arrays={"emp": {0: {"rate": 2, "num_hrs": 3, "sal": 6}}})
+
+    def run(level):
+        specs = [
+            InstanceSpec(employees.PRINT_RECORD, {"i": 0}, level, "P"),
+            InstanceSpec(employees.HOURS, {"i": 0, "h": 2}, "READ COMMITTED", "H"),
+        ]
+        sim = Simulator(initial.copy(), specs, script=[1, 1, 0, 0, 1, 1] + [0, 1] * 4)
+        return sim.run()
+
+    result_ru = benchmark(lambda: run("READ UNCOMMITTED"))
+    env = result_ru.outcome_by_name("P").env
+    torn = env[Local("R")] * env[Local("H")] != env[Local("S")]
+    assert torn
+
+    result_rc = run("READ COMMITTED")
+    env_rc = result_rc.outcome_by_name("P").env
+    consistent = env_rc[Local("R")] * env_rc[Local("H")] == env_rc[Local("S")]
+    assert consistent
+    emit(
+        "E5b-torn-snapshot",
+        "\n".join(
+            [
+                "Print_Record concurrent with Hours (two separate writes):",
+                f"  READ UNCOMMITTED: printed (rate={env[Local('R')]},"
+                f" hrs={env[Local('H')]}, sal={env[Local('S')]})  -> torn snapshot",
+                f"  READ COMMITTED:   printed (rate={env_rc[Local('R')]},"
+                f" hrs={env_rc[Local('H')]}, sal={env_rc[Local('S')]})  -> consistent",
+            ]
+        ),
+    )

@@ -1,0 +1,122 @@
+"""E3 — Figures 2–5 / Section 6: the ordering application's level table.
+
+Regenerates the paper's central worked example: the lowest correct
+isolation level for each of the four transaction types, the READ
+COMMITTED FCW result for the one-order-per-day variant, and the
+strengthened Mailing_List escalation.
+
+Paper's table:
+
+    Mailing_List  -> READ UNCOMMITTED
+    New_Order     -> READ COMMITTED        (no-gaps rule)
+    New_Order     -> READ COMMITTED FCW    (one-order-per-day rule)
+    Delivery      -> REPEATABLE READ
+    Audit         -> SERIALIZABLE
+"""
+
+import pytest
+
+from benchmarks._report import emit
+from repro.apps import orders
+from repro.core.chooser import analyze_application
+from repro.core.conditions import (
+    READ_COMMITTED,
+    READ_COMMITTED_FCW,
+    READ_UNCOMMITTED,
+    REPEATABLE_READ,
+    SERIALIZABLE,
+    check_transaction_at,
+)
+from repro.core.interference import InterferenceChecker
+from repro.core.report import format_table, level_table
+
+BUDGET = 3000
+
+PAPER_LEVELS = {
+    "Mailing_List": READ_UNCOMMITTED,
+    "New_Order": READ_COMMITTED,
+    "Delivery": REPEATABLE_READ,
+    "Audit": SERIALIZABLE,
+}
+
+
+@pytest.fixture(scope="module")
+def chooser_report():
+    app = orders.make_application("no_gap")
+    checker = InterferenceChecker(app.spec, budget=BUDGET, seed=3)
+    return analyze_application(app, checker)
+
+
+@pytest.fixture(scope="module")
+def one_order_results():
+    app = orders.make_application("one_order")
+    checker = InterferenceChecker(app.spec, budget=BUDGET, seed=3)
+    target = app.transaction("New_Order")
+    return {
+        READ_COMMITTED: check_transaction_at(app, target, READ_COMMITTED, checker),
+        READ_COMMITTED_FCW: check_transaction_at(app, target, READ_COMMITTED_FCW, checker),
+    }
+
+
+def test_bench_level_assignment(benchmark, chooser_report, one_order_results):
+    """The full Section 6 table (single-shot: the analysis is minutes-long)."""
+    app = orders.make_application("no_gap")
+    checker = InterferenceChecker(app.spec, budget=BUDGET, seed=3)
+
+    def cheap_kernel():
+        return check_transaction_at(
+            app, app.transaction("Mailing_List"), READ_UNCOMMITTED, checker
+        )
+
+    benchmark.pedantic(cheap_kernel, rounds=3, iterations=1)
+
+    rows = [
+        (choice.transaction, choice.level, PAPER_LEVELS[choice.transaction])
+        for choice in chooser_report.choices
+    ]
+    rows.append(
+        (
+            "New_Order [one-order-per-day]",
+            READ_COMMITTED_FCW
+            if one_order_results[READ_COMMITTED_FCW].ok
+            and not one_order_results[READ_COMMITTED].ok
+            else "UNEXPECTED",
+            READ_COMMITTED_FCW,
+        )
+    )
+    emit(
+        "E3-fig2-5-level-table",
+        format_table(("transaction", "measured lowest level", "paper"), rows)
+        + "\n\n"
+        + level_table(chooser_report),
+    )
+
+
+def test_assignment_matches_paper(chooser_report):
+    assert chooser_report.levels() == PAPER_LEVELS
+
+
+def test_one_order_variant_needs_fcw(one_order_results):
+    assert not one_order_results[READ_COMMITTED].ok
+    assert one_order_results[READ_COMMITTED_FCW].ok
+
+
+def test_strengthened_mailing_list_escalates():
+    app = orders.make_application("no_gap", strengthened_mailing=True)
+    checker = InterferenceChecker(app.spec, budget=BUDGET, seed=3)
+    target = app.transaction("Mailing_List_strengthened")
+    ru = check_transaction_at(app, target, READ_UNCOMMITTED, checker)
+    rc = check_transaction_at(app, target, READ_COMMITTED, checker)
+    assert not ru.ok and rc.ok
+    assert any(ob.mode == "rollback" for ob in ru.failures)
+    emit(
+        "E3b-strengthened-mailing-list",
+        "\n".join(
+            [
+                "strengthened spec ('labels refer to customers'):",
+                f"  READ UNCOMMITTED: {'OK' if ru.ok else 'FAILS'}"
+                f"  (culprit: {ru.failures[0].mode} of {ru.failures[0].source})",
+                f"  READ COMMITTED:   {'OK' if rc.ok else 'FAILS'}",
+            ]
+        ),
+    )

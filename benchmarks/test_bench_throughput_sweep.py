@@ -1,0 +1,136 @@
+"""E9 — the Section 2 performance claim.
+
+"A semantically correct schedule can perform significantly better than any
+equivalent serial schedule" [5], and weak levels are used "in order to
+increase throughput and reduce response time" (Section 1).  This bench
+sweeps the banking workload over isolation levels and contention and
+charts throughput / waits / aborts — absolute numbers are simulator ticks,
+the *ordering* (RU >= RC >= SI >= RR ~= SER under contention, converging
+as contention vanishes) is the reproduced shape.
+"""
+
+import pytest
+
+from benchmarks._report import emit
+from repro.core.formula import conj, ge
+from repro.core.report import format_table
+from repro.core.terms import Field, IntConst
+from repro.workloads.generator import WorkloadConfig, banking_initial, banking_workload
+from repro.workloads.runner import sweep_contention, sweep_levels
+
+ACCOUNTS = 4
+NAMES = ("Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch")
+LEVELS = ("READ UNCOMMITTED", "READ COMMITTED", "READ COMMITTED FCW",
+          "SNAPSHOT", "REPEATABLE READ", "SERIALIZABLE")
+
+
+def invariant():
+    return conj(
+        *[
+            ge(Field("acct_sav", IntConst(i), "bal") + Field("acct_ch", IntConst(i), "bal"), 0)
+            for i in range(ACCOUNTS)
+        ]
+    )
+
+
+def make_specs(assignment, hot=0.7, size=8, seed=21):
+    return banking_workload(
+        WorkloadConfig(size=size, hot_fraction=hot, seed=seed),
+        accounts=ACCOUNTS,
+        levels=assignment,
+    )
+
+
+@pytest.fixture(scope="module")
+def level_sweep():
+    return sweep_levels(
+        lambda assignment: make_specs(assignment),
+        banking_initial(ACCOUNTS),
+        LEVELS,
+        NAMES,
+        rounds=6,
+        seed=23,
+        invariant=invariant(),
+    )
+
+
+@pytest.fixture(scope="module")
+def contention_sweep():
+    def specs_at(config):
+        return banking_workload(
+            config, accounts=ACCOUNTS, levels={name: "SERIALIZABLE" for name in NAMES}
+        )
+
+    return sweep_contention(
+        specs_at,
+        banking_initial(ACCOUNTS),
+        hot_fractions=[0.0, 0.5, 1.0],
+        rounds=6,
+        seed=29,
+        size=8,
+        invariant=invariant(),
+    )
+
+
+def test_bench_throughput_by_level(benchmark, level_sweep):
+    def kernel():
+        from repro.workloads.runner import run_workload
+
+        specs = make_specs({name: "READ COMMITTED" for name in NAMES})
+        return run_workload(banking_initial(ACCOUNTS), specs, rounds=1, seed=23)
+
+    benchmark(kernel)
+    rows = [
+        (
+            level,
+            f"{metrics.throughput:.1f}",
+            f"{metrics.wait_rate:.3f}",
+            f"{metrics.abort_rate:.3f}",
+            metrics.deadlocks,
+        )
+        for level, metrics in level_sweep.items()
+    ]
+    emit(
+        "E9-throughput-by-level",
+        format_table(("level", "throughput", "wait rate", "abort rate", "deadlocks"), rows),
+    )
+
+
+def test_weak_levels_win_under_contention(level_sweep):
+    """The paper's motivation: lower levels trade isolation for speed."""
+    ru = level_sweep["READ UNCOMMITTED"].throughput
+    rc = level_sweep["READ COMMITTED"].throughput
+    ser = level_sweep["SERIALIZABLE"].throughput
+    assert ru > ser
+    assert rc > ser
+
+
+def test_serializable_matches_repeatable_read_here(level_sweep):
+    """No phantoms in the conventional banking workload: SER ~= RR."""
+    rr = level_sweep["REPEATABLE READ"].throughput
+    ser = level_sweep["SERIALIZABLE"].throughput
+    assert abs(rr - ser) / max(rr, ser) < 0.25
+
+
+def test_bench_contention_crossover(benchmark, contention_sweep):
+    benchmark(lambda: dict(contention_sweep))
+    rows = [
+        (
+            f"hot={hot:.1f}",
+            f"{metrics.throughput:.1f}",
+            f"{metrics.wait_rate:.3f}",
+            metrics.deadlocks,
+        )
+        for hot, metrics in contention_sweep.items()
+    ]
+    emit(
+        "E9b-serializable-vs-contention",
+        format_table(("contention", "throughput", "wait rate", "deadlocks"), rows),
+    )
+
+
+def test_contention_degrades_serializable(contention_sweep):
+    """Full heat concentrates every transaction on one account: deadlocks
+    multiply and throughput collapses relative to the uniform workload."""
+    assert contention_sweep[1.0].deadlocks > contention_sweep[0.0].deadlocks
+    assert contention_sweep[1.0].throughput < contention_sweep[0.0].throughput

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""TPC-C-lite at a combination of isolation levels (paper Section 7).
+
+The paper's closing plan: "analyze the TPC-C benchmark transactions and
+run them at a combination of isolation levels to evaluate the
+performance."  This script does both halves on TPC-C-lite:
+
+1. derives a per-type level assignment (the analysis-backed mix);
+2. races that mix against uniform assignments under the standard TPC-C
+   transaction mix and prints throughput / waits / aborts / violations.
+
+Run:  python examples/tpcc_mixed_levels.py
+"""
+
+from repro.apps import tpcc
+from repro.core.formula import AbstractPred
+from repro.core.report import format_table
+from repro.workloads.generator import WorkloadConfig, tpcc_workload
+from repro.workloads.runner import compare_assignments
+
+MIXED = {
+    "TPCC_NewOrder": "READ COMMITTED FCW",   # next_o_id read-then-write: FCW protects it
+    "TPCC_Payment": "READ COMMITTED FCW",    # every read followed by a write of the item
+    "TPCC_OrderStatus": "READ COMMITTED",    # read-only report over committed data
+    "TPCC_Delivery": "REPEATABLE READ",      # its SELECT must be stable (Thm 6)
+    "TPCC_StockLevel": "READ UNCOMMITTED",   # approximate monitoring, weak spec
+}
+
+
+def counters_consistent(state, env) -> bool:
+    """The workload's Q_Sch: order-id counters bound the orders; stock >= 0."""
+    for district in range(tpcc.DISTRICTS):
+        bound = state.read_field("district", district, "next_o_id")
+        for row in state.rows("ORDERS"):
+            if row.get("d_id") == district and row.get("o_id") >= bound:
+                return False
+    oids = {}
+    for row in state.rows("ORDERS"):
+        key = (row.get("d_id"), row.get("o_id"))
+        oids[key] = oids.get(key, 0) + 1
+    if any(count > 1 for count in oids.values()):
+        return False  # duplicate order numbers: the lost-update signature
+    return all(
+        state.read_field("stock", item, "quantity") >= 0 for item in range(tpcc.ITEMS)
+    )
+
+
+INVARIANT = AbstractPred("tpcc counters consistent", evaluator=counters_consistent)
+
+
+def main() -> None:
+    print("analysis-backed assignment:")
+    for name, level in MIXED.items():
+        print(f"  {name:18s} -> {level}")
+    print()
+
+    assignments = {
+        "mixed (analysis)": MIXED,
+        "all READ COMMITTED": {name: "READ COMMITTED" for name in MIXED},
+        "all SNAPSHOT": {name: "SNAPSHOT" for name in MIXED},
+        "all REPEATABLE READ": {name: "REPEATABLE READ" for name in MIXED},
+        "all SERIALIZABLE": {name: "SERIALIZABLE" for name in MIXED},
+    }
+
+    def make_specs(assignment):
+        return tpcc_workload(
+            WorkloadConfig(size=10, hot_fraction=0.6, seed=11), levels=assignment
+        )
+
+    comparison = compare_assignments(
+        make_specs, tpcc.initial_state(), assignments, rounds=6, seed=13,
+        invariant=INVARIANT,
+    )
+    rows = [
+        (
+            label,
+            f"{metrics.throughput:.1f}",
+            f"{metrics.wait_rate:.3f}",
+            f"{metrics.abort_rate:.3f}",
+            metrics.deadlocks,
+            metrics.semantic_violations,
+        )
+        for label, metrics in comparison.items()
+    ]
+    print(
+        format_table(
+            ("assignment", "throughput", "waits", "aborts", "deadlocks", "violations"),
+            rows,
+        )
+    )
+    print()
+    print("Reading the shape: the mixed assignment is the fastest row with")
+    print("zero violations.  Uniform READ COMMITTED is comparable in speed")
+    print("but admits lost updates on the order-number counters; uniform")
+    print("SERIALIZABLE is clean but pays for its locks in deadlocks.")
+
+
+if __name__ == "__main__":
+    main()

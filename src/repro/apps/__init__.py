@@ -1,0 +1,12 @@
+"""The paper's example applications, modeled for analysis and simulation.
+
+* :mod:`repro.apps.banking` — Figure 1 / Example 3 (savings/checking
+  withdrawals, write skew under SNAPSHOT);
+* :mod:`repro.apps.customers` — Example 1 (``cust`` array, Mailing_List /
+  New_Order in the conventional model);
+* :mod:`repro.apps.employees` — Example 2 (``emp`` array, Hours /
+  Print_Records);
+* :mod:`repro.apps.orders` — Section 6 / Figures 2–5 (ORDERS / CUST /
+  MAXDATE, the four-transaction ordering application);
+* :mod:`repro.apps.tpcc` — TPC-C-lite, the paper's stated future work.
+"""

@@ -1,0 +1,160 @@
+"""The banking application of Figure 1 and Example 3.
+
+Savings and checking balances live in the record arrays ``acct_sav`` and
+``acct_ch``; the consistency conjunct ``I_bal`` requires, per account,
+
+    acct_sav[i].bal + acct_ch[i].bal >= 0.
+
+Four transaction types:
+
+* ``Withdraw_sav(i, w)`` — Figure 1: read both balances, withdraw ``w``
+  from savings when the combined balance covers it;
+* ``Withdraw_ch(i, w)`` — the symmetric checking-account withdrawal;
+* ``Deposit_sav(i, d)`` / ``Deposit_ch(i, d)`` — add ``d >= 0``.
+
+The paper's Example 3 facts this model reproduces under Theorem 5
+(SNAPSHOT):
+
+* ``Withdraw_sav`` and ``Withdraw_ch`` exhibit *write skew*: the write step
+  of one interferes with the read-step postcondition of the other, and
+  their write sets are disjoint, so neither Theorem 5 condition applies;
+* two ``Withdraw_sav`` instances are safe: same account ⇒ write sets
+  intersect ⇒ first-committer-wins aborts one; different accounts ⇒ no
+  interference;
+* deposits never interfere with a withdrawal's read-step postcondition
+  (the balance-sum lower bounds are monotone under deposits).
+"""
+
+from __future__ import annotations
+
+from repro.core.application import Application
+from repro.core.domains import ArrayDomain, DomainSpec
+from repro.core.formula import conj, disj, eq, ge, lt
+from repro.core.program import If, Read, TransactionType, Write
+from repro.core.terms import Field, Local, LogicalVar, Param
+
+
+def _sum_nonneg(index) -> "Formula":
+    return ge(Field("acct_sav", index, "bal") + Field("acct_ch", index, "bal"), 0)
+
+
+def make_withdraw(kind: str) -> TransactionType:
+    """Figure 1's annotated withdrawal, parameterised by target account array.
+
+    ``kind`` is ``"sav"`` or ``"ch"``: the array the withdrawal debits.
+    """
+    if kind not in ("sav", "ch"):
+        raise ValueError(f"kind must be 'sav' or 'ch', not {kind!r}")
+    i = Param("i")
+    w = Param("w")
+    sav = Field("acct_sav", i, "bal")
+    ch = Field("acct_ch", i, "bal")
+    target = sav if kind == "sav" else ch
+    target0 = LogicalVar(f"{kind.upper()}0_INIT")
+    sav_local = Local("Sav")
+    ch_local = Local("Ch")
+    i_bal = _sum_nonneg(i)
+
+    # Figure 1's displayed assertion after both reads: the combined balance
+    # is still at least what was observed (deposits may only increase it).
+    post_reads = conj(i_bal, ge(sav + ch, sav_local + ch_local))
+
+    body = (
+        Read(sav_local, sav, post=conj(i_bal, ge(sav, sav_local)), label="read sav"),
+        Read(ch_local, ch, post=post_reads, label="read ch"),
+        If(
+            cond=ge(sav_local + ch_local, w),
+            then=(
+                Write(
+                    target,
+                    (sav_local if kind == "sav" else ch_local) - w,
+                    label=f"debit {kind}",
+                ),
+            ),
+        ),
+    )
+    # Q_i: the combined balance stays consistent and the debited balance
+    # reflects the withdrawal exactly when the guard admitted it.
+    sav0 = LogicalVar("SAV0")
+    ch0 = LogicalVar("CH0")
+    result = conj(
+        i_bal,
+        disj(
+            conj(ge(sav0 + ch0, w), eq(target, target0 - w)),
+            conj(lt(sav0 + ch0, w), eq(target, target0)),
+        ),
+    )
+    return TransactionType(
+        name=f"Withdraw_{kind}",
+        params=(i, w),
+        body=body,
+        consistency=i_bal,
+        param_pre=ge(w, 0),
+        result=result,
+        snapshot=((sav0, sav), (ch0, ch), (target0, target)),
+    )
+
+
+def make_deposit(kind: str) -> TransactionType:
+    """A deposit of ``d >= 0`` into the savings or checking balance."""
+    if kind not in ("sav", "ch"):
+        raise ValueError(f"kind must be 'sav' or 'ch', not {kind!r}")
+    i = Param("i")
+    d = Param("d")
+    array = "acct_sav" if kind == "sav" else "acct_ch"
+    balance = Field(array, i, "bal")
+    bal_local = Local("Bal")
+    bal0 = LogicalVar("BAL0")
+    i_bal = _sum_nonneg(i)
+    body = (
+        Read(bal_local, balance, post=conj(i_bal, ge(balance, bal_local)), label="read balance"),
+        Write(balance, bal_local + d, label="credit"),
+    )
+    return TransactionType(
+        name=f"Deposit_{kind}",
+        params=(i, d),
+        body=body,
+        consistency=i_bal,
+        param_pre=ge(d, 0),
+        result=conj(i_bal, ge(balance, bal0 + d)),
+        snapshot=((bal0, balance),),
+    )
+
+
+WITHDRAW_SAV = make_withdraw("sav")
+WITHDRAW_CH = make_withdraw("ch")
+DEPOSIT_SAV = make_deposit("sav")
+DEPOSIT_CH = make_deposit("ch")
+
+
+def domain_spec(accounts: int = 2, max_balance: int = 2) -> DomainSpec:
+    """Small exhaustive domains for bounded model checking."""
+    balances = tuple(range(-1, max_balance + 1))
+    indices = tuple(range(accounts))
+
+    def consistent(state) -> bool:
+        return all(
+            state.read_field("acct_sav", index, "bal")
+            + state.read_field("acct_ch", index, "bal")
+            >= 0
+            for index in indices
+        )
+
+    return DomainSpec(
+        arrays=(
+            ArrayDomain("acct_sav", indices, (("bal", balances),)),
+            ArrayDomain("acct_ch", indices, (("bal", balances),)),
+        ),
+        var_domains={"i": indices, "w": (0, 1, 2), "d": (0, 1, 2)},
+        state_constraint=consistent,
+    )
+
+
+def make_application(accounts: int = 2) -> Application:
+    """The Example 3 application: two withdrawals and two deposits."""
+    return Application(
+        name="banking",
+        transactions=(WITHDRAW_SAV, WITHDRAW_CH, DEPOSIT_SAV, DEPOSIT_CH),
+        spec=domain_spec(accounts=accounts),
+        description="Figure 1 / Example 3: savings-checking write skew",
+    )

@@ -1,0 +1,119 @@
+"""Example 1: the ``cust`` array in the conventional model.
+
+The elements of the record array ``cust`` describe a merchant's customers;
+the integrity constraint ``I_c`` asserts exactly that (an abstract fact
+with no arithmetic content).  Two transaction types access the array:
+
+* ``Mailing_List_c`` scans the array and prints a label per valid record.
+  Its specification requires only that each printed label contains a valid
+  name and address — a property of the printed data, not of the database —
+  so no critical assertion is interfered with by any write (including the
+  record-removal performed by a ``New_Order_c`` rollback) and the
+  transaction runs correctly at READ UNCOMMITTED (Theorem 1).
+* ``New_Order_c(slot, name)`` enters a new customer record into a free
+  slot (conventional model: records are never physically inserted or
+  deleted, so occupancy is a ``valid`` flag).
+
+This is the paper's one *positive* READ UNCOMMITTED example; the
+strengthened specification that breaks it lives in the relational orders
+application (:mod:`repro.apps.orders`).
+"""
+
+from __future__ import annotations
+
+from repro.core.application import Application
+from repro.core.domains import ArrayDomain, DomainSpec
+from repro.core.formula import AbstractPred, BoolAtom, TRUE, conj, eq, lt, ne
+from repro.core.program import If, LocalAssign, Read, ReadRecord, TransactionType, While, Write
+from repro.core.terms import BoolConst, Field, IntConst, Local, Param
+
+#: Number of slots in the customer array for the bounded model.
+SLOTS = 2
+
+
+def make_mailing_list() -> TransactionType:
+    """Scan the array, printing a label for each valid record."""
+    k = Local("k")
+    valid = Local("valid", "bool")
+    name = Local("name", "str")
+
+    # "each printed label contains a valid name and address" — the weak
+    # spec constrains the output only, hence the empty read footprint.
+    labels_ok = AbstractPred(
+        name="printed labels contain names and addresses",
+        reads=frozenset(),
+        evaluator=lambda state, env: True,
+    )
+    body = (
+        LocalAssign(k, IntConst(0)),
+        While(
+            cond=lt(k, SLOTS),
+            body=(
+                ReadRecord(
+                    array="cust",
+                    index=k,
+                    binds=(("valid", valid), ("name", name)),
+                    post=labels_ok,
+                    label="read customer record",
+                ),
+                LocalAssign(k, k + 1),
+            ),
+        ),
+    )
+    return TransactionType(
+        name="Mailing_List_c",
+        params=(),
+        body=body,
+        consistency=TRUE,
+        result=labels_ok,
+    )
+
+
+def make_new_order() -> TransactionType:
+    """Register a new customer in a given free slot."""
+    slot = Param("slot")
+    name = Param("name", "str")
+    occupied = Local("occupied", "bool")
+    body = (
+        Read(occupied, Field("cust", slot, "valid", "bool"), label="check slot"),
+        If(
+            cond=eq(occupied, False),
+            then=(
+                Write(Field("cust", slot, "name", "str"), name, label="store name"),
+                Write(Field("cust", slot, "valid", "bool"), BoolConst(True), label="mark valid"),
+            ),
+        ),
+    )
+    return TransactionType(
+        name="New_Order_c",
+        params=(slot, name),
+        body=body,
+        consistency=TRUE,
+        result=TRUE,
+    )
+
+
+MAILING_LIST = make_mailing_list()
+NEW_ORDER = make_new_order()
+
+
+def domain_spec() -> DomainSpec:
+    return DomainSpec(
+        arrays=(
+            ArrayDomain(
+                "cust",
+                indices=tuple(range(SLOTS)),
+                attrs=(("valid", (False, True)), ("name", ("a", "b"))),
+            ),
+        ),
+        var_domains={"slot": tuple(range(SLOTS)), "name": ("a", "b")},
+    )
+
+
+def make_application() -> Application:
+    return Application(
+        name="customers",
+        transactions=(MAILING_LIST, NEW_ORDER),
+        spec=domain_spec(),
+        description="Example 1: mailing labels over the cust array",
+    )

@@ -1,0 +1,143 @@
+"""Example 2: the ``emp`` array, ``Hours`` and ``Print_Record``.
+
+Each record of ``emp`` holds an employee's hourly ``rate``, hours worked
+``num_hrs`` and accumulated salary ``sal``; the consistency conjunct
+``I_sal`` requires, per record,
+
+    emp[i].rate * emp[i].num_hrs = emp[i].sal.
+
+Locking granularity is *records* (paper: "The granularity of locking is at
+the level of records"), so ``Print_Record`` reads the whole record with a
+single :class:`repro.core.program.ReadRecord`.
+
+* ``Hours(i, h)`` records a day's hours with **two separate writes**
+  (increment ``num_hrs``, then recompute ``sal``) — together they preserve
+  ``I_sal``, individually they do not.
+* ``Print_Record(i)`` prints one employee's record; its specification
+  requires the printed snapshot to be *internally consistent*.
+
+Paper facts reproduced:
+
+* at READ UNCOMMITTED both types fail: ``Hours``' individual writes
+  interfere with ``I_sal`` (a reader can see the half-updated record, and
+  a rollback can strand it);
+* at READ COMMITTED both succeed: ``Hours`` is seen as an atomic unit
+  (Theorem 2), and the record-granularity read makes ``Print_Record``'s
+  snapshot consistency a workspace-only fact that nothing can invalidate;
+* the long read locks of REPEATABLE READ are therefore unnecessary for
+  ``Print_Record`` — the point of the example.
+
+Like the paper, we assume two ``Hours`` instances never target the same
+employee concurrently (hours are recorded once per employee per day);
+without that assumption the canonical read postcondition of ``Hours`` is
+invalidated by its twin and the chooser escalates to REPEATABLE READ.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import Application
+from repro.core.domains import ArrayDomain, DomainSpec
+from repro.core.formula import conj, eq, ge, ne
+from repro.core.program import Read, ReadRecord, TransactionType, Write
+from repro.core.terms import Field, Local, LogicalVar, Mul, Param
+
+
+def _i_sal(index) -> "Formula":
+    rate = Field("emp", index, "rate")
+    num_hrs = Field("emp", index, "num_hrs")
+    sal = Field("emp", index, "sal")
+    return eq(Mul(rate, num_hrs), sal)
+
+
+def make_hours() -> TransactionType:
+    """Record ``h`` hours for employee ``i`` (two separate writes)."""
+    i = Param("i")
+    h = Param("h")
+    rate = Local("R")
+    hrs = Local("H")
+    hrs0 = LogicalVar("H0")
+    body = (
+        ReadRecord(
+            array="emp",
+            index=i,
+            binds=(("rate", rate), ("num_hrs", hrs)),
+            post=conj(_i_sal(i), eq(hrs, Field("emp", i, "num_hrs"))),
+            label="read employee record",
+        ),
+        Write(Field("emp", i, "num_hrs"), hrs + h, label="add hours"),
+        Write(Field("emp", i, "sal"), Mul(rate, hrs + h), label="recompute salary"),
+    )
+    return TransactionType(
+        name="Hours",
+        params=(i, h),
+        body=body,
+        consistency=_i_sal(i),
+        param_pre=ge(h, 0),
+        result=conj(_i_sal(i), eq(Field("emp", i, "num_hrs"), hrs0 + h)),
+        snapshot=((hrs0, Field("emp", i, "num_hrs")),),
+    )
+
+
+def make_print_record() -> TransactionType:
+    """Print one employee's record; the snapshot must be consistent."""
+    i = Param("i")
+    rate = Local("R")
+    hrs = Local("H")
+    sal = Local("S")
+    # the critical assertion: the *printed values* are mutually consistent
+    # — a workspace-only fact once the atomic record read has executed
+    snapshot_consistent = eq(Mul(rate, hrs), sal)
+    body = (
+        ReadRecord(
+            array="emp",
+            index=i,
+            binds=(("rate", rate), ("num_hrs", hrs), ("sal", sal)),
+            post=snapshot_consistent,
+            label="read employee record",
+        ),
+    )
+    return TransactionType(
+        name="Print_Record",
+        params=(i,),
+        body=body,
+        consistency=_i_sal(i),
+        result=snapshot_consistent,
+    )
+
+
+HOURS = make_hours()
+PRINT_RECORD = make_print_record()
+
+
+def domain_spec(employees: int = 2) -> DomainSpec:
+    indices = tuple(range(employees))
+
+    def consistent(state) -> bool:
+        return all(
+            state.read_field("emp", index, "rate") * state.read_field("emp", index, "num_hrs")
+            == state.read_field("emp", index, "sal")
+            for index in indices
+        )
+
+    return DomainSpec(
+        arrays=(
+            ArrayDomain(
+                "emp",
+                indices=indices,
+                attrs=(("rate", (1, 2)), ("num_hrs", (0, 1, 2)), ("sal", (0, 1, 2, 4))),
+            ),
+        ),
+        var_domains={"i": indices, "h": (0, 1)},
+        state_constraint=consistent,
+    )
+
+
+def make_application(employees: int = 2) -> Application:
+    distinct = ne(Param("i"), Param("i!2"))
+    return Application(
+        name="employees",
+        transactions=(HOURS, PRINT_RECORD),
+        spec=domain_spec(employees),
+        description="Example 2: Hours / Print_Record over emp",
+        assumptions={("Hours", "Hours"): distinct},
+    )

@@ -1,0 +1,368 @@
+"""TPC-C-lite: the paper's stated future work (Section 7).
+
+The paper closes by planning to "analyze the TPC-C benchmark transactions
+and run them at a combination of isolation levels to evaluate the
+performance".  This module provides a laptop-scale TPC-C: the five
+canonical transaction types over a reduced schema, annotated for the
+static analyzer and runnable on the engine for the performance study
+(benchmark E8).
+
+Schema (conventional arrays + one relational table):
+
+* ``district[d]``: ``next_o_id`` (order-number counter), ``ytd``;
+* ``warehouse[0]``: ``ytd``;
+* ``customer[c]``: ``balance``, ``ytd_payment``;
+* ``stock[s]``: ``quantity``;
+* ``ORDERS(o_id, d_id, c_id, item, qty, delivered)``.
+
+Transaction types and the level assignment the analysis produces:
+
+* ``NewOrder`` — reads and bumps ``district.next_o_id`` (read followed by
+  a write of the same item: first-committer-wins protects it), decrements
+  stock with restock, inserts the order;
+* ``Payment`` — read-modify-write on warehouse/district/customer values,
+  every read followed by a write of the same item;
+* ``OrderStatus`` — read-only, weak spec (report whatever is committed);
+* ``Delivery`` — SELECT undelivered orders for a district, mark them
+  delivered and credit the customers;
+* ``StockLevel`` — read-only count of low-stock items, weak spec.
+"""
+
+from __future__ import annotations
+
+from repro.core.application import Application
+from repro.core.domains import ArrayDomain, DomainSpec, ItemDomain, TableDomain
+from repro.core.formula import (
+    AbstractPred,
+    CountWhere,
+    ExistsRow,
+    ForAllRows,
+    RowAttr,
+    TRUE,
+    conj,
+    eq,
+    ge,
+    le,
+    lt,
+    ne,
+)
+from repro.core.program import (
+    ForEach,
+    If,
+    Insert,
+    LocalAssign,
+    Read,
+    Select,
+    SelectCount,
+    TransactionType,
+    Update,
+    Write,
+)
+from repro.core.terms import BoolConst, Field, IntConst, Local, LogicalVar, Param
+
+#: reduced sizes for the bounded model and quick simulations
+DISTRICTS = 2
+CUSTOMERS = 2
+ITEMS = 2
+
+#: stock is restocked by this amount when it would fall below zero
+RESTOCK = 10
+
+
+def _stock_nonneg(item) -> "Formula":
+    return ge(Field("stock", item, "quantity"), 0)
+
+
+def _next_oid_bound(district) -> "Formula":
+    """Every existing order of the district numbers below ``next_o_id``."""
+    return ForAllRows(
+        "ORDERS",
+        "n1",
+        lt(RowAttr("n1", "o_id"), Field("district", district, "next_o_id")),
+        where=eq(RowAttr("n1", "d_id"), district),
+    )
+
+
+def make_new_order() -> TransactionType:
+    """Place one order: bump the district counter, take stock, insert."""
+    d = Param("d")
+    c = Param("c")
+    item = Param("item")
+    qty = Param("qty")
+    o = Local("o")
+    q = Local("q")
+    next_oid = Field("district", d, "next_o_id")
+    stock_q = Field("stock", item, "quantity")
+    body = (
+        Read(
+            o,
+            next_oid,
+            post=conj(eq(o, next_oid), _next_oid_bound(d)),
+            label="read next_o_id",
+        ),
+        Write(next_oid, o + 1, label="bump next_o_id"),
+        Read(q, stock_q, post=conj(_stock_nonneg(item), eq(q, stock_q)), label="read stock"),
+        If(
+            cond=ge(q - qty, 0),
+            then=(Write(stock_q, q - qty, label="take stock"),),
+            orelse=(Write(stock_q, q - qty + RESTOCK, label="take stock with restock"),),
+        ),
+        Insert(
+            "ORDERS",
+            values=(
+                ("o_id", o),
+                ("d_id", d),
+                ("c_id", c),
+                ("item", item),
+                ("qty", qty),
+                ("delivered", False),
+            ),
+            label="insert order",
+        ),
+    )
+    result = conj(
+        _stock_nonneg(item),
+        _next_oid_bound(d),
+        ExistsRow(
+            "ORDERS",
+            "q1",
+            conj(eq(RowAttr("q1", "o_id"), o), eq(RowAttr("q1", "d_id"), d)),
+        ),
+    )
+    return TransactionType(
+        name="TPCC_NewOrder",
+        params=(d, c, item, qty),
+        body=body,
+        consistency=conj(_stock_nonneg(item), _next_oid_bound(d)),
+        param_pre=conj(ge(qty, 1), le(qty, 3)),
+        result=result,
+    )
+
+
+def make_payment() -> TransactionType:
+    """Record a customer payment against warehouse/district/customer."""
+    c = Param("c")
+    d = Param("d")
+    amount = Param("amount")
+    bal = Local("Bal")
+    wytd = Local("Wytd")
+    dytd = Local("Dytd")
+    bal0 = LogicalVar("BAL0")
+    balance = Field("customer", c, "balance")
+    w_ytd = Field("warehouse", IntConst(0), "ytd")
+    d_ytd = Field("district", d, "ytd")
+    body = (
+        Read(wytd, w_ytd, post=eq(wytd, w_ytd), label="read warehouse ytd"),
+        Write(w_ytd, wytd + amount, label="bump warehouse ytd"),
+        Read(dytd, d_ytd, post=eq(dytd, d_ytd), label="read district ytd"),
+        Write(d_ytd, dytd + amount, label="bump district ytd"),
+        Read(bal, balance, post=eq(bal, balance), label="read balance"),
+        Write(balance, bal - amount, label="debit balance"),
+    )
+    return TransactionType(
+        name="TPCC_Payment",
+        params=(c, d, amount),
+        body=body,
+        consistency=TRUE,
+        param_pre=ge(amount, 0),
+        result=eq(balance, bal0 - amount),
+        snapshot=((bal0, balance),),
+    )
+
+
+def make_order_status() -> TransactionType:
+    """Read-only status report for one customer (weak spec)."""
+    c = Param("c")
+    bal = Local("Bal")
+    buff = Local("orders", "str")
+    reported = AbstractPred(
+        name="status reported from committed data",
+        reads=frozenset(),
+        evaluator=lambda state, env: True,
+    )
+    body = (
+        Read(bal, Field("customer", c, "balance"), post=reported, label="read balance"),
+        Select(
+            "ORDERS",
+            buff,
+            where=eq(RowAttr("r", "c_id"), c),
+            attrs=("o_id", "delivered"),
+            post=reported,
+            label="list orders",
+        ),
+    )
+    return TransactionType(
+        name="TPCC_OrderStatus",
+        params=(c,),
+        body=body,
+        consistency=TRUE,
+        result=reported,
+    )
+
+
+def make_delivery() -> TransactionType:
+    """Deliver a district's outstanding orders, crediting each customer."""
+    d = Param("d")
+    buff = Local("batch", "str")
+    oid = Local("oid")
+    undelivered = conj(
+        eq(RowAttr("r", "d_id"), d),
+        eq(RowAttr("r", "delivered", "bool"), False),
+    )
+    body = (
+        Select(
+            "ORDERS",
+            buff,
+            where=undelivered,
+            attrs=("o_id",),
+            row="r",
+            label="pick undelivered orders",
+        ),
+        ForEach(
+            buffer=buff,
+            bind=(("o_id", oid),),
+            body=(
+                Update(
+                    "ORDERS",
+                    sets=(("delivered", BoolConst(True)),),
+                    where=conj(eq(RowAttr("r", "o_id"), oid), eq(RowAttr("r", "d_id"), d)),
+                    label="mark delivered",
+                ),
+            ),
+        ),
+    )
+    result = ForAllRows(
+        "ORDERS",
+        "q",
+        eq(RowAttr("q", "delivered", "bool"), True),
+        where=eq(RowAttr("q", "d_id"), d),
+    )
+    return TransactionType(
+        name="TPCC_Delivery",
+        params=(d,),
+        body=body,
+        consistency=TRUE,
+        result=result,
+    )
+
+
+def make_stock_level() -> TransactionType:
+    """Count low-stock items (read-only, weak spec)."""
+    threshold = Param("threshold")
+    low0 = Local("low0")
+    low1 = Local("low1")
+    count = Local("low_count")
+    reported = AbstractPred(
+        name="stock level reported", reads=frozenset(), evaluator=lambda s, e: True
+    )
+    body = (
+        Read(low0, Field("stock", IntConst(0), "quantity"), post=reported, label="probe stock 0"),
+        Read(low1, Field("stock", IntConst(1), "quantity"), post=reported, label="probe stock 1"),
+        LocalAssign(count, IntConst(0)),
+    )
+    return TransactionType(
+        name="TPCC_StockLevel",
+        params=(threshold,),
+        body=body,
+        consistency=TRUE,
+        param_pre=ge(threshold, 0),
+        result=reported,
+    )
+
+
+NEW_ORDER = make_new_order()
+PAYMENT = make_payment()
+ORDER_STATUS = make_order_status()
+DELIVERY = make_delivery()
+STOCK_LEVEL = make_stock_level()
+
+ALL_TYPES = (NEW_ORDER, PAYMENT, ORDER_STATUS, DELIVERY, STOCK_LEVEL)
+
+#: the canonical TPC-C mix (approximate weights)
+STANDARD_MIX = {
+    "TPCC_NewOrder": 0.45,
+    "TPCC_Payment": 0.43,
+    "TPCC_OrderStatus": 0.04,
+    "TPCC_Delivery": 0.04,
+    "TPCC_StockLevel": 0.04,
+}
+
+
+def domain_spec() -> DomainSpec:
+    def consistent(state) -> bool:
+        for item in range(ITEMS):
+            if state.read_field("stock", item, "quantity") < 0:
+                return False
+        for district in range(DISTRICTS):
+            bound = state.read_field("district", district, "next_o_id")
+            for row in state.rows("ORDERS"):
+                if row.get("d_id") == district and row.get("o_id") >= bound:
+                    return False
+        return True
+
+    return DomainSpec(
+        arrays=(
+            ArrayDomain("district", tuple(range(DISTRICTS)), (("next_o_id", (1, 2)), ("ytd", (0, 1)))),
+            ArrayDomain("warehouse", (0,), (("ytd", (0, 1)),)),
+            ArrayDomain("customer", tuple(range(CUSTOMERS)), (("balance", (0, 1)), ("ytd_payment", (0,)))),
+            ArrayDomain("stock", tuple(range(ITEMS)), (("quantity", (0, 1, 2)),)),
+        ),
+        tables=(
+            TableDomain(
+                "ORDERS",
+                attrs=(
+                    ("o_id", (1,)),
+                    ("d_id", tuple(range(DISTRICTS))),
+                    ("c_id", (0,)),
+                    ("item", (0,)),
+                    ("qty", (1,)),
+                    ("delivered", (False, True)),
+                ),
+                max_rows=1,
+            ),
+        ),
+        var_domains={
+            "d": tuple(range(DISTRICTS)),
+            "c": tuple(range(CUSTOMERS)),
+            "item": tuple(range(ITEMS)),
+            "qty": (1, 2),
+            "amount": (0, 1),
+            "threshold": (1,),
+        },
+        state_constraint=consistent,
+    )
+
+
+def initial_state(scale: int = 1):
+    """A populated TPC-C-lite database for simulation runs."""
+    from repro.core.state import DbState
+
+    districts = DISTRICTS * scale
+    customers = CUSTOMERS * scale
+    items = ITEMS * scale
+    return DbState(
+        items={},
+        arrays={
+            "district": {d: {"next_o_id": 1, "ytd": 0} for d in range(districts)},
+            "warehouse": {0: {"ytd": 0}},
+            "customer": {c: {"balance": 10, "ytd_payment": 0} for c in range(customers)},
+            "stock": {s: {"quantity": 20} for s in range(items)},
+        },
+        tables={"ORDERS": []},
+    )
+
+
+def make_application() -> Application:
+    distinct_district = ne(Param("d"), Param("d!2"))
+    return Application(
+        name="tpcc-lite",
+        transactions=ALL_TYPES,
+        spec=domain_spec(),
+        description="TPC-C-lite (paper Section 7 future work)",
+        assumptions={
+            # concurrent NewOrders hit different districts (terminals are
+            # bound to districts in TPC-C); same for Delivery
+            ("TPCC_NewOrder", "TPCC_NewOrder"): distinct_district,
+            ("TPCC_Delivery", "TPCC_Delivery"): distinct_district,
+        },
+    )

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze <app>`` — run the Section 5 chooser over a bundled application
+  and print the level table (optionally a single ``--transaction`` at a
+  single ``--level`` with failing obligations);
+* ``simulate <app>`` — run a generated workload under a uniform isolation
+  level and print throughput / waits / aborts / semantic violations;
+* ``replay "<history>"`` — replay a Berenson-style history (e.g.
+  ``"w1[x=1] r2[x] c1 c2"``) under a per-transaction level assignment;
+* ``apps`` — list the bundled applications;
+* ``levels`` — list the supported isolation levels.
+
+The bundled applications are the paper's: ``banking`` (Figure 1 /
+Example 3), ``customers`` (Example 1), ``employees`` (Example 2),
+``orders`` / ``orders-strict`` (Section 6, the two business rules), and
+``tpcc`` (Section 7 future work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.chooser import analyze_application
+from repro.core.conditions import (
+    ANSI_LADDER,
+    EXTENDED_LADDER,
+    LEVEL_ORDER,
+    check_transaction_at,
+)
+from repro.core.interference import InterferenceChecker
+from repro.core.report import failure_details, level_table
+
+
+def _app_registry() -> dict:
+    from repro.apps import banking, customers, employees, orders, tpcc
+
+    return {
+        "banking": banking.make_application,
+        "customers": customers.make_application,
+        "employees": employees.make_application,
+        "orders": lambda: orders.make_application("no_gap"),
+        "orders-strict": lambda: orders.make_application("one_order"),
+        "tpcc": tpcc.make_application,
+    }
+
+
+def _load_app(name: str):
+    registry = _app_registry()
+    if name not in registry:
+        raise SystemExit(
+            f"unknown application {name!r}; choose from {', '.join(sorted(registry))}"
+        )
+    return registry[name]()
+
+
+def cmd_apps(_args) -> int:
+    for name, factory in sorted(_app_registry().items()):
+        app = factory()
+        print(f"{name:15s} {', '.join(app.transaction_names())}")
+        if app.description:
+            print(f"{'':15s} {app.description}")
+    return 0
+
+
+def cmd_levels(_args) -> int:
+    for level in sorted(LEVEL_ORDER, key=LEVEL_ORDER.get):
+        print(level)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    app = _load_app(args.app)
+    checker = InterferenceChecker(app.spec, budget=args.budget, seed=args.seed)
+    if args.transaction and args.level:
+        result = check_transaction_at(
+            app, app.transaction(args.transaction), args.level, checker
+        )
+        print(failure_details(result) if not result.ok else result.summary())
+        return 0 if result.ok else 1
+    ladder = EXTENDED_LADDER if args.ladder == "extended" else ANSI_LADDER
+    report = analyze_application(
+        app, checker, ladder=ladder, include_snapshot=args.snapshot
+    )
+    print(level_table(report))
+    if args.snapshot:
+        print()
+        for check in report.snapshot_checks:
+            print(check.summary())
+    print()
+    print(f"interference tiers used: {checker.stats}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.workloads.generator import (
+        WorkloadConfig,
+        banking_initial,
+        banking_workload,
+        order_entry_initial,
+        order_entry_workload,
+        tpcc_workload,
+    )
+    from repro.workloads.runner import run_workload
+
+    config = WorkloadConfig(size=args.size, hot_fraction=args.hot, seed=args.seed)
+    if args.app == "banking":
+        names = ("Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch")
+        specs = banking_workload(config, levels={n: args.level for n in names})
+        initial = banking_initial()
+    elif args.app == "tpcc":
+        from repro.apps import tpcc as tpcc_app
+
+        specs = tpcc_workload(config, levels={t.name: args.level for t in tpcc_app.ALL_TYPES})
+        initial = tpcc_app.initial_state()
+    elif args.app in ("orders", "orders-strict"):
+        rule = "no_gap" if args.app == "orders" else "one_order"
+        names = ("Mailing_List", "New_Order", "Delivery", "Audit")
+        specs = order_entry_workload(config, rule=rule, levels={n: args.level for n in names})
+        initial = order_entry_initial()
+    else:
+        raise SystemExit(f"no workload generator for {args.app!r}")
+    if args.guard:
+        from repro.sched.monitor import AssertionGuard
+        from repro.sched.simulator import Simulator
+        from repro.workloads.metrics import RunMetrics
+
+        metrics = RunMetrics()
+        for round_index in range(args.rounds):
+            guard = AssertionGuard()
+            simulator = Simulator(
+                initial.copy(), specs, seed=args.seed + round_index, retry=True,
+                observers=[guard],
+            )
+            metrics.add(simulator.run())
+        print("assertional concurrency control: ON")
+    else:
+        metrics = run_workload(initial, specs, rounds=args.rounds, seed=args.seed)
+    print(f"level:      {args.level}")
+    print(f"throughput: {metrics.throughput:.1f} commits / 1000 steps")
+    print(f"wait rate:  {metrics.wait_rate:.3f}")
+    print(f"abort rate: {metrics.abort_rate:.3f}")
+    print(f"deadlocks:  {metrics.deadlocks}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.sched.histories import replay
+
+    levels = {}
+    for assignment in args.levels or []:
+        txn, _eq, level = assignment.partition("=")
+        levels[int(txn)] = level
+    result = replay(args.history, levels, default_level=args.default_level)
+    for step in result.steps:
+        suffix = f" -> {step.value!r}" if step.value is not None else ""
+        detail = f"  ({step.detail})" if step.detail else ""
+        print(f"{step.token:20s} {step.status}{suffix}{detail}")
+    print(f"final items: {result.final.items}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Semantic correctness at weak isolation levels (ICDE 2000), mechanised.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    apps = sub.add_parser("apps", help="list bundled applications")
+    apps.set_defaults(func=cmd_apps)
+
+    levels = sub.add_parser("levels", help="list isolation levels")
+    levels.set_defaults(func=cmd_levels)
+
+    analyze = sub.add_parser("analyze", help="run the Section 5 chooser")
+    analyze.add_argument("app")
+    analyze.add_argument("--transaction", help="check one transaction only")
+    analyze.add_argument("--level", help="check at one level only (with --transaction)")
+    analyze.add_argument("--budget", type=int, default=3000)
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--ladder", choices=("ansi", "extended"), default="ansi")
+    analyze.add_argument("--snapshot", action="store_true", help="include Theorem 5 analysis")
+    analyze.set_defaults(func=cmd_analyze)
+
+    simulate = sub.add_parser("simulate", help="run a workload on the engine")
+    simulate.add_argument("app")
+    simulate.add_argument("--level", default="SERIALIZABLE")
+    simulate.add_argument("--size", type=int, default=10)
+    simulate.add_argument("--hot", type=float, default=0.5)
+    simulate.add_argument("--rounds", type=int, default=5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--guard", action="store_true",
+        help="run under the assertional concurrency control (AssertionGuard)",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    replay = sub.add_parser("replay", help="replay a history DSL script")
+    replay.add_argument("history")
+    replay.add_argument("--levels", nargs="*", metavar="N=LEVEL")
+    replay.add_argument("--default-level", default="READ COMMITTED")
+    replay.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

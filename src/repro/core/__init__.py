@@ -1,0 +1,16 @@
+"""Core static-analysis machinery: the paper's primary contribution.
+
+Submodules:
+
+* :mod:`repro.core.terms`, :mod:`repro.core.formula` — the assertion language;
+* :mod:`repro.core.state` — concrete database states;
+* :mod:`repro.core.prover` — validity/satisfiability engine;
+* :mod:`repro.core.program` — transaction-program IR;
+* :mod:`repro.core.sp` — strongest postconditions and path annotation;
+* :mod:`repro.core.effects` — whole-transaction symbolic effects;
+* :mod:`repro.core.domains` — finite domains for bounded model checking;
+* :mod:`repro.core.interference` — the interference check, three tiers;
+* :mod:`repro.core.conditions` — Theorems 1–6 as checkable conditions;
+* :mod:`repro.core.chooser` — the Section 5 lowest-level procedure;
+* :mod:`repro.core.report` — structured analysis reports.
+"""

@@ -1,0 +1,81 @@
+"""Application declarations: the unit the analysis operates on.
+
+The paper's setting (Section 5) is an *application* — a fixed set of
+transaction types sharing a database with a consistency constraint ``I``.
+The designer's problem is to pick, per type, the lowest isolation level at
+which the type executes semantically correctly given the other types in the
+set.  :class:`Application` packages exactly those ingredients, plus the
+finite domains the bounded model checker needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.domains import DomainSpec
+from repro.core.formula import Formula, TRUE
+from repro.core.program import (
+    Delete,
+    ForEach,
+    Insert,
+    Select,
+    SelectCount,
+    SelectScalar,
+    TransactionType,
+    Update,
+)
+from repro.errors import AnalysisError
+
+_RELATIONAL_STATEMENTS = (Select, SelectScalar, SelectCount, Update, Insert, Delete, ForEach)
+
+
+@dataclass
+class Application:
+    """A set of transaction types over one database.
+
+    ``invariant`` is the full consistency constraint ``I`` (each
+    transaction's ``consistency`` field holds its relevant conjuncts
+    ``I_i``); ``spec`` is the bounded-model-checking domain, which should
+    generate states satisfying ``I`` via its ``state_constraint``.
+    """
+
+    name: str
+    transactions: tuple
+    spec: DomainSpec | None = None
+    invariant: Formula = TRUE
+    description: str = ""
+    assumptions: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [txn.name for txn in self.transactions]
+        if len(names) != len(set(names)):
+            raise AnalysisError(f"duplicate transaction names in application {self.name!r}")
+
+    def transaction(self, name: str) -> TransactionType:
+        for txn in self.transactions:
+            if txn.name == name:
+                return txn
+        raise AnalysisError(f"application {self.name!r} has no transaction {name!r}")
+
+    @property
+    def is_relational(self) -> bool:
+        """Whether any transaction uses relational (predicate) statements."""
+        return any(
+            isinstance(stmt, _RELATIONAL_STATEMENTS)
+            for txn in self.transactions
+            for stmt in txn.statements()
+        )
+
+    def transaction_names(self) -> list:
+        return [txn.name for txn in self.transactions]
+
+    def assumption(self, target_name: str, source_name: str) -> Formula:
+        """Concurrency assumption for a (target, source-instance) pair.
+
+        The formula ranges over the target's parameters and the source's
+        parameters renamed with the ``!2`` suffix (as produced by
+        ``TransactionType.rename_params``).  It encodes application-level
+        facts the paper uses implicitly — e.g. concurrent ``New_Order``
+        instances are placed by *different* customers.  Defaults to TRUE.
+        """
+        return self.assumptions.get((target_name, source_name), TRUE)

@@ -1,0 +1,724 @@
+"""The assertion language: first-order formulas over database states.
+
+Formulas annotate transaction programs (preconditions of control points,
+read-statement postconditions, the consistency constraint ``I_i`` and the
+result ``Q_i`` of the paper's triple (1)) and are the objects the
+interference check (paper's triple (3)) is discharged over.
+
+The language covers everything the paper's examples need:
+
+* boolean combinations of linear integer comparisons (Figure 1's
+  ``acct_sav[i].bal + acct_ch[i].bal >= 0``);
+* bounded quantification over table rows — ``ForAllRows`` expresses
+  constraints such as *order consistency* ("for every CUST row, ``#orders``
+  equals the number of ORDERS rows for that customer");
+* bounded quantification over integer ranges — ``ForAllInts`` expresses the
+  *no gaps* business rule ("for every date up to ``maximum_date`` there is at
+  least one order");
+* ``COUNT(*)`` aggregates as integer terms (:class:`CountWhere`);
+* tuple membership (:class:`InTable`) for postconditions like
+  ``(order_info, customer, maxdate+1, false) ∈ ORDERS``;
+* named abstract predicates (:class:`AbstractPred`) with a declared resource
+  footprint and an optional concrete evaluator, for specification clauses
+  the annotation keeps symbolic (e.g. "labels have been printed").
+
+Every formula supports substitution, atom/resource extraction and concrete
+evaluation, mirroring :class:`repro.core.terms.Term`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
+
+from repro.core import terms
+from repro.core.resources import ArrayResource, Resource, ScalarResource, TableResource
+from repro.core.terms import Term, Value, coerce
+from repro.errors import EvaluationError, SortError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.state import DbState
+
+Env = dict
+
+_CMP_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_NEGATED_OP = {"==": "!=", "!=": "==", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+
+
+# ---------------------------------------------------------------------------
+# relational terms (defined here because they embed formulas)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowAttr(Term):
+    """An attribute of a row variable bound by a row quantifier."""
+
+    row: str
+    attr: str
+    var_sort: str = "int"
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return mapping.get(self, self)
+
+    def atoms(self) -> Iterator[Term]:
+        yield self
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        try:
+            return env[self]
+        except KeyError:
+            raise EvaluationError(f"unbound row attribute {self.row}.{self.attr}")
+
+    def __repr__(self) -> str:
+        return f"{self.row}.{self.attr}"
+
+
+@dataclass(frozen=True)
+class BoundVar(Term):
+    """An integer variable bound by :class:`ForAllInts`."""
+
+    name: str
+
+    @property
+    def sort(self) -> str:
+        return "int"
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return mapping.get(self, self)
+
+    def atoms(self) -> Iterator[Term]:
+        yield self
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        try:
+            return env[self]
+        except KeyError:
+            raise EvaluationError(f"unbound quantified variable {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class CountWhere(Term):
+    """``COUNT(*)`` over the rows of ``table`` satisfying ``where``.
+
+    ``where`` is a formula over :class:`RowAttr` terms of the bound row
+    variable ``row`` (plus any parameters and items).  The term's value is
+    the number of matching rows, so any INSERT or DELETE into the predicate
+    potentially changes it — which is exactly how phantom interference with
+    COUNT-based assertions (the paper's ``Audit`` transaction) is detected.
+    """
+
+    table: str
+    row: str
+    where: "Formula"
+
+    @property
+    def sort(self) -> str:
+        return "int"
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        inner = _drop_bound(mapping, self.row)
+        return CountWhere(self.table, self.row, self.where.substitute(inner))
+
+    def atoms(self) -> Iterator[Term]:
+        yield self
+        for atom in self.where.atoms():
+            if not (isinstance(atom, RowAttr) and atom.row == self.row):
+                yield atom
+
+    def resources(self) -> frozenset[Resource]:
+        out = {TableResource(self.table)}
+        for atom in self.where.atoms():
+            if isinstance(atom, RowAttr) and atom.row == self.row:
+                out.add(TableResource(self.table, atom.attr))
+        return frozenset(out)
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        count = 0
+        for row in state.rows(self.table):
+            row_env = _bind_row(env, self.row, row)
+            if self.where.evaluate(state, row_env):
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"COUNT({self.row} in {self.table} where {self.where!r})"
+
+
+def _bind_row(env: Env, row_var: str, row: Mapping[str, Value]) -> Env:
+    """Extend an environment with bindings for every attribute of a row."""
+    extended = dict(env)
+    for attr, value in row.items():
+        extended[RowAttr(row_var, attr)] = value
+        extended[RowAttr(row_var, attr, "bool")] = value
+        extended[RowAttr(row_var, attr, "str")] = value
+    return extended
+
+
+def _drop_bound(mapping: Mapping[Term, Term], row_var: str) -> dict:
+    """Remove substitutions that would capture a bound row variable."""
+    return {
+        key: value
+        for key, value in mapping.items()
+        if not (isinstance(key, RowAttr) and key.row == row_var)
+    }
+
+
+# ---------------------------------------------------------------------------
+# formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Base class of all assertions."""
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Formula":
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator[Term]:
+        """Yield every free atomic reference term in the formula."""
+        raise NotImplementedError
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        raise NotImplementedError
+
+    def resources(self) -> frozenset[Resource]:
+        """Database resources this assertion's truth can depend on."""
+        return frozenset(_resources_of_atoms(self.atoms())) | self._extra_resources()
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        return frozenset()
+
+    # boolean-algebra sugar
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disj(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+def _resources_of_atoms(atoms: Iterator[Term]) -> set[Resource]:
+    out: set[Resource] = set()
+    for atom in atoms:
+        if isinstance(atom, terms.Item):
+            out.add(ScalarResource(atom.name))
+        elif isinstance(atom, terms.Field):
+            out.add(ArrayResource(atom.array, atom.attr))
+        elif isinstance(atom, CountWhere):
+            out |= atom.resources()
+    return out
+
+
+@dataclass(frozen=True)
+class Top(Formula):
+    """The trivially true assertion."""
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return self
+
+    def atoms(self) -> Iterator[Term]:
+        return iter(())
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom(Formula):
+    """The trivially false assertion."""
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return self
+
+    def atoms(self) -> Iterator[Term]:
+        return iter(())
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+TRUE = Top()
+FALSE = Bottom()
+
+
+@dataclass(frozen=True)
+class Cmp(Formula):
+    """A comparison between two terms of the same sort."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise SortError(f"unknown comparison operator {self.op!r}")
+        if self.op not in ("==", "!=") and (self.left.sort == "str" or self.right.sort == "str"):
+            raise SortError(f"ordering comparison on string terms: {self!r}")
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return Cmp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        lhs = self.left.evaluate(state, env)
+        rhs = self.right.evaluate(state, env)
+        return _CMP_OPS[self.op](lhs, rhs)
+
+    def negated(self) -> "Cmp":
+        """The comparison asserting the opposite relation."""
+        return Cmp(_NEGATED_OP[self.op], self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class BoolAtom(Formula):
+    """A boolean-sorted term used directly as an assertion."""
+
+    term: Term
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return BoolAtom(self.term.substitute(mapping))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.term.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        value = self.term.evaluate(state, env)
+        return bool(value)
+
+    def __repr__(self) -> str:
+        return repr(self.term)
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Logical negation."""
+
+    operand: Formula
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return Not(self.operand.substitute(mapping))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.operand.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        return not self.operand.evaluate(state, env)
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        return self.operand._extra_resources()
+
+    def __repr__(self) -> str:
+        return f"!{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    operands: tuple[Formula, ...]
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return And(tuple(op.substitute(mapping) for op in self.operands))
+
+    def atoms(self) -> Iterator[Term]:
+        for op in self.operands:
+            yield from op.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        return all(op.evaluate(state, env) for op in self.operands)
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        out: frozenset[Resource] = frozenset()
+        for op in self.operands:
+            out |= op._extra_resources()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    operands: tuple[Formula, ...]
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return Or(tuple(op.substitute(mapping) for op in self.operands))
+
+    def atoms(self) -> Iterator[Term]:
+        for op in self.operands:
+            yield from op.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        return any(op.evaluate(state, env) for op in self.operands)
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        out: frozenset[Resource] = frozenset()
+        for op in self.operands:
+            out |= op._extra_resources()
+        return out
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Logical implication."""
+
+    premise: Formula
+    conclusion: Formula
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return Implies(self.premise.substitute(mapping), self.conclusion.substitute(mapping))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.premise.atoms()
+        yield from self.conclusion.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        return (not self.premise.evaluate(state, env)) or self.conclusion.evaluate(state, env)
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        return self.premise._extra_resources() | self.conclusion._extra_resources()
+
+    def __repr__(self) -> str:
+        return f"({self.premise!r} => {self.conclusion!r})"
+
+
+@dataclass(frozen=True)
+class ForAllRows(Formula):
+    """``for every row of table (satisfying where): body`` — bounded ∀."""
+
+    table: str
+    row: str
+    body: Formula
+    where: Formula = TRUE
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        inner = _drop_bound(mapping, self.row)
+        return ForAllRows(self.table, self.row, self.body.substitute(inner), self.where.substitute(inner))
+
+    def atoms(self) -> Iterator[Term]:
+        for atom in self.body.atoms():
+            if not (isinstance(atom, RowAttr) and atom.row == self.row):
+                yield atom
+        for atom in self.where.atoms():
+            if not (isinstance(atom, RowAttr) and atom.row == self.row):
+                yield atom
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        for row in state.rows(self.table):
+            row_env = _bind_row(env, self.row, row)
+            if self.where.evaluate(state, row_env) and not self.body.evaluate(state, row_env):
+                return False
+        return True
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        out: set[Resource] = {TableResource(self.table)}
+        for sub in (self.body, self.where):
+            for atom in sub.atoms_with_bound():
+                if isinstance(atom, RowAttr) and atom.row == self.row:
+                    out.add(TableResource(self.table, atom.attr))
+            out |= sub._extra_resources()
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        if self.where == TRUE:
+            return f"(forall {self.row} in {self.table}: {self.body!r})"
+        return f"(forall {self.row} in {self.table} where {self.where!r}: {self.body!r})"
+
+
+@dataclass(frozen=True)
+class ExistsRow(Formula):
+    """``some row of table (satisfying where) has: body`` — bounded ∃."""
+
+    table: str
+    row: str
+    body: Formula
+    where: Formula = TRUE
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        inner = _drop_bound(mapping, self.row)
+        return ExistsRow(self.table, self.row, self.body.substitute(inner), self.where.substitute(inner))
+
+    def atoms(self) -> Iterator[Term]:
+        for atom in self.body.atoms():
+            if not (isinstance(atom, RowAttr) and atom.row == self.row):
+                yield atom
+        for atom in self.where.atoms():
+            if not (isinstance(atom, RowAttr) and atom.row == self.row):
+                yield atom
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        for row in state.rows(self.table):
+            row_env = _bind_row(env, self.row, row)
+            if self.where.evaluate(state, row_env) and self.body.evaluate(state, row_env):
+                return True
+        return False
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        out: set[Resource] = {TableResource(self.table)}
+        for sub in (self.body, self.where):
+            for atom in sub.atoms_with_bound():
+                if isinstance(atom, RowAttr) and atom.row == self.row:
+                    out.add(TableResource(self.table, atom.attr))
+            out |= sub._extra_resources()
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        if self.where == TRUE:
+            return f"(exists {self.row} in {self.table}: {self.body!r})"
+        return f"(exists {self.row} in {self.table} where {self.where!r}: {self.body!r})"
+
+
+@dataclass(frozen=True)
+class ForAllInts(Formula):
+    """``for every integer v with low <= v <= high: body`` — bounded ∀.
+
+    Used for business rules quantifying over value ranges, e.g. the paper's
+    *no gaps* constraint over delivery dates.
+    """
+
+    var: str
+    low: Term
+    high: Term
+    body: Formula
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        inner = {k: v for k, v in mapping.items() if k != BoundVar(self.var)}
+        return ForAllInts(self.var, self.low.substitute(inner), self.high.substitute(inner), self.body.substitute(inner))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.low.atoms()
+        yield from self.high.atoms()
+        for atom in self.body.atoms():
+            if atom != BoundVar(self.var):
+                yield atom
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        low = self.low.evaluate(state, env)
+        high = self.high.evaluate(state, env)
+        if not isinstance(low, int) or not isinstance(high, int):
+            raise EvaluationError(f"non-integer bounds in {self!r}")
+        for value in range(low, high + 1):
+            extended = dict(env)
+            extended[BoundVar(self.var)] = value
+            if not self.body.evaluate(state, extended):
+                return False
+        return True
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        return self.body._extra_resources()
+
+    def __repr__(self) -> str:
+        return f"(forall {self.low!r} <= ${self.var} <= {self.high!r}: {self.body!r})"
+
+
+@dataclass(frozen=True)
+class InTable(Formula):
+    """Tuple membership: some row of ``table`` matches every listed attribute."""
+
+    table: str
+    values: tuple[tuple[str, Term], ...]
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return InTable(self.table, tuple((attr, term.substitute(mapping)) for attr, term in self.values))
+
+    def atoms(self) -> Iterator[Term]:
+        for _attr, term in self.values:
+            yield from term.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        wanted = {attr: term.evaluate(state, env) for attr, term in self.values}
+        for row in state.rows(self.table):
+            if all(attr in row and row[attr] == value for attr, value in wanted.items()):
+                return True
+        return False
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        out: set[Resource] = {TableResource(self.table)}
+        for attr, _term in self.values:
+            out.add(TableResource(self.table, attr))
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{attr}={term!r}" for attr, term in self.values)
+        return f"({pairs}) in {self.table}"
+
+
+@dataclass(frozen=True)
+class AbstractPred(Formula):
+    """A named abstract specification clause with a declared footprint.
+
+    Some annotation clauses in the paper are stated in prose ("Labels have
+    been printed", "returned values are undelivered orders").  They are kept
+    symbolic here: ``reads`` declares the database resources the clause
+    depends on (the empty set for pure output clauses, which therefore can
+    never be interfered with), and ``evaluator``, when given, makes the
+    clause checkable by the bounded model checker and the dynamic semantic
+    checker.  The evaluator receives ``(state, env)``.
+    """
+
+    name: str
+    reads: frozenset[Resource] = frozenset()
+    evaluator: Callable[["DbState", Env], bool] | None = field(default=None, compare=False)
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+        return self
+
+    def atoms(self) -> Iterator[Term]:
+        return iter(())
+
+    def evaluate(self, state: "DbState", env: Env) -> bool:
+        if self.evaluator is None:
+            raise EvaluationError(f"abstract predicate {self.name!r} has no evaluator")
+        return self.evaluator(state, env)
+
+    def _extra_resources(self) -> frozenset[Resource]:
+        return frozenset(self.reads)
+
+    def __repr__(self) -> str:
+        return f"<{self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# constructors and traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def _atoms_with_bound(formula: Formula) -> Iterator[Term]:
+    """Like :meth:`Formula.atoms` but includes bound row attributes."""
+    if isinstance(formula, (ForAllRows, ExistsRow)):
+        yield from _atoms_with_bound(formula.body)
+        yield from _atoms_with_bound(formula.where)
+    elif isinstance(formula, ForAllInts):
+        yield from formula.low.atoms()
+        yield from formula.high.atoms()
+        yield from _atoms_with_bound(formula.body)
+    elif isinstance(formula, Not):
+        yield from _atoms_with_bound(formula.operand)
+    elif isinstance(formula, (And, Or)):
+        for op in formula.operands:
+            yield from _atoms_with_bound(op)
+    elif isinstance(formula, Implies):
+        yield from _atoms_with_bound(formula.premise)
+        yield from _atoms_with_bound(formula.conclusion)
+    else:
+        yield from formula.atoms()
+
+
+# expose as a method so quantifier footprints can see nested bound attrs
+Formula.atoms_with_bound = _atoms_with_bound  # type: ignore[attr-defined]
+
+
+def cmp(op: str, left, right) -> Cmp:
+    """Build a comparison, lifting Python literals to constant terms."""
+    return Cmp(op, coerce(left), coerce(right))
+
+
+def eq(left, right) -> Cmp:
+    return cmp("==", left, right)
+
+
+def ne(left, right) -> Cmp:
+    return cmp("!=", left, right)
+
+
+def lt(left, right) -> Cmp:
+    return cmp("<", left, right)
+
+
+def le(left, right) -> Cmp:
+    return cmp("<=", left, right)
+
+
+def gt(left, right) -> Cmp:
+    return cmp(">", left, right)
+
+
+def ge(left, right) -> Cmp:
+    return cmp(">=", left, right)
+
+
+def conj(*operands: Formula) -> Formula:
+    """N-ary conjunction with flattening and unit simplification."""
+    flat: list[Formula] = []
+    for op in operands:
+        if isinstance(op, And):
+            flat.extend(op.operands)
+        elif isinstance(op, Bottom):
+            return FALSE
+        elif not isinstance(op, Top):
+            flat.append(op)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*operands: Formula) -> Formula:
+    """N-ary disjunction with flattening and unit simplification."""
+    flat: list[Formula] = []
+    for op in operands:
+        if isinstance(op, Or):
+            flat.extend(op.operands)
+        elif isinstance(op, Top):
+            return TRUE
+        elif not isinstance(op, Bottom):
+            flat.append(op)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def implies(premise: Formula, conclusion: Formula) -> Formula:
+    if isinstance(premise, Top):
+        return conclusion
+    if isinstance(premise, Bottom) or isinstance(conclusion, Top):
+        return TRUE
+    return Implies(premise, conclusion)
+
+
+def conjuncts(formula: Formula) -> Sequence[Formula]:
+    """Top-level conjuncts of a formula (the formula itself if not an And)."""
+    if isinstance(formula, And):
+        return formula.operands
+    if isinstance(formula, Top):
+        return ()
+    return (formula,)

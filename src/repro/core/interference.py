@@ -1,0 +1,915 @@
+"""The interference check — paper's triple (3) — in three tiers.
+
+``S_k,l`` *interferes* with assertion ``P_i,j`` when
+``{P_i,j ∧ P_k,l} S_k,l {P_i,j}`` is not a theorem.  The per-level theorems
+reduce semantic correctness to a finite set of such checks.  Each check runs
+through up to three tiers, from cheapest and exact to most general:
+
+1. **Footprint disjointness** — the statement writes no resource the
+   assertion depends on.  Exact, instantaneous, and in realistic
+   applications discharges the bulk of the obligations (benchmarked in E1).
+
+2. **Symbolic proof** — for the conventional (scalar/array) fragment the
+   check becomes a validity query: ``P ∧ pre ⇒ P'`` where ``P'`` is the
+   assertion after the write (alias-aware substitution,
+   :mod:`repro.core.effects`).  Counterexamples are genuine interference
+   witnesses at the formula level.
+
+3. **Bounded model checking** — relational statements, quantified
+   assertions, aggregates, buffers and rollback scenarios are checked by
+   *simulating the scenario*: enumerate small initial databases and
+   arguments (a :class:`repro.core.domains.DomainSpec`), trace the target
+   transaction to every control point where the assertion is active — with
+   the target's own local bindings — then run the candidate interfering
+   statement/transaction and watch whether the assertion flips from true to
+   false.  Exhaustive enumeration certifies non-interference *for the
+   bounded domain*; sampling downgrades the confidence flag.
+
+A verdict records which tier decided it and at what confidence, so reports
+separate proved facts from bounded evidence — the honesty knob this
+mechanisation adds over the paper's hand proofs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core import effects as fx
+from repro.core.domains import DEFAULT_BUDGET, DomainSpec, iter_assignments, split_budget
+from repro.core.formula import FALSE, Formula, TRUE, conj, disj, eq, implies
+from repro.core.program import (
+    ForEach,
+    If,
+    Statement,
+    TransactionType,
+    While,
+    Write,
+)
+from repro.core.prover import Verdict, is_valid
+from repro.core.resources import overlaps
+from repro.core.sp import annotate_paths, fresh_logical
+from repro.core.state import DbState, _multiset_minus, _row_multiset
+from repro.core.terms import Field, Item, Term
+from repro.errors import EvaluationError
+
+#: Confidence levels of a verdict, strongest first.
+PROVED = "proved"
+BOUNDED = "bounded-exhaustive"
+SAMPLED = "bounded-sampled"
+ASSUMED = "assumed"
+
+#: Kinds of critical assertions (what the theorems quantify over).
+CONSISTENCY = "consistency"  # I_i — checked throughout execution
+READ_POST = "read_post"  # postcondition of one read statement
+RESULT = "result"  # Q_i — checked at completion
+READ_STEP_POST = "read_step_post"  # SNAPSHOT model: after the read step
+
+
+@dataclass(frozen=True)
+class CriticalAssertion:
+    """One assertion the per-level theorems require to be interference-free."""
+
+    label: str
+    formula: Formula
+    kind: str
+    read_stmt: Statement | None = None
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.label}>"
+
+
+@dataclass
+class Witness:
+    """Concrete or symbolic evidence that interference can occur."""
+
+    kind: str  # "symbolic" | "concrete" | "rollback"
+    description: str
+    state: DbState | None = None
+    env: dict | None = None
+    model: dict | None = None
+
+    def __repr__(self) -> str:
+        return f"<witness {self.kind}: {self.description}>"
+
+
+@dataclass
+class InterferenceVerdict:
+    """Outcome of one interference check."""
+
+    interferes: bool
+    confidence: str
+    method: str
+    witness: Witness | None = None
+    note: str = ""
+
+    @property
+    def safe(self) -> bool:
+        """True when the check certifies non-interference."""
+        return not self.interferes
+
+    def __repr__(self) -> str:
+        head = "INTERFERES" if self.interferes else "no-interference"
+        return f"<{head} via {self.method} ({self.confidence})>"
+
+
+# ---------------------------------------------------------------------------
+# concrete tracing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceEvent:
+    """One database operation observed during a concrete trace."""
+
+    statement: Statement
+    before: DbState
+    after: DbState
+    is_write: bool
+
+
+@dataclass
+class Trace:
+    """A traced transaction execution.
+
+    ``envs[p]`` is the local environment when ``p`` database operations have
+    completed (intervening local assignments included); ``envs[len(events)]``
+    is the final environment.  ``states[p]`` mirrors the database.
+    """
+
+    events: list
+    envs: list
+    states: list
+
+    @property
+    def length(self) -> int:
+        return len(self.events)
+
+
+def trace(txn: TransactionType, state: DbState, args: dict) -> Trace:
+    """Execute a transaction concretely, snapshotting around every DB op."""
+    events: list[TraceEvent] = []
+    envs: list[dict] = []
+    states: list[DbState] = []
+    env = txn.initial_env(args, state)
+
+    def checkpoint() -> None:
+        envs.append(dict(env))
+        states.append(state.copy())
+
+    def run(stmts: Sequence[Statement]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, If):
+                branch = stmt.then if stmt.cond.evaluate(state, env) else stmt.orelse
+                run(branch)
+            elif isinstance(stmt, While):
+                fuel = 64
+                while stmt.cond.evaluate(state, env):
+                    fuel -= 1
+                    if fuel < 0:
+                        raise EvaluationError("loop fuel exhausted in trace")
+                    run(stmt.body)
+            elif isinstance(stmt, ForEach):
+                buffered = env.get(stmt.buffer, ())
+                for packed in buffered:
+                    row = dict(packed)
+                    for attr, local in stmt.bind:
+                        env[local] = row.get(attr)
+                    run(stmt.body)
+            elif stmt.is_db_read or stmt.is_db_write:
+                checkpoint()
+                before = state.copy()
+                stmt.execute(state, env)
+                events.append(TraceEvent(stmt, before, state.copy(), stmt.is_db_write))
+            else:
+                stmt.execute(state, env)
+
+    run(txn.body)
+    checkpoint()
+    return Trace(events, envs, states)
+
+
+def undo_states(events: Sequence[TraceEvent]) -> list:
+    """States passed through while rolling back a traced prefix, in order."""
+    if not events:
+        return []
+    current = events[-1].after.copy()
+    states = []
+    for event in reversed(events):
+        if not event.is_write:
+            continue
+        _restore(current, event.after, event.before)
+        states.append(current.copy())
+    return states
+
+
+def _restore(current: DbState, after: DbState, before: DbState) -> None:
+    """Apply the inverse of the ``before -> after`` delta onto ``current``."""
+    for name in set(after.items) | set(before.items):
+        if after.items.get(name) != before.items.get(name):
+            if name in before.items:
+                current.items[name] = before.items[name]
+            else:
+                current.items.pop(name, None)
+    for array in set(after.arrays) | set(before.arrays):
+        indices = set(after.arrays.get(array, {})) | set(before.arrays.get(array, {}))
+        for index in indices:
+            old = before.arrays.get(array, {}).get(index, {})
+            new = after.arrays.get(array, {}).get(index, {})
+            for attr in set(old) | set(new):
+                if old.get(attr) != new.get(attr):
+                    if attr in old:
+                        current.write_field(array, index, attr, old[attr])
+                    else:
+                        current.arrays.get(array, {}).get(index, {}).pop(attr, None)
+    for table in set(after.tables) | set(before.tables):
+        added = _multiset_minus(
+            _row_multiset(after.tables.get(table, [])),
+            _row_multiset(before.tables.get(table, [])),
+        )
+        removed = _multiset_minus(
+            _row_multiset(before.tables.get(table, [])),
+            _row_multiset(after.tables.get(table, [])),
+        )
+        for key in added:
+            current.delete_rows(table, _once_matcher(dict(key)))
+        for key in removed:
+            current.insert_row(table, dict(key))
+
+
+def _once_matcher(row: dict):
+    """A predicate matching exactly one occurrence of ``row``."""
+    done = {"hit": False}
+
+    def predicate(candidate: dict) -> bool:
+        if done["hit"] or candidate != row:
+            return False
+        done["hit"] = True
+        return True
+
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# static write targets (Theorem 5, condition 1)
+# ---------------------------------------------------------------------------
+
+
+def static_write_targets(txn: TransactionType) -> list:
+    """Resolved conventional write targets of every Write in the body.
+
+    Targets whose array index mentions locals are dropped (they cannot be
+    compared statically), as are relational writes — both reduce the set of
+    first-committer-wins excuses, which errs on the safe side.
+    """
+    out: list[Term] = []
+    for stmt in txn.statements():
+        if isinstance(stmt, Write):
+            target = stmt.target
+            if isinstance(target, Field):
+                from repro.core.terms import Local
+
+                if any(isinstance(atom, Local) for atom in target.index.atoms()):
+                    continue
+            out.append(target)
+    return out
+
+
+def fcw_excuse_formula(
+    target: TransactionType,
+    source: TransactionType,
+    target_writes: list | None = None,
+) -> Formula:
+    """Theorem 5 condition 1 as a formula over the instances' parameters.
+
+    ``target_writes`` restricts the target's side of the intersection —
+    Theorem 3's variant of the excuse only covers items the target both
+    read and wrote (the paper's remark: such a transaction has effectively
+    held long read locks on them).
+    """
+    own = target_writes if target_writes is not None else static_write_targets(target)
+    pairs = [(t, None) for t in own]
+    source_targets = [(s, None) for s in static_write_targets(source)]
+    return fx.write_sets_intersection_condition(pairs, source_targets)
+
+
+def _concrete_write_targets(
+    txn: TransactionType, args_env: dict, restrict: list | None = None
+) -> set | None:
+    """Static write targets with indices evaluated under concrete arguments.
+
+    ``restrict`` (when given) replaces the static target list — Theorem 3's
+    read-then-written subset.
+    """
+    out: set = set()
+    targets = restrict if restrict is not None else static_write_targets(txn)
+    for target in targets:
+        if isinstance(target, Item):
+            out.add(("item", target.name))
+        else:
+            try:
+                index = target.index.evaluate(DbState(), args_env)
+            except EvaluationError:
+                return None
+            out.add(("field", target.array, index, target.attr))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the checker
+# ---------------------------------------------------------------------------
+
+
+class InterferenceChecker:
+    """Runs interference checks through the three tiers.
+
+    ``spec`` supplies the bounded-model-checking domains; without one only
+    the disjointness and symbolic tiers run, and anything they cannot decide
+    is *assumed* to interfere — the conservative default that keeps the
+    level chooser sound.
+    """
+
+    def __init__(
+        self,
+        spec: DomainSpec | None = None,
+        budget: int = DEFAULT_BUDGET,
+        seed: int = 0,
+        unroll: int = fx.DEFAULT_UNROLL,
+        use_disjoint: bool = True,
+        use_symbolic: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.budget = budget
+        self.seed = seed
+        self.unroll = unroll
+        #: ablation switches: disable the cheap tiers to measure what each
+        #: contributes (benchmarked in E10); correctness is unaffected —
+        #: disabled tiers simply push obligations to the next tier down
+        self.use_disjoint = use_disjoint
+        self.use_symbolic = use_symbolic
+        self.stats = {"disjoint": 0, "symbolic": 0, "bmc": 0, "assumed": 0}
+        self._state_cache: tuple | None = None
+        self._trace_memo: dict = {}
+        self._eval_memo: dict = {}
+
+    def _cached_states(self, rng: random.Random) -> tuple:
+        """Materialise the constraint-filtered state list once per checker.
+
+        Evaluating an application's full consistency constraint (nested
+        quantifiers and aggregates) dominates BMC cost; every obligation
+        shares the same filtered state list, so it is computed only once.
+        """
+        if self._state_cache is None:
+            space = self.spec.iter_states(self.budget, rng)
+            self._state_cache = (list(space), space.exhaustive)
+        return self._state_cache
+
+    def _cached_trace(self, txn: TransactionType, state0: DbState, args: dict):
+        """Trace a transaction from a cached state, memoised.
+
+        Obligations share the same (state, argument) scenarios; traces are
+        pure given those inputs, so they are computed once per checker.
+        Keyed by state identity — valid because the cached state list is
+        stable — and the transaction's name (renamed partner instances get
+        distinct names only via the `!2` suffixed parameters, so the
+        argument tuple disambiguates them).
+        """
+        key = (txn.name, tuple(sorted(args.items())), id(state0))
+        cached = self._trace_memo.get(key)
+        if cached is not None:
+            return cached
+        result = trace(txn, state0.copy(), args)
+        if len(self._trace_memo) < 200_000:
+            self._trace_memo[key] = result
+        return result
+
+    def _memo_holds(self, formula, state, env) -> bool:
+        """`_holds` memoised over trace-cached states.
+
+        Scenario loops re-evaluate the same (assertion, state, env)
+        combination for every partner argument assignment; formula
+        evaluation (nested quantifiers, COUNT aggregates) dominates BMC
+        cost, so this cache is the main lever.  Valid because the states
+        come from immutable caches (identity-keyed) and environments are
+        small dictionaries.
+        """
+        try:
+            env_key = tuple(sorted((repr(k), v) for k, v in env.items()))
+        except TypeError:
+            return _holds(formula, state, env)
+        key = (id(formula), id(state), env_key)
+        cached = self._eval_memo.get(key)
+        if cached is None:
+            cached = _holds(formula, state, env)
+            if len(self._eval_memo) < 2_000_000:
+                self._eval_memo[key] = cached
+        return cached
+
+    # -- public checks -------------------------------------------------------
+
+    def check_statement(
+        self,
+        target: TransactionType,
+        assertion: CriticalAssertion,
+        source: TransactionType,
+        stmt: Statement,
+        assumption: Formula = TRUE,
+        dirty_reads: bool = True,
+    ) -> InterferenceVerdict:
+        """Theorem 1 obligation: one write statement vs one assertion.
+
+        ``assumption`` is an application-level concurrency assumption over
+        the two instances' parameters (e.g. concurrent ``New_Order``s are
+        for distinct customers).  ``dirty_reads`` enables the ordering-B
+        scenarios in which the target reads the source's uncommitted writes
+        — legal at READ UNCOMMITTED, impossible at READ COMMITTED and above.
+        """
+        if self.use_disjoint and not overlaps(
+            assertion.formula.resources(), stmt.written_resources()
+        ):
+            self.stats["disjoint"] += 1
+            return InterferenceVerdict(False, PROVED, "disjoint")
+        if self.use_symbolic:
+            symbolic = self._statement_symbolic(assertion.formula, source, stmt, assumption)
+            if symbolic is not None:
+                return symbolic
+        return self._bmc(
+            target, assertion, source, mode="statement", stmt=stmt,
+            assumption=assumption, dirty_reads=dirty_reads,
+        )
+
+    def check_rollback(
+        self,
+        target: TransactionType,
+        assertion: CriticalAssertion,
+        source: TransactionType,
+        assumption: Formula = TRUE,
+    ) -> InterferenceVerdict:
+        """Theorem 1 obligation: the rollback (undo) writes of ``source``."""
+        written = frozenset()
+        for stmt in source.body:
+            written |= stmt.written_resources()
+        if self.use_disjoint and not overlaps(assertion.formula.resources(), written):
+            self.stats["disjoint"] += 1
+            return InterferenceVerdict(False, PROVED, "disjoint")
+        if self.use_symbolic:
+            symbolic = self._rollback_symbolic(assertion.formula, source, assumption)
+            if symbolic is not None:
+                return symbolic
+        return self._bmc(
+            target, assertion, source, mode="rollback", assumption=assumption,
+        )
+
+    def check_unit(
+        self,
+        target: TransactionType,
+        assertion: CriticalAssertion,
+        source: TransactionType,
+        fcw_excuse: bool = False,
+        assumption: Formula = TRUE,
+        fcw_targets: list | None = None,
+    ) -> InterferenceVerdict:
+        """Theorems 2/3/5 obligation: ``source`` as one atomic unit.
+
+        With ``fcw_excuse``, instances whose write sets intersect are
+        exempt: first-committer-wins aborts one of them.  Theorem 5 uses
+        the target's full static write set; Theorem 3 passes
+        ``fcw_targets`` — only the items the target read *and* wrote, the
+        ones its commit effectively read-locked (the paper's remark after
+        Theorem 3).
+        """
+        if self.use_disjoint and not overlaps(
+            assertion.formula.resources(), source.written_resources()
+        ):
+            self.stats["disjoint"] += 1
+            return InterferenceVerdict(False, PROVED, "disjoint")
+        excuse = (
+            fcw_excuse_formula(target, source, fcw_targets) if fcw_excuse else FALSE
+        )
+        if self.use_symbolic:
+            symbolic = self._transaction_symbolic(assertion.formula, source, excuse, assumption)
+            if symbolic is not None:
+                return symbolic
+        return self._bmc(
+            target, assertion, source, mode="unit", fcw_excuse=fcw_excuse,
+            assumption=assumption, fcw_targets=fcw_targets,
+        )
+
+    # -- tier 2: symbolic ------------------------------------------------------
+
+    def _statement_symbolic(
+        self, assertion: Formula, source: TransactionType, stmt: Statement,
+        assumption: Formula = TRUE,
+    ) -> InterferenceVerdict | None:
+        if not isinstance(stmt, Write):
+            return None
+        entry = conj(
+            source.consistency,
+            source.param_pre,
+            *(eq(logical, term) for logical, term in source.snapshot),
+        )
+        paths = annotate_paths(source.body, entry, max_loop_unroll=1)
+        obligations: list = []
+        for path in paths:
+            for point in path.points:
+                if point.statement == stmt:
+                    obligations.append((point.pre, point.exact))
+        if not obligations:
+            return None
+        all_valid = True
+        for pre, exact in obligations:
+            after = fx.apply_single_write(assertion, stmt.target, stmt.value)
+            if after is None:
+                return None
+            goal = implies(conj(assertion, pre, assumption), after)
+            result = is_valid(goal)
+            if result.verdict == Verdict.INVALID:
+                self.stats["symbolic"] += 1
+                return InterferenceVerdict(
+                    True,
+                    PROVED,
+                    "symbolic",
+                    witness=Witness("symbolic", f"{stmt!r} can falsify {assertion!r}", model=result.model),
+                )
+            if result.verdict != Verdict.VALID or not exact:
+                all_valid = False
+        if all_valid:
+            self.stats["symbolic"] += 1
+            return InterferenceVerdict(False, PROVED, "symbolic")
+        return None
+
+    def _rollback_symbolic(
+        self, assertion: Formula, source: TransactionType, assumption: Formula = TRUE
+    ) -> InterferenceVerdict | None:
+        paths = fx.symbolic_paths(source, unroll=self.unroll)
+        if paths is None:
+            return None
+        for path in paths:
+            havoc = {
+                written_target: fresh_logical(getattr(written_target, "var_sort", "int"))
+                for written_target, _value in path.writes
+            }
+            if not havoc:
+                continue
+            after = fx.apply_store(assertion, havoc)
+            if after is None:
+                return None
+            goal = implies(conj(assertion, path.condition, assumption), after)
+            result = is_valid(goal)
+            if result.verdict == Verdict.INVALID:
+                self.stats["symbolic"] += 1
+                return InterferenceVerdict(
+                    True,
+                    PROVED,
+                    "rollback-symbolic",
+                    witness=Witness("rollback", f"undo of {source.name} can falsify {assertion!r}", model=result.model),
+                )
+            if result.verdict != Verdict.VALID:
+                return None
+        self.stats["symbolic"] += 1
+        return InterferenceVerdict(False, PROVED, "rollback-symbolic")
+
+    def _transaction_symbolic(
+        self, assertion: Formula, source: TransactionType, excuse: Formula,
+        assumption: Formula = TRUE,
+    ) -> InterferenceVerdict | None:
+        paths = fx.symbolic_paths(source, unroll=self.unroll)
+        if paths is None:
+            return None
+        for path in paths:
+            after = fx.apply_store(assertion, path.store)
+            if after is None:
+                return None
+            goal = implies(conj(assertion, path.condition, assumption), disj(excuse, after))
+            result = is_valid(goal)
+            if result.verdict == Verdict.INVALID:
+                self.stats["symbolic"] += 1
+                return InterferenceVerdict(
+                    True,
+                    PROVED,
+                    "symbolic",
+                    witness=Witness("symbolic", f"{source.name} as a unit can falsify {assertion!r}", model=result.model),
+                )
+            if result.verdict != Verdict.VALID:
+                return None
+        self.stats["symbolic"] += 1
+        return InterferenceVerdict(False, PROVED, "symbolic")
+
+    # -- tier 3: bounded model checking ---------------------------------------
+    #
+    # Scenario orderings.  Interference requires the source's offending
+    # operation to execute while the target's assertion is active.  The
+    # source may have started *before* the target reached that control
+    # point, so two orderings are explored:
+    #
+    #   A. the target runs to an activation point, then the source acts
+    #      (runs as a unit / runs far enough to execute the statement /
+    #      runs and rolls back);
+    #   B. (statement and rollback modes) the source runs a prefix first,
+    #      the target executes to an activation point on the source-modified
+    #      state — dirty reads, legal at READ UNCOMMITTED — and then the
+    #      source's next write executes, or the source rolls back.
+    #
+    # Ordering B is what the paper's New_Order example needs: T2 inserts an
+    # order and bumps MAXDATE, T1 reads the bumped MAXDATE, T2 rolls back —
+    # invalidating T1's ``maxdate <= maximum_date``.
+    #
+    # Scenarios in which the target and the source wrote the same location
+    # are skipped: long write locks (held at every level) make those
+    # interleavings impossible.
+
+    def _bmc(
+        self,
+        target: TransactionType,
+        assertion: CriticalAssertion,
+        source: TransactionType,
+        mode: str,
+        stmt: Statement | None = None,
+        fcw_excuse: bool = False,
+        assumption: Formula = TRUE,
+        dirty_reads: bool = True,
+        fcw_targets: list | None = None,
+    ) -> InterferenceVerdict:
+        if self.spec is None:
+            self.stats["assumed"] += 1
+            return InterferenceVerdict(
+                True, ASSUMED, "no-domain-spec",
+                note="no bounded domains available; conservatively assumed to interfere",
+            )
+        rng = random.Random(self.seed)
+        arg_budget = 512
+        states, exhaustive = self._cached_states(rng)
+        counter = {"cases": 0}
+        for state0 in states:
+            target_space = iter_assignments(list(target.params), self.spec, arg_budget, rng)
+            exhaustive = exhaustive and target_space.exhaustive
+            for target_env in target_space:
+                target_args = {param.name: value for param, value in target_env.items()}
+                source_space = iter_assignments(list(source.params), self.spec, arg_budget, rng)
+                exhaustive = exhaustive and source_space.exhaustive
+                for source_env in source_space:
+                    source_args = {param.name: value for param, value in source_env.items()}
+                    if not self._memo_holds(source.param_pre, state0, source_env):
+                        continue
+                    combined_env = dict(target_env)
+                    combined_env.update(source_env)
+                    if not _holds(assumption, state0, combined_env):
+                        continue
+                    if fcw_excuse:
+                        target_writes = _concrete_write_targets(
+                            target, target_env, restrict=fcw_targets
+                        )
+                        source_writes = _concrete_write_targets(source, source_env)
+                        if (
+                            target_writes is not None
+                            and source_writes is not None
+                            and target_writes & source_writes
+                        ):
+                            continue  # first-committer-wins aborts one of them
+                    witness = self._scenario_a(
+                        state0, target, target_env, target_args, source, source_env,
+                        source_args, assertion, mode, stmt, counter,
+                    )
+                    if witness is None and mode in ("statement", "rollback") and dirty_reads:
+                        witness = self._scenario_b(
+                            state0, target, target_env, target_args, source, source_env,
+                            source_args, assertion, mode, stmt, counter,
+                        )
+                    if witness is not None:
+                        self.stats["bmc"] += 1
+                        witness.env = (witness.env or {}) | {
+                            "target_args": target_args,
+                            "source_args": source_args,
+                        }
+                        return InterferenceVerdict(True, PROVED, f"bmc-{mode}", witness=witness)
+        self.stats["bmc"] += 1
+        confidence = BOUNDED if exhaustive else SAMPLED
+        return InterferenceVerdict(
+            False, confidence, f"bmc-{mode}", note=f"{counter['cases']} scenario cases examined"
+        )
+
+    def _scenario_a(
+        self, state0, target, target_env, target_args, source, source_env,
+        source_args, assertion, mode, stmt, counter,
+    ) -> Witness | None:
+        """Target reaches an activation point first, then the source acts."""
+        if not _holds(target.consistency, state0, target_env):
+            return None
+        if not _holds(target.param_pre, state0, target_env):
+            return None
+        try:
+            target_trace = self._cached_trace(target, state0, target_args)
+        except EvaluationError:
+            return None
+        for position in _activation_positions(assertion, target_trace):
+            counter["cases"] += 1
+            mid_state = target_trace.states[position]
+            mid_env = target_trace.envs[position]
+            if not self._memo_holds(source.consistency, mid_state, source_env):
+                continue
+            if not self._memo_holds(assertion.formula, mid_state, mid_env):
+                continue
+            witness = self._inject_source(
+                assertion, mid_state, mid_env, source, source_args, mode, stmt
+            )
+            if witness is not None:
+                return witness
+        return None
+
+    def _scenario_b(
+        self, state0, target, target_env, target_args, source, source_env,
+        source_args, assertion, mode, stmt, counter,
+    ) -> Witness | None:
+        """The source runs a prefix first; the target reads through it."""
+        if not self._memo_holds(source.consistency, state0, source_env):
+            return None
+        try:
+            source_trace = self._cached_trace(source, state0, source_args)
+        except EvaluationError:
+            return None
+        write_positions = [k for k, event in enumerate(source_trace.events) if event.is_write]
+        if not write_positions:
+            return None
+        for k in write_positions:
+            # the source has executed k events; its (k+1)-th is a write for
+            # statement mode, or the rollback point for rollback mode
+            prefix_end = k if mode == "statement" else k + 1
+            prefix = source_trace.events[:prefix_end]
+            if mode == "statement" and source_trace.events[k].statement != stmt:
+                continue
+            if mode == "statement" and not prefix:
+                continue  # ordering A already covers a source acting fresh
+            source_written = set()
+            for event in prefix:
+                source_written |= _delta_locations(event.before, event.after)
+            dirty_state = source_trace.states[prefix_end]
+            if not _holds(target.consistency, dirty_state, target_env):
+                continue
+            if not _holds(target.param_pre, dirty_state, target_env):
+                continue
+            try:
+                target_trace = trace(target, dirty_state.copy(), target_args)
+            except EvaluationError:
+                continue
+            # cumulative write locations of the target per position: only
+            # positions at which the target has not yet touched a location
+            # the source write-locked are reachable interleavings
+            cumulative: list[set] = [set()]
+            for event in target_trace.events:
+                step = set(cumulative[-1])
+                if event.is_write:
+                    step |= _delta_locations(event.before, event.after)
+                cumulative.append(step)
+            for position in _activation_positions(assertion, target_trace):
+                if source_written & cumulative[position]:
+                    continue  # long write locks forbid this interleaving
+                counter["cases"] += 1
+                mid_state = target_trace.states[position]
+                mid_env = target_trace.envs[position]
+                if not _holds(assertion.formula, mid_state, mid_env):
+                    continue
+                if mode == "statement":
+                    after = mid_state.copy()
+                    try:
+                        stmt.execute(after, dict(source_trace.envs[k]))
+                    except EvaluationError:
+                        continue
+                    if not _holds(assertion.formula, after, mid_env):
+                        return Witness(
+                            "concrete",
+                            f"{stmt!r} of {source.name} (started first) flips {assertion.label}",
+                            state=mid_state,
+                        )
+                else:  # rollback
+                    current = mid_state.copy()
+                    flipped = False
+                    for event in reversed(prefix):
+                        if not event.is_write:
+                            continue
+                        _restore(current, event.after, event.before)
+                        if not _holds(assertion.formula, current, mid_env):
+                            flipped = True
+                            break
+                    if flipped:
+                        return Witness(
+                            "rollback",
+                            f"rollback of {source.name} after {prefix_end} ops"
+                            f" flips {assertion.label} (target read dirty data)",
+                            state=mid_state,
+                        )
+        return None
+
+    def _inject_source(
+        self,
+        assertion: CriticalAssertion,
+        mid_state: DbState,
+        mid_env: dict,
+        source: TransactionType,
+        source_args: dict,
+        mode: str,
+        stmt: Statement | None,
+    ) -> Witness | None:
+        if mode == "unit":
+            final = mid_state.copy()
+            try:
+                source.run(final, source_args)
+            except EvaluationError:
+                return None
+            if not _holds(assertion.formula, final, mid_env):
+                return Witness(
+                    "concrete",
+                    f"{source.name} as a unit flips {assertion.label}",
+                    state=mid_state,
+                )
+            return None
+        try:
+            source_trace = trace(source, mid_state.copy(), source_args)
+        except EvaluationError:
+            return None
+        if mode == "statement":
+            for event in source_trace.events:
+                if event.statement == stmt and event.is_write:
+                    if _holds(assertion.formula, event.before, mid_env) and not _holds(
+                        assertion.formula, event.after, mid_env
+                    ):
+                        return Witness(
+                            "concrete",
+                            f"{stmt!r} of {source.name} flips {assertion.label}",
+                            state=event.before,
+                        )
+            return None
+        if mode == "rollback":
+            write_positions = [
+                k for k, event in enumerate(source_trace.events) if event.is_write
+            ]
+            for k in write_positions:
+                prefix = source_trace.events[: k + 1]
+                mid = prefix[-1].after
+                if not _holds(assertion.formula, mid, mid_env):
+                    continue
+                for rolled in undo_states(prefix):
+                    if not _holds(assertion.formula, rolled, mid_env):
+                        return Witness(
+                            "rollback",
+                            f"rollback of {source.name} after {k + 1} ops flips {assertion.label}",
+                            state=mid,
+                        )
+            return None
+        raise ValueError(f"unknown BMC mode {mode!r}")
+
+
+def _delta_locations(before: DbState, after: DbState) -> set:
+    """Locations changed between two states (for lock-conflict filtering)."""
+    out: set = set()
+    for name in set(before.items) | set(after.items):
+        if before.items.get(name) != after.items.get(name):
+            out.add(("item", name))
+    for array in set(before.arrays) | set(after.arrays):
+        indices = set(before.arrays.get(array, {})) | set(after.arrays.get(array, {}))
+        for index in indices:
+            old = before.arrays.get(array, {}).get(index, {})
+            new = after.arrays.get(array, {}).get(index, {})
+            for attr in set(old) | set(new):
+                if old.get(attr) != new.get(attr):
+                    out.add(("field", array, index, attr))
+    for table in set(before.tables) | set(after.tables):
+        old_rows = _row_multiset(before.tables.get(table, []))
+        new_rows = _row_multiset(after.tables.get(table, []))
+        if old_rows != new_rows:
+            for key in set(old_rows) | set(new_rows):
+                if old_rows.get(key, 0) != new_rows.get(key, 0):
+                    out.add(("row", table, key))
+    return out
+
+
+def _activation_positions(assertion: CriticalAssertion, target_trace: Trace) -> list:
+    """Trace positions at which the assertion is active."""
+    length = target_trace.length
+    if assertion.kind == CONSISTENCY:
+        return list(range(length + 1))
+    if assertion.kind == RESULT:
+        return [length]
+    if assertion.kind == READ_POST:
+        positions: list[int] = []
+        for index, event in enumerate(target_trace.events):
+            if event.statement == assertion.read_stmt:
+                positions.extend(range(index + 1, length + 1))
+        return sorted(set(positions))
+    if assertion.kind == READ_STEP_POST:
+        read_indices = [i for i, event in enumerate(target_trace.events) if not event.is_write]
+        write_indices = [i for i, event in enumerate(target_trace.events) if event.is_write]
+        if not read_indices:
+            return []
+        start = read_indices[-1] + 1
+        end = write_indices[0] if write_indices else length
+        return list(range(start, end + 1))
+    raise ValueError(f"unknown assertion kind {assertion.kind!r}")
+
+
+def _holds(assertion: Formula, state: DbState, env: dict) -> bool:
+    """Evaluate an assertion, treating evaluation gaps as 'does not hold'."""
+    try:
+        return assertion.evaluate(state, env)
+    except EvaluationError:
+        return False

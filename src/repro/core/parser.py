@@ -1,0 +1,452 @@
+"""A text syntax for terms and assertions.
+
+Annotating transaction programs is the main authoring activity this
+library asks of its users; writing AST constructors by hand is noisy.  The
+parser accepts a compact, explicit surface syntax:
+
+===========================  ==============================================
+syntax                       meaning
+===========================  ==============================================
+``123``, ``'abc'``           integer / string literal
+``true``, ``false``          boolean literal
+``v``                        local (workspace) variable
+``:w``                       transaction parameter
+``%X0``                      logical variable (the paper's ``X_i``)
+``#maximum_date``            scalar database item
+``acct_sav[:i].bal``         array field (index is any integer term)
+``r.deliv_date``             row attribute (``r`` must be quantifier-bound)
+``$d``                       integer variable bound by ``forall int``
+``count(o in ORDERS: ...)``  ``COUNT(*)`` aggregate term
+``+ - *``                    integer arithmetic
+``== != < <= > >=``          comparisons
+``not``, ``and``, ``or``,    connectives (by precedence: not, and, or, =>)
+``=>``
+``forall r in T: F``         bounded row quantifier (optional ``where F``)
+``exists r in T: F``
+``forall int $d in a..b: F`` bounded integer quantifier (inclusive range)
+``(...)``                    grouping
+===========================  ==============================================
+
+Sorts default to ``int``; pass ``sorts={"name": "str"}`` to type locals,
+parameters, logical variables, items, fields (by ``array.attr``) or row
+attributes (by ``table-less attr name``).
+
+Example — Figure 1's invariant and read-step postcondition::
+
+    parse_formula("acct_sav[:i].bal + acct_ch[:i].bal >= 0")
+    parse_formula("acct_sav[:i].bal + acct_ch[:i].bal >= Sav + Ch")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core import formula as fm
+from repro.core import terms as tm
+from repro.errors import ReproError
+
+
+class ParseError(ReproError):
+    """The input does not conform to the assertion grammar."""
+
+    def __init__(self, message: str, position: int, text: str) -> None:
+        window = text[max(0, position - 20) : position + 20]
+        super().__init__(f"{message} at position {position}: ...{window!r}...")
+        self.position = position
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<int>\d+)
+  | (?P<str>'[^']*')
+  | (?P<op>=>|==|!=|<=|>=|<|>|\+|-|\*|\(|\)|\[|\]|\.\.|\.|,|:|\#|%|\$)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"and", "or", "not", "true", "false", "forall", "exists", "in", "where", "count", "int"}
+
+
+@dataclass
+class _Token:
+    kind: str  # int | str | op | name
+    value: str
+    position: int
+
+
+def _tokenize(text: str) -> list:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", position, text)
+        position = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        tokens.append(_Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over the token list."""
+
+    def __init__(self, text: str, sorts: dict | None) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.sorts = sorts or {}
+        self.bound_rows: list = []  # (row_var, table) scopes
+        self.bound_ints: set = set()
+
+    # -- token plumbing ------------------------------------------------------
+    def _peek(self, offset: int = 0) -> _Token | None:
+        probe = self.index + offset
+        return self.tokens[probe] if probe < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        self.index += 1
+        return token
+
+    def _expect(self, value: str) -> _Token:
+        token = self._next()
+        if token.value != value:
+            raise ParseError(f"expected {value!r}, found {token.value!r}", token.position, self.text)
+        return token
+
+    def _at(self, value: str) -> bool:
+        token = self._peek()
+        return token is not None and token.value == value
+
+    def _sort_of(self, name: str) -> str:
+        return self.sorts.get(name, "int")
+
+    # -- formulas ------------------------------------------------------------
+    def parse_formula(self) -> fm.Formula:
+        result = self._implication()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ParseError(f"trailing input {token.value!r}", token.position, self.text)
+        return result
+
+    def _implication(self) -> fm.Formula:
+        left = self._disjunction()
+        if self._at("=>"):
+            self._next()
+            right = self._implication()  # right associative
+            return fm.implies(left, right)
+        return left
+
+    def _disjunction(self) -> fm.Formula:
+        parts = [self._conjunction()]
+        while self._at("or"):
+            self._next()
+            parts.append(self._conjunction())
+        return fm.disj(*parts) if len(parts) > 1 else parts[0]
+
+    def _conjunction(self) -> fm.Formula:
+        parts = [self._negation()]
+        while self._at("and"):
+            self._next()
+            parts.append(self._negation())
+        return fm.conj(*parts) if len(parts) > 1 else parts[0]
+
+    def _negation(self) -> fm.Formula:
+        if self._at("not"):
+            self._next()
+            return fm.Not(self._negation())
+        return self._atom()
+
+    def _atom(self) -> fm.Formula:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", len(self.text), self.text)
+        if token.value in ("forall", "exists"):
+            return self._quantifier()
+        if token.value == "true":
+            self._next()
+            return fm.TRUE
+        if token.value == "false":
+            self._next()
+            return fm.FALSE
+        if token.value == "(":
+            # parenthesised formula or a term comparison starting with "("
+            return self._comparison_or_group()
+        return self._comparison()
+
+    def _comparison_or_group(self) -> fm.Formula:
+        """Disambiguate ``(formula)`` from ``(term) < term`` by backtracking."""
+        saved = self.index
+        try:
+            self._expect("(")
+            inner = self._implication()
+            self._expect(")")
+            if self._peek() is not None and self._peek().value in (
+                "==", "!=", "<", "<=", ">", ">=", "+", "-", "*",
+            ):
+                raise ParseError("term context", self._peek().position, self.text)
+            return inner
+        except ParseError:
+            self.index = saved
+            return self._comparison()
+
+    def _quantifier(self) -> fm.Formula:
+        keyword = self._next().value
+        if self._at("int"):
+            if keyword != "forall":
+                token = self._peek()
+                raise ParseError("only 'forall int' is supported", token.position, self.text)
+            return self._int_quantifier()
+        row_token = self._next()
+        if row_token.kind != "name":
+            raise ParseError("expected a row variable name", row_token.position, self.text)
+        self._expect("in")
+        table_token = self._next()
+        if table_token.kind != "name":
+            raise ParseError("expected a table name", table_token.position, self.text)
+        where = fm.TRUE
+        self.bound_rows.append((row_token.value, table_token.value))
+        try:
+            if self._at("where"):
+                self._next()
+                where = self._conjunction()
+            self._expect(":")
+            body = self._implication()
+        finally:
+            self.bound_rows.pop()
+        cls = fm.ForAllRows if keyword == "forall" else fm.ExistsRow
+        return cls(table_token.value, row_token.value, body, where)
+
+    def _int_quantifier(self) -> fm.Formula:
+        self._expect("int")
+        self._expect("$")
+        var_token = self._next()
+        if var_token.kind != "name":
+            raise ParseError("expected a bound variable name", var_token.position, self.text)
+        self._expect("in")
+        low = self._term()
+        self._expect("..")
+        high = self._term()
+        self._expect(":")
+        self.bound_ints.add(var_token.value)
+        try:
+            body = self._implication()
+        finally:
+            self.bound_ints.discard(var_token.value)
+        return fm.ForAllInts(var_token.value, low, high, body)
+
+    def _comparison(self) -> fm.Formula:
+        left = self._term()
+        token = self._peek()
+        if token is None or token.value not in ("==", "!=", "<", "<=", ">", ">="):
+            # a bare boolean term is an atom
+            if left.sort == "bool":
+                return fm.BoolAtom(left)
+            where = token.position if token else len(self.text)
+            raise ParseError("expected a comparison operator", where, self.text)
+        op = self._next().value
+        right = self._term()
+        return fm.Cmp(op, left, right)
+
+    # -- terms ------------------------------------------------------------
+    def _term(self) -> tm.Term:
+        left = self._product()
+        while self._peek() is not None and self._peek().value in ("+", "-"):
+            op = self._next().value
+            right = self._product()
+            left = tm.Add(left, right) if op == "+" else tm.Sub(left, right)
+        return left
+
+    def _product(self) -> tm.Term:
+        left = self._unary()
+        while self._at("*"):
+            self._next()
+            left = tm.Mul(left, self._unary())
+        return left
+
+    def _unary(self) -> tm.Term:
+        if self._at("-"):
+            self._next()
+            return tm.Neg(self._unary())
+        return self._primary()
+
+    def _primary(self) -> tm.Term:
+        token = self._next()
+        if token.kind == "int":
+            return tm.IntConst(int(token.value))
+        if token.kind == "str":
+            return tm.StrConst(token.value[1:-1])
+        if token.value == "(":
+            inner = self._term()
+            self._expect(")")
+            return inner
+        if token.value == ":":
+            name_token = self._next()
+            return tm.Param(name_token.value, self._sort_of(name_token.value))
+        if token.value == "%":
+            name_token = self._next()
+            return tm.LogicalVar(name_token.value, self._sort_of(name_token.value))
+        if token.value == "#":
+            name_token = self._next()
+            return tm.Item(name_token.value, self._sort_of(name_token.value))
+        if token.value == "$":
+            name_token = self._next()
+            if name_token.value not in self.bound_ints:
+                raise ParseError(
+                    f"${name_token.value} is not bound by a forall int",
+                    name_token.position,
+                    self.text,
+                )
+            return fm.BoundVar(name_token.value)
+        if token.value == "count":
+            self._expect("(")
+            row_token = self._next()
+            self._expect("in")
+            table_token = self._next()
+            where = fm.TRUE
+            self.bound_rows.append((row_token.value, table_token.value))
+            try:
+                if self._at(":"):
+                    self._next()
+                    where = self._implication()
+            finally:
+                self.bound_rows.pop()
+            self._expect(")")
+            return fm.CountWhere(table_token.value, row_token.value, where)
+        if token.value == "true":
+            return tm.BoolConst(True)
+        if token.value == "false":
+            return tm.BoolConst(False)
+        if token.kind == "name":
+            return self._reference(token)
+        raise ParseError(f"unexpected token {token.value!r}", token.position, self.text)
+
+    def _reference(self, token: _Token) -> tm.Term:
+        name = token.value
+        if name in _KEYWORDS:
+            raise ParseError(f"keyword {name!r} used as a name", token.position, self.text)
+        if self._at("["):
+            self._next()
+            index = self._term()
+            self._expect("]")
+            attr = None
+            if self._at("."):
+                self._next()
+                attr_token = self._next()
+                attr = attr_token.value
+            sort = self._sort_of(f"{name}.{attr}" if attr else name)
+            return tm.Field(name, index, attr, sort)
+        if self._at("."):
+            bound = {row for row, _table in self.bound_rows}
+            if name in bound:
+                self._next()
+                attr_token = self._next()
+                return fm.RowAttr(name, attr_token.value, self._sort_of(attr_token.value))
+            raise ParseError(
+                f"row variable {name!r} is not bound by a quantifier",
+                token.position,
+                self.text,
+            )
+        return tm.Local(name, self._sort_of(name))
+
+
+def parse_formula(text: str, sorts: dict | None = None) -> fm.Formula:
+    """Parse an assertion from its text syntax."""
+    return _Parser(text, sorts).parse_formula()
+
+
+def parse_term(text: str, sorts: dict | None = None) -> tm.Term:
+    """Parse a term from its text syntax."""
+    parser = _Parser(text, sorts)
+    term = parser._term()
+    if parser._peek() is not None:
+        token = parser._peek()
+        raise ParseError(f"trailing input {token.value!r}", token.position, text)
+    return term
+
+
+# ---------------------------------------------------------------------------
+# unparsing (the inverse: AST -> the same text syntax)
+# ---------------------------------------------------------------------------
+
+
+def unparse_term(term: tm.Term) -> str:
+    """Render a term in the syntax :func:`parse_term` accepts."""
+    if isinstance(term, tm.IntConst):
+        return str(term.value)
+    if isinstance(term, tm.StrConst):
+        return f"'{term.value}'"
+    if isinstance(term, tm.BoolConst):
+        return "true" if term.value else "false"
+    if isinstance(term, tm.Local):
+        return term.name
+    if isinstance(term, tm.Param):
+        return f":{term.name}"
+    if isinstance(term, tm.LogicalVar):
+        return f"%{term.name}"
+    if isinstance(term, tm.Item):
+        return f"#{term.name}"
+    if isinstance(term, tm.Field):
+        suffix = f".{term.attr}" if term.attr is not None else ""
+        return f"{term.array}[{unparse_term(term.index)}]{suffix}"
+    if isinstance(term, fm.RowAttr):
+        return f"{term.row}.{term.attr}"
+    if isinstance(term, fm.BoundVar):
+        return f"${term.name}"
+    if isinstance(term, fm.CountWhere):
+        if term.where == fm.TRUE:
+            return f"count({term.row} in {term.table})"
+        return f"count({term.row} in {term.table}: {unparse_formula(term.where)})"
+    if isinstance(term, tm.Add):
+        return f"({unparse_term(term.left)} + {unparse_term(term.right)})"
+    if isinstance(term, tm.Sub):
+        return f"({unparse_term(term.left)} - {unparse_term(term.right)})"
+    if isinstance(term, tm.Mul):
+        return f"({unparse_term(term.left)} * {unparse_term(term.right)})"
+    if isinstance(term, tm.Neg):
+        return f"(-{unparse_term(term.operand)})"
+    raise ReproError(f"cannot unparse term {term!r}")
+
+
+def unparse_formula(formula: fm.Formula) -> str:
+    """Render an assertion in the syntax :func:`parse_formula` accepts.
+
+    Abstract predicates have no text form and raise; everything else
+    round-trips: ``parse_formula(unparse_formula(f))`` is structurally
+    equal to ``f`` up to associativity normalisation.
+    """
+    if isinstance(formula, fm.Top):
+        return "true"
+    if isinstance(formula, fm.Bottom):
+        return "false"
+    if isinstance(formula, fm.Cmp):
+        return f"{unparse_term(formula.left)} {formula.op} {unparse_term(formula.right)}"
+    if isinstance(formula, fm.BoolAtom):
+        return unparse_term(formula.term)
+    if isinstance(formula, fm.Not):
+        return f"not ({unparse_formula(formula.operand)})"
+    if isinstance(formula, fm.And):
+        return "(" + " and ".join(unparse_formula(op) for op in formula.operands) + ")"
+    if isinstance(formula, fm.Or):
+        return "(" + " or ".join(unparse_formula(op) for op in formula.operands) + ")"
+    if isinstance(formula, fm.Implies):
+        return f"({unparse_formula(formula.premise)} => {unparse_formula(formula.conclusion)})"
+    if isinstance(formula, (fm.ForAllRows, fm.ExistsRow)):
+        keyword = "forall" if isinstance(formula, fm.ForAllRows) else "exists"
+        where = (
+            f" where {unparse_formula(formula.where)}" if formula.where != fm.TRUE else ""
+        )
+        return f"({keyword} {formula.row} in {formula.table}{where}: {unparse_formula(formula.body)})"
+    if isinstance(formula, fm.ForAllInts):
+        return (
+            f"(forall int ${formula.var} in {unparse_term(formula.low)}"
+            f"..{unparse_term(formula.high)}: {unparse_formula(formula.body)})"
+        )
+    raise ReproError(f"cannot unparse formula {formula!r}")

@@ -1,0 +1,741 @@
+"""A small validity/satisfiability engine for the assertion language.
+
+The paper discharges its non-interference triples (3) by hand in Hoare
+logic.  This module mechanises the quantifier-free fragment the worked
+examples live in: boolean combinations of *linear integer* comparisons over
+atomic reference terms, plus equalities over string terms and boolean atoms.
+
+Pipeline for :func:`is_satisfiable`:
+
+1. *opacification* — quantified subformulas, membership assertions,
+   aggregates and abstract predicates are replaced by fresh uninterpreted
+   atoms (identical subtrees share an atom).  A ``VALID`` verdict on the
+   abstraction is sound for the original formula; a counterexample found
+   through an abstraction is only a *candidate* and is downgraded to
+   ``UNKNOWN`` unless the formula needed no abstraction;
+2. *negation normal form* with integer ``!=`` split into ``< or >``;
+3. *disjunctive normal form* (capped — oversized formulas yield UNKNOWN);
+4. each cube is decided by: boolean-literal consistency, a union-find over
+   string equalities, and linear-integer reasoning — LP-relaxation
+   feasibility via ``scipy.optimize.linprog`` followed by an integer-point
+   search (rounding of the relaxed solution, then a small box enumeration).
+
+Verdicts are three-valued (:class:`Verdict`); every consumer in the
+interference checker treats ``UNKNOWN`` conservatively.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core import formula as fm
+from repro.core import terms as tm
+from repro.core.formula import (
+    And,
+    BoolAtom,
+    Bottom,
+    Cmp,
+    CountWhere,
+    ExistsRow,
+    ForAllInts,
+    ForAllRows,
+    Formula,
+    Implies,
+    InTable,
+    Not,
+    Or,
+    Top,
+    TRUE,
+    FALSE,
+    AbstractPred,
+    conj,
+    disj,
+)
+from repro.core.terms import (
+    Add,
+    BoolConst,
+    IntConst,
+    Mul,
+    Neg,
+    StrConst,
+    Sub,
+    Term,
+)
+from repro.errors import ProverError
+
+#: Maximum number of DNF cubes explored before giving up with UNKNOWN.
+MAX_CUBES = 4096
+
+#: Half-width of the integer box searched when LP rounding fails.
+BOX_RADIUS = 4
+
+#: Maximum number of integer variables for which box enumeration is tried.
+MAX_BOX_VARS = 5
+
+
+class Verdict:
+    """Result of a validity or satisfiability query."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class ProofResult:
+    """Outcome of a prover query.
+
+    ``model`` is a counterexample (for validity queries) or a satisfying
+    assignment (for satisfiability queries), mapping atomic terms to values.
+    ``abstracted`` records whether opacification replaced any subformula, in
+    which case a model is only a candidate.
+    """
+
+    verdict: str
+    model: Mapping[Term, object] | None = None
+    abstracted: bool = False
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.verdict == Verdict.VALID
+
+
+# ---------------------------------------------------------------------------
+# term simplification (constant folding)
+# ---------------------------------------------------------------------------
+
+
+def simplify_term(term: Term) -> Term:
+    """Fold constants and drop arithmetic identities."""
+    if isinstance(term, (Add, Sub, Mul)):
+        left = simplify_term(term.left)
+        right = simplify_term(term.right)
+        if isinstance(left, IntConst) and isinstance(right, IntConst):
+            if isinstance(term, Add):
+                return IntConst(left.value + right.value)
+            if isinstance(term, Sub):
+                return IntConst(left.value - right.value)
+            return IntConst(left.value * right.value)
+        if isinstance(term, Add):
+            if isinstance(left, IntConst) and left.value == 0:
+                return right
+            if isinstance(right, IntConst) and right.value == 0:
+                return left
+            return Add(left, right)
+        if isinstance(term, Sub):
+            if isinstance(right, IntConst) and right.value == 0:
+                return left
+            if left == right:
+                return IntConst(0)
+            return Sub(left, right)
+        if isinstance(left, IntConst) and left.value == 1:
+            return right
+        if isinstance(right, IntConst) and right.value == 1:
+            return left
+        if (isinstance(left, IntConst) and left.value == 0) or (
+            isinstance(right, IntConst) and right.value == 0
+        ):
+            return IntConst(0)
+        return Mul(left, right)
+    if isinstance(term, Neg):
+        operand = simplify_term(term.operand)
+        if isinstance(operand, IntConst):
+            return IntConst(-operand.value)
+        return Neg(operand)
+    if isinstance(term, tm.Field):
+        return tm.Field(term.array, simplify_term(term.index), term.attr, term.var_sort)
+    return term
+
+
+def simplify(formula: Formula) -> Formula:
+    """Lightweight formula simplification: fold constants, prune units."""
+    if isinstance(formula, Cmp):
+        left = simplify_term(formula.left)
+        right = simplify_term(formula.right)
+        if isinstance(left, (IntConst, BoolConst, StrConst)) and isinstance(
+            right, (IntConst, BoolConst, StrConst)
+        ):
+            result = fm._CMP_OPS[formula.op](left.value, right.value)
+            return TRUE if result else FALSE
+        if left == right:
+            return TRUE if formula.op in ("==", "<=", ">=") else FALSE
+        return Cmp(formula.op, left, right)
+    if isinstance(formula, Not):
+        inner = simplify(formula.operand)
+        if isinstance(inner, Top):
+            return FALSE
+        if isinstance(inner, Bottom):
+            return TRUE
+        if isinstance(inner, Not):
+            return inner.operand
+        if isinstance(inner, Cmp) and inner.left.sort != "str":
+            return inner.negated()
+        return Not(inner)
+    if isinstance(formula, And):
+        return conj(*(simplify(op) for op in formula.operands))
+    if isinstance(formula, Or):
+        return disj(*(simplify(op) for op in formula.operands))
+    if isinstance(formula, Implies):
+        return fm.implies(simplify(formula.premise), simplify(formula.conclusion))
+    if isinstance(formula, ForAllRows):
+        return ForAllRows(formula.table, formula.row, simplify(formula.body), simplify(formula.where))
+    if isinstance(formula, ExistsRow):
+        return ExistsRow(formula.table, formula.row, simplify(formula.body), simplify(formula.where))
+    if isinstance(formula, ForAllInts):
+        return ForAllInts(
+            formula.var,
+            simplify_term(formula.low),
+            simplify_term(formula.high),
+            simplify(formula.body),
+        )
+    if isinstance(formula, BoolAtom):
+        term = simplify_term(formula.term)
+        if isinstance(term, BoolConst):
+            return TRUE if term.value else FALSE
+        return BoolAtom(term)
+    return formula
+
+
+# ---------------------------------------------------------------------------
+# opacification of non-QF constructs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Opacifier:
+    """Replaces non-quantifier-free subformulas/terms by fresh atoms."""
+
+    formula_atoms: dict = field(default_factory=dict)
+    term_atoms: dict = field(default_factory=dict)
+    used: bool = False
+
+    def formula_atom(self, original: Formula) -> Formula:
+        self.used = True
+        atom = self.formula_atoms.get(original)
+        if atom is None:
+            atom = BoolAtom(tm.Local(f"__abs_f{len(self.formula_atoms)}", "bool"))
+            self.formula_atoms[original] = atom
+        return atom
+
+    def term_atom(self, original: Term) -> Term:
+        self.used = True
+        atom = self.term_atoms.get(original)
+        if atom is None:
+            atom = tm.Local(f"__abs_t{len(self.term_atoms)}", "int")
+            self.term_atoms[original] = atom
+        return atom
+
+    def run_term(self, term: Term) -> Term:
+        if isinstance(term, CountWhere):
+            return self.term_atom(term)
+        if isinstance(term, (Add, Sub, Mul)):
+            return type(term)(self.run_term(term.left), self.run_term(term.right))
+        if isinstance(term, Neg):
+            return Neg(self.run_term(term.operand))
+        if isinstance(term, tm.Field):
+            return tm.Field(term.array, self.run_term(term.index), term.attr, term.var_sort)
+        return term
+
+    def run(self, formula: Formula) -> Formula:
+        if isinstance(formula, ForAllInts):
+            expanded = _expand_forall_ints(formula)
+            if expanded is not None:
+                return self.run(expanded)
+            return self.formula_atom(formula)
+        if isinstance(formula, (ForAllRows, ExistsRow, InTable, AbstractPred)):
+            return self.formula_atom(formula)
+        if isinstance(formula, Cmp):
+            return Cmp(formula.op, self.run_term(formula.left), self.run_term(formula.right))
+        if isinstance(formula, BoolAtom):
+            return BoolAtom(self.run_term(formula.term))
+        if isinstance(formula, Not):
+            return Not(self.run(formula.operand))
+        if isinstance(formula, And):
+            return And(tuple(self.run(op) for op in formula.operands))
+        if isinstance(formula, Or):
+            return Or(tuple(self.run(op) for op in formula.operands))
+        if isinstance(formula, Implies):
+            return Implies(self.run(formula.premise), self.run(formula.conclusion))
+        return formula
+
+
+#: Maximum width of a bounded integer quantifier the prover will expand.
+MAX_QUANTIFIER_EXPANSION = 8
+
+
+def _expand_forall_ints(formula: ForAllInts) -> Formula | None:
+    """Instantiate a ``forall int`` with small constant bounds.
+
+    ``∀ $d ∈ a..b: body`` with literal ``a``, ``b`` and ``b - a`` below the
+    expansion cap becomes the finite conjunction of instantiated bodies —
+    an exact reduction that keeps such formulas inside the decidable
+    fragment instead of opacifying them.
+    """
+    low = simplify_term(formula.low)
+    high = simplify_term(formula.high)
+    if not isinstance(low, IntConst) or not isinstance(high, IntConst):
+        return None
+    if high.value - low.value >= MAX_QUANTIFIER_EXPANSION:
+        return None
+    from repro.core.formula import BoundVar
+
+    instances = [
+        formula.body.substitute({BoundVar(formula.var): IntConst(value)})
+        for value in range(low.value, high.value + 1)
+    ]
+    return conj(*instances)
+
+
+# ---------------------------------------------------------------------------
+# NNF / DNF
+# ---------------------------------------------------------------------------
+
+
+def _nnf(formula: Formula, negate: bool) -> Formula:
+    if isinstance(formula, Top):
+        return FALSE if negate else TRUE
+    if isinstance(formula, Bottom):
+        return TRUE if negate else FALSE
+    if isinstance(formula, Not):
+        return _nnf(formula.operand, not negate)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(op, negate) for op in formula.operands)
+        return disj(*parts) if negate else conj(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(op, negate) for op in formula.operands)
+        return conj(*parts) if negate else disj(*parts)
+    if isinstance(formula, Implies):
+        if negate:
+            return conj(_nnf(formula.premise, False), _nnf(formula.conclusion, True))
+        return disj(_nnf(formula.premise, True), _nnf(formula.conclusion, False))
+    if isinstance(formula, Cmp):
+        literal = formula.negated() if negate else formula
+        if literal.op == "!=" and literal.left.sort != "str":
+            return disj(
+                Cmp("<", literal.left, literal.right),
+                Cmp(">", literal.left, literal.right),
+            )
+        return literal
+    if isinstance(formula, BoolAtom):
+        return Not(formula) if negate else formula
+    raise ProverError(f"formula not opacified before NNF: {formula!r}")
+
+
+def _dnf_cubes(formula: Formula) -> list | None:
+    """Cubes (lists of literals) of the DNF; None if the cap is exceeded."""
+    if isinstance(formula, Or):
+        cubes: list = []
+        for op in formula.operands:
+            sub = _dnf_cubes(op)
+            if sub is None:
+                return None
+            cubes.extend(sub)
+            if len(cubes) > MAX_CUBES:
+                return None
+        return cubes
+    if isinstance(formula, And):
+        cubes = [[]]
+        for op in formula.operands:
+            sub = _dnf_cubes(op)
+            if sub is None:
+                return None
+            cubes = [cube + extra for cube in cubes for extra in sub]
+            if len(cubes) > MAX_CUBES:
+                return None
+        return cubes
+    if isinstance(formula, Top):
+        return [[]]
+    if isinstance(formula, Bottom):
+        return []
+    return [[formula]]
+
+
+# ---------------------------------------------------------------------------
+# linear-arithmetic cube decision
+# ---------------------------------------------------------------------------
+
+
+def _linearize(term: Term, variables: dict) -> dict | None:
+    """Express an int term as {var_term: coeff} plus constant key ``None``.
+
+    Returns None when the term is non-linear (variable * variable).
+    """
+    if isinstance(term, IntConst):
+        return {None: term.value}
+    if isinstance(term, Add):
+        left = _linearize(term.left, variables)
+        right = _linearize(term.right, variables)
+        if left is None or right is None:
+            return None
+        return _combine(left, right, 1)
+    if isinstance(term, Sub):
+        left = _linearize(term.left, variables)
+        right = _linearize(term.right, variables)
+        if left is None or right is None:
+            return None
+        return _combine(left, right, -1)
+    if isinstance(term, Neg):
+        inner = _linearize(term.operand, variables)
+        if inner is None:
+            return None
+        return {key: -coeff for key, coeff in inner.items()}
+    if isinstance(term, Mul):
+        left = _linearize(term.left, variables)
+        right = _linearize(term.right, variables)
+        if left is None or right is None:
+            return None
+        left_const = set(left) <= {None}
+        right_const = set(right) <= {None}
+        if left_const:
+            factor = left.get(None, 0)
+            return {key: coeff * factor for key, coeff in right.items()}
+        if right_const:
+            factor = right.get(None, 0)
+            return {key: coeff * factor for key, coeff in left.items()}
+        return None
+    # atomic int-valued reference term
+    variables.setdefault(term, len(variables))
+    return {term: 1}
+
+
+def _combine(left: dict, right: dict, sign: int) -> dict:
+    out = dict(left)
+    for key, coeff in right.items():
+        out[key] = out.get(key, 0) + sign * coeff
+    return {key: coeff for key, coeff in out.items() if key is None or coeff != 0}
+
+
+@dataclass
+class _IntConstraint:
+    """coeffs . x  <rel>  bound, with <rel> in {"<=", "=="}."""
+
+    coeffs: dict
+    rel: str
+    bound: int
+
+
+def _int_constraints_of_literal(literal: Cmp, variables: dict) -> list | None:
+    """Translate an integer comparison into <= / == constraints."""
+    lhs = _linearize(literal.left, variables)
+    rhs = _linearize(literal.right, variables)
+    if lhs is None or rhs is None:
+        return None
+    diff = _combine(lhs, rhs, -1)  # lhs - rhs
+    const = diff.pop(None, 0)
+    op = literal.op
+    if op == "==":
+        return [_IntConstraint(diff, "==", -const)]
+    if op == "<=":
+        return [_IntConstraint(diff, "<=", -const)]
+    if op == "<":
+        return [_IntConstraint(diff, "<=", -const - 1)]
+    if op == ">=":
+        neg = {key: -coeff for key, coeff in diff.items()}
+        return [_IntConstraint(neg, "<=", const)]
+    if op == ">":
+        neg = {key: -coeff for key, coeff in diff.items()}
+        return [_IntConstraint(neg, "<=", const - 1)]
+    raise ProverError(f"unexpected integer literal {literal!r}")
+
+
+def _check_int_assignment(constraints: Sequence[_IntConstraint], assignment: dict) -> bool:
+    for constraint in constraints:
+        total = sum(coeff * assignment[var] for var, coeff in constraint.coeffs.items())
+        if constraint.rel == "==" and total != constraint.bound:
+            return False
+        if constraint.rel == "<=" and total > constraint.bound:
+            return False
+    return True
+
+
+def _solve_int_constraints(constraints: Sequence[_IntConstraint], variables: dict):
+    """Decide a conjunction of linear integer constraints.
+
+    Returns ``(verdict, assignment)`` where verdict is SAT/UNSAT/UNKNOWN.
+    """
+    if not constraints:
+        return Verdict.SAT, {}
+    var_list = sorted(variables, key=variables.get)
+    index = {var: i for i, var in enumerate(var_list)}
+    n = len(var_list)
+    if n == 0:
+        # all constraints are ground
+        ok = _check_int_assignment(constraints, {})
+        return (Verdict.SAT, {}) if ok else (Verdict.UNSAT, None)
+
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for constraint in constraints:
+        row = [0.0] * n
+        for var, coeff in constraint.coeffs.items():
+            row[index[var]] = float(coeff)
+        if constraint.rel == "<=":
+            a_ub.append(row)
+            b_ub.append(float(constraint.bound))
+        else:
+            a_eq.append(row)
+            b_eq.append(float(constraint.bound))
+    result = linprog(
+        c=np.zeros(n),
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        A_eq=np.array(a_eq) if a_eq else None,
+        b_eq=np.array(b_eq) if b_eq else None,
+        bounds=[(None, None)] * n,
+        method="highs",
+    )
+    if result.status == 2:  # infeasible over the rationals => int-infeasible
+        return Verdict.UNSAT, None
+    if result.status != 0 or result.x is None:
+        return Verdict.UNKNOWN, None
+
+    relaxed = result.x
+    # try all floor/ceil roundings of the relaxed solution (capped)
+    if n <= 16:
+        floors = [int(np.floor(v)) for v in relaxed]
+        ceils = [int(np.ceil(v)) for v in relaxed]
+        candidates = itertools.islice(
+            itertools.product(*[(f, c) if f != c else (f,) for f, c in zip(floors, ceils)]),
+            4096,
+        )
+        for candidate in candidates:
+            assignment = dict(zip(var_list, candidate))
+            if _check_int_assignment(constraints, assignment):
+                return Verdict.SAT, assignment
+    # small-box enumeration around the relaxed point
+    if n <= MAX_BOX_VARS:
+        centers = [int(round(v)) for v in relaxed]
+        ranges = [range(c - BOX_RADIUS, c + BOX_RADIUS + 1) for c in centers]
+        for candidate in itertools.product(*ranges):
+            assignment = dict(zip(var_list, candidate))
+            if _check_int_assignment(constraints, assignment):
+                return Verdict.SAT, assignment
+    return Verdict.UNKNOWN, None
+
+
+# ---------------------------------------------------------------------------
+# string and boolean literal handling
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict = {}
+
+    def find(self, key):
+        self.parent.setdefault(key, key)
+        root = key
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[key] != root:
+            self.parent[key], key = root, self.parent[key]
+        return root
+
+    def union(self, a, b) -> None:
+        self.parent[self.find(a)] = self.find(b)
+
+
+def _solve_string_literals(equalities: list, disequalities: list):
+    """Decide string (dis)equalities via union-find; returns model or None."""
+    uf = _UnionFind()
+    for left, right in equalities:
+        uf.union(left, right)
+    for left, right in disequalities:
+        if uf.find(left) == uf.find(right):
+            return Verdict.UNSAT, None
+    # check no class merges two distinct constants
+    class_const: dict = {}
+    all_terms = {t for pair in equalities + disequalities for t in pair}
+    for term in all_terms:
+        root = uf.find(term)
+        if isinstance(term, StrConst):
+            if root in class_const and class_const[root] != term.value:
+                return Verdict.UNSAT, None
+            class_const[root] = term.value
+    model: dict = {}
+    fresh = 0
+    for term in all_terms:
+        root = uf.find(term)
+        if root not in class_const:
+            class_const[root] = f"str#{fresh}"
+            fresh += 1
+        if not isinstance(term, StrConst):
+            model[term] = class_const[root]
+    return Verdict.SAT, model
+
+
+def _decide_cube(literals: Sequence[Formula]):
+    """Decide a conjunction of literals; returns (verdict, model|None)."""
+    int_constraints: list = []
+    variables: dict = {}
+    str_eqs: list = []
+    str_neqs: list = []
+    bool_assign: dict = {}
+    for literal in literals:
+        base = literal
+        polarity = True
+        if isinstance(base, Not):
+            base = base.operand
+            polarity = False
+        if isinstance(base, BoolAtom):
+            term = base.term
+            if isinstance(term, BoolConst):
+                if term.value != polarity:
+                    return Verdict.UNSAT, None
+                continue
+            if term in bool_assign and bool_assign[term] != polarity:
+                return Verdict.UNSAT, None
+            bool_assign[term] = polarity
+            continue
+        if isinstance(base, Cmp):
+            if not polarity:
+                base = base.negated()
+            if base.left.sort == "str" or base.right.sort == "str":
+                if base.op == "==":
+                    str_eqs.append((base.left, base.right))
+                elif base.op == "!=":
+                    str_neqs.append((base.left, base.right))
+                else:
+                    return Verdict.UNKNOWN, None
+                continue
+            if base.left.sort == "bool" or base.right.sort == "bool":
+                converted = _bool_equality(base, bool_assign)
+                if converted is False:
+                    return Verdict.UNSAT, None
+                if converted is None:
+                    return Verdict.UNKNOWN, None
+                continue
+            translated = _int_constraints_of_literal(base, variables)
+            if translated is None:
+                return Verdict.UNKNOWN, None
+            int_constraints.extend(translated)
+            continue
+        return Verdict.UNKNOWN, None
+
+    str_verdict, str_model = _solve_string_literals(str_eqs, str_neqs)
+    if str_verdict == Verdict.UNSAT:
+        return Verdict.UNSAT, None
+    int_verdict, int_model = _solve_int_constraints(int_constraints, variables)
+    if int_verdict == Verdict.UNSAT:
+        return Verdict.UNSAT, None
+    if int_verdict == Verdict.UNKNOWN:
+        return Verdict.UNKNOWN, None
+    model: dict = {}
+    model.update(str_model or {})
+    model.update(int_model or {})
+    for term, value in bool_assign.items():
+        model[term] = value
+    return Verdict.SAT, model
+
+
+def _bool_equality(literal: Cmp, bool_assign: dict):
+    """Handle ``b == true``-style comparisons against the bool assignment.
+
+    Returns True on success, False on contradiction, None when the shape is
+    not supported.
+    """
+    left, right, op = literal.left, literal.right, literal.op
+    if isinstance(left, BoolConst) and not isinstance(right, BoolConst):
+        left, right = right, left
+    if isinstance(right, BoolConst):
+        wanted = right.value if op == "==" else not right.value
+        if op not in ("==", "!="):
+            return None
+        if left in bool_assign and bool_assign[left] != wanted:
+            return False
+        bool_assign[left] = wanted
+        return True
+    return None
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+
+def _congruence_axioms(goal: Formula) -> list:
+    """Ackermann-style array congruence: equal indices force equal values.
+
+    Two ``Field`` atoms over the same array and attribute denote the same
+    location exactly when their indices agree; without these axioms the
+    linear core would treat ``a[i]`` and ``a[j]`` as unrelated even under an
+    assumed ``i == j``.
+    """
+    fields: dict = {}
+    for atom in goal.atoms():
+        if isinstance(atom, tm.Field):
+            fields.setdefault((atom.array, atom.attr), set()).add(atom)
+    axioms: list[Formula] = []
+    for group in fields.values():
+        ordered = sorted(group, key=repr)
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1 :]:
+                if left.index == right.index:
+                    continue
+                axioms.append(
+                    fm.implies(
+                        Cmp("==", left.index, right.index), Cmp("==", left, right)
+                    )
+                )
+    return axioms
+
+
+def is_satisfiable(formula: Formula, assumptions: Iterable[Formula] = ()) -> ProofResult:
+    """Decide satisfiability of ``formula`` under optional assumptions."""
+    goal = conj(*assumptions, formula)
+    goal = simplify(goal)
+    if isinstance(goal, Top):
+        return ProofResult(Verdict.SAT, model={})
+    if isinstance(goal, Bottom):
+        return ProofResult(Verdict.UNSAT)
+    goal = conj(goal, *_congruence_axioms(goal))
+    opacifier = _Opacifier()
+    abstracted_goal = opacifier.run(goal)
+    nnf = _nnf(abstracted_goal, negate=False)
+    cubes = _dnf_cubes(nnf)
+    if cubes is None:
+        return ProofResult(Verdict.UNKNOWN, reason="DNF size cap exceeded")
+    saw_unknown = False
+    for cube in cubes:
+        verdict, model = _decide_cube(cube)
+        if verdict == Verdict.SAT:
+            if opacifier.used:
+                return ProofResult(
+                    Verdict.UNKNOWN,
+                    model=model,
+                    abstracted=True,
+                    reason="model found only for an abstraction",
+                )
+            return ProofResult(Verdict.SAT, model=model)
+        if verdict == Verdict.UNKNOWN:
+            saw_unknown = True
+    if saw_unknown:
+        return ProofResult(Verdict.UNKNOWN, reason="some cubes undecided")
+    return ProofResult(Verdict.UNSAT, abstracted=opacifier.used)
+
+
+def is_valid(formula: Formula, assumptions: Iterable[Formula] = ()) -> ProofResult:
+    """Decide validity: do the assumptions entail the formula?
+
+    Returns VALID when ``assumptions and not formula`` is unsatisfiable.
+    A SAT answer to that query yields INVALID with the model as a genuine
+    counterexample; abstraction or arithmetic incompleteness yield UNKNOWN.
+    """
+    negated = conj(*assumptions, Not(formula))
+    result = is_satisfiable(negated)
+    if result.verdict == Verdict.UNSAT:
+        return ProofResult(Verdict.VALID, abstracted=result.abstracted)
+    if result.verdict == Verdict.SAT:
+        return ProofResult(Verdict.INVALID, model=result.model)
+    return ProofResult(Verdict.UNKNOWN, model=result.model, abstracted=result.abstracted, reason=result.reason)
+
+
+def holds(triple_pre: Formula, triple_post: Formula, assumptions: Iterable[Formula] = ()) -> ProofResult:
+    """Convenience: does ``triple_pre`` entail ``triple_post``?"""
+    return is_valid(fm.implies(triple_pre, triple_post), assumptions)

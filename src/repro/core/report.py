@@ -1,0 +1,97 @@
+"""Rendering helpers for analysis results.
+
+Turns the structured outputs of :mod:`repro.core.conditions` and
+:mod:`repro.core.chooser` into the tabular text the benchmarks print —
+matching the shape of the paper's Section 6 discussion (transaction type →
+lowest correct level, with the failing obligations one level below).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.chooser import ApplicationReport
+from repro.core.conditions import LevelCheckResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """A plain fixed-width table (no external dependencies)."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def render_row(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [render_row(headers), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def level_table(report: ApplicationReport) -> str:
+    """Transaction → chosen level table with confidence annotations."""
+    rows = []
+    for choice in report.choices:
+        chosen = choice.chosen_check
+        confidence = "theorem" if chosen.trivially_correct else chosen.confidence
+        failures_below = ""
+        if len(choice.attempts) > 1:
+            below = choice.attempts[-2]
+            failures_below = f"{len(below.failures)} failing at {below.level}"
+        rows.append((choice.transaction, choice.level, confidence, failures_below))
+    return format_table(
+        ("transaction", "lowest correct level", "confidence", "evidence below"), rows
+    )
+
+
+def failure_details(result: LevelCheckResult, limit: int = 10) -> str:
+    """Human-readable dump of the failing obligations of a level check."""
+    lines = [result.summary()]
+    for obligation in result.failures[:limit]:
+        lines.append("  " + obligation.describe())
+        if obligation.verdict is not None and obligation.verdict.witness is not None:
+            witness = obligation.verdict.witness
+            lines.append(f"    witness: {witness.description}")
+            if witness.state is not None:
+                lines.append(f"    state: items={witness.state.items}"
+                             f" arrays={witness.state.arrays} tables={witness.state.tables}")
+            if witness.env:
+                shown = {str(k): v for k, v in witness.env.items()}
+                lines.append(f"    env: {shown}")
+            if witness.model:
+                shown = {str(k): v for k, v in witness.model.items()}
+                lines.append(f"    model: {shown}")
+    remaining = len(result.failures) - limit
+    if remaining > 0:
+        lines.append(f"  ... and {remaining} more failing obligations")
+    return "\n".join(lines)
+
+
+def obligation_stats(results: Iterable[LevelCheckResult]) -> dict:
+    """Aggregate obligation counts and tier usage across level checks."""
+    stats = {
+        "levels": 0,
+        "obligations": 0,
+        "excused": 0,
+        "failed": 0,
+        "by_method": {},
+        "by_confidence": {},
+    }
+    for result in results:
+        stats["levels"] += 1
+        for ob in result.obligations:
+            stats["obligations"] += 1
+            if ob.excused is not None:
+                stats["excused"] += 1
+                continue
+            if not ob.ok:
+                stats["failed"] += 1
+            if ob.verdict is not None:
+                method = ob.verdict.method
+                confidence = ob.verdict.confidence
+                stats["by_method"][method] = stats["by_method"].get(method, 0) + 1
+                stats["by_confidence"][confidence] = (
+                    stats["by_confidence"].get(confidence, 0) + 1
+                )
+    return stats

@@ -1,0 +1,95 @@
+"""Coarse database *resources* used for footprint-disjointness reasoning.
+
+The first (and cheapest) tier of the interference checker is purely
+syntactic: a statement whose written resources are disjoint from the
+resources an assertion depends on cannot interfere with that assertion
+(paper, Section 2 — interference requires the statement to change something
+the assertion mentions).
+
+Resources deliberately ignore array indices and row predicates: two accesses
+to ``acct_sav[i].bal`` and ``acct_sav[j].bal`` map to the *same* resource.
+That keeps the disjointness tier sound (it may only declare disjointness when
+no aliasing is possible); index- and predicate-level precision is recovered
+by the symbolic and bounded-model tiers in :mod:`repro.core.interference`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class Resource:
+    """Base class for resources; only the subclasses below are instantiated."""
+
+
+@dataclass(frozen=True)
+class ScalarResource(Resource):
+    """A named scalar database item."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"item:{self.name}"
+
+
+@dataclass(frozen=True)
+class ArrayResource(Resource):
+    """All elements of one attribute of a record array.
+
+    ``attr`` is ``None`` for arrays of plain values and for whole-record
+    operations (insert/delete of a record touches every attribute).
+    """
+
+    array: str
+    attr: str | None = None
+
+    def __repr__(self) -> str:
+        suffix = f".{self.attr}" if self.attr is not None else ".*"
+        return f"array:{self.array}{suffix}"
+
+
+@dataclass(frozen=True)
+class TableResource(Resource):
+    """One attribute of a relational table, or its row membership.
+
+    ``attr is None`` denotes row membership itself — the resource written by
+    INSERT and DELETE and read by every quantifier, aggregate and membership
+    assertion over the table.
+    """
+
+    table: str
+    attr: str | None = None
+
+    def __repr__(self) -> str:
+        suffix = f".{self.attr}" if self.attr is not None else ".<rows>"
+        return f"table:{self.table}{suffix}"
+
+
+def _pair_overlaps(a: Resource, b: Resource) -> bool:
+    """Whether two individual resources can denote overlapping state."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, ScalarResource):
+        return a == b
+    if isinstance(a, ArrayResource) and isinstance(b, ArrayResource):
+        if a.array != b.array:
+            return False
+        return a.attr is None or b.attr is None or a.attr == b.attr
+    if isinstance(a, TableResource) and isinstance(b, TableResource):
+        if a.table != b.table:
+            return False
+        return a.attr is None or b.attr is None or a.attr == b.attr
+    return False
+
+
+def overlaps(read: Iterable[Resource], written: Iterable[Resource]) -> bool:
+    """Whether any written resource can overlap any read resource.
+
+    Membership resources (``attr is None``) overlap every attribute of the
+    same table or array, so INSERT/DELETE conservatively clash with any
+    assertion over the table.
+    """
+    written_list = list(written)
+    return any(_pair_overlaps(r, w) for r in read for w in written_list)

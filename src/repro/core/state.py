@@ -1,0 +1,199 @@
+"""Concrete database states.
+
+A :class:`DbState` is the common currency of the dynamic half of the
+library: formulas evaluate against it, the bounded model checker enumerates
+instances of it, the transactional engine's committed store is one, and the
+semantic-correctness oracle compares them.
+
+A state holds the three kinds of storage the paper's models use:
+
+* scalar *items* (conventional model, e.g. ``maximum_date``);
+* record *arrays* indexed by integers with named attributes
+  (e.g. ``acct_sav[i].bal``); plain value arrays use the attribute ``None``;
+* relational *tables* as multisets of attribute/value rows.
+
+States are mutable; use :meth:`copy` to snapshot.  Multiset table equality
+makes state comparison insensitive to physical row order, matching the
+relational model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.core.terms import Value
+from repro.errors import EvaluationError
+
+Row = dict
+
+
+@dataclass
+class DbState:
+    """A concrete database state over items, arrays and tables."""
+
+    items: dict = field(default_factory=dict)
+    arrays: dict = field(default_factory=dict)
+    tables: dict = field(default_factory=dict)
+
+    # -- scalar items ------------------------------------------------------
+    def read_item(self, name: str) -> Value:
+        try:
+            return self.items[name]
+        except KeyError:
+            raise EvaluationError(f"unknown database item {name!r}")
+
+    def write_item(self, name: str, value: Value) -> None:
+        self.items[name] = value
+
+    def has_item(self, name: str) -> bool:
+        return name in self.items
+
+    # -- record arrays -----------------------------------------------------
+    def read_field(self, array: str, index: int, attr: str | None) -> Value:
+        try:
+            return self.arrays[array][index][attr]
+        except KeyError:
+            where = f"{array}[{index}]" + (f".{attr}" if attr is not None else "")
+            raise EvaluationError(f"unknown array element {where}")
+
+    def write_field(self, array: str, index: int, attr: str | None, value: Value) -> None:
+        self.arrays.setdefault(array, {}).setdefault(index, {})[attr] = value
+
+    def has_field(self, array: str, index: int, attr: str | None) -> bool:
+        return attr in self.arrays.get(array, {}).get(index, {})
+
+    def array_indices(self, array: str) -> Iterator[int]:
+        yield from self.arrays.get(array, {})
+
+    # -- relational tables -------------------------------------------------
+    def rows(self, table: str) -> Iterator[Row]:
+        """Iterate over the rows of a table (empty if the table is unknown)."""
+        yield from self.tables.get(table, ())
+
+    def insert_row(self, table: str, row: Mapping[str, Value]) -> None:
+        self.tables.setdefault(table, []).append(dict(row))
+
+    def delete_rows(self, table: str, predicate: Callable[[Row], bool]) -> int:
+        """Delete matching rows; returns the number deleted."""
+        rows = self.tables.get(table)
+        if rows is None:
+            return 0
+        kept = [row for row in rows if not predicate(row)]
+        deleted = len(rows) - len(kept)
+        self.tables[table] = kept
+        return deleted
+
+    def update_rows(
+        self,
+        table: str,
+        predicate: Callable[[Row], bool],
+        updater: Callable[[Row], Mapping[str, Value]],
+    ) -> int:
+        """Apply ``updater`` to matching rows; returns the number updated.
+
+        ``updater`` receives the current row and returns the attributes to
+        overwrite (it must not mutate the row it receives).
+        """
+        updated = 0
+        for row in self.tables.get(table, ()):
+            if predicate(row):
+                row.update(updater(row))
+                updated += 1
+        return updated
+
+    def table_size(self, table: str) -> int:
+        return len(self.tables.get(table, ()))
+
+    # -- whole-state operations ---------------------------------------------
+    def copy(self) -> "DbState":
+        """A deep, independent copy of this state."""
+        return DbState(
+            items=dict(self.items),
+            arrays={
+                array: {index: dict(attrs) for index, attrs in elems.items()}
+                for array, elems in self.arrays.items()
+            },
+            tables={table: [dict(row) for row in rows] for table, rows in self.tables.items()},
+        )
+
+    def canonical(self) -> tuple:
+        """A hashable normal form; table rows compare as multisets."""
+        return (
+            tuple(sorted(self.items.items())),
+            tuple(
+                sorted(
+                    (array, index, tuple(sorted(attrs.items(), key=_attr_key)))
+                    for array, elems in self.arrays.items()
+                    for index, attrs in elems.items()
+                )
+            ),
+            tuple(
+                sorted(
+                    (table, tuple(sorted((tuple(sorted(row.items())) for row in rows))))
+                    for table, rows in self.tables.items()
+                    if rows
+                )
+            ),
+        )
+
+    def same_as(self, other: "DbState") -> bool:
+        """State equality up to table row order."""
+        return self.canonical() == other.canonical()
+
+    def diff(self, other: "DbState") -> list:
+        """Human-readable differences between two states (for reports)."""
+        out: list[str] = []
+        for name in sorted(set(self.items) | set(other.items)):
+            mine = self.items.get(name, "<absent>")
+            theirs = other.items.get(name, "<absent>")
+            if mine != theirs:
+                out.append(f"item {name}: {mine!r} vs {theirs!r}")
+        arrays = set(self.arrays) | set(other.arrays)
+        for array in sorted(arrays):
+            indices = set(self.arrays.get(array, {})) | set(other.arrays.get(array, {}))
+            for index in sorted(indices):
+                mine_rec = self.arrays.get(array, {}).get(index, {})
+                theirs_rec = other.arrays.get(array, {}).get(index, {})
+                attrs = set(mine_rec) | set(theirs_rec)
+                for attr in sorted(attrs, key=_attr_key):
+                    if mine_rec.get(attr) != theirs_rec.get(attr):
+                        label = f"{array}[{index}]" + (f".{attr}" if attr is not None else "")
+                        out.append(
+                            f"array {label}: {mine_rec.get(attr, '<absent>')!r}"
+                            f" vs {theirs_rec.get(attr, '<absent>')!r}"
+                        )
+        tables = set(self.tables) | set(other.tables)
+        for table in sorted(tables):
+            mine_rows = _row_multiset(self.tables.get(table, []))
+            theirs_rows = _row_multiset(other.tables.get(table, []))
+            if mine_rows != theirs_rows:
+                only_mine = _multiset_minus(mine_rows, theirs_rows)
+                only_theirs = _multiset_minus(theirs_rows, mine_rows)
+                if only_mine:
+                    out.append(f"table {table}: extra rows {sorted(only_mine)}")
+                if only_theirs:
+                    out.append(f"table {table}: missing rows {sorted(only_theirs)}")
+        return out
+
+
+def _attr_key(pair_or_attr) -> tuple:
+    """Sort key tolerating the ``None`` attribute of plain-value arrays."""
+    attr = pair_or_attr[0] if isinstance(pair_or_attr, tuple) else pair_or_attr
+    return (attr is None, attr or "")
+
+
+def _row_multiset(rows: Iterable[Row]) -> dict:
+    out: dict = {}
+    for row in rows:
+        key = tuple(sorted(row.items()))
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def _multiset_minus(a: dict, b: dict) -> list:
+    out = []
+    for key, count in a.items():
+        extra = count - b.get(key, 0)
+        out.extend([key] * max(0, extra))
+    return out

@@ -1,0 +1,448 @@
+"""Typed expression terms for the assertion and program language.
+
+The paper models transactions over two kinds of stores:
+
+* a *conventional* database of named items and record arrays (Sections 3, 6
+  use ``acct_sav[i].bal``-style references), and
+* a *relational* database of tables accessed through predicates (Section 4).
+
+Terms are immutable trees.  Atomic reference terms come in five flavours:
+
+``Local``
+    a variable in the transaction's private workspace (``Sav``, ``maxdate``);
+``Param``
+    a transaction parameter, rigid for the duration of the transaction
+    (``i``, ``w``, ``customer``);
+``LogicalVar``
+    a rigid logical variable used to record an initial value, the paper's
+    ``X_i`` in triple (1) (``BAL``, ``Sav0``);
+``Item``
+    a named scalar database item (``maximum_date``);
+``Field``
+    an element of a record array, optionally a named attribute of the record
+    (``acct_sav[i].bal``).
+
+Compound terms cover integer arithmetic.  Relational terms (row attributes,
+``COUNT(*)`` aggregates) live in :mod:`repro.core.formula` because they embed
+formulas; they subclass :class:`Term` so everything composes.
+
+Every term supports three generic operations used throughout the library:
+
+* :meth:`Term.substitute` — capture-free syntactic substitution of atomic
+  reference terms (the workhorse of strongest-postcondition computation);
+* :meth:`Term.atoms` — the set of atomic reference terms occurring in the
+  term (used for footprint and interference analysis);
+* :meth:`Term.evaluate` — concrete evaluation against a database state and a
+  variable environment (used by the bounded model checker and the dynamic
+  semantic-correctness checker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Mapping, Union
+
+from repro.errors import EvaluationError, SortError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.state import DbState
+
+#: Concrete values terms evaluate to.
+Value = Union[int, bool, str]
+
+#: Environment mapping atomic reference terms (``Local``/``Param``/
+#: ``LogicalVar``) to concrete values.  Keyed by the term itself, which is
+#: hashable because all terms are frozen dataclasses.
+Env = Mapping["Term", Value]
+
+_INT = "int"
+_BOOL = "bool"
+_STR = "str"
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all expression terms."""
+
+    @property
+    def sort(self) -> str:
+        """The sort of this term: ``"int"``, ``"bool"`` or ``"str"``."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping["Term", "Term"]) -> "Term":
+        """Replace syntactic occurrences of atomic reference terms.
+
+        ``mapping`` maps atomic reference terms to replacement terms.  The
+        substitution is simultaneous and purely syntactic: a ``Field`` whose
+        index mentions a substituted ``Param`` has the index rewritten, and a
+        ``Field`` that is itself a key in ``mapping`` is replaced wholesale
+        (index rewriting is applied first, then whole-term lookup).
+        """
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator["Term"]:
+        """Yield every atomic reference term occurring in this term."""
+        raise NotImplementedError
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        """Evaluate against a concrete database state and environment."""
+        raise NotImplementedError
+
+    # -- convenience constructors -----------------------------------------
+    def __add__(self, other: "Term | int") -> "Add":
+        return Add(self, _coerce(other))
+
+    def __sub__(self, other: "Term | int") -> "Sub":
+        return Sub(self, _coerce(other))
+
+    def __mul__(self, other: "Term | int") -> "Mul":
+        return Mul(self, _coerce(other))
+
+    def __neg__(self) -> "Neg":
+        return Neg(self)
+
+
+def _coerce(value: "Term | int | bool | str") -> Term:
+    """Lift a Python literal into a constant term; pass terms through."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    if isinstance(value, str):
+        return StrConst(value)
+    raise SortError(f"cannot coerce {value!r} into a term")
+
+
+def coerce(value: "Term | int | bool | str") -> Term:
+    """Public alias of the literal-lifting helper used across the package."""
+    return _coerce(value)
+
+
+# ---------------------------------------------------------------------------
+# constants
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntConst(Term):
+    """An integer literal."""
+
+    value: int
+
+    @property
+    def sort(self) -> str:
+        return _INT
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return self
+
+    def atoms(self) -> Iterator[Term]:
+        return iter(())
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolConst(Term):
+    """A boolean literal."""
+
+    value: bool
+
+    @property
+    def sort(self) -> str:
+        return _BOOL
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return self
+
+    def atoms(self) -> Iterator[Term]:
+        return iter(())
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class StrConst(Term):
+    """A string literal (used for names, addresses, status fields)."""
+
+    value: str
+
+    @property
+    def sort(self) -> str:
+        return _STR
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return self
+
+    def atoms(self) -> Iterator[Term]:
+        return iter(())
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+# ---------------------------------------------------------------------------
+# atomic reference terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Ref(Term):
+    """Common behaviour of atomic reference terms."""
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return mapping.get(self, self)
+
+    def atoms(self) -> Iterator[Term]:
+        yield self
+
+
+@dataclass(frozen=True)
+class Local(_Ref):
+    """A workspace (local) variable of a transaction program."""
+
+    name: str
+    var_sort: str = _INT
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        try:
+            return env[self]
+        except KeyError:
+            raise EvaluationError(f"unbound local variable {self.name!r}")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Param(_Ref):
+    """A transaction parameter; rigid during the transaction's execution."""
+
+    name: str
+    var_sort: str = _INT
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        try:
+            return env[self]
+        except KeyError:
+            raise EvaluationError(f"unbound parameter {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
+class LogicalVar(_Ref):
+    """A rigid logical variable recording an initial value (paper's ``X_i``)."""
+
+    name: str
+    var_sort: str = _INT
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        try:
+            return env[self]
+        except KeyError:
+            raise EvaluationError(f"unbound logical variable {self.name!r}")
+
+    def __repr__(self) -> str:
+        return self.name.upper()
+
+
+@dataclass(frozen=True)
+class Item(_Ref):
+    """A named scalar database item (conventional database model)."""
+
+    name: str
+    var_sort: str = _INT
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        return state.read_item(self.name)
+
+    def __repr__(self) -> str:
+        return f"db:{self.name}"
+
+
+@dataclass(frozen=True)
+class Field(Term):
+    """An array-element reference, e.g. ``acct_sav[i].bal``.
+
+    ``attr`` may be ``None`` for arrays of plain values.  The index is an
+    arbitrary integer term (typically a :class:`Param` or a constant).
+    """
+
+    array: str
+    index: Term
+    attr: str | None = None
+    var_sort: str = _INT
+
+    @property
+    def sort(self) -> str:
+        return self.var_sort
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        rewritten = Field(self.array, self.index.substitute(mapping), self.attr, self.var_sort)
+        return mapping.get(rewritten, rewritten)
+
+    def atoms(self) -> Iterator[Term]:
+        yield self
+        yield from self.index.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        index = self.index.evaluate(state, env)
+        if not isinstance(index, int):
+            raise EvaluationError(f"array index of {self!r} is not an integer")
+        return state.read_field(self.array, index, self.attr)
+
+    def __repr__(self) -> str:
+        suffix = f".{self.attr}" if self.attr is not None else ""
+        return f"{self.array}[{self.index!r}]{suffix}"
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _BinOp(Term):
+    """Common behaviour of binary integer operators."""
+
+    left: Term
+    right: Term
+
+    _symbol = "?"
+
+    @property
+    def sort(self) -> str:
+        return _INT
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return type(self)(self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.left.atoms()
+        yield from self.right.atoms()
+
+    def _apply(self, lhs: int, rhs: int) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        lhs = self.left.evaluate(state, env)
+        rhs = self.right.evaluate(state, env)
+        if not isinstance(lhs, int) or not isinstance(rhs, int):
+            raise EvaluationError(f"non-integer operand in {self!r}")
+        return self._apply(lhs, rhs)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Add(_BinOp):
+    """Integer addition."""
+
+    _symbol = "+"
+
+    def _apply(self, lhs: int, rhs: int) -> int:
+        return lhs + rhs
+
+
+@dataclass(frozen=True)
+class Sub(_BinOp):
+    """Integer subtraction."""
+
+    _symbol = "-"
+
+    def _apply(self, lhs: int, rhs: int) -> int:
+        return lhs - rhs
+
+
+@dataclass(frozen=True)
+class Mul(_BinOp):
+    """Integer multiplication."""
+
+    _symbol = "*"
+
+    def _apply(self, lhs: int, rhs: int) -> int:
+        return lhs * rhs
+
+
+@dataclass(frozen=True)
+class Neg(Term):
+    """Integer negation."""
+
+    operand: Term
+
+    @property
+    def sort(self) -> str:
+        return _INT
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+        return Neg(self.operand.substitute(mapping))
+
+    def atoms(self) -> Iterator[Term]:
+        yield from self.operand.atoms()
+
+    def evaluate(self, state: "DbState", env: Env) -> Value:
+        value = self.operand.evaluate(state, env)
+        if not isinstance(value, int):
+            raise EvaluationError(f"non-integer operand in {self!r}")
+        return -value
+
+    def __repr__(self) -> str:
+        return f"(-{self.operand!r})"
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def is_rigid(term: Term) -> bool:
+    """True if the term cannot change during any transaction's execution.
+
+    Constants, parameters and logical variables are rigid; locals are rigid
+    with respect to *other* transactions (no transaction can write another's
+    workspace) but not with respect to the owning transaction.
+    """
+    if isinstance(term, (IntConst, BoolConst, StrConst, Param, LogicalVar)):
+        return True
+    if isinstance(term, (Add, Sub, Mul)):
+        return is_rigid(term.left) and is_rigid(term.right)
+    if isinstance(term, Neg):
+        return is_rigid(term.operand)
+    return False
+
+
+def references_database(term: Term) -> bool:
+    """True if evaluating the term touches the database state."""
+    return any(isinstance(atom, (Item, Field)) for atom in term.atoms())

@@ -1,0 +1,50 @@
+"""Waits-for graph and deadlock resolution.
+
+The scheduler records a waits-for edge whenever an operation raises
+:class:`repro.engine.locks.WouldBlock`.  Deadlock detection is a cycle
+search on that graph (networkx); the victim is, by default, the youngest
+transaction in the cycle (largest id), matching the common
+minimum-work-lost heuristic.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+class WaitsForGraph:
+    """A thin, explicit wrapper over a networkx digraph of txn ids."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+
+    def add_waits(self, waiter: int, blockers) -> None:
+        for blocker in blockers:
+            if blocker != waiter:
+                self._graph.add_edge(waiter, blocker)
+
+    def clear_waits(self, waiter: int) -> None:
+        if self._graph.has_node(waiter):
+            for blocker in list(self._graph.successors(waiter)):
+                self._graph.remove_edge(waiter, blocker)
+
+    def remove(self, txn_id: int) -> None:
+        if self._graph.has_node(txn_id):
+            self._graph.remove_node(txn_id)
+
+    def find_cycle(self) -> list | None:
+        """Transaction ids forming a deadlock cycle, or None."""
+        try:
+            edges = nx.find_cycle(self._graph)
+        except nx.NetworkXNoCycle:
+            return None
+        return [edge[0] for edge in edges]
+
+    def pick_victim(self, cycle) -> int:
+        """The youngest (highest-id) transaction in the cycle."""
+        return max(cycle)
+
+    def blockers_of(self, waiter: int) -> set:
+        if not self._graph.has_node(waiter):
+            return set()
+        return set(self._graph.successors(waiter))

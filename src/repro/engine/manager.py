@@ -1,0 +1,541 @@
+"""The engine: per-isolation-level operation semantics.
+
+Implements the locking/multiversion recipes of [2] that the paper's
+theorems assume:
+
+===================  =========================  ==========================
+level                reads                      writes
+===================  =========================  ==========================
+READ UNCOMMITTED     no locks (sees dirty data) long X locks, in place
+READ COMMITTED       short S locks              long X locks, in place
+READ COMMITTED FCW   short S locks + version    long X locks + first-
+                     recording                  committer-wins validation
+REPEATABLE READ      long S locks               long X locks, in place
+SERIALIZABLE         long S locks + long        long X locks + phantom
+                     predicate read locks       checks against predicates
+SNAPSHOT             private begin snapshot,    buffered, applied at commit
+                     never waits                after first-committer-wins
+                                                validation
+===================  =========================  ==========================
+
+Reads at READ COMMITTED and above never observe uncommitted row images:
+when a row is X-locked by another transaction, the *committed* image is
+used to evaluate predicates, and a matching row blocks the reader (the
+short/long S lock cannot be granted) — exactly the behaviour of the [2]
+lock protocols.
+
+All operations are non-blocking in the thread sense: they either complete
+or raise :class:`repro.engine.locks.WouldBlock`; the scheduler owns retry
+and deadlock policy.  Every operation appends to ``history`` for the
+serializability and anomaly analyses in :mod:`repro.sched`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.core.state import DbState
+from repro.engine.locks import EXCLUSIVE, LONG, LockManager, SHARED, SHORT, WouldBlock
+from repro.engine.storage import RID, VersionedStore, strip_rid
+from repro.engine.transaction import (
+    ABORTED,
+    ACTIVE,
+    ALL_LEVELS,
+    COMMITTED,
+    SNAPSHOT,
+    Txn,
+)
+from repro.errors import EngineError, FirstCommitterWinsAbort, TransactionAborted
+
+
+@dataclass
+class HistoryOp:
+    """One recorded operation, for offline schedule analysis."""
+
+    tick: int
+    txn_id: int
+    kind: str  # r | w | ins | del | upd | begin | commit | abort
+    key: tuple | None = None
+    version: int | None = None
+    dirty_from: int | None = None
+    info: dict = field(default_factory=dict)
+
+
+class Engine:
+    """A cooperative, deterministic multi-level transactional engine."""
+
+    def __init__(self, initial: DbState, phantom_protection: bool = True) -> None:
+        self.store = VersionedStore.from_state(initial)
+        self.locks = LockManager()
+        self.txns: dict = {}
+        self.history: list = []
+        self._next_id = 1
+        self.tick = 0
+        #: ablation switch (DESIGN.md §6.3): with predicate locking off,
+        #: INSERTs are never blocked by other transactions' predicates —
+        #: phantoms leak into SERIALIZABLE readers and into UPDATE/DELETE
+        #: predicates, breaking e.g. New_Order even at READ COMMITTED
+        self.phantom_protection = phantom_protection
+
+    # -- lifecycle -----------------------------------------------------------
+    def begin(self, level: str) -> Txn:
+        if level not in ALL_LEVELS:
+            raise EngineError(f"unknown isolation level {level!r}")
+        txn = Txn(txn_id=self._next_id, level=level, begin_tick=self.tick)
+        self._next_id += 1
+        if txn.uses_snapshot:
+            txn.snapshot_state = self.store.snapshot()
+            txn.begin_versions = dict(self.store.versions)
+        self.txns[txn.txn_id] = txn
+        self._record(txn, "begin")
+        return txn
+
+    def commit(self, txn: Txn) -> None:
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            self._commit_snapshot(txn)
+        else:
+            self.store.reflect_commit(txn.redo)
+        self.locks.release_all(txn.txn_id)
+        txn.status = COMMITTED
+        txn.commit_tick = self.tick
+        self._record(txn, "commit")
+
+    def abort(self, txn: Txn, reason: str = "explicit") -> None:
+        if txn.status in (COMMITTED, ABORTED):
+            return
+        if not txn.uses_snapshot:
+            for entry in reversed(txn.undo):
+                self._apply_undo(entry)
+        self.locks.release_all(txn.txn_id)
+        txn.status = ABORTED
+        txn.abort_reason = reason
+        self._record(txn, "abort", info={"reason": reason})
+
+    def _commit_snapshot(self, txn: Txn) -> None:
+        begin_versions = getattr(txn, "begin_versions", {})
+        for key in txn.write_set:
+            if self.store.version_of(key) > begin_versions.get(key, 0):
+                self.abort(txn, reason=f"first-committer-wins on {key}")
+                raise FirstCommitterWinsAbort(txn.txn_id, str(key))
+            holders = self.locks.holders(key)
+            others = {t for t, mode in holders.items() if t != txn.txn_id and mode == EXCLUSIVE}
+            if others:
+                raise WouldBlock(others)
+        # apply buffered writes to the live state, then reflect as committed
+        for entry in txn.redo:
+            kind = entry[0]
+            if kind == "item":
+                _k, name, value = entry
+                self.store.write_item(name, value)
+            elif kind == "field":
+                _k, array, index, attr, value = entry
+                self.store.write_field(array, index, attr, value)
+            elif kind == "insert":
+                _k, table, rid, row = entry
+                stored = dict(row)
+                stored[RID] = rid
+                self.store.current.insert_row(table, stored)
+            elif kind == "delete":
+                _k, table, rid, _row = entry
+                self.store.current.delete_rows(table, lambda r: r.get(RID) == rid)
+            elif kind == "update":
+                _k, table, rid, changes = entry
+                row = self.store.find_row(table, rid)
+                if row is not None:
+                    row.update(changes)
+        self.store.reflect_commit(txn.redo)
+
+    # -- conventional reads ----------------------------------------------------
+    def read_item(self, txn: Txn, name: str):
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            value = txn.snapshot_state.read_item(name)
+            self._record(txn, "r", ("item", name))
+            return value
+        key = ("item", name)
+        self._read_lock(txn, key)
+        value = self.store.read_item(name)
+        txn.read_versions.setdefault(key, self.store.version_of(key))
+        self._record(txn, "r", key, dirty_from=self._dirty_writer(txn, key))
+        return value
+
+    def read_field(self, txn: Txn, array: str, index: int, attr):
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            value = txn.snapshot_state.read_field(array, index, attr)
+            self._record(txn, "r", ("record", array, index))
+            return value
+        key = ("record", array, index)
+        self._read_lock(txn, key)
+        value = self.store.read_field(array, index, attr)
+        txn.read_versions.setdefault(key, self.store.version_of(key))
+        self._record(txn, "r", key, dirty_from=self._dirty_writer(txn, key))
+        return value
+
+    def read_record(self, txn: Txn, array: str, index: int, attrs: Iterable[str]) -> dict:
+        """Atomically read several attributes of one record (one lock)."""
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            values = {
+                attr: txn.snapshot_state.read_field(array, index, attr) for attr in attrs
+            }
+            self._record(txn, "r", ("record", array, index))
+            return values
+        key = ("record", array, index)
+        self._read_lock(txn, key)
+        values = {attr: self.store.read_field(array, index, attr) for attr in attrs}
+        txn.read_versions.setdefault(key, self.store.version_of(key))
+        self._record(txn, "r", key, dirty_from=self._dirty_writer(txn, key))
+        return values
+
+    # -- conventional writes -----------------------------------------------------
+    def write_item(self, txn: Txn, name: str, value) -> None:
+        self._require_active(txn)
+        key = ("item", name)
+        if txn.uses_snapshot:
+            txn.snapshot_state.write_item(name, value)
+            txn.write_set.add(key)
+            txn.redo.append(("item", name, value))
+            self._record(txn, "w", key)
+            return
+        self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+        txn.long_locks.add(key)
+        self._validate_fcw(txn, key)
+        old = self.store.write_item(name, value)
+        txn.undo.append(("item", name, old))
+        txn.redo.append(("item", name, value))
+        txn.write_set.add(key)
+        self._record(txn, "w", key)
+
+    def write_field(self, txn: Txn, array: str, index: int, attr, value) -> None:
+        self._require_active(txn)
+        key = ("record", array, index)
+        if txn.uses_snapshot:
+            txn.snapshot_state.write_field(array, index, attr, value)
+            txn.write_set.add(key)
+            txn.redo.append(("field", array, index, attr, value))
+            self._record(txn, "w", key)
+            return
+        self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+        txn.long_locks.add(key)
+        self._validate_fcw(txn, key)
+        old = self.store.write_field(array, index, attr, value)
+        txn.undo.append(("field", array, index, attr, old))
+        txn.redo.append(("field", array, index, attr, value))
+        txn.write_set.add(key)
+        self._record(txn, "w", key)
+
+    # -- relational operations ------------------------------------------------
+    def select(self, txn: Txn, table: str, predicate: Callable[[dict], bool]) -> list:
+        """Rows (without rids) satisfying the predicate, per-level semantics."""
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            rows = [strip_rid(r) for r in txn.snapshot_state.rows(table) if predicate(strip_rid(r))]
+            self._record(txn, "r", ("table", table))
+            return rows
+        if txn.level == "READ UNCOMMITTED":
+            rows = [strip_rid(r) for r in self.store.rows(table) if predicate(strip_rid(r))]
+            self._record(txn, "r", ("table", table))
+            return rows
+        matching = self._visible_matching(txn, table, predicate)
+        duration = LONG if txn.read_lock_duration == "long" else SHORT
+        acquired: list = []
+        try:
+            for rid, _image in matching:
+                key = ("row", table, rid)
+                self.locks.acquire(txn.txn_id, key, SHARED, duration)
+                acquired.append(key)
+                if duration == LONG:
+                    txn.long_locks.add(key)
+                txn.read_versions.setdefault(key, self.store.version_of(key))
+        except WouldBlock:
+            # drop the partial short locks so a retried select starts clean
+            for key in acquired:
+                if key not in txn.long_locks:
+                    self.locks.release(txn.txn_id, key)
+            raise
+        if txn.takes_predicate_read_locks and self.phantom_protection:
+            self.locks.acquire_predicate(txn.txn_id, table, predicate, SHARED, LONG)
+        if duration == SHORT:
+            for key in acquired:
+                if key not in txn.long_locks:
+                    self.locks.release(txn.txn_id, key)
+        self._record(txn, "r", ("table", table), info={"rids": [rid for rid, _ in matching]})
+        return [dict(image) for _rid, image in matching]
+
+    def insert(self, txn: Txn, table: str, row: Mapping) -> None:
+        self._require_active(txn)
+        image = dict(row)
+        if txn.uses_snapshot:
+            rid = self.store.new_rid()
+            stored = dict(image)
+            stored[RID] = rid
+            txn.snapshot_state.insert_row(table, stored)
+            txn.snapshot_inserted.add(rid)
+            txn.redo.append(("insert", table, rid, image))
+            txn.write_set.add(("row", table, rid))
+            self._record(txn, "ins", ("table", table))
+            return
+        # phantom protection: the new row must not fall into another
+        # transaction's predicate (read or write) lock
+        if self.phantom_protection:
+            self.locks.check_rows_against_predicates(txn.txn_id, table, [image], EXCLUSIVE)
+        rid = self.store.insert_row(table, image)
+        key = ("row", table, rid)
+        self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+        txn.long_locks.add(key)
+        txn.undo.append(("insert", table, rid))
+        txn.redo.append(("insert", table, rid, image))
+        txn.write_set.add(key)
+        self._record(txn, "ins", key)
+
+    def update(
+        self,
+        txn: Txn,
+        table: str,
+        predicate: Callable[[dict], bool],
+        changes: Callable[[dict], Mapping],
+    ) -> int:
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            updated = 0
+            for row in txn.snapshot_state.rows(table):
+                image = strip_rid(row)
+                if predicate(image):
+                    delta = dict(changes(image))
+                    row.update(delta)
+                    rid = row[RID]
+                    txn.write_set.add(("row", table, rid))
+                    if rid not in txn.snapshot_inserted:
+                        txn.redo.append(("update", table, rid, delta))
+                    else:
+                        self._merge_snapshot_insert(txn, table, rid, delta)
+                    updated += 1
+            self._record(txn, "upd", ("table", table))
+            return updated
+        matching = self._visible_matching(txn, table, predicate)
+        updated = 0
+        for rid, image in matching:
+            key = ("row", table, rid)
+            self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+            txn.long_locks.add(key)
+            self._validate_fcw(txn, key)
+            delta = dict(changes(dict(image)))
+            new_image = dict(image)
+            new_image.update(delta)
+            # moving a row into a SERIALIZABLE reader's predicate is a phantom
+            if self.phantom_protection:
+                self.locks.check_rows_against_predicates(
+                    txn.txn_id, table, [new_image], EXCLUSIVE
+                )
+            old = self.store.update_row(table, rid, delta)
+            txn.undo.append(("update", table, rid, old))
+            txn.redo.append(("update", table, rid, delta))
+            txn.write_set.add(key)
+            updated += 1
+        if self.phantom_protection:
+            self.locks.acquire_predicate(txn.txn_id, table, predicate, EXCLUSIVE, LONG)
+        self._record(txn, "upd", ("table", table), info={"count": updated})
+        return updated
+
+    def delete(self, txn: Txn, table: str, predicate: Callable[[dict], bool]) -> int:
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            victims = [
+                row
+                for row in txn.snapshot_state.rows(table)
+                if predicate(strip_rid(row))
+            ]
+            for row in victims:
+                rid = row[RID]
+                txn.snapshot_state.delete_rows(table, lambda r: r.get(RID) == rid)
+                txn.write_set.add(("row", table, rid))
+                if rid not in txn.snapshot_inserted:
+                    txn.redo.append(("delete", table, rid, strip_rid(row)))
+                else:
+                    txn.redo = [
+                        entry
+                        for entry in txn.redo
+                        if not (entry[0] == "insert" and entry[2] == rid)
+                    ]
+            self._record(txn, "del", ("table", table))
+            return len(victims)
+        matching = self._visible_matching(txn, table, predicate)
+        deleted = 0
+        for rid, image in matching:
+            key = ("row", table, rid)
+            self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+            txn.long_locks.add(key)
+            self._validate_fcw(txn, key)
+            row = self.store.delete_row(table, rid)
+            txn.undo.append(("delete", table, rid, row))
+            txn.redo.append(("delete", table, rid, strip_rid(row)))
+            txn.write_set.add(key)
+            deleted += 1
+        if self.phantom_protection:
+            self.locks.acquire_predicate(txn.txn_id, table, predicate, EXCLUSIVE, LONG)
+        self._record(txn, "del", ("table", table), info={"count": deleted})
+        return deleted
+
+    # -- helpers ---------------------------------------------------------------
+    def _merge_snapshot_insert(self, txn: Txn, table: str, rid: int, delta: Mapping) -> None:
+        for position, entry in enumerate(txn.redo):
+            if entry[0] == "insert" and entry[1] == table and entry[2] == rid:
+                merged = dict(entry[3])
+                merged.update(delta)
+                txn.redo[position] = ("insert", table, rid, merged)
+                return
+
+    def _visible_matching(
+        self, txn: Txn, table: str, predicate: Callable[[dict], bool]
+    ) -> list:
+        """(rid, image) pairs visible to a locking-level transaction.
+
+        Rows X-locked by other transactions are evaluated against their
+        *committed* image (uncommitted changes are invisible at READ
+        COMMITTED and above); rows deleted-but-uncommitted by others are
+        still visible through their committed image.  Acquiring the row
+        lock afterwards is what makes the reader wait for the writer.
+        """
+        images: dict = {}
+        for row in self.store.rows(table):
+            rid = row.get(RID)
+            images[rid] = strip_rid(row)
+        for row in self.store.committed.rows(table):
+            rid = row.get(RID)
+            key = ("row", table, rid)
+            holders = self.locks.holders(key)
+            locked_by_other = any(
+                holder != txn.txn_id and mode == EXCLUSIVE for holder, mode in holders.items()
+            )
+            if locked_by_other or rid not in images:
+                images[rid] = strip_rid(row)
+        matching = []
+        for rid, image in images.items():
+            if predicate(image):
+                matching.append((rid, image))
+        matching.sort(key=lambda pair: pair[0])
+        return matching
+
+    def _read_lock(self, txn: Txn, key: tuple) -> None:
+        duration = txn.read_lock_duration
+        if duration is None:
+            return
+        self.locks.acquire(txn.txn_id, key, SHARED, duration)
+        if duration == "long":
+            txn.long_locks.add(key)
+        elif key not in txn.long_locks:
+            self.locks.release(txn.txn_id, key)
+
+    def _validate_fcw(self, txn: Txn, key: tuple) -> None:
+        """READ COMMITTED FCW: abort if the item changed since we read it."""
+        if txn.level != "READ COMMITTED FCW":
+            return
+        read_version = txn.read_versions.get(key)
+        if read_version is not None and self.store.version_of(key) > read_version:
+            self.abort(txn, reason=f"first-committer-wins on {key}")
+            raise FirstCommitterWinsAbort(txn.txn_id, str(key))
+
+    def _dirty_writer(self, txn: Txn, key: tuple) -> int | None:
+        """The other active transaction holding an X lock on the key, if any."""
+        for holder, mode in self.locks.holders(key).items():
+            if holder != txn.txn_id and mode == EXCLUSIVE:
+                return holder
+        return None
+
+    def _apply_undo(self, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "item":
+            _k, name, old = entry
+            self.store.undo_item(name, old)
+        elif kind == "field":
+            _k, array, index, attr, old = entry
+            self.store.undo_field(array, index, attr, old)
+        elif kind == "insert":
+            _k, table, rid = entry
+            self.store.undo_insert(table, rid)
+        elif kind == "delete":
+            _k, table, rid, row = entry
+            self.store.undo_delete(table, row)
+        elif kind == "update":
+            _k, table, rid, old = entry
+            self.store.undo_update(table, rid, old)
+        else:
+            raise EngineError(f"unknown undo entry {entry!r}")
+
+    def _require_active(self, txn: Txn) -> None:
+        if txn.status == ABORTED:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "aborted")
+        if txn.status == COMMITTED:
+            raise EngineError(f"transaction {txn.txn_id} already committed")
+
+    def _record(
+        self,
+        txn: Txn,
+        kind: str,
+        key: tuple | None = None,
+        dirty_from: int | None = None,
+        info: dict | None = None,
+    ) -> None:
+        self.tick += 1
+        self.history.append(
+            HistoryOp(
+                tick=self.tick,
+                txn_id=txn.txn_id,
+                kind=kind,
+                key=key,
+                version=self.store.version_of(key) if key is not None else None,
+                dirty_from=dirty_from,
+                info=info or {},
+            )
+        )
+
+    # -- inspection ---------------------------------------------------------------
+    def preview_commit(self, txn: Txn) -> DbState:
+        """The live state as it would look right after ``txn`` commits.
+
+        For locking-level transactions the writes are already in place, so
+        this is the live state; for SNAPSHOT transactions the buffered redo
+        log is applied to a copy.  Used by pre-commit validators (the
+        assertional concurrency control) that must veto *before* the
+        buffered writes publish.
+        """
+        if not txn.uses_snapshot:
+            return self.public_live()
+        preview = self.store.current.copy()
+        for entry in txn.redo:
+            kind = entry[0]
+            if kind == "item":
+                _k, name, value = entry
+                preview.write_item(name, value)
+            elif kind == "field":
+                _k, array, index, attr, value = entry
+                preview.write_field(array, index, attr, value)
+            elif kind == "insert":
+                _k, table, rid, row = entry
+                stored = dict(row)
+                stored[RID] = rid
+                preview.insert_row(table, stored)
+            elif kind == "delete":
+                _k, table, rid, _row = entry
+                preview.delete_rows(table, lambda r: r.get(RID) == rid)
+            elif kind == "update":
+                _k, table, rid, changes = entry
+                for row in preview.rows(table):
+                    if row.get(RID) == rid:
+                        row.update(changes)
+                        break
+        for table, rows in preview.tables.items():
+            preview.tables[table] = [strip_rid(row) for row in rows]
+        return preview
+
+    def public_live(self) -> DbState:
+        return self.store.public_state(committed_only=False)
+
+    def committed_state(self) -> DbState:
+        return self.store.public_state(committed_only=True)
+
+    def live_state(self) -> DbState:
+        return self.store.public_state(committed_only=False)

@@ -1,0 +1,206 @@
+"""The versioned store underlying the engine.
+
+The store keeps:
+
+* the **current** state — including uncommitted writes, so that READ
+  UNCOMMITTED readers observe dirty data exactly as the locking
+  implementation in [2] allows;
+* a **committed version counter** per location, bumped when a writing
+  transaction commits — the basis of both first-committer-wins validations
+  (READ COMMITTED FCW and SNAPSHOT);
+* a **committed snapshot** — the state reflecting only committed
+  transactions, maintained incrementally and handed (copied) to SNAPSHOT
+  transactions at begin.
+
+Rows carry a hidden ``_rid`` (stable row identity) used for row locks,
+version tracking and update-in-place; ``_rid`` never leaks into row images
+returned to transactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.core.state import DbState
+from repro.errors import EngineError
+
+RID = "_rid"
+
+
+def strip_rid(row: Mapping) -> dict:
+    """A row image without the engine-internal row id."""
+    return {key: value for key, value in row.items() if key != RID}
+
+
+@dataclass
+class VersionedStore:
+    """Current state + committed snapshot + per-location version counters."""
+
+    current: DbState = field(default_factory=DbState)
+    committed: DbState = field(default_factory=DbState)
+    versions: dict = field(default_factory=dict)  # location key -> int
+    _rid_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
+
+    @classmethod
+    def from_state(cls, initial: DbState) -> "VersionedStore":
+        """Initialise from a plain state; assigns row ids to table rows."""
+        store = cls()
+        store.current = initial.copy()
+        for table, rows in store.current.tables.items():
+            for row in rows:
+                row[RID] = next(store._rid_counter)
+        store.committed = store.current.copy()
+        return store
+
+    def new_rid(self) -> int:
+        return next(self._rid_counter)
+
+    # -- version bookkeeping -------------------------------------------------
+    def version_of(self, key: tuple) -> int:
+        return self.versions.get(key, 0)
+
+    def bump_version(self, key: tuple) -> None:
+        self.versions[key] = self.versions.get(key, 0) + 1
+
+    # -- reads ---------------------------------------------------------------
+    def read_item(self, name: str):
+        return self.current.read_item(name)
+
+    def read_field(self, array: str, index: int, attr):
+        return self.current.read_field(array, index, attr)
+
+    def rows(self, table: str) -> Iterable[dict]:
+        return self.current.rows(table)
+
+    def find_row(self, table: str, rid: int) -> dict | None:
+        for row in self.current.rows(table):
+            if row.get(RID) == rid:
+                return row
+        return None
+
+    # -- in-place writes (locking levels) --------------------------------------
+    def write_item(self, name: str, value) -> object:
+        """Write in place; returns the undo closure's old value sentinel."""
+        old = self.current.items.get(name, _MISSING)
+        self.current.write_item(name, value)
+        return old
+
+    def write_field(self, array: str, index: int, attr, value) -> object:
+        old = (
+            self.current.arrays.get(array, {}).get(index, {}).get(attr, _MISSING)
+        )
+        self.current.write_field(array, index, attr, value)
+        return old
+
+    def insert_row(self, table: str, row: Mapping) -> int:
+        rid = self.new_rid()
+        stored = dict(row)
+        stored[RID] = rid
+        self.current.insert_row(table, stored)
+        return rid
+
+    def delete_row(self, table: str, rid: int) -> dict:
+        rows = self.current.tables.get(table, [])
+        for position, row in enumerate(rows):
+            if row.get(RID) == rid:
+                return rows.pop(position)
+        raise EngineError(f"row {rid} not found in {table}")
+
+    def update_row(self, table: str, rid: int, changes: Mapping) -> dict:
+        row = self.find_row(table, rid)
+        if row is None:
+            raise EngineError(f"row {rid} not found in {table}")
+        old = {attr: row.get(attr, _MISSING) for attr in changes}
+        row.update(changes)
+        return old
+
+    # -- undo (abort of in-place writers) ---------------------------------------
+    def undo_item(self, name: str, old) -> None:
+        if old is _MISSING:
+            self.current.items.pop(name, None)
+        else:
+            self.current.write_item(name, old)
+
+    def undo_field(self, array: str, index: int, attr, old) -> None:
+        if old is _MISSING:
+            self.current.arrays.get(array, {}).get(index, {}).pop(attr, None)
+        else:
+            self.current.write_field(array, index, attr, old)
+
+    def undo_insert(self, table: str, rid: int) -> None:
+        self.delete_row(table, rid)
+
+    def undo_delete(self, table: str, row: dict) -> None:
+        self.current.insert_row(table, dict(row))
+
+    def undo_update(self, table: str, rid: int, old: Mapping) -> None:
+        row = self.find_row(table, rid)
+        if row is None:
+            raise EngineError(f"row {rid} vanished during undo in {table}")
+        for attr, value in old.items():
+            if value is _MISSING:
+                row.pop(attr, None)
+            else:
+                row[attr] = value
+
+    # -- commit reflection -------------------------------------------------------
+    def reflect_commit(self, writes: Iterable[tuple]) -> None:
+        """Propagate a committing transaction's writes into the committed
+        snapshot and bump the affected version counters.
+
+        ``writes`` is the transaction's redo log:
+        ``("item", name, value) | ("field", array, index, attr, value) |
+        ("insert", table, rid, row) | ("delete", table, rid, row) |
+        ("update", table, rid, changes)``.
+        """
+        for entry in writes:
+            kind = entry[0]
+            if kind == "item":
+                _k, name, value = entry
+                self.committed.write_item(name, value)
+                self.bump_version(("item", name))
+            elif kind == "field":
+                _k, array, index, attr, value = entry
+                self.committed.write_field(array, index, attr, value)
+                self.bump_version(("record", array, index))
+            elif kind == "insert":
+                _k, table, rid, row = entry
+                stored = dict(row)
+                stored[RID] = rid
+                self.committed.insert_row(table, stored)
+                self.bump_version(("row", table, rid))
+            elif kind == "delete":
+                _k, table, rid, _row = entry
+                self.committed.delete_rows(table, lambda r: r.get(RID) == rid)
+                self.bump_version(("row", table, rid))
+            elif kind == "update":
+                _k, table, rid, changes = entry
+                for row in self.committed.rows(table):
+                    if row.get(RID) == rid:
+                        row.update(changes)
+                        break
+                self.bump_version(("row", table, rid))
+            else:
+                raise EngineError(f"unknown redo entry {entry!r}")
+
+    def snapshot(self) -> DbState:
+        """A deep copy of the committed state (for SNAPSHOT transactions)."""
+        return self.committed.copy()
+
+    def public_state(self, committed_only: bool = True) -> DbState:
+        """The state without row ids, for assertion evaluation and oracles."""
+        base = self.committed if committed_only else self.current
+        clean = base.copy()
+        for table, rows in clean.tables.items():
+            clean.tables[table] = [strip_rid(row) for row in rows]
+        return clean
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,86 @@
+"""Per-transaction runtime state inside the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.state import DbState
+
+ACTIVE = "active"
+BLOCKED = "blocked"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+#: Isolation levels the engine accepts (mirrors repro.core.conditions).
+READ_UNCOMMITTED = "READ UNCOMMITTED"
+READ_COMMITTED = "READ COMMITTED"
+READ_COMMITTED_FCW = "READ COMMITTED FCW"
+REPEATABLE_READ = "REPEATABLE READ"
+SNAPSHOT = "SNAPSHOT"
+SERIALIZABLE = "SERIALIZABLE"
+
+ALL_LEVELS = (
+    READ_UNCOMMITTED,
+    READ_COMMITTED,
+    READ_COMMITTED_FCW,
+    REPEATABLE_READ,
+    SNAPSHOT,
+    SERIALIZABLE,
+)
+
+#: Levels whose reads take no lock at all.
+_NO_READ_LOCK = {READ_UNCOMMITTED, SNAPSHOT}
+
+#: Levels whose read locks are long duration.
+_LONG_READ_LOCK = {REPEATABLE_READ, SERIALIZABLE}
+
+
+@dataclass
+class Txn:
+    """Runtime state of one transaction."""
+
+    txn_id: int
+    level: str
+    status: str = ACTIVE
+    #: locks held and their duration ("short" released after each op)
+    long_locks: set = field(default_factory=set)
+    #: undo log: closures' raw entries, applied in reverse on abort
+    undo: list = field(default_factory=list)
+    #: redo log reflected into the committed snapshot on commit
+    redo: list = field(default_factory=list)
+    #: location key -> committed version observed at first read (FCW)
+    read_versions: dict = field(default_factory=dict)
+    #: location keys written (FCW validation, write-set reporting)
+    write_set: set = field(default_factory=set)
+    #: SNAPSHOT: private snapshot state (reads and buffered writes)
+    snapshot_state: DbState | None = None
+    #: SNAPSHOT: committed version counters captured at begin (FCW baseline)
+    begin_versions: dict = field(default_factory=dict)
+    #: rids inserted by this SNAPSHOT transaction into its private state
+    snapshot_inserted: set = field(default_factory=set)
+    #: schedule bookkeeping
+    begin_tick: int = 0
+    commit_tick: int | None = None
+    abort_reason: str | None = None
+
+    @property
+    def uses_snapshot(self) -> bool:
+        return self.level == SNAPSHOT
+
+    @property
+    def read_lock_duration(self) -> str | None:
+        if self.level in _NO_READ_LOCK:
+            return None
+        return "long" if self.level in _LONG_READ_LOCK else "short"
+
+    @property
+    def validates_fcw(self) -> bool:
+        return self.level in (READ_COMMITTED_FCW, SNAPSHOT)
+
+    @property
+    def takes_predicate_read_locks(self) -> bool:
+        return self.level == SERIALIZABLE
+
+    @property
+    def is_active(self) -> bool:
+        return self.status in (ACTIVE, BLOCKED)

@@ -1,0 +1,241 @@
+"""Detectors for the Berenson et al. phenomena over engine histories.
+
+The paper builds directly on [2]'s analysis of the ANSI levels; these
+detectors replay that analysis dynamically.  Each detector scans a
+:class:`repro.sched.schedule.ScheduleResult` history and returns the list
+of occurrences (empty = phenomenon absent).  Detections use the *broad*
+interpretations of [2] (P1/P2/P3), which are the ones the locking
+implementations actually preclude:
+
+* **P0 dirty write**  — w1[x] .. w2[x] before T1 ends (precluded at every
+  level by long write locks; detected for completeness);
+* **P1 dirty read**   — w1[x] .. r2[x] before T1 ends;
+* **P2 fuzzy read**   — r1[x] .. w2[x] .. (T2 commits) before T1 ends;
+* **P3 phantom**      — r1[P] .. insert/delete by T2 matching P before T1
+  ends;
+* **P4 lost update**  — r1[x] .. w2[x] .. c2 .. w1[x] .. c1;
+* **A5A read skew**   — r1[x] .. w2[x] w2[y] c2 .. r1[y];
+* **A5B write skew**  — r1[x] r1[y] .. r2[x] r2[y] .. w1[x] w2[y], both
+  commit, writes to distinct items both transactions read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.manager import HistoryOp
+from repro.sched.schedule import ScheduleResult
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected phenomenon occurrence."""
+
+    name: str
+    txns: tuple
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"<{self.name} {self.txns}: {self.detail}>"
+
+
+def _ops(result: ScheduleResult):
+    return [op for op in result.history if op.kind in ("r", "w", "ins", "del", "upd")]
+
+
+def _end_tick(result: ScheduleResult, txn_id: int) -> float:
+    for op in result.history:
+        if op.txn_id == txn_id and op.kind in ("commit", "abort"):
+            return op.tick
+    return float("inf")
+
+
+def _committed(result: ScheduleResult) -> set:
+    return {
+        op.txn_id for op in result.history if op.kind == "commit"
+    }
+
+
+def _reads_writes(result: ScheduleResult):
+    reads: list = []
+    writes: list = []
+    for op in _ops(result):
+        if op.kind == "r":
+            if op.key is not None and op.key[0] == "table":
+                for rid in op.info.get("rids", ()):
+                    reads.append((op.tick, op.txn_id, ("row", op.key[1], rid), op))
+                reads.append((op.tick, op.txn_id, op.key, op))
+            else:
+                reads.append((op.tick, op.txn_id, op.key, op))
+        elif op.kind in ("w", "ins", "del", "upd") and op.key is not None:
+            writes.append((op.tick, op.txn_id, op.key, op))
+    return reads, writes
+
+
+def detect_dirty_writes(result: ScheduleResult) -> list:
+    out = []
+    _reads, writes = _reads_writes(result)
+    for tick1, txn1, key1, _op1 in writes:
+        end1 = _end_tick(result, txn1)
+        for tick2, txn2, key2, _op2 in writes:
+            if txn2 != txn1 and key2 == key1 and tick1 < tick2 < end1:
+                out.append(Anomaly("P0-dirty-write", (txn1, txn2), f"on {key1}"))
+    return out
+
+
+def detect_dirty_reads(result: ScheduleResult) -> list:
+    out = []
+    for op in _ops(result):
+        if op.kind == "r" and op.dirty_from is not None:
+            out.append(
+                Anomaly("P1-dirty-read", (op.dirty_from, op.txn_id), f"on {op.key}")
+            )
+    return out
+
+
+def detect_fuzzy_reads(result: ScheduleResult) -> list:
+    out = []
+    committed = _committed(result)
+    reads, writes = _reads_writes(result)
+    for tick1, txn1, key, _op in reads:
+        end1 = _end_tick(result, txn1)
+        for tick2, txn2, key2, _op2 in writes:
+            if (
+                txn2 != txn1
+                and key2 == key
+                and txn2 in committed
+                and tick1 < tick2 < end1
+                and _end_tick(result, txn2) < end1
+            ):
+                out.append(Anomaly("P2-fuzzy-read", (txn1, txn2), f"on {key}"))
+    return out
+
+
+def detect_phantoms(result: ScheduleResult) -> list:
+    out = []
+    for op in _ops(result):
+        if op.kind != "r" or op.key is None or op.key[0] != "table":
+            continue
+        table = op.key[1]
+        end1 = _end_tick(result, op.txn_id)
+        for other in _ops(result):
+            if (
+                other.txn_id != op.txn_id
+                and other.kind in ("ins", "del")
+                and other.key is not None
+                and (
+                    (other.key[0] == "row" and other.key[1] == table)
+                    or (other.key[0] == "table" and other.key[1] == table)
+                )
+                and op.tick < other.tick < end1
+            ):
+                out.append(
+                    Anomaly(
+                        "P3-phantom",
+                        (op.txn_id, other.txn_id),
+                        f"{other.kind} into {table} under an open predicate read",
+                    )
+                )
+    return out
+
+
+def detect_lost_updates(result: ScheduleResult) -> list:
+    out = []
+    committed = _committed(result)
+    reads, writes = _reads_writes(result)
+    for tick_r, txn1, key, _op in reads:
+        if txn1 not in committed:
+            continue
+        my_writes = [t for t, txn, k, _o in writes if txn == txn1 and k == key and t > tick_r]
+        if not my_writes:
+            continue
+        first_own_write = min(my_writes)
+        for tick2, txn2, key2, _op2 in writes:
+            if (
+                txn2 != txn1
+                and key2 == key
+                and txn2 in committed
+                and tick_r < tick2 < first_own_write
+                and _end_tick(result, txn2) < first_own_write
+            ):
+                out.append(Anomaly("P4-lost-update", (txn1, txn2), f"on {key}"))
+    return out
+
+
+def detect_read_skew(result: ScheduleResult) -> list:
+    out = []
+    committed = _committed(result)
+    reads, writes = _reads_writes(result)
+    for tick_x, txn1, key_x, _op in reads:
+        for tick_y, txn1b, key_y, _op2 in reads:
+            if txn1b != txn1 or key_y == key_x or tick_y <= tick_x:
+                continue
+            for txn2 in committed - {txn1}:
+                wrote_x = [t for t, txn, k, _o in writes if txn == txn2 and k == key_x]
+                wrote_y = [t for t, txn, k, _o in writes if txn == txn2 and k == key_y]
+                end2 = _end_tick(result, txn2)
+                if (
+                    wrote_x
+                    and wrote_y
+                    and tick_x < min(wrote_x + wrote_y)
+                    and end2 < tick_y
+                ):
+                    out.append(
+                        Anomaly("A5A-read-skew", (txn1, txn2), f"on {key_x}/{key_y}")
+                    )
+    return out
+
+
+def detect_write_skew(result: ScheduleResult) -> list:
+    out = []
+    committed = _committed(result)
+    reads, writes = _reads_writes(result)
+
+    def read_keys(txn):
+        return {k for _t, txn_id, k, _o in reads if txn_id == txn}
+
+    def write_keys(txn):
+        return {k for _t, txn_id, k, _o in writes if txn_id == txn}
+
+    ordered = sorted(committed)
+    for i, txn1 in enumerate(ordered):
+        for txn2 in ordered[i + 1 :]:
+            shared_reads = read_keys(txn1) & read_keys(txn2)
+            w1 = write_keys(txn1)
+            w2 = write_keys(txn2)
+            if w1 & w2:
+                continue  # write sets intersect: FCW territory, not skew
+            skew_keys = [
+                (x, y)
+                for x in shared_reads & w1
+                for y in shared_reads & w2
+                if x != y
+            ]
+            if not skew_keys:
+                continue
+            # both transactions must overlap in time
+            begin1 = min((t for t, txn, _k, _o in reads + writes if txn == txn1), default=None)
+            begin2 = min((t for t, txn, _k, _o in reads + writes if txn == txn2), default=None)
+            if begin1 is None or begin2 is None:
+                continue
+            if begin2 < _end_tick(result, txn1) and begin1 < _end_tick(result, txn2):
+                out.append(
+                    Anomaly("A5B-write-skew", (txn1, txn2), f"on {skew_keys[0]}")
+                )
+    return out
+
+
+ALL_DETECTORS = {
+    "P0-dirty-write": detect_dirty_writes,
+    "P1-dirty-read": detect_dirty_reads,
+    "P2-fuzzy-read": detect_fuzzy_reads,
+    "P3-phantom": detect_phantoms,
+    "P4-lost-update": detect_lost_updates,
+    "A5A-read-skew": detect_read_skew,
+    "A5B-write-skew": detect_write_skew,
+}
+
+
+def detect_all(result: ScheduleResult) -> dict:
+    """Run every detector; returns {name: [occurrences]}."""
+    return {name: detector(result) for name, detector in ALL_DETECTORS.items()}

@@ -1,0 +1,165 @@
+"""A Berenson-style history DSL replayed through the engine.
+
+Canonical anomaly histories from [2] are written as one-line scripts:
+
+    "w1[x=1] r2[x] c1 c2"           (dirty read shape)
+    "r1[x] r2[x] w2[x=2] c2 w1[x=3] c1"   (lost update shape)
+
+Grammar per token:
+
+* ``r<t>[item]``        — transaction *t* reads ``item``;
+* ``w<t>[item=value]``  — transaction *t* writes integer ``value``;
+* ``c<t>`` / ``a<t>``   — commit / abort;
+* ``rp<t>[table:attr=value]``      — predicate read (SELECT attr=value);
+* ``ins<t>[table:attr=value,...]`` — insert a row.
+
+:func:`replay` attempts the script under a per-transaction isolation-level
+assignment.  Each step either executes, *blocks* (recorded, the step is
+dropped — the lock protocol prevented the interleaving), or *aborts* the
+transaction (first-committer-wins).  The outcome object reports which
+steps executed, so a bench can assert e.g. "the dirty-read history is
+executable at READ UNCOMMITTED but its read blocks at READ COMMITTED."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.state import DbState
+from repro.engine.locks import WouldBlock
+from repro.engine.manager import Engine
+from repro.errors import FirstCommitterWinsAbort, TransactionAborted
+
+_TOKEN = re.compile(
+    r"^(?P<op>rp|ins|r|w|c|a)(?P<txn>\d+)(?:\[(?P<body>[^\]]*)\])?$"
+)
+
+
+@dataclass
+class StepOutcome:
+    """What happened to one scripted step."""
+
+    token: str
+    status: str  # ok | blocked | aborted | skipped
+    value: object = None
+    detail: str = ""
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a history under a level assignment."""
+
+    steps: list = field(default_factory=list)
+    final: DbState | None = None
+    engine: Engine | None = None
+
+    @property
+    def executed_fully(self) -> bool:
+        return all(step.status == "ok" for step in self.steps)
+
+    @property
+    def blocked_steps(self) -> list:
+        return [step for step in self.steps if step.status == "blocked"]
+
+    @property
+    def aborted_steps(self) -> list:
+        return [step for step in self.steps if step.status == "aborted"]
+
+    def value_of(self, token: str):
+        for step in self.steps:
+            if step.token == token:
+                return step.value
+        raise KeyError(token)
+
+
+def parse(history: str) -> list:
+    """Tokenise a history string; raises on malformed tokens."""
+    tokens = []
+    for raw in history.split():
+        match = _TOKEN.match(raw)
+        if match is None:
+            raise ValueError(f"malformed history token {raw!r}")
+        tokens.append((raw, match.group("op"), int(match.group("txn")), match.group("body")))
+    return tokens
+
+
+def replay(
+    history: str,
+    levels: dict,
+    initial: DbState | None = None,
+    default_level: str = "READ COMMITTED",
+) -> ReplayResult:
+    """Replay a history; ``levels`` maps txn number -> isolation level."""
+    state = initial.copy() if initial is not None else DbState(items={})
+    tokens = parse(history)
+    # ensure all mentioned scalar items exist
+    for _raw, op, _txn, body in tokens:
+        if op in ("r", "w") and body:
+            item = body.split("=")[0]
+            if not state.has_item(item):
+                state.write_item(item, 0)
+    engine = Engine(state)
+    txns: dict = {}
+    result = ReplayResult(engine=engine)
+    dead: set = set()
+
+    for raw, op, number, body in tokens:
+        if number in dead:
+            result.steps.append(StepOutcome(raw, "skipped", detail="transaction aborted earlier"))
+            continue
+        if number not in txns:
+            txns[number] = engine.begin(levels.get(number, default_level))
+        txn = txns[number]
+        try:
+            if op == "r":
+                value = engine.read_item(txn, body)
+                result.steps.append(StepOutcome(raw, "ok", value=value))
+            elif op == "w":
+                item, _eq, literal = body.partition("=")
+                engine.write_item(txn, item, int(literal))
+                result.steps.append(StepOutcome(raw, "ok"))
+            elif op == "rp":
+                table, _colon, cond = body.partition(":")
+                attr, _eq, literal = cond.partition("=")
+                wanted = _parse_value(literal)
+                rows = engine.select(txn, table, lambda row: row.get(attr) == wanted)
+                result.steps.append(StepOutcome(raw, "ok", value=rows))
+            elif op == "ins":
+                table, _colon, assigns = body.partition(":")
+                row = {}
+                for assign in assigns.split(","):
+                    attr, _eq, literal = assign.partition("=")
+                    row[attr] = _parse_value(literal)
+                engine.insert(txn, table, row)
+                result.steps.append(StepOutcome(raw, "ok"))
+            elif op == "c":
+                engine.commit(txn)
+                result.steps.append(StepOutcome(raw, "ok"))
+            elif op == "a":
+                engine.abort(txn, reason="scripted abort")
+                dead.add(number)
+                result.steps.append(StepOutcome(raw, "ok"))
+            else:  # pragma: no cover - regex forbids
+                raise ValueError(op)
+        except WouldBlock as block:
+            result.steps.append(
+                StepOutcome(raw, "blocked", detail=f"blocked by {sorted(block.blockers)}")
+            )
+        except (FirstCommitterWinsAbort, TransactionAborted) as abort:
+            dead.add(number)
+            result.steps.append(StepOutcome(raw, "aborted", detail=str(abort)))
+    result.final = engine.committed_state()
+    return result
+
+
+def _parse_value(literal: str):
+    literal = literal.strip()
+    if literal in ("true", "True"):
+        return True
+    if literal in ("false", "False"):
+        return False
+    try:
+        return int(literal)
+    except ValueError:
+        return literal

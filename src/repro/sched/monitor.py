@@ -1,0 +1,209 @@
+"""Run-time invalidation monitoring.
+
+The paper distinguishes *interference* (static: a triple that is not a
+theorem) from *invalidation* (dynamic: the interfering statement actually
+executes while the interfered-with assertion is active).  The static
+checker decides the former; this monitor observes the latter during a
+simulated schedule — in the spirit of the assertional concurrency control
+of Bernstein, Gerstl, Leung & Lewis (ICDE 1998, the paper's reference
+[3]), which tracks assertions at run time to block invalidating
+interleavings.
+
+Attach an :class:`AssertionMonitor` to a simulator via its ``observers``
+hook.  After every engine operation the monitor re-evaluates every *other*
+running instance's critical assertions against the live (dirty) state with
+that instance's current workspace; a true→false flip is an
+:class:`InvalidationEvent` attributed to the operation that caused it —
+the exact run-time realisation of the static interference witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.conditions import consistency_assertions, read_post_assertions, result_assertions
+from repro.errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class InvalidationEvent:
+    """One observed true→false flip of an active assertion."""
+
+    step: int
+    holder: str  # instance whose assertion flipped
+    assertion: str  # label of the assertion
+    by: str  # instance whose operation caused the flip
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        return f"<step {self.step}: {self.by} invalidated {self.holder}'s {self.assertion}>"
+
+
+class AssertionMonitor:
+    """Watches every instance's critical assertions during a simulation.
+
+    ``include_results`` additionally tracks each ``Q_i``; consistency
+    conjuncts ``I_i`` are always tracked.  The monitor never interferes
+    with the schedule — it is an observer, not a concurrency control —
+    but its event log shows exactly where a weak level lets an assertion
+    die, which is the debugging story the static reports promise.
+    """
+
+    def __init__(self, include_results: bool = True) -> None:
+        self.include_results = include_results
+        self.events: list = []
+        self._truth: dict = {}  # (instance index, label) -> last known truth
+        self._assertions_cache: dict = {}
+
+    # -- observer protocol -----------------------------------------------------
+    def __call__(self, simulator, acting_runtime) -> None:
+        state = simulator.engine.live_state()
+        step = simulator.stats["steps"]
+        for runtime in simulator._runtimes:
+            if runtime.status != "running":
+                continue
+            acting = runtime is acting_runtime
+            for label, formula in self._assertions_of(runtime):
+                key = (runtime.index, label)
+                value = self._evaluate(formula, state, runtime.env)
+                if value is None:
+                    continue
+                previous = self._truth.get(key)
+                # a transaction's own operations legitimately change its
+                # assertions (a read *establishes* its postcondition);
+                # only flips caused by someone else's step are invalidations
+                if not acting and previous is True and value is False:
+                    self.events.append(
+                        InvalidationEvent(
+                            step=step,
+                            holder=runtime.spec.label(runtime.index),
+                            assertion=label,
+                            by=acting_runtime.spec.label(acting_runtime.index),
+                        )
+                    )
+                self._truth[key] = value
+
+    # -- helpers ---------------------------------------------------------------
+    def _assertions_of(self, runtime) -> list:
+        txn_type = runtime.spec.txn_type
+        cached = self._assertions_cache.get(txn_type.name)
+        if cached is None:
+            cached = []
+            for assertion in consistency_assertions(txn_type):
+                cached.append((assertion.label, assertion.formula))
+            for _stmt, assertion in read_post_assertions(txn_type):
+                cached.append((assertion.label, assertion.formula))
+            if self.include_results:
+                for assertion in result_assertions(txn_type):
+                    cached.append((assertion.label, assertion.formula))
+            self._assertions_cache[txn_type.name] = cached
+        return cached
+
+    @staticmethod
+    def _evaluate(formula, state, env):
+        try:
+            return bool(formula.evaluate(state, env))
+        except EvaluationError:
+            return None  # not yet meaningful (locals unbound): inactive
+
+    # -- reporting ---------------------------------------------------------------
+    def invalidations_of(self, holder: str) -> list:
+        return [event for event in self.events if event.holder == holder]
+
+    def summary(self) -> str:
+        if not self.events:
+            return "no invalidations observed"
+        lines = [f"{len(self.events)} invalidation(s) observed:"]
+        lines.extend(f"  {event!r}" for event in self.events)
+        return "\n".join(lines)
+
+
+class GuardVeto(Exception):
+    """Raised by :class:`AssertionGuard` to abort an invalidating step."""
+
+    def __init__(self, event: InvalidationEvent) -> None:
+        super().__init__(repr(event))
+        self.event = event
+
+
+class AssertionGuard(AssertionMonitor):
+    """An *assertional concurrency control*: veto invalidating steps.
+
+    The paper's companion work (Bernstein, Gerstl, Leung & Lewis, ICDE
+    1998 — reference [3]) builds a concurrency control that tracks
+    assertions at run time and prevents the interleavings that would
+    invalidate one, guaranteeing every schedule is semantically correct
+    *without* serializing.  This class is that idea on our simulator: it
+    extends the monitor so that when the acting transaction's operation
+    flips another transaction's active assertion, a :class:`GuardVeto` is
+    raised; the simulator aborts the acting transaction (its operation is
+    undone with the rest of its work) and retries it later.
+
+    The result: even a pair the static analysis rejects at a level (e.g.
+    the write-skew withdrawals at SNAPSHOT) executes semantically correctly
+    under the guard — at the cost of guard aborts instead of locks.
+    """
+
+    def __call__(self, simulator, acting_runtime) -> None:
+        before = len(self.events)
+        super().__call__(simulator, acting_runtime)
+        fresh = self.events[before:]
+        if fresh and acting_runtime.status == "running":
+            # the acting transaction will be aborted; its assertion
+            # baselines must be dropped so a retry starts clean
+            self._drop_baselines(acting_runtime.index)
+            raise GuardVeto(fresh[0])
+
+    def precommit(self, simulator, acting_runtime) -> None:
+        """Veto a commit whose published writes would invalidate someone.
+
+        SNAPSHOT transactions buffer their writes until commit; the guard
+        must evaluate the *previewed* post-commit state, because once the
+        engine commit runs there is nothing left to abort.
+        """
+        preview = simulator.engine.preview_commit(acting_runtime.txn)
+        for runtime in simulator._runtimes:
+            if runtime is acting_runtime:
+                continue
+            if runtime.status == "running":
+                candidates = self._assertions_of(runtime)
+            elif runtime.status == "committed" and self._overlapped(acting_runtime, runtime):
+                # a committed transaction that overlapped the actor still
+                # contributes its Q_i to the schedule's cumulative result;
+                # the actor's commit must not retroactively falsify it
+                candidates = [
+                    (label, formula)
+                    for label, formula in self._assertions_of(runtime)
+                    if label.startswith("Q_i")
+                ]
+            else:
+                continue
+            for label, formula in candidates:
+                key = (runtime.index, label)
+                if runtime.status == "running" and self._truth.get(key) is not True:
+                    continue
+                value = self._evaluate(formula, preview, runtime.env)
+                if value is False:
+                    event = InvalidationEvent(
+                        step=simulator.stats["steps"],
+                        holder=runtime.spec.label(runtime.index),
+                        assertion=label,
+                        by=acting_runtime.spec.label(acting_runtime.index),
+                        detail="vetoed at commit",
+                    )
+                    self.events.append(event)
+                    self._drop_baselines(acting_runtime.index)
+                    raise GuardVeto(event)
+
+    @staticmethod
+    def _overlapped(actor, other) -> bool:
+        """Did the two instances' engine transactions overlap in time?"""
+        if actor.txn is None or other.txn is None:
+            return False
+        other_commit = other.txn.commit_tick
+        return other_commit is None or actor.txn.begin_tick < other_commit
+
+    def _drop_baselines(self, index: int) -> None:
+        for key in list(self._truth):
+            if key[0] == index:
+                del self._truth[key]

@@ -1,0 +1,102 @@
+"""Conflict-serializability over a simulated schedule.
+
+Builds the classical precedence (conflict) graph over the *committed*
+transactions of an engine history: an edge ``Ti -> Tj`` whenever an
+operation of ``Ti`` conflicts with a later operation of ``Tj`` on the same
+location (write-write, write-read or read-write).  The schedule is
+conflict-serializable iff the graph is acyclic (networkx cycle search).
+
+Relational reads record the table and the rids they returned; a read of a
+table conflicts with inserts/deletes on that table (coarse, phantom-aware)
+and with updates of the specific rows it returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.engine.manager import HistoryOp
+
+
+@dataclass
+class ConflictReport:
+    """Conflict-graph verdict for one schedule."""
+
+    serializable: bool
+    cycle: list | None
+    edges: list = field(default_factory=list)
+    serial_order: list | None = None  # a topological witness when acyclic
+
+
+def _access_sets(op: HistoryOp):
+    """(reads, writes) location sets of one history operation."""
+    reads: set = set()
+    writes: set = set()
+    if op.kind == "r":
+        if op.key is not None and op.key[0] == "table":
+            table = op.key[1]
+            reads.add(("table", table))
+            for rid in op.info.get("rids", ()):
+                reads.add(("row", table, rid))
+        elif op.key is not None:
+            reads.add(op.key)
+    elif op.kind == "w":
+        writes.add(op.key)
+    elif op.kind in ("ins", "del", "upd"):
+        if op.key is not None and op.key[0] == "row":
+            writes.add(op.key)
+            writes.add(("table", op.key[1]))
+        elif op.key is not None and op.key[0] == "table":
+            writes.add(("table", op.key[1]))
+    return reads, writes
+
+
+def _locations_conflict(a: tuple, b: tuple) -> bool:
+    if a == b:
+        return True
+    # a whole-table access conflicts with any row of that table
+    if a[0] == "table" and b[0] == "row" and a[1] == b[1]:
+        return True
+    if b[0] == "table" and a[0] == "row" and a[1] == b[1]:
+        return True
+    return False
+
+
+def conflict_graph(history, committed_ids) -> nx.DiGraph:
+    """The precedence graph over the committed transactions."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(committed_ids)
+    ops = [op for op in history if op.txn_id in committed_ids and op.kind in ("r", "w", "ins", "del", "upd")]
+    for i, earlier in enumerate(ops):
+        e_reads, e_writes = _access_sets(earlier)
+        for later in ops[i + 1 :]:
+            if later.txn_id == earlier.txn_id:
+                continue
+            l_reads, l_writes = _access_sets(later)
+            conflicting = any(
+                _locations_conflict(a, b)
+                for a in e_writes
+                for b in (l_reads | l_writes)
+            ) or any(
+                _locations_conflict(a, b) for a in e_reads for b in l_writes
+            )
+            if conflicting:
+                graph.add_edge(earlier.txn_id, later.txn_id)
+    return graph
+
+
+def check_conflict_serializability(result) -> ConflictReport:
+    """Analyse a :class:`repro.sched.schedule.ScheduleResult`."""
+    committed_ids = {
+        txn_id for outcome in result.committed for txn_id in outcome.txn_ids[-1:]
+    }
+    graph = conflict_graph(result.history, committed_ids)
+    try:
+        cycle_edges = nx.find_cycle(graph)
+        cycle = [edge[0] for edge in cycle_edges]
+        return ConflictReport(False, cycle, edges=list(graph.edges))
+    except nx.NetworkXNoCycle:
+        order = list(nx.topological_sort(graph))
+        return ConflictReport(True, None, edges=list(graph.edges), serial_order=order)

@@ -1,0 +1,9 @@
+"""Workload generation and performance measurement on the simulator.
+
+* :mod:`repro.workloads.generator` — build instance mixes with controlled
+  contention (hot-spot skew, mix weights, sizes);
+* :mod:`repro.workloads.metrics` — throughput/abort/wait accounting over
+  simulated scheduler steps;
+* :mod:`repro.workloads.runner` — run a workload under a per-type
+  isolation assignment and sweep harnesses for the E8/E9 benchmarks.
+"""

@@ -1,0 +1,162 @@
+"""Workload generation: instance mixes with controlled contention.
+
+A workload is a list of :class:`repro.sched.simulator.InstanceSpec` drawn
+from a transaction mix.  Contention is controlled two ways:
+
+* ``hot_fraction`` — the probability that an instance targets the single
+  hottest key instead of a uniformly random one (the classic hot-spot
+  model: 0.0 is uniform, 1.0 serialises everything through one record);
+* workload size — more concurrent instances per batch means more overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.sched.simulator import InstanceSpec
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs for one generated workload."""
+
+    size: int = 10
+    hot_fraction: float = 0.5
+    seed: int = 0
+
+
+def pick_weighted(rng: random.Random, weights: Mapping[str, float]) -> str:
+    """Pick a key proportionally to its weight."""
+    total = sum(weights.values())
+    roll = rng.random() * total
+    acc = 0.0
+    for key, weight in weights.items():
+        acc += weight
+        if roll <= acc:
+            return key
+    return next(reversed(list(weights)))
+
+
+def skewed_index(rng: random.Random, domain: int, hot_fraction: float) -> int:
+    """Index 0 with probability ``hot_fraction``, else uniform."""
+    if domain <= 1 or rng.random() < hot_fraction:
+        return 0
+    return rng.randrange(domain)
+
+
+def banking_workload(config: WorkloadConfig, accounts: int = 4, levels: Mapping[str, str] | None = None) -> list:
+    """Withdrawals and deposits over ``accounts`` accounts."""
+    from repro.apps import banking
+
+    rng = random.Random(config.seed)
+    mix = {
+        "Withdraw_sav": 0.3,
+        "Withdraw_ch": 0.3,
+        "Deposit_sav": 0.2,
+        "Deposit_ch": 0.2,
+    }
+    types = {txn.name: txn for txn in (
+        banking.WITHDRAW_SAV, banking.WITHDRAW_CH, banking.DEPOSIT_SAV, banking.DEPOSIT_CH
+    )}
+    specs = []
+    for position in range(config.size):
+        name = pick_weighted(rng, mix)
+        txn_type = types[name]
+        account = skewed_index(rng, accounts, config.hot_fraction)
+        if name.startswith("Withdraw"):
+            args = {"i": account, "w": rng.randint(0, 2)}
+        else:
+            args = {"i": account, "d": rng.randint(0, 2)}
+        level = (levels or {}).get(name, "SERIALIZABLE")
+        specs.append(InstanceSpec(txn_type, args, level, f"{name}#{position}"))
+    return specs
+
+
+def banking_initial(accounts: int = 4):
+    from repro.core.state import DbState
+
+    return DbState(
+        arrays={
+            "acct_sav": {i: {"bal": 5} for i in range(accounts)},
+            "acct_ch": {i: {"bal": 5} for i in range(accounts)},
+        }
+    )
+
+
+def tpcc_workload(config: WorkloadConfig, levels: Mapping[str, str] | None = None) -> list:
+    """The standard TPC-C-lite mix at the configured contention."""
+    from repro.apps import tpcc
+
+    rng = random.Random(config.seed)
+    types = {txn.name: txn for txn in tpcc.ALL_TYPES}
+    specs = []
+    for position in range(config.size):
+        name = pick_weighted(rng, tpcc.STANDARD_MIX)
+        txn_type = types[name]
+        district = skewed_index(rng, tpcc.DISTRICTS, config.hot_fraction)
+        customer = skewed_index(rng, tpcc.CUSTOMERS, config.hot_fraction)
+        item = skewed_index(rng, tpcc.ITEMS, config.hot_fraction)
+        if name == "TPCC_NewOrder":
+            args = {"d": district, "c": customer, "item": item, "qty": rng.randint(1, 3)}
+        elif name == "TPCC_Payment":
+            args = {"c": customer, "d": district, "amount": rng.randint(0, 3)}
+        elif name == "TPCC_OrderStatus":
+            args = {"c": customer}
+        elif name == "TPCC_Delivery":
+            args = {"d": district}
+        else:
+            args = {"threshold": 5}
+        level = (levels or {}).get(name, "SERIALIZABLE")
+        specs.append(InstanceSpec(txn_type, args, level, f"{name}#{position}"))
+    return specs
+
+
+def order_entry_workload(
+    config: WorkloadConfig, rule: str = "no_gap", levels: Mapping[str, str] | None = None
+) -> list:
+    """The Section 6 application under load (New_Order heavy)."""
+    from repro.apps import orders
+
+    rng = random.Random(config.seed)
+    mailing = orders.make_mailing_list()
+    new_order = orders.make_new_order(rule)
+    delivery = orders.make_delivery()
+    audit = orders.make_audit()
+    types = {t.name: t for t in (mailing, new_order, delivery, audit)}
+    mix = {"New_Order": 0.6, "Mailing_List": 0.1, "Delivery": 0.2, "Audit": 0.1}
+    customers = ["a", "b", "c", "d"]
+    specs = []
+    order_counter = 100
+    for position in range(config.size):
+        name = pick_weighted(rng, mix)
+        txn_type = types[name]
+        hot = config.hot_fraction
+        customer = customers[0] if rng.random() < hot else rng.choice(customers)
+        if name == "New_Order":
+            order_counter += 1
+            args = {"customer": customer, "address": "x", "order_info": order_counter}
+        elif name == "Delivery":
+            args = {"today": 1}
+        elif name == "Audit":
+            args = {"customer": customer}
+        else:
+            args = {}
+        level = (levels or {}).get(name, "SERIALIZABLE")
+        specs.append(InstanceSpec(txn_type, args, level, f"{name}#{position}"))
+    return specs
+
+
+def order_entry_initial():
+    from repro.core.state import DbState
+
+    return DbState(
+        items={"maximum_date": 1},
+        tables={
+            "ORDERS": [
+                {"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False},
+            ],
+            "CUST": [{"cust_name": "a", "address": "x", "num_orders": 1}],
+        },
+    )

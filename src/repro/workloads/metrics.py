@@ -1,0 +1,82 @@
+"""Performance accounting over simulated schedules.
+
+The simulator's clock is *scheduler steps*: each step attempts one engine
+operation (a blocked attempt costs a step, modelling lock-wait time).
+Throughput is committed transactions per step — absolute numbers are
+meaningless outside the simulator, but ratios between isolation levels are
+exactly the shape the paper's performance argument is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.sched.schedule import ScheduleResult
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated measurements over one or more schedule runs."""
+
+    runs: int = 0
+    committed: int = 0
+    aborted: int = 0
+    steps: int = 0
+    waits: int = 0
+    deadlocks: int = 0
+    fcw_aborts: int = 0
+    restarts: int = 0
+    semantic_violations: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per 1000 scheduler steps."""
+        if self.steps == 0:
+            return 0.0
+        return 1000.0 * self.committed / self.steps
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+    @property
+    def wait_rate(self) -> float:
+        return self.waits / self.steps if self.steps else 0.0
+
+    def add(self, result: ScheduleResult, violations: int = 0) -> None:
+        self.runs += 1
+        self.committed += len(result.committed)
+        self.aborted += len(result.aborted)
+        self.steps += result.stats.get("steps", 0)
+        self.waits += result.stats.get("waits", 0)
+        self.deadlocks += result.stats.get("deadlocks", 0)
+        self.fcw_aborts += result.stats.get("fcw_aborts", 0)
+        self.restarts += result.stats.get("restarts", 0)
+        self.semantic_violations += violations
+
+    def row(self) -> tuple:
+        """A formatted table row: throughput, waits, aborts, violations."""
+        return (
+            f"{self.throughput:7.2f}",
+            f"{self.wait_rate:6.3f}",
+            f"{self.abort_rate:6.3f}",
+            f"{self.deadlocks:4d}",
+            f"{self.semantic_violations:4d}",
+        )
+
+
+def merge(metrics: Iterable[RunMetrics]) -> RunMetrics:
+    total = RunMetrics()
+    for item in metrics:
+        total.runs += item.runs
+        total.committed += item.committed
+        total.aborted += item.aborted
+        total.steps += item.steps
+        total.waits += item.waits
+        total.deadlocks += item.deadlocks
+        total.fcw_aborts += item.fcw_aborts
+        total.restarts += item.restarts
+        total.semantic_violations += item.semantic_violations
+    return total

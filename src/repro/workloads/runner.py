@@ -1,0 +1,97 @@
+"""Workload runners and sweep harnesses for the performance benchmarks.
+
+``run_workload`` executes one generated workload under the simulator and
+returns :class:`repro.workloads.metrics.RunMetrics`; the sweep helpers
+iterate over isolation levels and contention settings — the axes of the
+paper's performance claims (Section 2: "a semantically correct schedule
+can perform significantly better than any equivalent serial schedule";
+Section 7: run TPC-C at a combination of levels).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.formula import Formula, TRUE
+from repro.core.state import DbState
+from repro.sched.semantic import check_semantic_correctness
+from repro.sched.simulator import Simulator
+from repro.workloads.generator import WorkloadConfig
+from repro.workloads.metrics import RunMetrics
+
+
+def run_workload(
+    initial: DbState,
+    specs,
+    rounds: int = 5,
+    seed: int = 0,
+    invariant: Formula = TRUE,
+    retry: bool = True,
+    max_restarts: int = 5,
+) -> RunMetrics:
+    """Run a workload ``rounds`` times under random interleavings."""
+    metrics = RunMetrics()
+    for round_index in range(rounds):
+        simulator = Simulator(
+            initial.copy(),
+            specs,
+            seed=seed + round_index,
+            retry=retry,
+            max_restarts=max_restarts,
+        )
+        result = simulator.run()
+        report = check_semantic_correctness(result, invariant)
+        metrics.add(result, violations=0 if report.correct else 1)
+    return metrics
+
+
+def sweep_levels(
+    make_specs: Callable[[Mapping[str, str]], Sequence],
+    initial: DbState,
+    levels: Sequence[str],
+    type_names: Sequence[str],
+    rounds: int = 5,
+    seed: int = 0,
+    invariant: Formula = TRUE,
+) -> dict:
+    """Measure the same workload with every type at each single level."""
+    out = {}
+    for level in levels:
+        assignment = {name: level for name in type_names}
+        specs = make_specs(assignment)
+        out[level] = run_workload(initial, specs, rounds=rounds, seed=seed, invariant=invariant)
+    return out
+
+
+def sweep_contention(
+    make_specs: Callable[[WorkloadConfig], Sequence],
+    initial: DbState,
+    hot_fractions: Sequence[float],
+    rounds: int = 5,
+    seed: int = 0,
+    size: int = 10,
+    invariant: Formula = TRUE,
+) -> dict:
+    """Measure one level assignment across rising contention."""
+    out = {}
+    for hot in hot_fractions:
+        config = WorkloadConfig(size=size, hot_fraction=hot, seed=seed)
+        specs = make_specs(config)
+        out[hot] = run_workload(initial, specs, rounds=rounds, seed=seed, invariant=invariant)
+    return out
+
+
+def compare_assignments(
+    make_specs: Callable[[Mapping[str, str]], Sequence],
+    initial: DbState,
+    assignments: Mapping[str, Mapping[str, str]],
+    rounds: int = 5,
+    seed: int = 0,
+    invariant: Formula = TRUE,
+) -> dict:
+    """Measure named per-type level assignments (e.g. 'mixed' vs 'all-SER')."""
+    out = {}
+    for label, assignment in assignments.items():
+        specs = make_specs(assignment)
+        out[label] = run_workload(initial, specs, rounds=rounds, seed=seed, invariant=invariant)
+    return out

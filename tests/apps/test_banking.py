@@ -1,0 +1,168 @@
+"""Integration tests: the Figure 1 / Example 3 banking application.
+
+These tests pin the paper's Example 3 claims end-to-end, both statically
+(Theorem 5 analysis) and dynamically (simulated schedules).
+"""
+
+import pytest
+
+from repro.apps import banking
+from repro.core.conditions import SNAPSHOT, check_transaction_at
+from repro.core.formula import conj, ge
+from repro.core.interference import InterferenceChecker
+from repro.core.state import DbState
+from repro.core.terms import Field, IntConst
+from repro.sched.semantic import check_semantic_correctness, validate_level
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+@pytest.fixture(scope="module")
+def app():
+    return banking.make_application()
+
+
+@pytest.fixture(scope="module")
+def checker(app):
+    return InterferenceChecker(app.spec, budget=4000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def snapshot_results(app, checker):
+    return {
+        name: check_transaction_at(app, app.transaction(name), SNAPSHOT, checker)
+        for name in app.transaction_names()
+    }
+
+
+def invariant(accounts=1):
+    return conj(
+        *[
+            ge(
+                Field("acct_sav", IntConst(i), "bal") + Field("acct_ch", IntConst(i), "bal"),
+                0,
+            )
+            for i in range(accounts)
+        ]
+    )
+
+
+class TestStaticAnalysis:
+    def test_withdrawals_fail_snapshot_against_each_other(self, snapshot_results):
+        """Example 3: Withdraw_sav / Withdraw_ch exhibit write skew."""
+        sav = snapshot_results["Withdraw_sav"]
+        assert not sav.ok
+        failing_sources = {ob.source for ob in sav.failures}
+        assert failing_sources == {"Withdraw_ch"}
+
+    def test_withdraw_safe_against_own_type(self, snapshot_results):
+        """Example 3: two Withdraw_sav instances are saved by FCW."""
+        sav = snapshot_results["Withdraw_sav"]
+        own = [ob for ob in sav.obligations if ob.source == "Withdraw_sav"]
+        assert own and all(ob.ok for ob in own)
+
+    def test_deposits_pass_snapshot(self, snapshot_results):
+        """Example 3: deposits never interfere with the withdrawals."""
+        assert snapshot_results["Deposit_sav"].ok
+        assert snapshot_results["Deposit_ch"].ok
+
+    def test_withdraw_vs_deposit_obligations_discharged(self, snapshot_results):
+        sav = snapshot_results["Withdraw_sav"]
+        deposit_obs = [ob for ob in sav.obligations if ob.source.startswith("Deposit")]
+        assert deposit_obs and all(ob.ok for ob in deposit_obs)
+
+    def test_symmetric_verdict_for_withdraw_ch(self, snapshot_results):
+        ch = snapshot_results["Withdraw_ch"]
+        assert not ch.ok
+        assert {ob.source for ob in ch.failures} == {"Withdraw_sav"}
+
+
+class TestDynamicWriteSkew:
+    def _specs(self, level):
+        return [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, level, "T1"),
+            InstanceSpec(banking.WITHDRAW_CH, {"i": 0, "w": 1}, level, "T2"),
+        ]
+
+    def _initial(self):
+        return DbState(arrays={"acct_sav": {0: {"bal": 0}}, "acct_ch": {0: {"bal": 1}}})
+
+    def test_write_skew_schedule_at_snapshot(self):
+        """The scripted write-skew interleaving breaks the invariant."""
+        sim = Simulator(self._initial(), self._specs("SNAPSHOT"), script=[0, 0, 1, 1] + [0, 1] * 4)
+        result = sim.run()
+        assert len(result.committed) == 2
+        total = result.final.read_field("acct_sav", 0, "bal") + result.final.read_field(
+            "acct_ch", 0, "bal"
+        )
+        assert total < 0
+        report = check_semantic_correctness(result, invariant())
+        assert not report.correct
+
+    def test_no_violations_at_serializable(self):
+        tally = validate_level(
+            self._initial(), self._specs("SERIALIZABLE"), invariant(), rounds=40, seed=5
+        )
+        assert tally["violations"] == 0
+
+    def test_violations_frequent_at_snapshot(self):
+        tally = validate_level(
+            self._initial(), self._specs("SNAPSHOT"), invariant(), rounds=40, seed=5
+        )
+        assert tally["violations"] > 10
+
+    def test_same_account_withdrawals_safe_at_snapshot(self):
+        specs = [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, "SNAPSHOT", "T1"),
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, "SNAPSHOT", "T2"),
+        ]
+        tally = validate_level(self._initial(), specs, invariant(), rounds=40, seed=5)
+        assert tally["violations"] == 0
+
+    def test_deposits_with_withdrawal_safe_at_snapshot(self):
+        specs = [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, "SNAPSHOT", "T1"),
+            InstanceSpec(banking.DEPOSIT_CH, {"i": 0, "d": 2}, "SNAPSHOT", "T2"),
+        ]
+        tally = validate_level(self._initial(), specs, invariant(), rounds=40, seed=5)
+        assert tally["violations"] == 0
+
+
+class TestModelSanity:
+    def test_withdraw_guard_respected(self):
+        state = DbState(arrays={"acct_sav": {0: {"bal": 1}}, "acct_ch": {0: {"bal": 0}}})
+        banking.WITHDRAW_SAV.run(state, {"i": 0, "w": 5})
+        assert state.read_field("acct_sav", 0, "bal") == 1  # insufficient funds
+
+    def test_withdraw_applies_when_covered(self):
+        state = DbState(arrays={"acct_sav": {0: {"bal": 3}}, "acct_ch": {0: {"bal": 0}}})
+        banking.WITHDRAW_SAV.run(state, {"i": 0, "w": 2})
+        assert state.read_field("acct_sav", 0, "bal") == 1
+
+    def test_combined_balance_guard(self):
+        """The withdrawal may overdraw one account if the sum covers it."""
+        state = DbState(arrays={"acct_sav": {0: {"bal": 0}}, "acct_ch": {0: {"bal": 5}}})
+        banking.WITHDRAW_SAV.run(state, {"i": 0, "w": 3})
+        assert state.read_field("acct_sav", 0, "bal") == -3
+
+    def test_deposit_adds(self):
+        state = DbState(arrays={"acct_sav": {0: {"bal": 1}}, "acct_ch": {0: {"bal": 0}}})
+        banking.DEPOSIT_SAV.run(state, {"i": 0, "d": 4})
+        assert state.read_field("acct_sav", 0, "bal") == 5
+
+    def test_domain_spec_filters_inconsistent_states(self):
+        spec = banking.domain_spec(accounts=1, max_balance=1)
+        import random
+
+        states = list(spec.iter_states(10_000, random.Random(0)))
+        assert states
+        for state in states:
+            assert (
+                state.read_field("acct_sav", 0, "bal") + state.read_field("acct_ch", 0, "bal")
+                >= 0
+            )
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            banking.make_withdraw("checking")
+        with pytest.raises(ValueError):
+            banking.make_deposit("savings")

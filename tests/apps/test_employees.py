@@ -1,0 +1,97 @@
+"""Integration tests: Example 2 (emp array, Hours / Print_Record)."""
+
+import pytest
+
+from repro.apps import employees
+from repro.core.chooser import choose_level
+from repro.core.conditions import (
+    READ_COMMITTED,
+    READ_UNCOMMITTED,
+    check_transaction_at,
+)
+from repro.core.interference import InterferenceChecker
+from repro.core.state import DbState
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+@pytest.fixture(scope="module")
+def app():
+    return employees.make_application()
+
+
+@pytest.fixture(scope="module")
+def checker(app):
+    return InterferenceChecker(app.spec, budget=6000, seed=5)
+
+
+class TestStaticAnalysis:
+    def test_print_record_fails_read_uncommitted(self, app, checker):
+        """Reason: Hours' individual writes break I_sal mid-flight."""
+        result = check_transaction_at(
+            app, app.transaction("Print_Record"), READ_UNCOMMITTED, checker
+        )
+        assert not result.ok
+        assert any(ob.source == "Hours" for ob in result.failures)
+
+    def test_print_record_passes_read_committed(self, app, checker):
+        """Theorem 2: Hours is one atomic unit at READ COMMITTED."""
+        result = check_transaction_at(
+            app, app.transaction("Print_Record"), READ_COMMITTED, checker
+        )
+        assert result.ok
+
+    def test_print_record_needs_no_repeatable_read(self, app, checker):
+        """The paper's point: RR's long read locks are unnecessary."""
+        choice = choose_level(app, "Print_Record", checker)
+        assert choice.level == READ_COMMITTED
+
+
+class TestDynamicSnapshotConsistency:
+    def _initial(self):
+        return DbState(arrays={"emp": {0: {"rate": 2, "num_hrs": 3, "sal": 6}}})
+
+    def test_inconsistent_snapshot_at_read_uncommitted(self):
+        """Reading between Hours' two writes yields rate*hrs != sal."""
+        from repro.core.terms import Local
+
+        specs = [
+            InstanceSpec(employees.PRINT_RECORD, {"i": 0}, "READ UNCOMMITTED", "P"),
+            InstanceSpec(employees.HOURS, {"i": 0, "h": 2}, "READ COMMITTED", "H"),
+        ]
+        # H reads record, H writes num_hrs, P reads the half-updated record,
+        # H writes sal, both commit
+        sim = Simulator(self._initial(), specs, script=[1, 1, 0, 0, 1, 1])
+        result = sim.run()
+        env = result.outcome_by_name("P").env
+        rate, hrs, sal = env[Local("R")], env[Local("H")], env[Local("S")]
+        assert rate * hrs != sal  # the torn snapshot
+
+    def test_consistent_snapshot_at_read_committed(self):
+        from repro.core.terms import Local
+
+        specs = [
+            InstanceSpec(employees.PRINT_RECORD, {"i": 0}, "READ COMMITTED", "P"),
+            InstanceSpec(employees.HOURS, {"i": 0, "h": 2}, "READ COMMITTED", "H"),
+        ]
+        sim = Simulator(self._initial(), specs, script=[1, 1, 0, 0, 1, 1] + [0, 1] * 4)
+        result = sim.run()
+        env = result.outcome_by_name("P").env
+        rate, hrs, sal = env[Local("R")], env[Local("H")], env[Local("S")]
+        assert rate * hrs == sal  # blocked until Hours finished
+
+
+class TestModelSanity:
+    def test_hours_preserves_i_sal(self):
+        state = DbState(arrays={"emp": {0: {"rate": 2, "num_hrs": 3, "sal": 6}}})
+        employees.HOURS.run(state, {"i": 0, "h": 2})
+        assert state.read_field("emp", 0, "num_hrs") == 5
+        assert state.read_field("emp", 0, "sal") == 10
+
+    def test_domain_spec_enforces_i_sal(self):
+        import random
+
+        spec = employees.domain_spec(employees=1)
+        for state in spec.iter_states(10_000, random.Random(0)):
+            rate = state.read_field("emp", 0, "rate")
+            hrs = state.read_field("emp", 0, "num_hrs")
+            assert rate * hrs == state.read_field("emp", 0, "sal")

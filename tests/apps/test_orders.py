@@ -1,0 +1,283 @@
+"""Integration tests: the Section 6 ordering application (Figures 2-5).
+
+Pins the paper's per-transaction level table, statically and dynamically.
+The full Theorem-1 sweep for New_Order is exercised by the benchmarks; the
+tests here discharge the specific obligations the paper's argument hinges
+on, which keeps the suite fast.
+"""
+
+import pytest
+
+from repro.apps import orders
+from repro.core.conditions import (
+    READ_COMMITTED,
+    READ_COMMITTED_FCW,
+    READ_UNCOMMITTED,
+    REPEATABLE_READ,
+    SERIALIZABLE,
+    check_transaction_at,
+    fcw_protected_reads,
+    read_post_assertions,
+)
+from repro.core.interference import InterferenceChecker
+from repro.core.state import DbState
+from repro.sched.semantic import check_semantic_correctness
+from repro.sched.simulator import InstanceSpec, Simulator
+
+BUDGET = 3000
+
+
+@pytest.fixture(scope="module")
+def app():
+    return orders.make_application("no_gap")
+
+
+@pytest.fixture(scope="module")
+def checker(app):
+    return InterferenceChecker(app.spec, budget=BUDGET, seed=3)
+
+
+class TestMailingList:
+    def test_runs_at_read_uncommitted(self, app, checker):
+        result = check_transaction_at(
+            app, app.transaction("Mailing_List"), READ_UNCOMMITTED, checker
+        )
+        assert result.ok
+
+    def test_strengthened_fails_read_uncommitted(self):
+        strengthened_app = orders.make_application("no_gap", strengthened_mailing=True)
+        strengthened_checker = InterferenceChecker(strengthened_app.spec, budget=BUDGET, seed=3)
+        target = strengthened_app.transaction("Mailing_List_strengthened")
+        result = check_transaction_at(
+            strengthened_app, target, READ_UNCOMMITTED, strengthened_checker
+        )
+        assert not result.ok
+        # the paper's culprit: the New_Order rollback deleting the CUST row
+        assert any(ob.mode == "rollback" and ob.source == "New_Order" for ob in result.failures)
+        # and READ COMMITTED repairs it
+        repaired = check_transaction_at(
+            strengthened_app, target, READ_COMMITTED, strengthened_checker
+        )
+        assert repaired.ok
+
+
+class TestNewOrder:
+    def test_rollback_invalidates_maxdate_bound(self, app, checker):
+        """The paper's READ UNCOMMITTED failure, checked directly."""
+        from repro.core.formula import le
+        from repro.core.terms import Item, Local
+
+        target = app.transaction("New_Order")
+        source = app.transaction("New_Order").rename_params("!2")
+        bound_assertions = [
+            assertion
+            for _stmt, assertion in read_post_assertions(target)
+            if set(assertion.formula.atoms()) >= {Local("maxdate"), Item("maximum_date")}
+        ]
+        assert bound_assertions, "the maxdate <= maximum_date conjunct must exist"
+        verdict = checker.check_rollback(
+            target, bound_assertions[0], source,
+            assumption=app.assumption("New_Order", "New_Order"),
+        )
+        assert verdict.interferes
+        assert verdict.witness is not None
+
+    def test_passes_read_committed(self, app, checker):
+        result = check_transaction_at(app, app.transaction("New_Order"), READ_COMMITTED, checker)
+        assert result.ok
+
+
+class TestNewOrderOneOrderPerDay:
+    @pytest.fixture(scope="class")
+    def strict_app(self):
+        return orders.make_application("one_order")
+
+    @pytest.fixture(scope="class")
+    def strict_checker(self, strict_app):
+        return InterferenceChecker(strict_app.spec, budget=BUDGET, seed=3)
+
+    def test_fails_plain_read_committed(self, strict_app, strict_checker):
+        result = check_transaction_at(
+            strict_app, strict_app.transaction("New_Order"), READ_COMMITTED, strict_checker
+        )
+        assert not result.ok
+
+    def test_passes_read_committed_fcw(self, strict_app, strict_checker):
+        result = check_transaction_at(
+            strict_app, strict_app.transaction("New_Order"), READ_COMMITTED_FCW, strict_checker
+        )
+        assert result.ok
+
+    def test_maxdate_read_is_fcw_protected(self, strict_app):
+        target = strict_app.transaction("New_Order")
+        protected = fcw_protected_reads(target)
+        reads = target.read_statements()
+        # the first read (maximum_date) is followed by the bump
+        assert id(reads[0]) in protected
+
+
+class TestDelivery:
+    def test_fails_read_committed(self, app, checker):
+        result = check_transaction_at(app, app.transaction("Delivery"), READ_COMMITTED, checker)
+        assert not result.ok
+        # another Delivery is among the culprits (the paper's argument)
+        assert any(ob.source == "Delivery" for ob in result.failures)
+
+    def test_passes_repeatable_read(self, app, checker):
+        result = check_transaction_at(app, app.transaction("Delivery"), REPEATABLE_READ, checker)
+        assert result.ok
+        # Theorem 6 condition 2 excused the delivery-vs-delivery update
+        assert any(
+            ob.excused is not None and "tuple read locks" in ob.excused
+            for ob in result.obligations
+        )
+
+
+class TestAudit:
+    def test_fails_repeatable_read_by_phantom(self, app, checker):
+        result = check_transaction_at(app, app.transaction("Audit"), REPEATABLE_READ, checker)
+        assert not result.ok
+        # the failing statement is New_Order's INSERT (a phantom)
+        from repro.core.program import Insert
+
+        assert any(isinstance(ob.statement, Insert) for ob in result.failures)
+
+    def test_passes_serializable(self, app, checker):
+        result = check_transaction_at(app, app.transaction("Audit"), SERIALIZABLE, checker)
+        assert result.ok and result.trivially_correct
+
+
+class TestDynamicGapAnomaly:
+    """The New_Order rollback scenario, executed on the engine."""
+
+    def _initial(self):
+        return DbState(
+            items={"maximum_date": 1},
+            tables={
+                "ORDERS": [{"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False}],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 1}],
+            },
+        )
+
+    def _specs(self, level):
+        new_order = orders.make_new_order("no_gap")
+        return [
+            InstanceSpec(
+                new_order, {"customer": "b", "address": "x", "order_info": 2}, level, "T1"
+            ),
+            InstanceSpec(
+                new_order,
+                {"customer": "c", "address": "x", "order_info": 3},
+                "READ COMMITTED",
+                "T2",
+                abort_after=5,
+            ),
+        ]
+
+    def test_gap_created_at_read_uncommitted(self, app):
+        # T2 bumps MAXDATE and inserts, T1 dirty-reads the bumped value,
+        # T2 rolls back, T1 inserts at a date leaving a gap
+        sim = Simulator(
+            self._initial(),
+            self._specs("READ UNCOMMITTED"),
+            script=[1, 1, 0, 1, 1, 1] + [0] * 8,
+        )
+        result = sim.run()
+        t1 = result.outcome_by_name("T1")
+        assert t1.status == "committed"
+        dates = sorted(row["deliv_date"] for row in result.final.rows("ORDERS"))
+        assert dates == [1, 3]  # nothing delivers on day 2: the gap
+        report = check_semantic_correctness(result, orders.invariant("no_gap"))
+        assert not report.correct
+
+    def test_no_gap_at_read_committed(self, app):
+        sim = Simulator(
+            self._initial(),
+            self._specs("READ COMMITTED"),
+            script=[1, 1, 0, 1, 1, 1] + [0] * 8,
+        )
+        result = sim.run()
+        report = check_semantic_correctness(result, orders.invariant("no_gap"))
+        assert report.consistent
+        dates = sorted(row["deliv_date"] for row in result.final.rows("ORDERS"))
+        assert dates == [1, 2]
+
+
+class TestModelSanity:
+    def test_new_order_extends_dates_by_one(self):
+        state = DbState(
+            items={"maximum_date": 1},
+            tables={
+                "ORDERS": [{"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False}],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 1}],
+            },
+        )
+        orders.make_new_order("no_gap").run(
+            state, {"customer": "b", "address": "y", "order_info": 2}
+        )
+        assert state.read_item("maximum_date") == 2
+        assert orders.invariant("no_gap").evaluate(state, {})
+
+    def test_new_order_increments_existing_customer(self):
+        state = DbState(
+            items={"maximum_date": 1},
+            tables={
+                "ORDERS": [{"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False}],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 1}],
+            },
+        )
+        orders.make_new_order("no_gap").run(
+            state, {"customer": "a", "address": "x", "order_info": 2}
+        )
+        row = next(iter(state.rows("CUST")))
+        assert row["num_orders"] == 2
+
+    def test_delivery_marks_done(self):
+        state = DbState(
+            items={"maximum_date": 1},
+            tables={
+                "ORDERS": [{"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False}],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 1}],
+            },
+        )
+        orders.make_delivery().run(state, {"today": 1})
+        assert all(row["done"] for row in state.rows("ORDERS"))
+
+    def test_audit_counts_match_on_consistent_state(self):
+        state = DbState(
+            items={"maximum_date": 1},
+            tables={
+                "ORDERS": [{"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False}],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 1}],
+            },
+        )
+        env = orders.make_audit().run(state, {"customer": "a"})
+        from repro.core.terms import Local
+
+        assert env[Local("count1")] == env[Local("count2")] == 1
+
+    def test_invariant_rejects_gap(self):
+        state = DbState(
+            items={"maximum_date": 3},
+            tables={
+                "ORDERS": [
+                    {"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False},
+                    {"order_info": 2, "cust_name": "a", "deliv_date": 3, "done": False},
+                ],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 2}],
+            },
+        )
+        assert not orders.invariant("no_gap").evaluate(state, {})
+
+    def test_one_order_invariant_rejects_duplicates(self):
+        state = DbState(
+            items={"maximum_date": 1},
+            tables={
+                "ORDERS": [
+                    {"order_info": 1, "cust_name": "a", "deliv_date": 1, "done": False},
+                    {"order_info": 2, "cust_name": "a", "deliv_date": 1, "done": False},
+                ],
+                "CUST": [{"cust_name": "a", "address": "x", "num_orders": 2}],
+            },
+        )
+        assert not orders.invariant("one_order").evaluate(state, {})

@@ -1,0 +1,112 @@
+"""Integration tests: TPC-C-lite (the paper's Section 7 future work)."""
+
+import pytest
+
+from repro.apps import tpcc
+from repro.core.state import DbState
+from repro.core.terms import Local
+from repro.sched.semantic import check_semantic_correctness
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+class TestModelSanity:
+    def test_new_order_bumps_counter_and_inserts(self):
+        state = tpcc.initial_state()
+        tpcc.NEW_ORDER.run(state, {"d": 0, "c": 0, "item": 0, "qty": 2})
+        assert state.read_field("district", 0, "next_o_id") == 2
+        assert state.table_size("ORDERS") == 1
+        assert state.read_field("stock", 0, "quantity") == 18
+
+    def test_new_order_restocks_when_short(self):
+        state = tpcc.initial_state()
+        state.write_field("stock", 0, "quantity", 1)
+        tpcc.NEW_ORDER.run(state, {"d": 0, "c": 0, "item": 0, "qty": 3})
+        assert state.read_field("stock", 0, "quantity") == 1 - 3 + tpcc.RESTOCK
+
+    def test_payment_moves_money(self):
+        state = tpcc.initial_state()
+        tpcc.PAYMENT.run(state, {"c": 0, "d": 0, "amount": 4})
+        assert state.read_field("customer", 0, "balance") == 6
+        assert state.read_field("warehouse", 0, "ytd") == 4
+        assert state.read_field("district", 0, "ytd") == 4
+
+    def test_delivery_clears_district(self):
+        state = tpcc.initial_state()
+        tpcc.NEW_ORDER.run(state, {"d": 1, "c": 0, "item": 0, "qty": 1})
+        tpcc.DELIVERY.run(state, {"d": 1})
+        assert all(row["delivered"] for row in state.rows("ORDERS"))
+
+    def test_order_status_reads_only(self):
+        state = tpcc.initial_state()
+        before = state.copy()
+        tpcc.ORDER_STATUS.run(state, {"c": 0})
+        assert state.same_as(before)
+
+    def test_mix_weights_sum_to_one(self):
+        assert abs(sum(tpcc.STANDARD_MIX.values()) - 1.0) < 1e-9
+
+
+class TestMixedLevelExecution:
+    def _specs(self, assignment):
+        return [
+            InstanceSpec(tpcc.NEW_ORDER, {"d": 0, "c": 0, "item": 0, "qty": 1},
+                         assignment["TPCC_NewOrder"], "NO1"),
+            InstanceSpec(tpcc.NEW_ORDER, {"d": 1, "c": 1, "item": 1, "qty": 1},
+                         assignment["TPCC_NewOrder"], "NO2"),
+            InstanceSpec(tpcc.PAYMENT, {"c": 0, "d": 0, "amount": 2},
+                         assignment["TPCC_Payment"], "P1"),
+            InstanceSpec(tpcc.DELIVERY, {"d": 0}, assignment["TPCC_Delivery"], "D1"),
+            InstanceSpec(tpcc.ORDER_STATUS, {"c": 0}, assignment["TPCC_OrderStatus"], "OS1"),
+        ]
+
+    MIXED = {
+        "TPCC_NewOrder": "READ COMMITTED FCW",
+        "TPCC_Payment": "READ COMMITTED FCW",
+        "TPCC_Delivery": "REPEATABLE READ",
+        "TPCC_OrderStatus": "READ COMMITTED",
+        "TPCC_StockLevel": "READ UNCOMMITTED",
+    }
+
+    def test_mixed_assignment_commits_everything(self):
+        for seed in range(5):
+            sim = Simulator(tpcc.initial_state(), self._specs(self.MIXED), seed=seed, retry=True)
+            result = sim.run()
+            assert len(result.committed) == 5, f"seed {seed}"
+
+    def test_counters_consistent_after_mixed_run(self):
+        for seed in range(5):
+            sim = Simulator(tpcc.initial_state(), self._specs(self.MIXED), seed=seed, retry=True)
+            result = sim.run()
+            for district in range(tpcc.DISTRICTS):
+                bound = result.final.read_field("district", district, "next_o_id")
+                for row in result.final.rows("ORDERS"):
+                    if row["d_id"] == district:
+                        assert row["o_id"] < bound
+
+    def test_fcw_prevents_counter_lost_update(self):
+        """Two NewOrders on the same district never produce duplicate o_ids."""
+        specs = [
+            InstanceSpec(tpcc.NEW_ORDER, {"d": 0, "c": 0, "item": 0, "qty": 1},
+                         "READ COMMITTED FCW", "A"),
+            InstanceSpec(tpcc.NEW_ORDER, {"d": 0, "c": 1, "item": 1, "qty": 1},
+                         "READ COMMITTED FCW", "B"),
+        ]
+        for seed in range(10):
+            sim = Simulator(tpcc.initial_state(), specs, seed=seed, retry=True)
+            result = sim.run()
+            oids = [row["o_id"] for row in result.final.rows("ORDERS")]
+            assert len(oids) == len(set(oids)), f"duplicate order ids at seed {seed}"
+
+    def test_plain_rc_admits_duplicate_order_ids(self):
+        """Without FCW the next_o_id read-modify-write races (lost update)."""
+        specs = [
+            InstanceSpec(tpcc.NEW_ORDER, {"d": 0, "c": 0, "item": 0, "qty": 1},
+                         "READ COMMITTED", "A"),
+            InstanceSpec(tpcc.NEW_ORDER, {"d": 0, "c": 1, "item": 1, "qty": 1},
+                         "READ COMMITTED", "B"),
+        ]
+        # both read next_o_id before either writes
+        sim = Simulator(tpcc.initial_state(), specs, script=[0, 1, 0, 1, 0, 1] + [0] * 6 + [1] * 8)
+        result = sim.run()
+        oids = [row["o_id"] for row in result.final.rows("ORDERS")]
+        assert len(oids) == 2 and len(set(oids)) == 1

@@ -1,0 +1,109 @@
+"""Unit tests for the Application container."""
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.formula import TRUE, ne
+from repro.core.program import Insert, Read, TransactionType, Write
+from repro.core.terms import IntConst, Item, Local, Param
+from repro.errors import AnalysisError
+
+
+def conventional():
+    return TransactionType(
+        name="Conv",
+        body=(Read(Local("v"), Item("x")), Write(Item("x"), Local("v"))),
+    )
+
+
+def relational():
+    return TransactionType(name="Rel", body=(Insert("T", (("k", IntConst(1)),)),))
+
+
+class TestApplication:
+    def test_lookup(self):
+        app = Application("a", (conventional(),))
+        assert app.transaction("Conv").name == "Conv"
+        with pytest.raises(AnalysisError):
+            app.transaction("Nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AnalysisError):
+            Application("a", (conventional(), conventional()))
+
+    def test_relational_detection(self):
+        assert not Application("a", (conventional(),)).is_relational
+        assert Application("b", (relational(),)).is_relational
+        assert Application("c", (conventional(), relational())).is_relational
+
+    def test_transaction_names(self):
+        app = Application("a", (conventional(), relational()))
+        assert app.transaction_names() == ["Conv", "Rel"]
+
+    def test_assumption_defaults_true(self):
+        app = Application("a", (conventional(),))
+        assert app.assumption("Conv", "Conv") == TRUE
+
+    def test_assumption_lookup(self):
+        distinct = ne(Param("i"), Param("i!2"))
+        app = Application(
+            "a", (conventional(),), assumptions={("Conv", "Conv"): distinct}
+        )
+        assert app.assumption("Conv", "Conv") == distinct
+        assert app.assumption("Conv", "Other") == TRUE
+
+
+class TestBundledApplications:
+    """Every bundled application is well-formed and self-consistent."""
+
+    def _apps(self):
+        from repro.apps import banking, customers, employees, orders, tpcc
+
+        return [
+            banking.make_application(),
+            customers.make_application(),
+            employees.make_application(),
+            orders.make_application("no_gap"),
+            orders.make_application("one_order"),
+            tpcc.make_application(),
+        ]
+
+    def test_every_app_has_domains(self):
+        for app in self._apps():
+            assert app.spec is not None, app.name
+
+    def test_every_transaction_body_walks(self):
+        for app in self._apps():
+            for txn in app.transactions:
+                assert txn.statements(), f"{app.name}/{txn.name} has an empty body"
+
+    def test_domain_specs_produce_states(self):
+        import random
+
+        for app in self._apps():
+            states = list(app.spec.iter_states(500, random.Random(0)))
+            assert states, f"{app.name}: no consistent states in the domain"
+
+    def test_every_transaction_runs_on_a_domain_state(self):
+        """Each transaction executes concretely on some consistent state."""
+        import random
+
+        from repro.core.domains import iter_assignments
+        from repro.errors import EvaluationError
+
+        for app in self._apps():
+            states = list(app.spec.iter_states(300, random.Random(1)))
+            for txn in app.transactions:
+                executed = False
+                for state in states[:30]:
+                    for env in iter_assignments(list(txn.params), app.spec, 16, random.Random(2)):
+                        args = {p.name: v for p, v in env.items()}
+                        try:
+                            txn.run(state.copy(), args)
+                            executed = True
+                            break
+                        except EvaluationError:
+                            continue
+                    if executed:
+                        break
+                assert executed, f"{app.name}/{txn.name} never executed"

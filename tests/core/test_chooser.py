@@ -1,0 +1,112 @@
+"""Unit tests for the Section 5 level chooser."""
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.chooser import analyze_application, choose_level, snapshot_report
+from repro.core.conditions import (
+    ANSI_LADDER,
+    READ_COMMITTED,
+    READ_UNCOMMITTED,
+    REPEATABLE_READ,
+    SERIALIZABLE,
+)
+from repro.core.domains import DomainSpec, ItemDomain
+from repro.core.formula import TRUE, eq, ge, le
+from repro.core.interference import InterferenceChecker
+from repro.core.program import Read, TransactionType, Write
+from repro.core.terms import Item, Local
+
+
+def make_app():
+    # a read-only reporter with a db-free spec (RU), a monotone reader
+    # (RC: rollback breaks it at RU), and an increment writer
+    from repro.core.formula import AbstractPred
+
+    free_post = AbstractPred("output only", evaluator=lambda s, e: True)
+    pure_read = Read(Local("p"), Item("x"), post=free_post)
+    reporter = TransactionType(name="Reporter", body=(pure_read,), result=free_post)
+
+    mono_read = Read(Local("v"), Item("x"), post=le(Local("v"), Item("x")))
+    watcher = TransactionType(name="Watcher", body=(mono_read,), result=TRUE)
+
+    bumper = TransactionType(
+        name="Bumper",
+        body=(Read(Local("b"), Item("x")), Write(Item("x"), Local("b") + 1)),
+        consistency=ge(Item("x"), 0),
+        result=ge(Item("x"), 0),
+    )
+    spec = DomainSpec(items=(ItemDomain("x", (0, 1, 2)),))
+    return Application("mix", (reporter, watcher, bumper), spec=spec)
+
+
+class TestChooseLevel:
+    def test_reporter_gets_read_uncommitted(self):
+        app = make_app()
+        choice = choose_level(app, "Reporter", InterferenceChecker(app.spec))
+        assert choice.level == READ_UNCOMMITTED
+
+    def test_watcher_escalates_to_read_committed(self):
+        app = make_app()
+        choice = choose_level(app, "Watcher", InterferenceChecker(app.spec))
+        assert choice.level == READ_COMMITTED
+        # the audit trail shows the RU failure
+        assert choice.attempts[0].level == READ_UNCOMMITTED
+        assert not choice.attempts[0].ok
+
+    def test_trail_ends_at_chosen_level(self):
+        app = make_app()
+        choice = choose_level(app, "Watcher", InterferenceChecker(app.spec))
+        assert choice.attempts[-1].ok
+        assert choice.attempts[-1].level == choice.level
+
+    def test_ladder_without_serializable_still_terminates(self):
+        app = make_app()
+        choice = choose_level(
+            app, "Watcher", InterferenceChecker(app.spec), ladder=(READ_UNCOMMITTED,)
+        )
+        assert choice.level in (READ_UNCOMMITTED, SERIALIZABLE, READ_COMMITTED)
+
+    def test_unknown_transaction_rejected(self):
+        app = make_app()
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            choose_level(app, "Nope", InterferenceChecker(app.spec))
+
+
+class TestAnalyzeApplication:
+    def test_covers_every_type(self):
+        app = make_app()
+        report = analyze_application(app, InterferenceChecker(app.spec))
+        assert set(report.levels()) == {"Reporter", "Watcher", "Bumper"}
+
+    def test_render_mentions_choices(self):
+        app = make_app()
+        report = analyze_application(app, InterferenceChecker(app.spec))
+        text = report.render()
+        assert "Reporter" in text and "READ UNCOMMITTED" in text
+
+    def test_choice_lookup(self):
+        app = make_app()
+        report = analyze_application(app, InterferenceChecker(app.spec))
+        assert report.choice_for("Watcher").transaction == "Watcher"
+        with pytest.raises(KeyError):
+            report.choice_for("Nope")
+
+    def test_snapshot_report_included_on_request(self):
+        app = make_app()
+        report = analyze_application(
+            app, InterferenceChecker(app.spec), include_snapshot=True
+        )
+        assert len(report.snapshot_checks) == 3
+
+
+class TestSnapshotReport:
+    def test_per_type_verdicts(self):
+        app = make_app()
+        checks = snapshot_report(app, InterferenceChecker(app.spec))
+        by_name = {check.transaction: check for check in checks}
+        # two bumpers write the same item: FCW excuses them
+        assert by_name["Bumper"].ok
+        assert by_name["Reporter"].ok

@@ -1,0 +1,95 @@
+"""Focused tests for Theorem 3's refinements (FCW protection and excuse)."""
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.conditions import (
+    READ_COMMITTED,
+    READ_COMMITTED_FCW,
+    check_transaction_at,
+)
+from repro.core.domains import DomainSpec, ItemDomain
+from repro.core.formula import eq, ge
+from repro.core.interference import InterferenceChecker
+from repro.core.program import Read, TransactionType, Write
+from repro.core.terms import Item, Local, LogicalVar
+
+
+def counter(name="Counter", item="x"):
+    """A read-modify-write counter with the exact Q (not the weakened >=)."""
+    return TransactionType(
+        name=name,
+        body=(
+            Read(Local("v"), Item(item), post=eq(Local("v"), Item(item))),
+            Write(Item(item), Local("v") + 1),
+        ),
+        consistency=ge(Item(item), 0),
+        result=eq(Item(item), LogicalVar("X0") + 1),
+        snapshot=((LogicalVar("X0"), Item(item)),),
+    )
+
+
+def spec():
+    return DomainSpec(items=(ItemDomain("x", (0, 1, 2)), ItemDomain("y", (0, 1))))
+
+
+class TestReadThenWrittenExcuse:
+    def test_counter_fails_plain_rc(self):
+        app = Application("c", (counter(),), spec=spec())
+        checker = InterferenceChecker(app.spec, budget=2000)
+        result = check_transaction_at(app, app.transaction("Counter"), READ_COMMITTED, checker)
+        assert not result.ok
+
+    def test_counter_passes_fcw(self):
+        """Both the read post (protected) and Q (write-set excuse) clear."""
+        app = Application("c", (counter(),), spec=spec())
+        checker = InterferenceChecker(app.spec, budget=2000)
+        result = check_transaction_at(
+            app, app.transaction("Counter"), READ_COMMITTED_FCW, checker
+        )
+        assert result.ok
+        assert "protected by first-committer-wins" in result.note
+
+    def test_unprotected_partner_still_checked(self):
+        """Items read but never written get no FCW protection: a blind
+        write to such an item still fails the Theorem 3 condition."""
+        from repro.core.terms import IntConst
+
+        observer = TransactionType(
+            name="Observer",
+            body=(
+                Read(Local("v"), Item("x"), post=eq(Local("v"), Item("x"))),
+                Read(Local("w"), Item("y")),
+                Write(Item("y"), Local("w") + 1),
+            ),
+            result=eq(Local("v"), Item("x")),
+        )
+        toucher = TransactionType(
+            name="Toucher",
+            body=(Write(Item("x"), IntConst(2)),),
+        )
+        app = Application("mix", (observer, toucher), spec=spec())
+        checker = InterferenceChecker(app.spec, budget=2000)
+        result = check_transaction_at(
+            app, app.transaction("Observer"), READ_COMMITTED_FCW, checker
+        )
+        # Observer reads x but writes only y: x is NOT read-then-written,
+        # so Toucher's blind write to x invalidates the unprotected post
+        assert not result.ok
+
+
+class TestFcwDynamicAgreement:
+    def test_static_fcw_verdict_matches_engine(self):
+        """The refined Theorem 3 verdict agrees with engine behaviour."""
+        from repro.core.state import DbState
+        from repro.sched.semantic import validate_level
+        from repro.sched.simulator import InstanceSpec
+
+        c = counter()
+        initial = DbState(items={"x": 0, "y": 0})
+        specs = [
+            InstanceSpec(c, {}, "READ COMMITTED FCW", "A"),
+            InstanceSpec(c, {}, "READ COMMITTED FCW", "B"),
+        ]
+        tally = validate_level(initial, specs, ge(Item("x"), 0), rounds=40, seed=4)
+        assert tally["violations"] == 0

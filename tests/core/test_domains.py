@@ -1,0 +1,127 @@
+"""Unit tests for bounded-model-checking domains."""
+
+import random
+
+import pytest
+
+from repro.core.domains import (
+    ArrayDomain,
+    DomainSpec,
+    ItemDomain,
+    SearchSpace,
+    TableDomain,
+    iter_assignments,
+    split_budget,
+)
+from repro.core.terms import Local, Param
+from repro.errors import AnalysisError
+
+
+def rng():
+    return random.Random(0)
+
+
+class TestDomainSizes:
+    def test_item_size(self):
+        assert ItemDomain("x", (1, 2, 3)).size() == 3
+
+    def test_array_size(self):
+        domain = ArrayDomain("a", (0, 1), (("v", (1, 2)),))
+        assert domain.size() == 4  # 2 values ^ 2 indices
+
+    def test_table_candidate_rows(self):
+        domain = TableDomain("T", (("k", (1, 2)), ("b", (True, False))), max_rows=1)
+        assert len(domain.candidate_rows()) == 4
+
+    def test_table_row_filter(self):
+        domain = TableDomain(
+            "T", (("k", (1, 2)),), max_rows=1, row_filter=lambda row: row["k"] != 2
+        )
+        assert len(domain.candidate_rows()) == 1
+
+    def test_table_size_counts_multisets(self):
+        domain = TableDomain("T", (("k", (1, 2)),), max_rows=2)
+        # sizes: 1 empty + 2 singletons + 3 pairs (multisets)
+        assert domain.size() == 6
+
+    def test_state_space_size_is_product(self):
+        spec = DomainSpec(
+            items=(ItemDomain("x", (0, 1)),),
+            arrays=(ArrayDomain("a", (0,), (("v", (0, 1)),)),),
+        )
+        assert spec.state_space_size() == 4
+
+
+class TestStateEnumeration:
+    def test_exhaustive_enumeration(self):
+        spec = DomainSpec(items=(ItemDomain("x", (0, 1, 2)),))
+        space = spec.iter_states(100, rng())
+        states = list(space)
+        assert space.exhaustive
+        assert sorted(s.read_item("x") for s in states) == [0, 1, 2]
+
+    def test_sampling_when_over_budget(self):
+        spec = DomainSpec(
+            items=tuple(ItemDomain(f"x{i}", tuple(range(10))) for i in range(6))
+        )
+        space = spec.iter_states(50, rng())
+        assert not space.exhaustive
+        assert len(list(space)) <= 50
+
+    def test_constraint_filters_states(self):
+        spec = DomainSpec(
+            items=(ItemDomain("x", (0, 1, 2, 3)),),
+            state_constraint=lambda s: s.read_item("x") % 2 == 0,
+        )
+        states = list(spec.iter_states(100, rng()))
+        assert all(s.read_item("x") % 2 == 0 for s in states)
+        assert len(states) == 2
+
+    def test_table_states_include_row_combinations(self):
+        spec = DomainSpec(
+            tables=(TableDomain("T", (("k", (1, 2)),), max_rows=1),),
+        )
+        sizes = sorted(s.table_size("T") for s in spec.iter_states(100, rng()))
+        assert sizes == [0, 1, 1]
+
+    def test_empty_slot_rejected(self):
+        spec = DomainSpec(items=(ItemDomain("x", ()),))
+        with pytest.raises(AnalysisError):
+            spec.iter_states(10, rng())
+
+
+class TestAssignments:
+    def test_declared_domains_respected(self):
+        spec = DomainSpec(var_domains={"i": (0, 1)})
+        values = {env[Param("i")] for env in iter_assignments([Param("i")], spec, 100, rng())}
+        assert values == {0, 1}
+
+    def test_suffix_stripping_for_renamed_params(self):
+        spec = DomainSpec(var_domains={"i": (7,)})
+        envs = list(iter_assignments([Param("i!2")], spec, 100, rng()))
+        assert envs == [{Param("i!2"): 7}]
+
+    def test_default_pools_by_sort(self):
+        spec = DomainSpec()
+        bools = {env[Local("b", "bool")] for env in iter_assignments([Local("b", "bool")], spec, 100, rng())}
+        assert bools == {False, True}
+        strs = {env[Local("s", "str")] for env in iter_assignments([Local("s", "str")], spec, 100, rng())}
+        assert strs == {"a", "b"}
+
+    def test_duplicates_collapsed(self):
+        spec = DomainSpec(var_domains={"i": (0, 1)})
+        envs = list(iter_assignments([Param("i"), Param("i")], spec, 100, rng()))
+        assert len(envs) == 2
+
+    def test_empty_terms_single_empty_assignment(self):
+        spec = DomainSpec()
+        assert list(iter_assignments([], spec, 10, rng())) == [{}]
+
+
+class TestHelpers:
+    def test_split_budget(self):
+        # cube root of 1000, subject to floating-point flooring
+        assert split_budget(1000, 3) in (9, 10)
+        assert split_budget(8, 3) == 2
+        assert split_budget(100, 0) == 100
+        assert split_budget(1, 5) == 1

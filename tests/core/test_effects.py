@@ -1,0 +1,178 @@
+"""Unit tests for whole-transaction symbolic effects."""
+
+import pytest
+
+from repro.core.effects import (
+    apply_single_write,
+    apply_store,
+    symbolic_paths,
+    write_sets_intersection_condition,
+)
+from repro.core.formula import FALSE, TRUE, conj, eq, ge, implies, lt, ne
+from repro.core.program import If, Insert, LocalAssign, Read, TransactionType, While, Write
+from repro.core.prover import Verdict, is_valid
+from repro.core.terms import Field, IntConst, Item, Local, LogicalVar, Param
+
+
+def make_increment():
+    return TransactionType(
+        name="Inc",
+        body=(
+            Read(Local("v"), Item("x")),
+            Write(Item("x"), Local("v") + 1),
+        ),
+        consistency=ge(Item("x"), 0),
+    )
+
+
+def make_withdraw():
+    i, w = Param("i"), Param("w")
+    sav = Field("acct", i, "bal")
+    return TransactionType(
+        name="W",
+        params=(i, w),
+        body=(
+            Read(Local("S"), sav),
+            If(ge(Local("S"), w), then=(Write(sav, Local("S") - w),)),
+        ),
+        param_pre=ge(w, 0),
+    )
+
+
+class TestSymbolicPaths:
+    def test_straight_line_store(self):
+        paths = symbolic_paths(make_increment())
+        assert len(paths) == 1
+        store = paths[0].store
+        assert store[Item("x")] == Item("x") + 1
+
+    def test_reads_resolve_against_prior_writes(self):
+        txn = TransactionType(
+            name="T",
+            body=(
+                Read(Local("a"), Item("x")),
+                Write(Item("x"), Local("a") + 1),
+                Read(Local("b"), Item("x")),
+                Write(Item("y"), Local("b")),
+            ),
+        )
+        paths = symbolic_paths(txn)
+        store = paths[0].store
+        # y gets the incremented value, not the original
+        assert store[Item("y")] == Item("x") + 1
+
+    def test_if_forks_paths_with_conditions(self):
+        paths = symbolic_paths(make_withdraw())
+        assert len(paths) == 2
+        stores = [path.store for path in paths]
+        assert any(stores[k] == {} for k in range(2))
+        written = next(s for s in stores if s)
+        target = Field("acct", Param("i"), "bal")
+        assert written[target] == Field("acct", Param("i"), "bal") - Param("w")
+
+    def test_relational_statement_unsupported(self):
+        txn = TransactionType(name="R", body=(Insert("T", (("k", IntConst(1)),)),))
+        assert symbolic_paths(txn) is None
+
+    def test_ambiguous_array_aliasing_unsupported(self):
+        i, j = Param("i"), Param("j")
+        txn = TransactionType(
+            name="A",
+            params=(i, j),
+            body=(
+                Write(Field("a", i, "v"), IntConst(1)),
+                Write(Field("a", j, "v"), IntConst(2)),
+            ),
+        )
+        assert symbolic_paths(txn) is None
+
+    def test_identical_targets_last_write_wins(self):
+        txn = TransactionType(
+            name="WW",
+            body=(
+                Write(Item("x"), IntConst(1)),
+                Write(Item("x"), IntConst(2)),
+            ),
+        )
+        paths = symbolic_paths(txn)
+        assert paths[0].store[Item("x")] == IntConst(2)
+
+    def test_path_condition_includes_consistency_and_pre(self):
+        paths = symbolic_paths(make_withdraw())
+        for path in paths:
+            assert is_valid(implies(path.condition, ge(Param("w"), 0))).verdict == Verdict.VALID
+
+    def test_loop_unrolling_bounded(self):
+        txn = TransactionType(
+            name="L",
+            body=(
+                LocalAssign(Local("k"), IntConst(0)),
+                While(lt(Local("k"), 1), body=(LocalAssign(Local("k"), Local("k") + 1),)),
+            ),
+        )
+        paths = symbolic_paths(txn, unroll=2)
+        # contradictory unrollings are pruned
+        assert all(path.store == {} for path in paths)
+        assert len(paths) >= 1
+
+
+class TestApplyStore:
+    def test_scalar_substitution(self):
+        assertion = ge(Item("x"), 0)
+        after = apply_store(assertion, {Item("x"): Item("x") + 1})
+        goal = implies(conj(assertion), after)
+        assert is_valid(goal).verdict == Verdict.VALID
+
+    def test_untouched_assertion_unchanged(self):
+        assertion = ge(Item("y"), 0)
+        after = apply_store(assertion, {Item("x"): IntConst(0)})
+        assert is_valid(implies(assertion, after)).verdict == Verdict.VALID
+
+    def test_alias_case_split(self):
+        i1, i2 = Param("i1"), Param("i2")
+        assertion = ge(Field("a", i1, "v"), 0)
+        # write a[i2] := -5: assertion survives only when i1 != i2
+        after = apply_store(assertion, {Field("a", i2, "v"): IntConst(-5)})
+        survives_if_distinct = implies(conj(assertion, ne(i1, i2)), after)
+        assert is_valid(survives_if_distinct).verdict == Verdict.VALID
+        breaks_if_equal = implies(conj(assertion, eq(i1, i2)), after)
+        assert is_valid(breaks_if_equal).verdict == Verdict.INVALID
+
+    def test_single_write_helper(self):
+        assertion = eq(Item("x"), 3)
+        after = apply_single_write(assertion, Item("x"), IntConst(4))
+        assert is_valid(implies(TRUE, implies(after, eq(IntConst(4), 3)))).verdict in (
+            Verdict.VALID,
+            Verdict.INVALID,
+        )
+        # substituted form is x-free
+        assert Item("x") not in set(after.atoms())
+
+
+class TestWriteSetIntersection:
+    def test_identical_scalars_always_intersect(self):
+        condition = write_sets_intersection_condition(
+            [(Item("x"), None)], [(Item("x"), None)]
+        )
+        assert condition == TRUE
+
+    def test_distinct_scalars_never_intersect(self):
+        condition = write_sets_intersection_condition(
+            [(Item("x"), None)], [(Item("y"), None)]
+        )
+        assert condition == FALSE
+
+    def test_array_writes_intersect_on_index_equality(self):
+        i1, i2 = Param("i1"), Param("i2")
+        condition = write_sets_intersection_condition(
+            [(Field("a", i1, "v"), None)], [(Field("a", i2, "v"), None)]
+        )
+        assert is_valid(implies(eq(i1, i2), condition)).verdict == Verdict.VALID
+        assert is_valid(implies(ne(i1, i2), condition)).verdict == Verdict.INVALID
+
+    def test_different_arrays_never_intersect(self):
+        i1, i2 = Param("i1"), Param("i2")
+        condition = write_sets_intersection_condition(
+            [(Field("a", i1, "v"), None)], [(Field("b", i2, "v"), None)]
+        )
+        assert condition == FALSE

@@ -1,0 +1,270 @@
+"""Unit tests for the assertion language."""
+
+import pytest
+
+from repro.core.formula import (
+    AbstractPred,
+    And,
+    BoundVar,
+    Cmp,
+    CountWhere,
+    ExistsRow,
+    FALSE,
+    ForAllInts,
+    ForAllRows,
+    Implies,
+    InTable,
+    Not,
+    Or,
+    RowAttr,
+    TRUE,
+    conj,
+    conjuncts,
+    disj,
+    eq,
+    ge,
+    gt,
+    implies,
+    le,
+    lt,
+    ne,
+)
+from repro.core.resources import ScalarResource, TableResource
+from repro.core.state import DbState
+from repro.core.terms import Field, IntConst, Item, Local, Param, StrConst
+from repro.errors import EvaluationError, SortError
+
+
+@pytest.fixture
+def state():
+    return DbState(
+        items={"x": 3, "max": 2},
+        tables={
+            "T": [
+                {"k": 1, "name": "a", "due": 1},
+                {"k": 2, "name": "b", "due": 2},
+            ]
+        },
+    )
+
+
+class TestComparisons:
+    def test_eq_true(self, state):
+        assert eq(Item("x"), 3).evaluate(state, {})
+
+    def test_eq_false(self, state):
+        assert not eq(Item("x"), 4).evaluate(state, {})
+
+    def test_ordering_operators(self, state):
+        assert lt(Item("x"), 4).evaluate(state, {})
+        assert le(Item("x"), 3).evaluate(state, {})
+        assert gt(Item("x"), 2).evaluate(state, {})
+        assert ge(Item("x"), 3).evaluate(state, {})
+        assert ne(Item("x"), 5).evaluate(state, {})
+
+    def test_string_equality(self, state):
+        assert eq(StrConst("a"), StrConst("a")).evaluate(state, {})
+
+    def test_string_ordering_rejected(self):
+        with pytest.raises(SortError):
+            lt(StrConst("a"), StrConst("b"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SortError):
+            Cmp("<>", IntConst(1), IntConst(2))
+
+    def test_negated(self):
+        assert lt(Item("x"), 1).negated() == ge(Item("x"), 1)
+        assert eq(Item("x"), 1).negated() == ne(Item("x"), 1)
+
+    def test_substitution(self):
+        formula = eq(Local("v"), Item("x"))
+        rewritten = formula.substitute({Item("x"): IntConst(0)})
+        assert rewritten == eq(Local("v"), IntConst(0))
+
+
+class TestConnectives:
+    def test_conj_flattens_and_simplifies(self):
+        inner = conj(eq(Item("x"), 1), eq(Item("y"), 2))
+        outer = conj(inner, TRUE, eq(Item("z"), 3))
+        assert isinstance(outer, And)
+        assert len(outer.operands) == 3
+
+    def test_conj_false_absorbs(self):
+        assert conj(eq(Item("x"), 1), FALSE) == FALSE
+
+    def test_conj_empty_is_true(self):
+        assert conj() == TRUE
+
+    def test_disj_flattens_and_simplifies(self):
+        outer = disj(disj(eq(Item("x"), 1), eq(Item("y"), 2)), FALSE)
+        assert isinstance(outer, Or)
+        assert len(outer.operands) == 2
+
+    def test_disj_true_absorbs(self):
+        assert disj(eq(Item("x"), 1), TRUE) == TRUE
+
+    def test_implies_simplification(self):
+        body = eq(Item("x"), 1)
+        assert implies(TRUE, body) == body
+        assert implies(FALSE, body) == TRUE
+        assert implies(body, TRUE) == TRUE
+
+    def test_evaluation(self, state):
+        assert conj(ge(Item("x"), 0), le(Item("x"), 5)).evaluate(state, {})
+        assert disj(eq(Item("x"), 9), eq(Item("x"), 3)).evaluate(state, {})
+        assert Not(eq(Item("x"), 9)).evaluate(state, {})
+        assert Implies(eq(Item("x"), 9), FALSE).evaluate(state, {})
+
+    def test_operator_sugar(self, state):
+        formula = ge(Item("x"), 0) & le(Item("x"), 5) | FALSE
+        assert formula.evaluate(state, {})
+        assert (~eq(Item("x"), 9)).evaluate(state, {})
+
+    def test_conjuncts_helper(self):
+        a, b = eq(Item("x"), 1), eq(Item("y"), 2)
+        assert conjuncts(conj(a, b)) == (a, b)
+        assert conjuncts(a) == (a,)
+        assert conjuncts(TRUE) == ()
+
+
+class TestRowQuantifiers:
+    def test_forall_rows_true(self, state):
+        formula = ForAllRows("T", "r", ge(RowAttr("r", "k"), 1))
+        assert formula.evaluate(state, {})
+
+    def test_forall_rows_false(self, state):
+        formula = ForAllRows("T", "r", ge(RowAttr("r", "k"), 2))
+        assert not formula.evaluate(state, {})
+
+    def test_forall_rows_with_where(self, state):
+        formula = ForAllRows(
+            "T", "r", eq(RowAttr("r", "due"), 2), where=eq(RowAttr("r", "k"), 2)
+        )
+        assert formula.evaluate(state, {})
+
+    def test_exists_row(self, state):
+        assert ExistsRow("T", "r", eq(RowAttr("r", "k"), 2)).evaluate(state, {})
+        assert not ExistsRow("T", "r", eq(RowAttr("r", "k"), 7)).evaluate(state, {})
+
+    def test_empty_table_forall_vacuous(self):
+        empty = DbState()
+        assert ForAllRows("T", "r", FALSE).evaluate(empty, {})
+        assert not ExistsRow("T", "r", TRUE).evaluate(empty, {})
+
+    def test_bound_row_attr_not_free(self):
+        formula = ForAllRows("T", "r", eq(RowAttr("r", "k"), Param("p")))
+        atoms = set(formula.atoms())
+        assert Param("p") in atoms
+        assert not any(isinstance(a, RowAttr) for a in atoms)
+
+    def test_substitution_avoids_capture(self):
+        formula = ForAllRows("T", "r", eq(RowAttr("r", "k"), Param("p")))
+        rewritten = formula.substitute({RowAttr("r", "k"): IntConst(1)})
+        # the bound attribute must not be substituted
+        assert rewritten == formula
+
+    def test_resources_include_table_and_attrs(self):
+        formula = ForAllRows("T", "r", eq(RowAttr("r", "k"), 1))
+        resources = formula.resources()
+        assert TableResource("T") in resources
+        assert TableResource("T", "k") in resources
+
+
+class TestIntQuantifier:
+    def test_forall_ints_true(self, state):
+        # every date 1..max has a row in T
+        formula = ForAllInts(
+            "d", IntConst(1), Item("max"),
+            ExistsRow("T", "r", eq(RowAttr("r", "due"), BoundVar("d"))),
+        )
+        assert formula.evaluate(state, {})
+
+    def test_forall_ints_false_on_gap(self, state):
+        state.items["max"] = 3  # no row with due = 3
+        formula = ForAllInts(
+            "d", IntConst(1), Item("max"),
+            ExistsRow("T", "r", eq(RowAttr("r", "due"), BoundVar("d"))),
+        )
+        assert not formula.evaluate(state, {})
+
+    def test_empty_range_vacuous(self, state):
+        formula = ForAllInts("d", IntConst(5), IntConst(1), FALSE)
+        assert formula.evaluate(state, {})
+
+    def test_bound_var_not_free(self):
+        formula = ForAllInts("d", IntConst(0), Item("max"), eq(BoundVar("d"), Param("p")))
+        atoms = set(formula.atoms())
+        assert BoundVar("d") not in atoms
+        assert Param("p") in atoms
+        assert Item("max") in atoms
+
+
+class TestCountAndMembership:
+    def test_count_where(self, state):
+        count = CountWhere("T", "r", ge(RowAttr("r", "k"), 2))
+        assert count.evaluate(state, {}) == 1
+
+    def test_count_where_in_comparison(self, state):
+        formula = eq(CountWhere("T", "r", TRUE), 2)
+        assert formula.evaluate(state, {})
+
+    def test_count_resources(self):
+        count = CountWhere("T", "r", eq(RowAttr("r", "k"), 1))
+        assert TableResource("T") in count.resources()
+        assert TableResource("T", "k") in count.resources()
+
+    def test_in_table_positive(self, state):
+        formula = InTable("T", (("k", IntConst(1)), ("name", StrConst("a"))))
+        assert formula.evaluate(state, {})
+
+    def test_in_table_negative(self, state):
+        formula = InTable("T", (("k", IntConst(1)), ("name", StrConst("b"))))
+        assert not formula.evaluate(state, {})
+
+    def test_in_table_partial_match(self, state):
+        formula = InTable("T", (("k", IntConst(2)),))
+        assert formula.evaluate(state, {})
+
+
+class TestAbstractPred:
+    def test_evaluator_runs(self, state):
+        pred = AbstractPred("always", evaluator=lambda s, e: True)
+        assert pred.evaluate(state, {})
+
+    def test_missing_evaluator_raises(self, state):
+        with pytest.raises(EvaluationError):
+            AbstractPred("opaque").evaluate(state, {})
+
+    def test_declared_resources(self):
+        pred = AbstractPred("touches-x", reads=frozenset({ScalarResource("x")}))
+        assert ScalarResource("x") in pred.resources()
+
+    def test_empty_footprint(self):
+        pred = AbstractPred("pure-output")
+        assert pred.resources() == frozenset()
+
+    def test_substitution_is_identity(self):
+        pred = AbstractPred("p")
+        assert pred.substitute({Item("x"): IntConst(0)}) is pred
+
+
+class TestResources:
+    def test_scalar_resource_from_item(self):
+        assert ScalarResource("x") in eq(Item("x"), 1).resources()
+
+    def test_field_resources(self):
+        from repro.core.resources import ArrayResource
+
+        formula = ge(Field("a", Param("i"), "bal"), 0)
+        assert ArrayResource("a", "bal") in formula.resources()
+
+    def test_nested_resources_propagate(self):
+        formula = conj(
+            eq(Item("x"), 1),
+            ForAllRows("T", "r", eq(RowAttr("r", "k"), Item("y"))),
+        )
+        resources = formula.resources()
+        assert ScalarResource("x") in resources
+        assert ScalarResource("y") in resources
+        assert TableResource("T") in resources

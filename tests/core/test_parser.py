@@ -1,0 +1,248 @@
+"""Unit tests for the assertion text syntax."""
+
+import pytest
+
+from repro.core import formula as fm
+from repro.core import terms as tm
+from repro.core.parser import ParseError, parse_formula, parse_term
+from repro.core.state import DbState
+
+
+class TestTerms:
+    def test_integer_literal(self):
+        assert parse_term("42") == tm.IntConst(42)
+
+    def test_string_literal(self):
+        assert parse_term("'abc'") == tm.StrConst("abc")
+
+    def test_boolean_literals(self):
+        assert parse_term("true") == tm.BoolConst(True)
+        assert parse_term("false") == tm.BoolConst(False)
+
+    def test_local(self):
+        assert parse_term("Sav") == tm.Local("Sav")
+
+    def test_param(self):
+        assert parse_term(":w") == tm.Param("w")
+
+    def test_logical_var(self):
+        assert parse_term("%SAV0") == tm.LogicalVar("SAV0")
+
+    def test_item(self):
+        assert parse_term("#maximum_date") == tm.Item("maximum_date")
+
+    def test_field_with_attr(self):
+        assert parse_term("acct_sav[:i].bal") == tm.Field("acct_sav", tm.Param("i"), "bal")
+
+    def test_field_without_attr(self):
+        assert parse_term("a[0]") == tm.Field("a", tm.IntConst(0), None)
+
+    def test_field_with_compound_index(self):
+        parsed = parse_term("a[:i + 1].v")
+        assert parsed == tm.Field("a", tm.Add(tm.Param("i"), tm.IntConst(1)), "v")
+
+    def test_arithmetic_precedence(self):
+        parsed = parse_term("1 + 2 * 3")
+        assert parsed.evaluate(DbState(), {}) == 7
+
+    def test_parentheses(self):
+        parsed = parse_term("(1 + 2) * 3")
+        assert parsed.evaluate(DbState(), {}) == 9
+
+    def test_unary_minus(self):
+        assert parse_term("-5").evaluate(DbState(), {}) == -5
+
+    def test_subtraction_left_associative(self):
+        assert parse_term("10 - 3 - 2").evaluate(DbState(), {}) == 5
+
+    def test_sorts_mapping(self):
+        assert parse_term("name", sorts={"name": "str"}) == tm.Local("name", "str")
+        assert parse_term(":c", sorts={"c": "str"}) == tm.Param("c", "str")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("1 + 2 )")
+
+    def test_keyword_as_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("forall + 1")
+
+
+class TestFormulas:
+    def test_comparison(self):
+        assert parse_formula("x >= 0") == fm.ge(tm.Local("x"), 0)
+
+    def test_all_operators(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            parsed = parse_formula(f"x {op} 1")
+            assert isinstance(parsed, fm.Cmp) and parsed.op == op
+
+    def test_connective_precedence(self):
+        # not > and > or > =>
+        parsed = parse_formula("x == 1 or y == 2 and z == 3")
+        assert isinstance(parsed, fm.Or)
+        assert isinstance(parsed.operands[1], fm.And)
+
+    def test_implication_right_associative(self):
+        parsed = parse_formula("x == 1 => y == 2 => z == 3")
+        assert isinstance(parsed, fm.Implies)
+        assert isinstance(parsed.conclusion, fm.Implies)
+
+    def test_negation(self):
+        parsed = parse_formula("not x == 1")
+        assert isinstance(parsed, fm.Not)
+
+    def test_true_false(self):
+        assert parse_formula("true") == fm.TRUE
+        assert parse_formula("false") == fm.FALSE
+
+    def test_parenthesised_formula(self):
+        parsed = parse_formula("(x == 1 or y == 2) and z == 3")
+        assert isinstance(parsed, fm.And)
+
+    def test_parenthesised_term_on_lhs(self):
+        parsed = parse_formula("(x + 1) * 2 == 4")
+        assert isinstance(parsed, fm.Cmp)
+
+    def test_figure1_invariant(self):
+        parsed = parse_formula("acct_sav[:i].bal + acct_ch[:i].bal >= 0")
+        state = DbState(arrays={"acct_sav": {0: {"bal": 2}}, "acct_ch": {0: {"bal": -1}}})
+        assert parsed.evaluate(state, {tm.Param("i"): 0})
+
+    def test_missing_comparison_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("x + 1")
+
+    def test_bool_local_as_atom(self):
+        parsed = parse_formula("flag", sorts={"flag": "bool"})
+        assert isinstance(parsed, fm.BoolAtom)
+
+
+class TestQuantifiers:
+    def test_forall_rows(self):
+        parsed = parse_formula("forall r in T: r.k >= 0")
+        assert parsed == fm.ForAllRows("T", "r", fm.ge(fm.RowAttr("r", "k"), 0))
+
+    def test_exists_row_with_where(self):
+        parsed = parse_formula("exists r in T where r.k == 1: r.done == true")
+        assert isinstance(parsed, fm.ExistsRow)
+        assert parsed.where == fm.eq(fm.RowAttr("r", "k"), 1)
+
+    def test_nested_row_quantifiers(self):
+        parsed = parse_formula("forall a in T: exists b in U: a.k == b.k")
+        state = DbState(tables={"T": [{"k": 1}], "U": [{"k": 1}, {"k": 2}]})
+        assert parsed.evaluate(state, {})
+
+    def test_unbound_row_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("r.k == 1")
+
+    def test_row_variable_scope_ends(self):
+        with pytest.raises(ParseError):
+            parse_formula("(forall r in T: r.k == 1) and r.k == 2")
+
+    def test_forall_int(self):
+        parsed = parse_formula("forall int $d in 1..#max: exists r in T: r.due == $d")
+        assert isinstance(parsed, fm.ForAllInts)
+        state = DbState(items={"max": 2}, tables={"T": [{"due": 1}, {"due": 2}]})
+        assert parsed.evaluate(state, {})
+
+    def test_unbound_dollar_var_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("$d == 1")
+
+    def test_count_aggregate(self):
+        parsed = parse_formula(
+            "count(o in ORDERS: o.cust == :c) == n", sorts={"c": "str", "cust": "str"}
+        )
+        state = DbState(tables={"ORDERS": [{"cust": "a"}, {"cust": "b"}]})
+        env = {tm.Param("c", "str"): "a", tm.Local("n"): 1}
+        assert parsed.evaluate(state, env)
+
+    def test_count_without_where(self):
+        parsed = parse_term("count(o in ORDERS)")
+        state = DbState(tables={"ORDERS": [{"k": 1}, {"k": 2}]})
+        assert parsed.evaluate(state, {}) == 2
+
+    def test_exists_int_rejected(self):
+        with pytest.raises(ParseError):
+            parse_formula("exists int $d in 1..3: $d == 2")
+
+
+class TestRoundTrips:
+    """Parsed formulas agree with their AST-constructed equivalents."""
+
+    def test_no_gap_equivalent(self):
+        from repro.apps.orders import NO_GAP
+
+        parsed = parse_formula(
+            "forall g1 in ORDERS: forall int $d in 1..g1.deliv_date:"
+            " exists g2 in ORDERS: g2.deliv_date == $d"
+        )
+        # structural equality modulo the ForAllInts body shape
+        good = DbState(
+            items={},
+            tables={"ORDERS": [{"deliv_date": 1}, {"deliv_date": 2}]},
+        )
+        gapped = DbState(
+            items={},
+            tables={"ORDERS": [{"deliv_date": 1}, {"deliv_date": 3}]},
+        )
+        for state in (good, gapped):
+            assert parsed.evaluate(state, {}) == NO_GAP.evaluate(state, {})
+
+    def test_parsed_formula_through_prover(self):
+        from repro.core.prover import Verdict, is_valid
+
+        parsed = parse_formula("x >= 5 => x >= 3")
+        assert is_valid(parsed).verdict == Verdict.VALID
+
+
+class TestUnparse:
+    def test_term_round_trips(self):
+        from repro.core.parser import unparse_term
+
+        for text in (
+            "42", "'abc'", "true", "Sav", ":w", "%SAV0", "#maximum_date",
+            "acct_sav[:i].bal", "a[0]",
+        ):
+            term = parse_term(text)
+            assert parse_term(unparse_term(term)) == term
+
+    def test_formula_round_trips(self):
+        from repro.core.parser import unparse_formula
+
+        for text in (
+            "x >= 0",
+            "x == 1 and y == 2",
+            "x == 1 or y == 2 and z == 3",
+            "not x == 1",
+            "x == 1 => y == 2",
+            "forall r in T: r.k >= 0",
+            "exists r in T where r.k == 1: r.v == 2",
+            "forall int $d in 1..#max: exists r in T: r.due == $d",
+            "count(o in ORDERS: o.k == 1) == n",
+        ):
+            formula = parse_formula(text)
+            assert parse_formula(unparse_formula(formula)) == formula
+
+    def test_arithmetic_round_trips(self):
+        from repro.core.parser import unparse_term
+
+        term = parse_term("(a + 2) * (b - -3)")
+        assert parse_term(unparse_term(term)) == term
+
+    def test_abstract_pred_not_unparsable(self):
+        from repro.core.formula import AbstractPred
+        from repro.core.parser import unparse_formula
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            unparse_formula(AbstractPred("opaque"))
+
+    def test_paper_annotations_round_trip(self):
+        from repro.core.parser import unparse_formula
+        from repro.apps.orders import I_MAX_LE, NO_GAP
+
+        for formula in (NO_GAP, I_MAX_LE):
+            assert parse_formula(unparse_formula(formula)) == formula

@@ -1,0 +1,247 @@
+"""Unit tests for the transaction-program IR."""
+
+import pytest
+
+from repro.core.formula import RowAttr, TRUE, conj, eq, ge, lt, ne
+from repro.core.program import (
+    Delete,
+    ForEach,
+    If,
+    Insert,
+    LocalAssign,
+    Read,
+    ReadRecord,
+    Select,
+    SelectCount,
+    SelectScalar,
+    TransactionType,
+    Update,
+    While,
+    Write,
+)
+from repro.core.resources import ArrayResource, ScalarResource, TableResource
+from repro.core.state import DbState
+from repro.core.terms import BoolConst, Field, IntConst, Item, Local, LogicalVar, Param
+from repro.errors import EvaluationError, ProgramError
+
+
+@pytest.fixture
+def state():
+    return DbState(
+        items={"x": 5, "max": 2},
+        arrays={"emp": {0: {"rate": 2, "hrs": 3}}},
+        tables={"T": [{"k": 1, "done": False}, {"k": 2, "done": False}]},
+    )
+
+
+class TestStatementValidation:
+    def test_read_source_must_be_database_ref(self):
+        with pytest.raises(ProgramError):
+            Read(Local("v"), Local("w"))
+
+    def test_write_target_must_be_database_ref(self):
+        with pytest.raises(ProgramError):
+            Write(Local("v"), IntConst(1))
+
+    def test_write_value_cannot_read_database(self):
+        with pytest.raises(ProgramError):
+            Write(Item("x"), Item("y"))
+
+    def test_local_assign_cannot_read_database(self):
+        with pytest.raises(ProgramError):
+            LocalAssign(Local("v"), Item("x"))
+
+    def test_guards_must_be_local(self):
+        with pytest.raises(ProgramError):
+            If(ge(Item("x"), 0), then=())
+        with pytest.raises(ProgramError):
+            While(ge(Item("x"), 0), body=())
+
+    def test_insert_coerces_literals(self):
+        stmt = Insert("T", (("k", 5), ("done", False)))
+        assert stmt.values[0][1] == IntConst(5)
+        assert stmt.values[1][1] == BoolConst(False)
+
+    def test_update_coerces_literals(self):
+        stmt = Update("T", sets=(("done", True),))
+        assert stmt.sets[0][1] == BoolConst(True)
+
+
+class TestConcreteExecution:
+    def test_read_write_roundtrip(self, state):
+        env = {}
+        Read(Local("v"), Item("x")).execute(state, env)
+        LocalAssign(Local("v"), Local("v") + 1).execute(state, env)
+        Write(Item("x"), Local("v")).execute(state, env)
+        assert state.read_item("x") == 6
+
+    def test_field_access(self, state):
+        env = {Param("i"): 0}
+        Read(Local("r"), Field("emp", Param("i"), "rate")).execute(state, env)
+        assert env[Local("r")] == 2
+
+    def test_read_record(self, state):
+        env = {Param("i"): 0}
+        stmt = ReadRecord("emp", Param("i"), (("rate", Local("R")), ("hrs", Local("H"))))
+        stmt.execute(state, env)
+        assert env[Local("R")] == 2
+        assert env[Local("H")] == 3
+
+    def test_if_branches(self, state):
+        env = {Local("v"): 1}
+        If(
+            ge(Local("v"), 0),
+            then=(Write(Item("x"), IntConst(10)),),
+            orelse=(Write(Item("x"), IntConst(-10)),),
+        ).execute(state, env)
+        assert state.read_item("x") == 10
+
+    def test_while_loops(self, state):
+        env = {Local("k"): 0}
+        While(lt(Local("k"), 3), body=(LocalAssign(Local("k"), Local("k") + 1),)).execute(
+            state, env
+        )
+        assert env[Local("k")] == 3
+
+    def test_while_fuel_guard(self, state):
+        env = {Local("k"): 0}
+        loop = While(ge(Local("k"), 0), body=(LocalAssign(Local("k"), Local("k") + 1),))
+        with pytest.raises(EvaluationError):
+            loop.execute(state, env)
+
+    def test_select_buffers_rows(self, state):
+        env = {}
+        Select("T", Local("buff", "str"), where=eq(RowAttr("r", "done", "bool"), False)).execute(
+            state, env
+        )
+        assert len(env[Local("buff", "str")]) == 2
+
+    def test_select_projects_attrs(self, state):
+        env = {}
+        Select("T", Local("buff", "str"), attrs=("k",)).execute(state, env)
+        rows = [dict(packed) for packed in env[Local("buff", "str")]]
+        assert rows == [{"k": 1}, {"k": 2}]
+
+    def test_select_scalar(self, state):
+        env = {}
+        SelectScalar("T", "k", Local("v"), where=eq(RowAttr("r", "k"), 2)).execute(state, env)
+        assert env[Local("v")] == 2
+
+    def test_select_scalar_default(self, state):
+        env = {}
+        SelectScalar("T", "k", Local("v"), where=eq(RowAttr("r", "k"), 99), default=-1).execute(
+            state, env
+        )
+        assert env[Local("v")] == -1
+
+    def test_select_count(self, state):
+        env = {}
+        SelectCount("T", Local("n"), where=TRUE).execute(state, env)
+        assert env[Local("n")] == 2
+
+    def test_insert(self, state):
+        env = {Param("p"): 9}
+        Insert("T", (("k", Param("p")), ("done", False))).execute(state, env)
+        assert state.table_size("T") == 3
+
+    def test_update_with_row_reference(self, state):
+        env = {}
+        Update("T", sets=(("k", RowAttr("r", "k") + 10),), where=eq(RowAttr("r", "k"), 1)).execute(
+            state, env
+        )
+        assert sorted(row["k"] for row in state.rows("T")) == [2, 11]
+
+    def test_delete(self, state):
+        env = {}
+        Delete("T", where=eq(RowAttr("r", "k"), 1)).execute(state, env)
+        assert state.table_size("T") == 1
+
+    def test_foreach_iterates_buffer(self, state):
+        env = {}
+        Select("T", Local("buff", "str"), attrs=("k",)).execute(state, env)
+        ForEach(
+            buffer=Local("buff", "str"),
+            bind=(("k", Local("kk")),),
+            body=(Update("T", sets=(("done", True),), where=eq(RowAttr("r", "k"), Local("kk"))),),
+        ).execute(state, env)
+        assert all(row["done"] for row in state.rows("T"))
+
+
+class TestFootprints:
+    def test_read_resources(self):
+        assert Read(Local("v"), Item("x")).read_resources() == frozenset({ScalarResource("x")})
+        stmt = Read(Local("v"), Field("a", Param("i"), "bal"))
+        assert ArrayResource("a", "bal") in stmt.read_resources()
+
+    def test_write_resources(self):
+        assert Write(Item("x"), Local("v")).written_resources() == frozenset({ScalarResource("x")})
+
+    def test_control_aggregates_resources(self):
+        stmt = If(TRUE, then=(Write(Item("x"), Local("v")),), orelse=(Write(Item("y"), Local("v")),))
+        written = stmt.written_resources()
+        assert ScalarResource("x") in written and ScalarResource("y") in written
+
+    def test_relational_resources(self):
+        select = Select("T", Local("b", "str"), where=eq(RowAttr("r", "k"), 1))
+        assert TableResource("T") in select.read_resources()
+        assert TableResource("T", "k") in select.read_resources()
+        update = Update("T", sets=(("done", True),))
+        assert update.written_resources() == frozenset({TableResource("T", "done")})
+        assert Insert("T", (("k", 1),)).written_resources() == frozenset({TableResource("T")})
+
+
+class TestTransactionType:
+    def _simple(self):
+        return TransactionType(
+            name="Inc",
+            params=(Param("i"),),
+            body=(
+                Read(Local("v"), Item("x")),
+                If(ge(Local("v"), 0), then=(Write(Item("x"), Local("v") + 1),)),
+            ),
+            consistency=ge(Item("x"), 0),
+            snapshot=((LogicalVar("X0"), Item("x")),),
+        )
+
+    def test_walk_covers_nested_statements(self):
+        txn = self._simple()
+        statements = txn.statements()
+        assert len(statements) == 3  # read, if, write
+
+    def test_read_write_partition(self):
+        txn = self._simple()
+        assert len(txn.read_statements()) == 1
+        assert len(txn.write_statements()) == 1
+
+    def test_run_executes_atomically(self):
+        txn = self._simple()
+        state = DbState(items={"x": 4})
+        env = txn.run(state, {"i": 0})
+        assert state.read_item("x") == 5
+        assert env[LogicalVar("X0")] == 4
+
+    def test_run_requires_args(self):
+        txn = self._simple()
+        with pytest.raises(ProgramError):
+            txn.run(DbState(items={"x": 0}), {})
+
+    def test_rename_params(self):
+        txn = self._simple()
+        renamed = txn.rename_params("!2")
+        assert renamed.params[0].name == "i!2"
+        # locals and logical variables renamed too
+        assert LogicalVar("X0!2") in {lv for lv, _t in renamed.snapshot}
+        read = renamed.read_statements()[0]
+        assert read.into.name == "v!2"
+        # execution still works under the renamed arguments
+        state = DbState(items={"x": 1})
+        renamed.run(state, {"i!2": 0})
+        assert state.read_item("x") == 2
+
+    def test_duplicate_names_detected(self):
+        from repro.core.application import Application
+        from repro.errors import AnalysisError
+
+        txn = self._simple()
+        with pytest.raises(AnalysisError):
+            Application("bad", (txn, txn))

@@ -1,0 +1,244 @@
+"""Unit tests for the validity/satisfiability engine."""
+
+import pytest
+
+from repro.core.formula import (
+    AbstractPred,
+    BoolAtom,
+    CountWhere,
+    ExistsRow,
+    FALSE,
+    ForAllRows,
+    Not,
+    RowAttr,
+    TRUE,
+    conj,
+    disj,
+    eq,
+    ge,
+    gt,
+    implies,
+    le,
+    lt,
+    ne,
+)
+from repro.core.prover import (
+    ProofResult,
+    Verdict,
+    is_satisfiable,
+    is_valid,
+    simplify,
+    simplify_term,
+)
+from repro.core.terms import (
+    Add,
+    BoolConst,
+    Field,
+    IntConst,
+    Item,
+    Local,
+    Mul,
+    Neg,
+    Param,
+    StrConst,
+    Sub,
+)
+
+
+class TestSimplifyTerm:
+    def test_constant_folding(self):
+        assert simplify_term(Add(IntConst(2), IntConst(3))) == IntConst(5)
+        assert simplify_term(Sub(IntConst(2), IntConst(3))) == IntConst(-1)
+        assert simplify_term(Mul(IntConst(2), IntConst(3))) == IntConst(6)
+        assert simplify_term(Neg(IntConst(4))) == IntConst(-4)
+
+    def test_identities(self):
+        x = Local("x")
+        assert simplify_term(Add(x, IntConst(0))) == x
+        assert simplify_term(Add(IntConst(0), x)) == x
+        assert simplify_term(Sub(x, IntConst(0))) == x
+        assert simplify_term(Sub(x, x)) == IntConst(0)
+        assert simplify_term(Mul(x, IntConst(1))) == x
+        assert simplify_term(Mul(IntConst(0), x)) == IntConst(0)
+
+    def test_field_index_simplified(self):
+        term = Field("a", Add(IntConst(1), IntConst(1)), "v")
+        assert simplify_term(term) == Field("a", IntConst(2), "v")
+
+
+class TestSimplifyFormula:
+    def test_ground_comparison_folds(self):
+        assert simplify(lt(IntConst(1), IntConst(2))) == TRUE
+        assert simplify(lt(IntConst(2), IntConst(1))) == FALSE
+
+    def test_reflexive_comparisons(self):
+        x = Item("x")
+        assert simplify(eq(x, x)) == TRUE
+        assert simplify(ne(x, x)) == FALSE
+        assert simplify(le(x, x)) == TRUE
+
+    def test_double_negation(self):
+        inner = eq(Item("x"), 1)
+        assert simplify(Not(Not(inner))) == inner
+
+    def test_negated_comparison_folds(self):
+        assert simplify(Not(lt(Item("x"), 1))) == ge(Item("x"), 1)
+
+    def test_unit_pruning(self):
+        body = eq(Item("x"), 1)
+        assert simplify(conj(body, TRUE)) == body
+        assert simplify(disj(body, FALSE)) == body
+
+
+class TestSatisfiability:
+    def test_trivial(self):
+        assert is_satisfiable(TRUE).verdict == Verdict.SAT
+        assert is_satisfiable(FALSE).verdict == Verdict.UNSAT
+
+    def test_linear_sat_with_model(self):
+        x = Local("x")
+        result = is_satisfiable(conj(ge(x, 3), le(x, 5)))
+        assert result.verdict == Verdict.SAT
+        assert 3 <= result.model[x] <= 5
+
+    def test_linear_unsat(self):
+        x = Local("x")
+        result = is_satisfiable(conj(gt(x, 5), lt(x, 3)))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_integer_ne_split(self):
+        x = Local("x")
+        result = is_satisfiable(conj(ge(x, 0), le(x, 0), ne(x, 0)))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_multi_variable(self):
+        x, y = Local("x"), Local("y")
+        result = is_satisfiable(conj(eq(Add(x, y), 10), ge(x, 8), ge(y, 3)))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_string_equalities(self):
+        a, b = Local("a", "str"), Local("b", "str")
+        sat = is_satisfiable(conj(eq(a, StrConst("hi")), eq(b, a)))
+        assert sat.verdict == Verdict.SAT
+        unsat = is_satisfiable(conj(eq(a, StrConst("x")), eq(a, StrConst("y"))))
+        assert unsat.verdict == Verdict.UNSAT
+
+    def test_string_disequality(self):
+        a = Local("a", "str")
+        result = is_satisfiable(conj(eq(a, StrConst("x")), ne(a, StrConst("x"))))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_boolean_atoms(self):
+        flag = Local("b", "bool")
+        result = is_satisfiable(conj(BoolAtom(flag), Not(BoolAtom(flag))))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_bool_equality_literal(self):
+        flag = Local("b", "bool")
+        result = is_satisfiable(conj(eq(flag, BoolConst(True)), Not(BoolAtom(flag))))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_disjunction_explores_cubes(self):
+        x = Local("x")
+        formula = conj(disj(eq(x, 1), eq(x, 2)), ne(x, 1))
+        result = is_satisfiable(formula)
+        assert result.verdict == Verdict.SAT
+        assert result.model[x] == 2
+
+    def test_assumptions(self):
+        x = Local("x")
+        result = is_satisfiable(eq(x, 1), assumptions=[ge(x, 2)])
+        assert result.verdict == Verdict.UNSAT
+
+
+class TestValidity:
+    def test_tautology(self):
+        x = Local("x")
+        assert is_valid(disj(ge(x, 0), lt(x, 0))).verdict == Verdict.VALID
+
+    def test_implication_valid(self):
+        x = Local("x")
+        assert is_valid(implies(ge(x, 5), ge(x, 3))).verdict == Verdict.VALID
+
+    def test_invalid_with_genuine_counterexample(self):
+        x = Local("x")
+        result = is_valid(implies(ge(x, 3), ge(x, 5)))
+        assert result.verdict == Verdict.INVALID
+        # the model must actually falsify the implication
+        value = result.model[x]
+        assert value >= 3 and not value >= 5
+
+    def test_paper_figure1_obligation(self):
+        """The guarded withdrawal preserves I_bal (Figure 1)."""
+        i, w = Param("i"), Param("w")
+        sav = Field("acct_sav", i, "bal")
+        ch = Field("acct_ch", i, "bal")
+        sav_l, ch_l = Local("Sav"), Local("Ch")
+        pre = conj(
+            ge(sav + ch, 0),
+            eq(sav_l, sav),
+            eq(ch_l, ch),
+            ge(w, 0),
+            ge(sav_l + ch_l, w),
+        )
+        post = ge((sav_l - w) + ch, 0)
+        assert is_valid(implies(pre, post)).verdict == Verdict.VALID
+
+    def test_paper_figure1_unguarded_fails(self):
+        i, w = Param("i"), Param("w")
+        sav = Field("acct_sav", i, "bal")
+        ch = Field("acct_ch", i, "bal")
+        sav_l = Local("Sav")
+        pre = conj(ge(sav + ch, 0), eq(sav_l, sav), ge(w, 0))
+        post = ge((sav_l - w) + ch, 0)
+        assert is_valid(implies(pre, post)).verdict == Verdict.INVALID
+
+
+class TestCongruence:
+    def test_equal_indices_force_equal_fields(self):
+        i1, i2 = Param("i1"), Param("i2")
+        a1 = Field("a", i1, "v")
+        a2 = Field("a", i2, "v")
+        formula = conj(eq(i1, i2), ne(a1, a2))
+        assert is_satisfiable(formula).verdict == Verdict.UNSAT
+
+    def test_distinct_indices_leave_fields_free(self):
+        i1, i2 = Param("i1"), Param("i2")
+        a1 = Field("a", i1, "v")
+        a2 = Field("a", i2, "v")
+        formula = conj(ne(i1, i2), ne(a1, a2))
+        assert is_satisfiable(formula).verdict == Verdict.SAT
+
+    def test_congruence_in_validity(self):
+        i1, i2 = Param("i1"), Param("i2")
+        a1 = Field("a", i1, "v")
+        a2 = Field("a", i2, "v")
+        goal = implies(eq(i1, i2), eq(a1, a2))
+        assert is_valid(goal).verdict == Verdict.VALID
+
+
+class TestAbstraction:
+    def test_quantifier_abstracted_counterexample_is_unknown(self):
+        formula = ForAllRows("T", "r", eq(RowAttr("r", "k"), 1))
+        result = is_valid(formula)
+        assert result.verdict == Verdict.UNKNOWN
+
+    def test_valid_despite_abstraction(self):
+        quantified = ExistsRow("T", "r", TRUE)
+        # P or not P is valid even with P opaque
+        result = is_valid(disj(quantified, Not(quantified)))
+        assert result.verdict == Verdict.VALID
+
+    def test_identical_subformulas_share_atoms(self):
+        quantified = ExistsRow("T", "r", TRUE)
+        result = is_satisfiable(conj(quantified, Not(quantified)))
+        assert result.verdict == Verdict.UNSAT
+
+    def test_count_terms_abstracted_consistently(self):
+        count = CountWhere("T", "r", TRUE)
+        formula = conj(eq(count, 1), eq(count, 2))
+        assert is_satisfiable(formula).verdict == Verdict.UNSAT
+
+    def test_abstract_pred_is_opaque(self):
+        pred = AbstractPred("p")
+        assert is_valid(disj(pred, Not(pred))).verdict == Verdict.VALID

@@ -1,0 +1,84 @@
+"""Unit tests for report rendering."""
+
+from repro.core.application import Application
+from repro.core.chooser import analyze_application
+from repro.core.conditions import READ_COMMITTED, READ_UNCOMMITTED, check_transaction_at
+from repro.core.domains import DomainSpec, ItemDomain
+from repro.core.formula import TRUE, ge, le
+from repro.core.interference import InterferenceChecker
+from repro.core.program import Read, TransactionType, Write
+from repro.core.report import failure_details, format_table, level_table, obligation_stats
+from repro.core.terms import Item, Local
+
+
+def make_app():
+    read = Read(Local("v"), Item("x"), post=le(Local("v"), Item("x")))
+    reader = TransactionType(name="Reader", body=(read,), result=TRUE)
+    bumper = TransactionType(
+        name="Bumper",
+        body=(Read(Local("b"), Item("x")), Write(Item("x"), Local("b") + 1)),
+        consistency=ge(Item("x"), 0),
+        result=ge(Item("x"), 0),
+    )
+    return Application(
+        "rw", (reader, bumper), spec=DomainSpec(items=(ItemDomain("x", (0, 1, 2)),))
+    )
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(("a", "bbbb"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_contains_all_cells(self):
+        text = format_table(("h1", "h2"), [("x", "y")])
+        assert "h1" in text and "x" in text and "y" in text
+
+
+class TestLevelTable:
+    def test_renders_choices(self):
+        app = make_app()
+        report = analyze_application(app, InterferenceChecker(app.spec))
+        text = level_table(report)
+        assert "Reader" in text and "Bumper" in text
+        assert "lowest correct level" in text
+
+    def test_shows_failure_evidence(self):
+        app = make_app()
+        report = analyze_application(app, InterferenceChecker(app.spec))
+        text = level_table(report)
+        # the reader failed RU, so the evidence column mentions it
+        assert "failing at READ UNCOMMITTED" in text
+
+
+class TestFailureDetails:
+    def test_lists_failing_obligations(self):
+        app = make_app()
+        checker = InterferenceChecker(app.spec)
+        result = check_transaction_at(app, app.transaction("Reader"), READ_UNCOMMITTED, checker)
+        text = failure_details(result)
+        assert "FAILS" in text
+        assert "rollback" in text
+
+    def test_limit_respected(self):
+        app = make_app()
+        checker = InterferenceChecker(app.spec)
+        result = check_transaction_at(app, app.transaction("Reader"), READ_UNCOMMITTED, checker)
+        text = failure_details(result, limit=0)
+        assert "more failing obligations" in text or "FAILS" in text
+
+
+class TestObligationStats:
+    def test_counts_methods_and_confidences(self):
+        app = make_app()
+        checker = InterferenceChecker(app.spec)
+        results = [
+            check_transaction_at(app, app.transaction("Reader"), READ_UNCOMMITTED, checker),
+            check_transaction_at(app, app.transaction("Reader"), READ_COMMITTED, checker),
+        ]
+        stats = obligation_stats(results)
+        assert stats["levels"] == 2
+        assert stats["obligations"] > 0
+        assert sum(stats["by_method"].values()) <= stats["obligations"]

@@ -1,0 +1,142 @@
+"""Unit tests for strongest postconditions and path annotation."""
+
+import pytest
+
+from repro.core.formula import FALSE, Not, TRUE, conj, eq, ge, lt
+from repro.core.program import If, LocalAssign, Read, ReadRecord, Select, TransactionType, While, Write
+from repro.core.prover import Verdict, is_valid
+from repro.core.sp import AnnotatedPath, annotate_paths, fresh_logical, sp_statement
+from repro.core.state import DbState
+from repro.core.terms import Field, IntConst, Item, Local, LogicalVar, Param
+from repro.errors import ProgramError
+
+
+def entails(premise, conclusion) -> bool:
+    from repro.core.formula import implies
+
+    return is_valid(implies(premise, conclusion)).verdict == Verdict.VALID
+
+
+class TestFreshLogical:
+    def test_fresh_variables_are_distinct(self):
+        assert fresh_logical() != fresh_logical()
+
+    def test_sort_respected(self):
+        assert fresh_logical("bool").sort == "bool"
+
+
+class TestAssignmentSp:
+    def test_read_simple(self):
+        pre = ge(Item("x"), 0)
+        result = sp_statement(pre, Read(Local("v"), Item("x")))
+        assert result.exact
+        # sp => pre is preserved and v == x
+        assert entails(result.formula, pre)
+        assert entails(result.formula, eq(Local("v"), Item("x")))
+
+    def test_read_shadows_previous_value(self):
+        # {v == 5} v := x {exists u. u == 5 and v == x}
+        pre = eq(Local("v"), 5)
+        result = sp_statement(pre, Read(Local("v"), Item("x")))
+        assert entails(result.formula, eq(Local("v"), Item("x")))
+        # the old fact about v must NOT survive verbatim
+        assert not entails(result.formula, eq(Local("v"), 5))
+
+    def test_local_assign_self_reference(self):
+        # {v == 3} v := v + 1 {v == 4}
+        pre = eq(Local("v"), 3)
+        result = sp_statement(pre, LocalAssign(Local("v"), Local("v") + 1))
+        assert entails(result.formula, eq(Local("v"), 4))
+
+    def test_write_updates_database_fact(self):
+        # {x == 0 and V == 7} x := V {x == 7}
+        pre = conj(eq(Item("x"), 0), eq(Local("V"), 7))
+        result = sp_statement(pre, Write(Item("x"), Local("V")))
+        assert entails(result.formula, eq(Item("x"), 7))
+
+    def test_write_to_field(self):
+        pre = eq(Local("V"), 1)
+        stmt = Write(Field("a", Param("i"), "bal"), Local("V"))
+        result = sp_statement(pre, stmt)
+        assert entails(result.formula, eq(Field("a", Param("i"), "bal"), 1))
+
+    def test_read_record_binds_all_attrs(self):
+        pre = TRUE
+        stmt = ReadRecord("emp", Param("i"), (("rate", Local("R")), ("sal", Local("S"))))
+        result = sp_statement(pre, stmt)
+        assert entails(result.formula, eq(Local("R"), Field("emp", Param("i"), "rate")))
+        assert entails(result.formula, eq(Local("S"), Field("emp", Param("i"), "sal")))
+
+    def test_relational_disjoint_passthrough(self):
+        pre = ge(Item("x"), 0)
+        stmt = Select("T", Local("buff", "str"))
+        result = sp_statement(pre, stmt)
+        assert result.formula == pre
+        assert not result.exact
+
+    def test_relational_overlapping_gives_none(self):
+        from repro.core.formula import ForAllRows, RowAttr
+
+        pre = ForAllRows("T", "r", ge(RowAttr("r", "k"), 0))
+        from repro.core.program import Insert
+
+        stmt = Insert("T", (("k", IntConst(1)),))
+        result = sp_statement(pre, stmt)
+        assert result.formula is None
+
+    def test_control_statement_rejected(self):
+        with pytest.raises(ProgramError):
+            sp_statement(TRUE, If(TRUE, ()))
+
+
+class TestAnnotatePaths:
+    def test_straight_line(self):
+        body = (
+            Read(Local("v"), Item("x")),
+            LocalAssign(Local("v"), Local("v") + 1),
+            Write(Item("x"), Local("v")),
+        )
+        paths = annotate_paths(body, ge(Item("x"), 0))
+        assert len(paths) == 1
+        final = paths[0].final
+        # x was incremented from a non-negative value
+        assert entails(final, ge(Item("x"), 1))
+
+    def test_if_forks_paths(self):
+        body = (
+            Read(Local("v"), Item("x")),
+            If(ge(Local("v"), 0), then=(Write(Item("x"), Local("v") + 1),)),
+        )
+        paths = annotate_paths(body, TRUE)
+        assert len(paths) == 2
+        # entering the then-branch conjoins the guard
+        branch_entries = [path.points[1].derived_post for path in paths]
+        assert any(entails(g, ge(Local("v"), 0)) for g in branch_entries)
+
+    def test_else_branch_negates_guard(self):
+        body = (
+            Read(Local("v"), Item("x")),
+            If(ge(Local("v"), 0), then=(), orelse=(LocalAssign(Local("y"), IntConst(0)),)),
+        )
+        paths = annotate_paths(body, TRUE)
+        finals = [path.final for path in paths]
+        assert any(entails(f, lt(Local("v"), 0)) for f in finals)
+
+    def test_while_unrolled(self):
+        body = (
+            LocalAssign(Local("k"), IntConst(0)),
+            While(lt(Local("k"), 1), body=(LocalAssign(Local("k"), Local("k") + 1),)),
+        )
+        paths = annotate_paths(body, TRUE, max_loop_unroll=2)
+        # 0, 1 and 2 unrollings
+        assert len(paths) == 3
+        # every surviving path ends with the negated guard
+        for path in paths:
+            assert entails(path.final, ge(Local("k"), 1)) or not path.points[-1].exact
+
+    def test_statement_preconditions_found(self):
+        write = Write(Item("x"), Local("v"))
+        body = (Read(Local("v"), Item("x")), write)
+        paths = annotate_paths(body, ge(Item("x"), 2))
+        point = next(p for p in paths[0].points if p.statement is write)
+        assert entails(point.pre, ge(Local("v"), 2))

@@ -1,0 +1,125 @@
+"""Unit tests for concrete database states."""
+
+import pytest
+
+from repro.core.state import DbState
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def state():
+    return DbState(
+        items={"x": 1},
+        arrays={"a": {0: {"v": 10, "w": 11}, 1: {"v": 20, "w": 21}}},
+        tables={"T": [{"k": 1}, {"k": 2}, {"k": 2}]},
+    )
+
+
+class TestItems:
+    def test_read_write(self, state):
+        state.write_item("y", 5)
+        assert state.read_item("y") == 5
+
+    def test_missing_item_raises(self, state):
+        with pytest.raises(EvaluationError):
+            state.read_item("nope")
+
+    def test_has_item(self, state):
+        assert state.has_item("x")
+        assert not state.has_item("nope")
+
+
+class TestArrays:
+    def test_read_write_field(self, state):
+        state.write_field("a", 0, "v", 99)
+        assert state.read_field("a", 0, "v") == 99
+
+    def test_missing_field_raises(self, state):
+        with pytest.raises(EvaluationError):
+            state.read_field("a", 7, "v")
+
+    def test_write_creates_structure(self):
+        empty = DbState()
+        empty.write_field("b", 3, None, 1)
+        assert empty.read_field("b", 3, None) == 1
+
+    def test_array_indices(self, state):
+        assert sorted(state.array_indices("a")) == [0, 1]
+        assert list(state.array_indices("nope")) == []
+
+
+class TestTables:
+    def test_rows_iteration(self, state):
+        assert len(list(state.rows("T"))) == 3
+        assert list(state.rows("unknown")) == []
+
+    def test_insert_row(self, state):
+        state.insert_row("T", {"k": 9})
+        assert state.table_size("T") == 4
+
+    def test_delete_rows_returns_count(self, state):
+        deleted = state.delete_rows("T", lambda r: r["k"] == 2)
+        assert deleted == 2
+        assert state.table_size("T") == 1
+
+    def test_delete_from_unknown_table(self, state):
+        assert state.delete_rows("unknown", lambda r: True) == 0
+
+    def test_update_rows(self, state):
+        updated = state.update_rows("T", lambda r: r["k"] == 1, lambda r: {"k": 100})
+        assert updated == 1
+        assert any(row["k"] == 100 for row in state.rows("T"))
+
+
+class TestWholeState:
+    def test_copy_is_deep(self, state):
+        clone = state.copy()
+        clone.write_item("x", 99)
+        clone.write_field("a", 0, "v", 99)
+        clone.insert_row("T", {"k": 5})
+        assert state.read_item("x") == 1
+        assert state.read_field("a", 0, "v") == 10
+        assert state.table_size("T") == 3
+
+    def test_same_as_reflexive(self, state):
+        assert state.same_as(state.copy())
+
+    def test_same_as_ignores_row_order(self, state):
+        clone = state.copy()
+        clone.tables["T"] = list(reversed(clone.tables["T"]))
+        assert state.same_as(clone)
+
+    def test_same_as_respects_multiplicity(self, state):
+        clone = state.copy()
+        clone.delete_rows("T", lambda r: r["k"] == 2)
+        clone.insert_row("T", {"k": 2})  # now only one copy of k=2
+        assert not state.same_as(clone)
+
+    def test_different_items_not_same(self, state):
+        clone = state.copy()
+        clone.write_item("x", 2)
+        assert not state.same_as(clone)
+
+    def test_diff_reports_items(self, state):
+        clone = state.copy()
+        clone.write_item("x", 2)
+        diff = state.diff(clone)
+        assert any("item x" in line for line in diff)
+
+    def test_diff_reports_fields(self, state):
+        clone = state.copy()
+        clone.write_field("a", 1, "w", 0)
+        diff = state.diff(clone)
+        assert any("a[1].w" in line for line in diff)
+
+    def test_diff_reports_table_rows(self, state):
+        clone = state.copy()
+        clone.insert_row("T", {"k": 42})
+        diff = state.diff(clone)
+        assert any("table T" in line for line in diff)
+
+    def test_diff_empty_for_equal_states(self, state):
+        assert state.diff(state.copy()) == []
+
+    def test_canonical_is_hashable(self, state):
+        assert hash(state.canonical()) == hash(state.copy().canonical())

@@ -1,0 +1,170 @@
+"""Unit tests for the term language."""
+
+import pytest
+
+from repro.core.state import DbState
+from repro.core.terms import (
+    Add,
+    BoolConst,
+    Field,
+    IntConst,
+    Item,
+    Local,
+    LogicalVar,
+    Mul,
+    Neg,
+    Param,
+    StrConst,
+    Sub,
+    coerce,
+    is_rigid,
+    references_database,
+)
+from repro.errors import EvaluationError, SortError
+
+
+@pytest.fixture
+def state():
+    return DbState(
+        items={"x": 3, "flag": True},
+        arrays={"a": {0: {"v": 10}, 1: {"v": 20}}},
+    )
+
+
+class TestConstants:
+    def test_int_const_evaluates_to_value(self, state):
+        assert IntConst(7).evaluate(state, {}) == 7
+
+    def test_bool_const_evaluates_to_value(self, state):
+        assert BoolConst(True).evaluate(state, {}) is True
+
+    def test_str_const_evaluates_to_value(self, state):
+        assert StrConst("hi").evaluate(state, {}) == "hi"
+
+    def test_constants_have_no_atoms(self):
+        assert list(IntConst(1).atoms()) == []
+        assert list(StrConst("s").atoms()) == []
+
+    def test_substitute_is_identity_on_constants(self):
+        mapping = {Local("x"): IntConst(9)}
+        assert IntConst(1).substitute(mapping) == IntConst(1)
+
+    def test_sorts(self):
+        assert IntConst(1).sort == "int"
+        assert BoolConst(False).sort == "bool"
+        assert StrConst("a").sort == "str"
+
+
+class TestReferences:
+    def test_local_reads_environment(self, state):
+        assert Local("t").evaluate(state, {Local("t"): 5}) == 5
+
+    def test_unbound_local_raises(self, state):
+        with pytest.raises(EvaluationError):
+            Local("missing").evaluate(state, {})
+
+    def test_param_reads_environment(self, state):
+        assert Param("w").evaluate(state, {Param("w"): 2}) == 2
+
+    def test_logical_var_reads_environment(self, state):
+        assert LogicalVar("X0").evaluate(state, {LogicalVar("X0"): -1}) == -1
+
+    def test_item_reads_database(self, state):
+        assert Item("x").evaluate(state, {}) == 3
+
+    def test_unknown_item_raises(self, state):
+        with pytest.raises(EvaluationError):
+            Item("nope").evaluate(state, {})
+
+    def test_field_reads_array_element(self, state):
+        term = Field("a", IntConst(1), "v")
+        assert term.evaluate(state, {}) == 20
+
+    def test_field_with_param_index(self, state):
+        term = Field("a", Param("i"), "v")
+        assert term.evaluate(state, {Param("i"): 0}) == 10
+
+    def test_field_substitution_rewrites_index(self):
+        term = Field("a", Param("i"), "v")
+        rewritten = term.substitute({Param("i"): IntConst(1)})
+        assert rewritten == Field("a", IntConst(1), "v")
+
+    def test_field_whole_term_substitution(self):
+        term = Field("a", Param("i"), "v")
+        rewritten = term.substitute({term: IntConst(99)})
+        assert rewritten == IntConst(99)
+
+    def test_field_atoms_include_index_atoms(self):
+        term = Field("a", Param("i"), "v")
+        atoms = set(term.atoms())
+        assert term in atoms
+        assert Param("i") in atoms
+
+    def test_reference_substitution(self):
+        assert Local("x").substitute({Local("x"): IntConst(1)}) == IntConst(1)
+        assert Local("x").substitute({Local("y"): IntConst(1)}) == Local("x")
+
+
+class TestArithmetic:
+    def test_add(self, state):
+        assert Add(IntConst(2), IntConst(3)).evaluate(state, {}) == 5
+
+    def test_sub(self, state):
+        assert Sub(IntConst(2), IntConst(3)).evaluate(state, {}) == -1
+
+    def test_mul(self, state):
+        assert Mul(IntConst(2), IntConst(3)).evaluate(state, {}) == 6
+
+    def test_neg(self, state):
+        assert Neg(IntConst(4)).evaluate(state, {}) == -4
+
+    def test_operator_sugar(self, state):
+        term = Local("x") + 1 - Local("y")
+        env = {Local("x"): 10, Local("y"): 3}
+        assert term.evaluate(state, env) == 8
+
+    def test_mul_sugar(self, state):
+        assert (IntConst(3) * 4).evaluate(state, {}) == 12
+
+    def test_unary_minus_sugar(self, state):
+        assert (-IntConst(3)).evaluate(state, {}) == -3
+
+    def test_compound_substitution(self):
+        term = Add(Local("x"), Item("y"))
+        rewritten = term.substitute({Item("y"): IntConst(0)})
+        assert rewritten == Add(Local("x"), IntConst(0))
+
+    def test_compound_atoms(self):
+        term = Add(Local("x"), Mul(Item("y"), Param("p")))
+        atoms = set(term.atoms())
+        assert atoms == {Local("x"), Item("y"), Param("p")}
+
+    def test_non_integer_operand_raises(self, state):
+        with pytest.raises(EvaluationError):
+            Add(StrConst("a"), IntConst(1)).evaluate(state, {})
+
+
+class TestHelpers:
+    def test_coerce_literals(self):
+        assert coerce(5) == IntConst(5)
+        assert coerce(True) == BoolConst(True)
+        assert coerce("s") == StrConst("s")
+        assert coerce(IntConst(1)) == IntConst(1)
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(SortError):
+            coerce(3.14)
+
+    def test_rigidity(self):
+        assert is_rigid(IntConst(1))
+        assert is_rigid(Param("p"))
+        assert is_rigid(LogicalVar("X"))
+        assert is_rigid(Add(Param("p"), IntConst(1)))
+        assert not is_rigid(Local("x"))
+        assert not is_rigid(Item("x"))
+        assert not is_rigid(Add(Local("x"), IntConst(1)))
+
+    def test_references_database(self):
+        assert references_database(Item("x"))
+        assert references_database(Add(Local("x"), Field("a", IntConst(0), "v")))
+        assert not references_database(Add(Local("x"), Param("p")))

@@ -1,0 +1,60 @@
+"""Unit tests for the waits-for graph."""
+
+from repro.engine.deadlock import WaitsForGraph
+
+
+class TestWaitsForGraph:
+    def test_no_cycle_initially(self):
+        graph = WaitsForGraph()
+        assert graph.find_cycle() is None
+
+    def test_simple_cycle_detected(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {2})
+        graph.add_waits(2, {1})
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_three_way_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {2})
+        graph.add_waits(2, {3})
+        graph.add_waits(3, {1})
+        assert set(graph.find_cycle()) == {1, 2, 3}
+
+    def test_chain_is_not_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {2})
+        graph.add_waits(2, {3})
+        assert graph.find_cycle() is None
+
+    def test_self_wait_ignored(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {1})
+        assert graph.find_cycle() is None
+
+    def test_victim_is_youngest(self):
+        graph = WaitsForGraph()
+        assert graph.pick_victim([3, 1, 7]) == 7
+
+    def test_clear_waits_breaks_cycle(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {2})
+        graph.add_waits(2, {1})
+        graph.clear_waits(1)
+        assert graph.find_cycle() is None
+
+    def test_remove_node(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {2})
+        graph.add_waits(2, {1})
+        graph.remove(2)
+        assert graph.find_cycle() is None
+        assert graph.blockers_of(1) == set()
+
+    def test_blockers_of(self):
+        graph = WaitsForGraph()
+        graph.add_waits(1, {2, 3})
+        assert graph.blockers_of(1) == {2, 3}
+        assert graph.blockers_of(9) == set()

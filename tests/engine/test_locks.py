@@ -1,0 +1,114 @@
+"""Unit tests for the lock manager."""
+
+import pytest
+
+from repro.engine.locks import EXCLUSIVE, LONG, LockManager, SHARED, SHORT, WouldBlock
+
+
+@pytest.fixture
+def locks():
+    return LockManager()
+
+
+KEY = ("item", "x")
+
+
+class TestItemLocks:
+    def test_shared_locks_compatible(self, locks):
+        locks.acquire(1, KEY, SHARED, LONG)
+        locks.acquire(2, KEY, SHARED, LONG)
+        assert set(locks.holders(KEY)) == {1, 2}
+
+    def test_exclusive_blocks_shared(self, locks):
+        locks.acquire(1, KEY, EXCLUSIVE, LONG)
+        with pytest.raises(WouldBlock) as exc:
+            locks.acquire(2, KEY, SHARED, SHORT)
+        assert exc.value.blockers == {1}
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire(1, KEY, SHARED, LONG)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, KEY, EXCLUSIVE, LONG)
+
+    def test_exclusive_blocks_exclusive(self, locks):
+        locks.acquire(1, KEY, EXCLUSIVE, LONG)
+        with pytest.raises(WouldBlock):
+            locks.acquire(2, KEY, EXCLUSIVE, LONG)
+
+    def test_reentrant_acquisition(self, locks):
+        locks.acquire(1, KEY, SHARED, LONG)
+        locks.acquire(1, KEY, SHARED, LONG)
+        locks.acquire(1, KEY, EXCLUSIVE, LONG)  # upgrade when sole holder
+        assert locks.holders(KEY)[1] == EXCLUSIVE
+
+    def test_no_downgrade(self, locks):
+        locks.acquire(1, KEY, EXCLUSIVE, LONG)
+        locks.acquire(1, KEY, SHARED, SHORT)
+        assert locks.holders(KEY)[1] == EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_reader(self, locks):
+        locks.acquire(1, KEY, SHARED, LONG)
+        locks.acquire(2, KEY, SHARED, LONG)
+        with pytest.raises(WouldBlock):
+            locks.acquire(1, KEY, EXCLUSIVE, LONG)
+
+    def test_release_frees_waiters(self, locks):
+        locks.acquire(1, KEY, EXCLUSIVE, LONG)
+        locks.release(1, KEY)
+        locks.acquire(2, KEY, EXCLUSIVE, LONG)  # no exception
+
+    def test_release_all(self, locks):
+        locks.acquire(1, KEY, EXCLUSIVE, LONG)
+        locks.acquire(1, ("item", "y"), SHARED, LONG)
+        locks.release_all(1)
+        assert locks.held_by(1) == []
+
+    def test_held_by(self, locks):
+        locks.acquire(1, KEY, SHARED, LONG)
+        assert locks.held_by(1) == [KEY]
+
+
+class TestPredicateLocks:
+    def test_insert_into_read_predicate_blocks(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: row.get("k") == 1, SHARED)
+        with pytest.raises(WouldBlock):
+            locks.check_rows_against_predicates(2, "T", [{"k": 1}], EXCLUSIVE)
+
+    def test_insert_outside_predicate_allowed(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: row.get("k") == 1, SHARED)
+        locks.check_rows_against_predicates(2, "T", [{"k": 2}], EXCLUSIVE)
+
+    def test_own_predicate_never_blocks(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: True, SHARED)
+        locks.check_rows_against_predicates(1, "T", [{"k": 1}], EXCLUSIVE)
+
+    def test_other_table_ignored(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: True, SHARED)
+        locks.check_rows_against_predicates(2, "U", [{"k": 1}], EXCLUSIVE)
+
+    def test_write_predicate_blocks_matching_write(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: row.get("k") == 1, EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            locks.check_rows_against_predicates(2, "T", [{"k": 1}], EXCLUSIVE)
+
+    def test_write_predicate_does_not_block_reads_rowwise(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: True, EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            # reads of matching rows conflict with a write predicate
+            locks.check_rows_against_predicates(2, "T", [{"k": 1}], SHARED)
+
+    def test_predicate_read_blocks_on_write_predicate_same_table(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: False, EXCLUSIVE)
+        with pytest.raises(WouldBlock):
+            locks.acquire_predicate(2, "T", lambda row: True, SHARED)
+
+    def test_release_all_drops_predicates(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: True, SHARED)
+        locks.release_all(1)
+        locks.check_rows_against_predicates(2, "T", [{"k": 1}], EXCLUSIVE)
+
+    def test_release_short_predicates_only(self, locks):
+        locks.acquire_predicate(1, "T", lambda row: True, SHARED, duration=SHORT)
+        locks.acquire_predicate(1, "U", lambda row: True, SHARED, duration=LONG)
+        locks.release_short_predicates(1)
+        assert len(locks.predicate_locks_of(1)) == 1

@@ -1,0 +1,260 @@
+"""Unit tests for the engine's per-level operation semantics."""
+
+import pytest
+
+from repro.core.state import DbState
+from repro.engine.locks import WouldBlock
+from repro.engine.manager import Engine
+from repro.errors import EngineError, FirstCommitterWinsAbort, TransactionAborted
+
+
+@pytest.fixture
+def engine():
+    return Engine(
+        DbState(
+            items={"x": 1, "y": 2},
+            arrays={"emp": {0: {"rate": 2, "sal": 4}}},
+            tables={"T": [{"k": 1, "done": False}]},
+        )
+    )
+
+
+class TestLifecycle:
+    def test_begin_assigns_ids(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        t2 = engine.begin("READ COMMITTED")
+        assert t1.txn_id != t2.txn_id
+
+    def test_unknown_level_rejected(self, engine):
+        with pytest.raises(EngineError):
+            engine.begin("CHAOS")
+
+    def test_commit_releases_locks(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        engine.write_item(t1, "x", 5)
+        engine.commit(t1)
+        t2 = engine.begin("READ COMMITTED")
+        assert engine.read_item(t2, "x") == 5
+
+    def test_abort_restores_state(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        engine.write_item(t1, "x", 5)
+        engine.insert(t1, "T", {"k": 9})
+        engine.update(t1, "T", lambda r: r["k"] == 1, lambda r: {"done": True})
+        engine.abort(t1)
+        t2 = engine.begin("READ COMMITTED")
+        assert engine.read_item(t2, "x") == 1
+        rows = engine.select(t2, "T", lambda r: True)
+        assert rows == [{"k": 1, "done": False}]
+
+    def test_operations_after_abort_raise(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        engine.abort(t1)
+        with pytest.raises(TransactionAborted):
+            engine.read_item(t1, "x")
+
+    def test_operations_after_commit_raise(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        engine.commit(t1)
+        with pytest.raises(EngineError):
+            engine.read_item(t1, "x")
+
+    def test_double_abort_is_noop(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        engine.abort(t1)
+        engine.abort(t1)  # no exception
+
+
+class TestReadVisibility:
+    def test_ru_sees_dirty(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.write_item(writer, "x", 99)
+        reader = engine.begin("READ UNCOMMITTED")
+        assert engine.read_item(reader, "x") == 99
+
+    def test_rc_blocks_on_dirty(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.write_item(writer, "x", 99)
+        reader = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.read_item(reader, "x")
+
+    def test_rc_short_lock_releases(self, engine):
+        reader = engine.begin("READ COMMITTED")
+        engine.read_item(reader, "x")
+        writer = engine.begin("READ COMMITTED")
+        engine.write_item(writer, "x", 5)  # no block: short lock released
+
+    def test_rr_long_lock_blocks_writer(self, engine):
+        reader = engine.begin("REPEATABLE READ")
+        engine.read_item(reader, "x")
+        writer = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.write_item(writer, "x", 5)
+
+    def test_record_read_is_atomic_lock(self, engine):
+        reader = engine.begin("READ COMMITTED")
+        values = engine.read_record(reader, "emp", 0, ("rate", "sal"))
+        assert values == {"rate": 2, "sal": 4}
+
+    def test_snapshot_reads_from_begin(self, engine):
+        snap = engine.begin("SNAPSHOT")
+        writer = engine.begin("READ COMMITTED")
+        engine.write_item(writer, "x", 42)
+        engine.commit(writer)
+        assert engine.read_item(snap, "x") == 1  # still the begin-time value
+
+    def test_snapshot_never_blocks_reading(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.write_item(writer, "x", 42)
+        snap = engine.begin("SNAPSHOT")
+        assert engine.read_item(snap, "x") == 1
+
+
+class TestWriteSemantics:
+    def test_write_write_blocks(self, engine):
+        t1 = engine.begin("READ UNCOMMITTED")
+        engine.write_item(t1, "x", 5)
+        t2 = engine.begin("READ UNCOMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.write_item(t2, "x", 6)
+
+    def test_fcw_write_aborts_on_stale_read(self, engine):
+        t1 = engine.begin("READ COMMITTED FCW")
+        assert engine.read_item(t1, "x") == 1
+        t2 = engine.begin("READ COMMITTED")
+        engine.write_item(t2, "x", 7)
+        engine.commit(t2)
+        with pytest.raises(FirstCommitterWinsAbort):
+            engine.write_item(t1, "x", 8)
+
+    def test_fcw_write_without_prior_read_allowed(self, engine):
+        t1 = engine.begin("READ COMMITTED FCW")
+        t2 = engine.begin("READ COMMITTED")
+        engine.write_item(t2, "y", 7)
+        engine.commit(t2)
+        engine.write_item(t1, "x", 8)  # x untouched by t2
+        engine.commit(t1)
+
+    def test_snapshot_fcw_on_commit(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        t2 = engine.begin("SNAPSHOT")
+        engine.write_item(t1, "x", 10)
+        engine.write_item(t2, "x", 20)
+        engine.commit(t1)
+        with pytest.raises(FirstCommitterWinsAbort):
+            engine.commit(t2)
+
+    def test_snapshot_disjoint_writes_both_commit(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        t2 = engine.begin("SNAPSHOT")
+        engine.write_item(t1, "x", 10)
+        engine.write_item(t2, "y", 20)
+        engine.commit(t1)
+        engine.commit(t2)
+        t3 = engine.begin("READ COMMITTED")
+        assert engine.read_item(t3, "x") == 10
+        assert engine.read_item(t3, "y") == 20
+
+    def test_snapshot_writes_invisible_until_commit(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        engine.write_item(t1, "x", 10)
+        reader = engine.begin("READ COMMITTED")
+        assert engine.read_item(reader, "x") == 1
+
+    def test_snapshot_reads_own_writes(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        engine.write_item(t1, "x", 10)
+        assert engine.read_item(t1, "x") == 10
+
+
+class TestRelationalSemantics:
+    def test_select_returns_clean_rows(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        rows = engine.select(t1, "T", lambda r: True)
+        assert rows == [{"k": 1, "done": False}]
+
+    def test_rc_select_sees_committed_image_of_locked_row(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.update(writer, "T", lambda r: r["k"] == 1, lambda r: {"k": 77})
+        reader = engine.begin("READ COMMITTED")
+        # the committed image (k=1) matches, so the reader blocks on the row
+        with pytest.raises(WouldBlock):
+            engine.select(reader, "T", lambda r: r.get("k") == 1)
+
+    def test_ru_select_sees_dirty_rows(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.insert(writer, "T", {"k": 5, "done": False})
+        reader = engine.begin("READ UNCOMMITTED")
+        rows = engine.select(reader, "T", lambda r: True)
+        assert len(rows) == 2
+
+    def test_uncommitted_delete_still_visible_to_rc(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.delete(writer, "T", lambda r: r["k"] == 1)
+        reader = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.select(reader, "T", lambda r: r.get("k") == 1)
+
+    def test_serializable_predicate_blocks_phantom(self, engine):
+        reader = engine.begin("SERIALIZABLE")
+        engine.select(reader, "T", lambda r: r.get("k") == 2)
+        writer = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.insert(writer, "T", {"k": 2, "done": False})
+
+    def test_rr_allows_phantom_insert(self, engine):
+        reader = engine.begin("REPEATABLE READ")
+        engine.select(reader, "T", lambda r: r.get("k") == 2)
+        writer = engine.begin("READ COMMITTED")
+        engine.insert(writer, "T", {"k": 2, "done": False})  # no block
+
+    def test_rr_row_locks_block_update(self, engine):
+        reader = engine.begin("REPEATABLE READ")
+        engine.select(reader, "T", lambda r: True)
+        writer = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.update(writer, "T", lambda r: True, lambda r: {"done": True})
+
+    def test_update_predicate_lock_blocks_insert_into_it(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.update(writer, "T", lambda r: r.get("done") is False, lambda r: {"done": True})
+        other = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.insert(other, "T", {"k": 9, "done": False})
+
+    def test_snapshot_relational_roundtrip(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        engine.insert(t1, "T", {"k": 2, "done": False})
+        engine.update(t1, "T", lambda r: r["k"] == 2, lambda r: {"done": True})
+        assert len(engine.select(t1, "T", lambda r: True)) == 2
+        engine.commit(t1)
+        t2 = engine.begin("READ COMMITTED")
+        rows = engine.select(t2, "T", lambda r: r.get("k") == 2)
+        assert rows == [{"k": 2, "done": True}]
+
+    def test_snapshot_delete_of_snapshot_insert(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        engine.insert(t1, "T", {"k": 5, "done": False})
+        engine.delete(t1, "T", lambda r: r.get("k") == 5)
+        engine.commit(t1)
+        t2 = engine.begin("READ COMMITTED")
+        assert engine.select(t2, "T", lambda r: r.get("k") == 5) == []
+
+
+class TestHistoryRecording:
+    def test_operations_recorded_in_order(self, engine):
+        t1 = engine.begin("READ COMMITTED")
+        engine.read_item(t1, "x")
+        engine.write_item(t1, "x", 2)
+        engine.commit(t1)
+        kinds = [op.kind for op in engine.history if op.txn_id == t1.txn_id]
+        assert kinds == ["begin", "r", "w", "commit"]
+
+    def test_dirty_read_flagged(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.write_item(writer, "x", 99)
+        reader = engine.begin("READ UNCOMMITTED")
+        engine.read_item(reader, "x")
+        read_op = [op for op in engine.history if op.txn_id == reader.txn_id and op.kind == "r"][0]
+        assert read_op.dirty_from == writer.txn_id

@@ -1,0 +1,116 @@
+"""Edge cases of the engine: mixed-mode conflicts, SI commit blocking."""
+
+import pytest
+
+from repro.core.state import DbState
+from repro.engine.locks import WouldBlock
+from repro.engine.manager import Engine
+from repro.errors import FirstCommitterWinsAbort
+
+
+@pytest.fixture
+def engine():
+    return Engine(DbState(items={"x": 1}, tables={"T": [{"k": 1, "done": False}]}))
+
+
+class TestSnapshotCommitConflicts:
+    def test_si_commit_blocks_on_lockers_write(self, engine):
+        """A SNAPSHOT commit must wait for an in-place writer's X lock."""
+        snap = engine.begin("SNAPSHOT")
+        engine.write_item(snap, "x", 5)
+        locker = engine.begin("READ COMMITTED")
+        engine.write_item(locker, "x", 9)
+        with pytest.raises(WouldBlock):
+            engine.commit(snap)
+        engine.commit(locker)
+        # the locker committed a newer version: FCW must now abort the SI txn
+        with pytest.raises(FirstCommitterWinsAbort):
+            engine.commit(snap)
+
+    def test_si_commit_after_locker_aborts(self, engine):
+        snap = engine.begin("SNAPSHOT")
+        engine.write_item(snap, "x", 5)
+        locker = engine.begin("READ COMMITTED")
+        engine.write_item(locker, "x", 9)
+        engine.abort(locker)
+        engine.commit(snap)  # version unchanged by the aborted locker
+        reader = engine.begin("READ COMMITTED")
+        assert engine.read_item(reader, "x") == 5
+
+    def test_si_row_update_conflict(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        t2 = engine.begin("SNAPSHOT")
+        engine.update(t1, "T", lambda r: r["k"] == 1, lambda r: {"done": True})
+        engine.update(t2, "T", lambda r: r["k"] == 1, lambda r: {"k": 7})
+        engine.commit(t1)
+        with pytest.raises(FirstCommitterWinsAbort):
+            engine.commit(t2)
+        reader = engine.begin("READ COMMITTED")
+        rows = engine.select(reader, "T", lambda r: True)
+        assert rows == [{"k": 1, "done": True}]
+
+    def test_si_inserts_never_conflict(self, engine):
+        t1 = engine.begin("SNAPSHOT")
+        t2 = engine.begin("SNAPSHOT")
+        engine.insert(t1, "T", {"k": 2, "done": False})
+        engine.insert(t2, "T", {"k": 3, "done": False})
+        engine.commit(t1)
+        engine.commit(t2)
+        reader = engine.begin("READ COMMITTED")
+        assert len(engine.select(reader, "T", lambda r: True)) == 3
+
+
+class TestMixedModeVisibility:
+    def test_si_snapshot_unaffected_by_later_locker(self, engine):
+        snap = engine.begin("SNAPSHOT")
+        locker = engine.begin("READ COMMITTED")
+        engine.update(locker, "T", lambda r: True, lambda r: {"done": True})
+        engine.commit(locker)
+        rows = engine.select(snap, "T", lambda r: True)
+        assert rows == [{"k": 1, "done": False}]  # begin-time image
+
+    def test_rc_fcw_abort_releases_locks(self, engine):
+        t1 = engine.begin("READ COMMITTED FCW")
+        assert engine.read_item(t1, "x") == 1
+        t2 = engine.begin("READ COMMITTED")
+        engine.write_item(t2, "x", 3)
+        engine.commit(t2)
+        with pytest.raises(FirstCommitterWinsAbort):
+            engine.write_item(t1, "x", 4)
+        # t1's lock (acquired before the validation failure) must be gone
+        t3 = engine.begin("READ COMMITTED")
+        engine.write_item(t3, "x", 5)
+        engine.commit(t3)
+
+    def test_select_retry_after_block_leaves_no_short_locks(self, engine):
+        writer = engine.begin("READ COMMITTED")
+        engine.update(writer, "T", lambda r: r["k"] == 1, lambda r: {"done": True})
+        reader = engine.begin("READ COMMITTED")
+        with pytest.raises(WouldBlock):
+            engine.select(reader, "T", lambda r: True)
+        engine.commit(writer)
+        rows = engine.select(reader, "T", lambda r: True)
+        assert rows == [{"k": 1, "done": True}]
+        # the reader's failed attempt must not have left locks that block
+        # another writer now
+        writer2 = engine.begin("READ COMMITTED")
+        engine.update(writer2, "T", lambda r: r["k"] == 1, lambda r: {"done": False})
+
+
+class TestUndoCompleteness:
+    def test_abort_of_mixed_operations(self, engine):
+        initial = engine.committed_state()
+        txn = engine.begin("READ COMMITTED")
+        engine.write_item(txn, "x", 100)
+        engine.insert(txn, "T", {"k": 2, "done": False})
+        engine.update(txn, "T", lambda r: r["k"] == 1, lambda r: {"done": True})
+        engine.delete(txn, "T", lambda r: r["k"] == 2)
+        engine.abort(txn)
+        assert engine.committed_state().same_as(initial)
+        assert engine.live_state().same_as(initial)
+
+    def test_history_records_abort_reason(self, engine):
+        txn = engine.begin("READ COMMITTED")
+        engine.abort(txn, reason="test reason")
+        abort_ops = [op for op in engine.history if op.kind == "abort"]
+        assert abort_ops[0].info["reason"] == "test reason"

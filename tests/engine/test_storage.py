@@ -1,0 +1,134 @@
+"""Unit tests for the versioned store."""
+
+import pytest
+
+from repro.core.state import DbState
+from repro.engine.storage import RID, VersionedStore, strip_rid
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def store():
+    return VersionedStore.from_state(
+        DbState(
+            items={"x": 1},
+            arrays={"a": {0: {"v": 10}}},
+            tables={"T": [{"k": 1}, {"k": 2}]},
+        )
+    )
+
+
+class TestInitialisation:
+    def test_rows_receive_rids(self, store):
+        rids = [row[RID] for row in store.rows("T")]
+        assert len(rids) == len(set(rids)) == 2
+
+    def test_committed_mirrors_current(self, store):
+        assert store.committed.same_as(store.current)
+
+    def test_strip_rid(self):
+        assert strip_rid({"k": 1, RID: 9}) == {"k": 1}
+
+
+class TestVersions:
+    def test_initial_versions_are_zero(self, store):
+        assert store.version_of(("item", "x")) == 0
+
+    def test_bump(self, store):
+        store.bump_version(("item", "x"))
+        assert store.version_of(("item", "x")) == 1
+
+
+class TestInPlaceWrites:
+    def test_write_and_undo_item(self, store):
+        old = store.write_item("x", 9)
+        assert store.read_item("x") == 9
+        store.undo_item("x", old)
+        assert store.read_item("x") == 1
+
+    def test_undo_item_removes_created(self, store):
+        old = store.write_item("fresh", 5)
+        store.undo_item("fresh", old)
+        assert not store.current.has_item("fresh")
+
+    def test_write_and_undo_field(self, store):
+        old = store.write_field("a", 0, "v", 99)
+        store.undo_field("a", 0, "v", old)
+        assert store.read_field("a", 0, "v") == 10
+
+    def test_insert_and_undo(self, store):
+        rid = store.insert_row("T", {"k": 3})
+        assert store.find_row("T", rid) is not None
+        store.undo_insert("T", rid)
+        assert store.find_row("T", rid) is None
+
+    def test_delete_and_undo(self, store):
+        rid = next(iter(store.rows("T")))[RID]
+        row = store.delete_row("T", rid)
+        assert store.find_row("T", rid) is None
+        store.undo_delete("T", row)
+        assert store.find_row("T", rid) is not None
+
+    def test_update_and_undo(self, store):
+        rid = next(iter(store.rows("T")))[RID]
+        old = store.update_row("T", rid, {"k": 42})
+        assert store.find_row("T", rid)["k"] == 42
+        store.undo_update("T", rid, old)
+        assert store.find_row("T", rid)["k"] == 1
+
+    def test_delete_unknown_rid_raises(self, store):
+        with pytest.raises(EngineError):
+            store.delete_row("T", 999)
+
+
+class TestCommitReflection:
+    def test_item_commit_bumps_version(self, store):
+        store.write_item("x", 5)
+        store.reflect_commit([("item", "x", 5)])
+        assert store.committed.read_item("x") == 5
+        assert store.version_of(("item", "x")) == 1
+
+    def test_field_commit(self, store):
+        store.write_field("a", 0, "v", 77)
+        store.reflect_commit([("field", "a", 0, "v", 77)])
+        assert store.committed.read_field("a", 0, "v") == 77
+        assert store.version_of(("record", "a", 0)) == 1
+
+    def test_insert_commit(self, store):
+        rid = store.insert_row("T", {"k": 3})
+        store.reflect_commit([("insert", "T", rid, {"k": 3})])
+        assert any(row.get("k") == 3 for row in store.committed.rows("T"))
+
+    def test_delete_commit(self, store):
+        rid = next(iter(store.rows("T")))[RID]
+        row = store.delete_row("T", rid)
+        store.reflect_commit([("delete", "T", rid, strip_rid(row))])
+        assert all(r.get(RID) != rid for r in store.committed.rows("T"))
+
+    def test_update_commit(self, store):
+        rid = next(iter(store.rows("T")))[RID]
+        store.update_row("T", rid, {"k": 50})
+        store.reflect_commit([("update", "T", rid, {"k": 50})])
+        committed_row = next(r for r in store.committed.rows("T") if r.get(RID) == rid)
+        assert committed_row["k"] == 50
+
+    def test_unknown_entry_rejected(self, store):
+        with pytest.raises(EngineError):
+            store.reflect_commit([("mystery",)])
+
+
+class TestSnapshots:
+    def test_snapshot_is_isolated_copy(self, store):
+        snap = store.snapshot()
+        store.write_item("x", 100)
+        assert snap.read_item("x") == 1
+
+    def test_public_state_strips_rids(self, store):
+        public = store.public_state()
+        for row in public.rows("T"):
+            assert RID not in row
+
+    def test_public_state_committed_vs_live(self, store):
+        store.write_item("x", 7)  # uncommitted
+        assert store.public_state(committed_only=True).read_item("x") == 1
+        assert store.public_state(committed_only=False).read_item("x") == 7

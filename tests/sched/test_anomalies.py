@@ -1,0 +1,167 @@
+"""Unit tests for the anomaly detectors, driven by scripted schedules."""
+
+import pytest
+
+from repro.core.formula import eq, ge
+from repro.core.program import Read, Select, TransactionType, Write
+from repro.core.state import DbState
+from repro.core.terms import Item, Local
+from repro.sched.anomalies import (
+    detect_all,
+    detect_dirty_reads,
+    detect_dirty_writes,
+    detect_fuzzy_reads,
+    detect_lost_updates,
+    detect_phantoms,
+    detect_read_skew,
+    detect_write_skew,
+)
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+def incrementer(item="x"):
+    return TransactionType(
+        name=f"Inc_{item}",
+        body=(Read(Local("v"), Item(item)), Write(Item(item), Local("v") + 1)),
+    )
+
+
+def reader(items):
+    body = tuple(Read(Local(f"v{i}"), Item(name)) for i, name in enumerate(items))
+    return TransactionType(name="Read_" + "_".join(items), body=body)
+
+
+class TestDirtyRead:
+    def test_detected_at_ru(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "W"),
+            InstanceSpec(reader(["x"]), {}, "READ UNCOMMITTED", "R"),
+        ]
+        # W reads, W writes (uncommitted), R reads dirty, W commits
+        result = Simulator(DbState(items={"x": 0}), specs, script=[0, 0, 1, 1, 0]).run()
+        assert detect_dirty_reads(result)
+
+    def test_absent_in_serial_run(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "W"),
+            InstanceSpec(reader(["x"]), {}, "READ UNCOMMITTED", "R"),
+        ]
+        result = Simulator(DbState(items={"x": 0}), specs, script=[0, 0, 0, 1, 1]).run()
+        assert not detect_dirty_reads(result)
+
+
+class TestLostUpdate:
+    def test_detected_at_rc(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        result = Simulator(DbState(items={"x": 0}), specs, script=[0, 1, 0, 0, 1, 1]).run()
+        assert detect_lost_updates(result)
+
+    def test_absent_when_sequential(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        result = Simulator(DbState(items={"x": 0}), specs, script=[0, 0, 0, 1, 1, 1]).run()
+        assert not detect_lost_updates(result)
+
+
+class TestFuzzyRead:
+    def test_detected_at_rc(self):
+        double_reader = TransactionType(
+            name="RR2",
+            body=(Read(Local("a"), Item("x")), Read(Local("b"), Item("x"))),
+        )
+        specs = [
+            InstanceSpec(double_reader, {}, "READ COMMITTED", "R"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "W"),
+        ]
+        # R reads, W runs fully and commits, R reads again
+        result = Simulator(DbState(items={"x": 0}), specs, script=[0, 1, 1, 1, 1, 0, 0]).run()
+        assert detect_fuzzy_reads(result)
+
+
+class TestPhantom:
+    def test_insert_under_open_predicate(self):
+        from repro.core.program import Insert, SelectCount
+        from repro.core.formula import TRUE
+        from repro.core.terms import IntConst
+
+        counter = TransactionType(
+            name="Counter",
+            body=(SelectCount("T", Local("n1")), SelectCount("T", Local("n2"))),
+        )
+        inserter = TransactionType(
+            name="Inserter", body=(Insert("T", (("k", IntConst(9)),)),)
+        )
+        specs = [
+            InstanceSpec(counter, {}, "REPEATABLE READ", "C"),
+            InstanceSpec(inserter, {}, "READ COMMITTED", "I"),
+        ]
+        result = Simulator(
+            DbState(tables={"T": [{"k": 1}]}), specs, script=[0, 1, 1, 0, 0]
+        ).run()
+        assert detect_phantoms(result)
+
+
+class TestSkews:
+    def test_write_skew_detected_at_snapshot(self):
+        from repro.apps import banking
+
+        init = DbState(arrays={"acct_sav": {0: {"bal": 0}}, "acct_ch": {0: {"bal": 1}}})
+        specs = [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, "SNAPSHOT", "T1"),
+            InstanceSpec(banking.WITHDRAW_CH, {"i": 0, "w": 1}, "SNAPSHOT", "T2"),
+        ]
+        result = Simulator(init, specs, script=[0, 0, 1, 1, 0, 1, 0, 1, 0, 1]).run()
+        assert detect_write_skew(result)
+
+    def test_read_skew_detected(self):
+        writer_xy = TransactionType(
+            name="Wxy",
+            body=(
+                Read(Local("a"), Item("x")),
+                Write(Item("x"), Local("a") + 1),
+                Read(Local("b"), Item("y")),
+                Write(Item("y"), Local("b") + 1),
+            ),
+        )
+        specs = [
+            InstanceSpec(reader(["x", "y"]), {}, "READ COMMITTED", "R"),
+            InstanceSpec(writer_xy, {}, "READ COMMITTED", "W"),
+        ]
+        # R reads x, W updates x and y and commits, R reads y
+        result = Simulator(
+            DbState(items={"x": 0, "y": 0}), specs, script=[0, 1, 1, 1, 1, 1, 1, 0, 0]
+        ).run()
+        assert detect_read_skew(result)
+
+    def test_no_skew_in_serial(self):
+        specs = [
+            InstanceSpec(reader(["x", "y"]), {}, "READ COMMITTED", "R"),
+            InstanceSpec(incrementer("x"), {}, "READ COMMITTED", "W"),
+        ]
+        result = Simulator(
+            DbState(items={"x": 0, "y": 0}), specs, script=[0, 0, 0, 1, 1, 1]
+        ).run()
+        assert not detect_read_skew(result)
+        assert not detect_write_skew(result)
+
+
+class TestDetectAll:
+    def test_detect_all_shape(self):
+        specs = [InstanceSpec(incrementer(), {}, "READ COMMITTED", "A")]
+        result = Simulator(DbState(items={"x": 0}), specs).run()
+        anomalies = detect_all(result)
+        assert set(anomalies) == {
+            "P0-dirty-write",
+            "P1-dirty-read",
+            "P2-fuzzy-read",
+            "P3-phantom",
+            "P4-lost-update",
+            "A5A-read-skew",
+            "A5B-write-skew",
+        }
+        assert all(v == [] for v in anomalies.values())

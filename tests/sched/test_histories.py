@@ -1,0 +1,125 @@
+"""Unit tests for the history DSL — the [2] anomaly matrix."""
+
+import pytest
+
+from repro.core.state import DbState
+from repro.sched.histories import parse, replay
+
+RC = "READ COMMITTED"
+RU = "READ UNCOMMITTED"
+RR = "REPEATABLE READ"
+SER = "SERIALIZABLE"
+FCW = "READ COMMITTED FCW"
+SI = "SNAPSHOT"
+
+
+class TestParsing:
+    def test_token_shapes(self):
+        tokens = parse("w1[x=1] r2[x] rp3[T:a=1] ins4[T:a=1,b=true] c1 a2")
+        ops = [op for _raw, op, _n, _b in tokens]
+        assert ops == ["w", "r", "rp", "ins", "c", "a"]
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            parse("zap1[x]")
+
+
+class TestDirtyReadHistory:
+    HISTORY = "w1[x=1] r2[x] c1 c2"
+
+    def test_permitted_at_ru(self):
+        result = replay(self.HISTORY, {1: RC, 2: RU})
+        assert result.executed_fully
+        assert result.value_of("r2[x]") == 1
+
+    def test_blocked_at_rc(self):
+        result = replay(self.HISTORY, {1: RC, 2: RC})
+        blocked = [s.token for s in result.blocked_steps]
+        assert "r2[x]" in blocked
+
+
+class TestLostUpdateHistory:
+    HISTORY = "r1[x] r2[x] w2[x=2] c2 w1[x=3] c1"
+
+    def test_permitted_at_rc(self):
+        result = replay(self.HISTORY, {1: RC, 2: RC})
+        assert result.executed_fully
+        assert result.final.read_item("x") == 3
+
+    def test_aborted_at_fcw(self):
+        result = replay(self.HISTORY, {1: FCW, 2: RC})
+        assert any(s.token == "w1[x=3]" for s in result.aborted_steps)
+        assert result.final.read_item("x") == 2
+
+    def test_blocked_at_rr(self):
+        result = replay(self.HISTORY, {1: RR, 2: RC})
+        assert result.blocked_steps  # w2 blocks on the long read lock
+
+
+class TestFuzzyReadHistory:
+    HISTORY = "r1[x] w2[x=5] c2 r1[x] c1"
+
+    def test_permitted_at_rc(self):
+        result = replay(self.HISTORY, {1: RC, 2: RC})
+        assert result.executed_fully
+        assert result.value_of("r1[x]") == 0  # first read
+
+    def test_blocked_at_rr(self):
+        result = replay(self.HISTORY, {1: RR, 2: RC})
+        assert any(s.token == "w2[x=5]" for s in result.blocked_steps)
+
+
+class TestPhantomHistory:
+    HISTORY = "rp1[T:a=1] ins2[T:a=1] c2 rp1[T:a=1] c1"
+
+    def _initial(self):
+        return DbState(tables={"T": [{"a": 1}]})
+
+    def test_permitted_at_rr(self):
+        result = replay(self.HISTORY, {1: RR, 2: RC}, initial=self._initial())
+        assert result.executed_fully
+        first, second = [s for s in result.steps if s.token == "rp1[T:a=1]"]
+        assert len(second.value) == len(first.value) + 1
+
+    def test_blocked_at_serializable(self):
+        result = replay(self.HISTORY, {1: SER, 2: RC}, initial=self._initial())
+        assert any(s.token == "ins2[T:a=1]" for s in result.blocked_steps)
+
+
+class TestWriteSkewHistory:
+    HISTORY = "r1[x] r1[y] r2[x] r2[y] w1[x=-1] w2[y=-1] c1 c2"
+
+    def _initial(self):
+        return DbState(items={"x": 1, "y": 1})
+
+    def test_permitted_at_snapshot(self):
+        result = replay(self.HISTORY, {1: SI, 2: SI}, initial=self._initial())
+        assert result.executed_fully
+        assert result.final.read_item("x") == -1
+        assert result.final.read_item("y") == -1
+
+    def test_same_item_fcw_aborts(self):
+        history = "r1[x] r2[x] w1[x=5] w2[x=7] c1 c2"
+        result = replay(history, {1: SI, 2: SI}, initial=DbState(items={"x": 1}))
+        assert any(s.token == "c2" for s in result.aborted_steps)
+        assert result.final.read_item("x") == 5
+
+    def test_blocked_at_serializable(self):
+        result = replay(self.HISTORY, {1: SER, 2: SER}, initial=self._initial())
+        assert not result.executed_fully
+
+
+class TestScriptedAbort:
+    def test_abort_undoes_writes(self):
+        result = replay("w1[x=9] a1", {1: RC})
+        assert result.final.read_item("x") == 0
+
+    def test_steps_after_abort_skipped(self):
+        result = replay("w1[x=9] a1 w1[x=10]", {1: RC})
+        statuses = [s.status for s in result.steps]
+        assert statuses == ["ok", "ok", "skipped"]
+
+    def test_dirty_read_of_rolled_back_write(self):
+        result = replay("w1[x=1] r2[x] a1 r2[x] c2", {1: RC, 2: RU})
+        values = [s.value for s in result.steps if s.token == "r2[x]"]
+        assert values == [1, 0]  # the classic dirty read of doomed data

@@ -1,0 +1,114 @@
+"""Tests for the run-time invalidation monitor."""
+
+import pytest
+
+from repro.apps import banking
+from repro.core.formula import eq, ge, le
+from repro.core.program import Read, TransactionType, Write
+from repro.core.state import DbState
+from repro.core.terms import Item, Local
+from repro.sched.monitor import AssertionMonitor, InvalidationEvent
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+def watcher():
+    return TransactionType(
+        name="Watcher",
+        body=(
+            Read(Local("v"), Item("x"), post=eq(Local("v"), Item("x"))),
+            Read(Local("w"), Item("y")),  # keeps the instance running a step
+        ),
+    )
+
+
+def setter(value):
+    return TransactionType(name="Setter", body=(Write(Item("x"), value),))
+
+
+class TestMonitorBasics:
+    def test_invalidation_detected_and_attributed(self):
+        from repro.core.terms import IntConst
+
+        monitor = AssertionMonitor()
+        specs = [
+            InstanceSpec(watcher(), {}, "READ UNCOMMITTED", "W"),
+            InstanceSpec(setter(IntConst(9)), {}, "READ COMMITTED", "S"),
+        ]
+        # W reads x (post active), S overwrites x, W finishes
+        sim = Simulator(
+            DbState(items={"x": 1, "y": 0}), specs, script=[0, 1, 0, 0, 1],
+            observers=[monitor],
+        )
+        sim.run()
+        assert monitor.events
+        event = monitor.events[0]
+        assert event.holder == "W"
+        assert event.by == "S"
+        assert "post(read#0" in event.assertion
+
+    def test_no_invalidation_in_serial_run(self):
+        from repro.core.terms import IntConst
+
+        monitor = AssertionMonitor()
+        specs = [
+            InstanceSpec(watcher(), {}, "READ UNCOMMITTED", "W"),
+            InstanceSpec(setter(IntConst(9)), {}, "READ COMMITTED", "S"),
+        ]
+        sim = Simulator(
+            DbState(items={"x": 1, "y": 0}), specs, script=[0, 0, 0, 0, 1, 1],
+            observers=[monitor],
+        )
+        sim.run()
+        assert monitor.invalidations_of("W") == []
+
+    def test_monotone_post_not_invalidated_by_increase(self):
+        mono = TransactionType(
+            name="Mono",
+            body=(
+                Read(Local("v"), Item("x"), post=le(Local("v"), Item("x"))),
+                Read(Local("w"), Item("y")),
+            ),
+        )
+        bump = TransactionType(
+            name="Bump",
+            body=(Read(Local("b"), Item("x")), Write(Item("x"), Local("b") + 1)),
+        )
+        monitor = AssertionMonitor()
+        specs = [
+            InstanceSpec(mono, {}, "READ UNCOMMITTED", "M"),
+            InstanceSpec(bump, {}, "READ COMMITTED", "B"),
+        ]
+        sim = Simulator(
+            DbState(items={"x": 1, "y": 0}), specs, script=[0, 1, 1, 0, 0, 1],
+            observers=[monitor],
+        )
+        sim.run()
+        assert monitor.invalidations_of("M") == []
+
+    def test_summary_renders(self):
+        monitor = AssertionMonitor()
+        assert monitor.summary() == "no invalidations observed"
+        monitor.events.append(InvalidationEvent(1, "A", "Q_i", "B"))
+        assert "invalidated" in monitor.summary()
+
+
+class TestMonitorOnWriteSkew:
+    def test_write_skew_invalidation_pinpointed(self):
+        """The monitor shows T2's debit killing T1's read-step bound."""
+        monitor = AssertionMonitor(include_results=False)
+        initial = DbState(arrays={"acct_sav": {0: {"bal": 0}}, "acct_ch": {0: {"bal": 1}}})
+        specs = [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, "SNAPSHOT", "T1"),
+            InstanceSpec(banking.WITHDRAW_CH, {"i": 0, "w": 1}, "SNAPSHOT", "T2"),
+        ]
+        sim = Simulator(
+            initial, specs,
+            # T1 reads its snapshot; T2 runs to commit; T1 then finishes —
+            # T2's published debit invalidates T1's still-active read bound
+            script=[0, 0, 1, 1, 1, 1, 1, 0, 0, 0],
+            observers=[monitor],
+        )
+        sim.run()
+        t1_hits = monitor.invalidations_of("T1")
+        assert t1_hits
+        assert all(event.by == "T2" for event in t1_hits)

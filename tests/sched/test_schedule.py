@@ -1,0 +1,76 @@
+"""Unit tests for schedule result structures."""
+
+import pytest
+
+from repro.core.program import Read, TransactionType, Write
+from repro.core.state import DbState
+from repro.core.terms import Item, Local
+from repro.sched.schedule import InstanceOutcome, ScheduleResult
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+def incrementer():
+    return TransactionType(
+        name="Inc",
+        body=(Read(Local("v"), Item("x")), Write(Item("x"), Local("v") + 1)),
+    )
+
+
+@pytest.fixture
+def result():
+    specs = [
+        InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+        InstanceSpec(incrementer(), {}, "READ COMMITTED", "B", abort_after=1),
+    ]
+    return Simulator(DbState(items={"x": 0}), specs, script=[0, 0, 0, 1, 1]).run()
+
+
+class TestScheduleResult:
+    def test_committed_in_commit_order(self, result):
+        assert [o.name for o in result.committed] == ["A"]
+
+    def test_aborted_listed(self, result):
+        assert [o.name for o in result.aborted] == ["B"]
+
+    def test_outcome_by_name(self, result):
+        assert result.outcome_by_name("A").committed
+        with pytest.raises(KeyError):
+            result.outcome_by_name("Z")
+
+    def test_summary_mentions_counts(self, result):
+        text = result.summary()
+        assert "1 committed" in text and "1 aborted" in text
+
+    def test_script_realised(self, result):
+        assert result.script is not None
+        assert all(index in (0, 1) for index in result.script)
+
+    def test_initial_preserved(self, result):
+        assert result.initial.read_item("x") == 0
+        assert result.final.read_item("x") == 1
+
+
+class TestInstanceOutcome:
+    def test_committed_property(self):
+        done = InstanceOutcome(0, "A", None, {}, "X", "committed")
+        failed = InstanceOutcome(1, "B", None, {}, "X", "aborted")
+        assert done.committed and not failed.committed
+
+    def test_label_defaults(self):
+        spec = InstanceSpec(incrementer(), {})
+        assert spec.label(3) == "Inc#3"
+        named = InstanceSpec(incrementer(), {}, name="Custom")
+        assert named.label(3) == "Custom"
+
+    def test_txn_ids_accumulate_across_restarts(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED FCW", "A"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED FCW", "B"),
+        ]
+        result = Simulator(
+            DbState(items={"x": 0}), specs, script=[0, 1, 0, 0, 1, 1] + [1] * 6,
+            retry=True,
+        ).run()
+        restarted = result.outcome_by_name("B")
+        assert restarted.restarts == 1
+        assert len(restarted.txn_ids) == 2

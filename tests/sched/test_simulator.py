@@ -1,0 +1,181 @@
+"""Unit tests for the schedule simulator."""
+
+import pytest
+
+from repro.core.formula import ge, eq
+from repro.core.program import Read, TransactionType, Write
+from repro.core.state import DbState
+from repro.core.terms import Item, Local, LogicalVar, Param
+from repro.sched.simulator import InstanceSpec, Simulator, run_random_schedules
+
+
+def make_incrementer(item="x"):
+    return TransactionType(
+        name=f"Inc_{item}",
+        body=(Read(Local("v"), Item(item)), Write(Item(item), Local("v") + 1)),
+        snapshot=((LogicalVar("V0"), Item(item)),),
+        result=ge(Item(item), 0),
+    )
+
+
+def make_transfer():
+    """Reads x, writes y — creates read-write interplay across items."""
+    return TransactionType(
+        name="Copy",
+        body=(Read(Local("v"), Item("x")), Write(Item("y"), Local("v"))),
+    )
+
+
+@pytest.fixture
+def initial():
+    return DbState(items={"x": 0, "y": 0})
+
+
+class TestBasicRuns:
+    def test_single_instance_commits(self, initial):
+        sim = Simulator(initial, [InstanceSpec(make_incrementer(), {}, "READ COMMITTED")])
+        result = sim.run()
+        assert len(result.committed) == 1
+        assert result.final.read_item("x") == 1
+
+    def test_sequential_script(self, initial):
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        # A fully, then B fully
+        sim = Simulator(initial, specs, script=[0, 0, 0, 1, 1, 1])
+        result = sim.run()
+        assert result.final.read_item("x") == 2
+        assert [o.name for o in result.committed] == ["A", "B"]
+
+    def test_commit_order_recorded(self, initial):
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(make_transfer(), {}, "READ COMMITTED", "B"),
+        ]
+        sim = Simulator(initial, specs, script=[1, 1, 1, 0, 0, 0])
+        result = sim.run()
+        assert [o.name for o in result.committed] == ["B", "A"]
+
+    def test_outcome_environments_exposed(self, initial):
+        sim = Simulator(initial, [InstanceSpec(make_incrementer(), {}, "READ COMMITTED")])
+        result = sim.run()
+        outcome = result.committed[0]
+        assert outcome.env[Local("v")] == 0  # the value read
+        assert outcome.env[LogicalVar("V0")] == 0
+
+    def test_committed_state_snapshots(self, initial):
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        sim = Simulator(initial, specs, script=[0, 0, 0, 1, 1, 1])
+        result = sim.run()
+        first, second = result.committed
+        assert first.committed_state.read_item("x") == 1
+        assert second.committed_state.read_item("x") == 2
+
+    def test_random_seed_reproducible(self, initial):
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(make_transfer(), {}, "READ COMMITTED", "B"),
+        ]
+        first = Simulator(initial.copy(), specs, seed=42).run()
+        second = Simulator(initial.copy(), specs, seed=42).run()
+        assert first.script == second.script
+        assert first.final.same_as(second.final)
+
+
+class TestBlockingAndDeadlock:
+    def test_write_conflict_blocks_and_resolves(self, initial):
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        # interleave: A reads, B reads (same value), A writes and commits,
+        # B overwrites with its stale increment — the classic lost update
+        sim = Simulator(initial, specs, script=[0, 1, 0, 0, 1, 1])
+        result = sim.run()
+        assert len(result.committed) == 2
+        assert result.final.read_item("x") == 1  # the lost update!
+
+    def test_deadlock_detected_and_victim_aborted(self):
+        initial = DbState(items={"x": 0, "y": 0})
+        t_xy = TransactionType(
+            name="XY",
+            body=(
+                Read(Local("a"), Item("x")),
+                Write(Item("x"), Local("a") + 1),
+                Read(Local("b"), Item("y")),
+                Write(Item("y"), Local("b") + 1),
+            ),
+        )
+        t_yx = TransactionType(
+            name="YX",
+            body=(
+                Read(Local("a"), Item("y")),
+                Write(Item("y"), Local("a") + 1),
+                Read(Local("b"), Item("x")),
+                Write(Item("x"), Local("b") + 1),
+            ),
+        )
+        specs = [
+            InstanceSpec(t_xy, {}, "READ COMMITTED", "XY"),
+            InstanceSpec(t_yx, {}, "READ COMMITTED", "YX"),
+        ]
+        # both take their first lock, then each wants the other's
+        sim = Simulator(initial, specs, script=[0, 0, 1, 1, 0, 0, 1, 1] * 4, retry=True)
+        result = sim.run()
+        assert result.stats["deadlocks"] >= 1
+        assert len(result.committed) == 2  # the victim retried
+        assert result.final.read_item("x") == 2
+
+    def test_retry_disabled_leaves_abort(self):
+        initial = DbState(items={"x": 0})
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED FCW", "A"),
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED FCW", "B"),
+        ]
+        # both read, A writes+commits, B's write hits FCW
+        sim = Simulator(initial, specs, script=[0, 1, 0, 0, 1, 1], retry=False)
+        result = sim.run()
+        assert result.stats["fcw_aborts"] == 1
+        assert len(result.aborted) == 1
+
+    def test_retry_restarts_fcw_victim(self):
+        initial = DbState(items={"x": 0})
+        specs = [
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED FCW", "A"),
+            InstanceSpec(make_incrementer(), {}, "READ COMMITTED FCW", "B"),
+        ]
+        sim = Simulator(initial, specs, script=[0, 1, 0, 0, 1, 1], retry=True)
+        result = sim.run()
+        assert len(result.committed) == 2
+        assert result.final.read_item("x") == 2  # FCW repaired the lost update
+
+
+class TestRollbackInjection:
+    def test_abort_after_n_ops(self, initial):
+        spec = InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A", abort_after=2)
+        result = Simulator(initial, [spec]).run()
+        assert result.stats["injected_aborts"] == 1
+        assert result.aborted[0].name == "A"
+        assert result.final.read_item("x") == 0  # the write was undone
+
+    def test_injected_abort_not_retried(self, initial):
+        spec = InstanceSpec(make_incrementer(), {}, "READ COMMITTED", "A", abort_after=1)
+        result = Simulator(initial, [spec], retry=True).run()
+        assert result.aborted and result.aborted[0].restarts == 0
+
+
+class TestHelpers:
+    def test_run_random_schedules_count(self, initial):
+        specs = [InstanceSpec(make_incrementer(), {}, "READ COMMITTED")]
+        results = run_random_schedules(initial, specs, rounds=3, seed=1)
+        assert len(results) == 3
+        assert all(r.final.read_item("x") == 1 for r in results)
+
+    def test_summary_renders(self, initial):
+        result = Simulator(initial, [InstanceSpec(make_incrementer(), {}, "READ COMMITTED")]).run()
+        assert "committed" in result.summary()

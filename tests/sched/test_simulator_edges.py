@@ -1,0 +1,108 @@
+"""Simulator edge cases: stalls, script errors, step caps, observers."""
+
+import pytest
+
+from repro.core.formula import ge
+from repro.core.program import Read, TransactionType, Write
+from repro.core.state import DbState
+from repro.core.terms import Item, Local
+from repro.errors import ScheduleError
+from repro.sched.simulator import InstanceSpec, Simulator
+
+
+def incrementer():
+    return TransactionType(
+        name="Inc",
+        body=(Read(Local("v"), Item("x")), Write(Item("x"), Local("v") + 1)),
+    )
+
+
+class TestScriptHandling:
+    def test_out_of_range_script_index_rejected(self):
+        sim = Simulator(DbState(items={"x": 0}), [InstanceSpec(incrementer(), {})], script=[5])
+        with pytest.raises(ScheduleError):
+            sim.run()
+
+    def test_script_entries_for_finished_instances_skipped(self):
+        specs = [InstanceSpec(incrementer(), {}, "READ COMMITTED", "A")]
+        sim = Simulator(DbState(items={"x": 0}), specs, script=[0] * 20)
+        result = sim.run()
+        assert result.committed and result.final.read_item("x") == 1
+
+    def test_script_exhaustion_falls_back_to_random(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        sim = Simulator(DbState(items={"x": 0}), specs, script=[0])
+        result = sim.run()
+        assert len(result.committed) == 2
+
+
+class TestCapsAndStalls:
+    def test_max_steps_bounds_execution(self):
+        blocked_writer = TransactionType(
+            name="W", body=(Write(Item("x"), Local("v") * 0),)
+        )
+        # 'v' is unbound: executing raises, aborting the instance — but the
+        # step budget must bound even pathological schedules
+        specs = [InstanceSpec(incrementer(), {}, "READ COMMITTED", "A")]
+        sim = Simulator(DbState(items={"x": 0}), specs, max_steps=1)
+        result = sim.run()
+        assert result.stats["steps"] == 1
+        assert result.outcomes[0].status in ("incomplete", "committed")
+
+    def test_mutual_block_resolves_via_deadlock_abort(self):
+        t_xy = TransactionType(
+            name="XY",
+            body=(
+                Read(Local("a"), Item("x")), Write(Item("x"), Local("a") + 1),
+                Read(Local("b"), Item("y")), Write(Item("y"), Local("b") + 1),
+            ),
+        )
+        t_yx = TransactionType(
+            name="YX",
+            body=(
+                Read(Local("a"), Item("y")), Write(Item("y"), Local("a") + 1),
+                Read(Local("b"), Item("x")), Write(Item("x"), Local("b") + 1),
+            ),
+        )
+        specs = [
+            InstanceSpec(t_xy, {}, "READ COMMITTED", "A"),
+            InstanceSpec(t_yx, {}, "READ COMMITTED", "B"),
+        ]
+        sim = Simulator(
+            DbState(items={"x": 0, "y": 0}), specs, seed=1, retry=False, max_steps=500
+        )
+        result = sim.run()
+        # no retry: the victim stays aborted, the survivor commits
+        assert len(result.committed) == 1
+        assert len(result.aborted) == 1
+        assert result.stats["deadlocks"] == 1
+
+
+class TestObserverContract:
+    def test_observer_sees_every_operation(self):
+        seen = []
+
+        def observer(sim, rt):
+            seen.append((rt.spec.label(rt.index), rt.ops_done, rt.status))
+
+        specs = [InstanceSpec(incrementer(), {}, "READ COMMITTED", "A")]
+        Simulator(DbState(items={"x": 0}), specs, observers=[observer]).run()
+        # two ops plus the commit notification
+        labels = [entry[0] for entry in seen]
+        assert labels.count("A") == 3
+
+    def test_multiple_observers_all_invoked(self):
+        counts = [0, 0]
+
+        def first(sim, rt):
+            counts[0] += 1
+
+        def second(sim, rt):
+            counts[1] += 1
+
+        specs = [InstanceSpec(incrementer(), {}, "READ COMMITTED", "A")]
+        Simulator(DbState(items={"x": 0}), specs, observers=[first, second]).run()
+        assert counts[0] == counts[1] > 0

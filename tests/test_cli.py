@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze", "banking"])
+        assert args.app == "banking"
+        assert args.budget == 3000
+        assert args.ladder == "ansi"
+
+
+class TestCommands:
+    def test_apps_lists_bundled(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("banking", "customers", "employees", "orders", "tpcc"):
+            assert name in out
+
+    def test_levels_ordered(self, capsys):
+        assert main(["levels"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "READ UNCOMMITTED"
+        assert lines[-1] == "SERIALIZABLE"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "nope"])
+
+    def test_replay_prints_steps(self, capsys):
+        code = main(["replay", "w1[x=1] r2[x] c1 c2", "--levels", "2=READ UNCOMMITTED"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r2[x]" in out and "-> 1" in out
+
+    def test_replay_blocked_step_reported(self, capsys):
+        main(["replay", "w1[x=1] r2[x] c1 c2"])  # both default READ COMMITTED
+        out = capsys.readouterr().out
+        assert "blocked" in out
+
+    def test_simulate_banking(self, capsys):
+        code = main(
+            ["simulate", "banking", "--level", "READ COMMITTED", "--size", "4",
+             "--rounds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_analyze_single_transaction(self, capsys):
+        code = main(
+            ["analyze", "employees", "--transaction", "Print_Record",
+             "--level", "READ COMMITTED", "--budget", "3000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Print_Record" in out
+
+    def test_analyze_failing_transaction_exit_code(self, capsys):
+        code = main(
+            ["analyze", "banking", "--transaction", "Withdraw_sav",
+             "--level", "SNAPSHOT", "--budget", "2000"]
+        )
+        assert code == 1
+        assert "INTERFERES" in capsys.readouterr().out
+
+    def test_analyze_full_app(self, capsys):
+        code = main(["analyze", "employees", "--budget", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Print_Record" in out and "lowest correct level" in out
+
+
+class TestGuardOption:
+    def test_simulate_with_guard(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(
+            ["simulate", "banking", "--level", "SNAPSHOT", "--size", "4",
+             "--rounds", "2", "--guard"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "assertional concurrency control: ON" in out

@@ -1,0 +1,95 @@
+"""Unit tests for workload generation."""
+
+import random
+
+import pytest
+
+from repro.sched.simulator import InstanceSpec
+from repro.workloads.generator import (
+    WorkloadConfig,
+    banking_initial,
+    banking_workload,
+    order_entry_initial,
+    order_entry_workload,
+    pick_weighted,
+    skewed_index,
+    tpcc_workload,
+)
+
+
+class TestPrimitives:
+    def test_pick_weighted_respects_weights(self):
+        rng = random.Random(0)
+        weights = {"a": 0.0, "b": 1.0}
+        picks = {pick_weighted(rng, weights) for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_pick_weighted_covers_support(self):
+        rng = random.Random(0)
+        weights = {"a": 0.5, "b": 0.5}
+        picks = {pick_weighted(rng, weights) for _ in range(200)}
+        assert picks == {"a", "b"}
+
+    def test_skewed_index_full_heat(self):
+        rng = random.Random(0)
+        assert all(skewed_index(rng, 10, 1.0) == 0 for _ in range(20))
+
+    def test_skewed_index_uniform(self):
+        rng = random.Random(0)
+        seen = {skewed_index(rng, 4, 0.0) for _ in range(200)}
+        assert seen == {0, 1, 2, 3}
+
+
+class TestBankingWorkload:
+    def test_size_and_types(self):
+        specs = banking_workload(WorkloadConfig(size=12, seed=1), accounts=2)
+        assert len(specs) == 12
+        assert all(isinstance(spec, InstanceSpec) for spec in specs)
+
+    def test_levels_applied(self):
+        levels = {"Withdraw_sav": "SNAPSHOT"}
+        specs = banking_workload(WorkloadConfig(size=30, seed=1), levels=levels)
+        withdraw_specs = [s for s in specs if s.txn_type.name == "Withdraw_sav"]
+        assert withdraw_specs
+        assert all(s.level == "SNAPSHOT" for s in withdraw_specs)
+
+    def test_deterministic_given_seed(self):
+        first = banking_workload(WorkloadConfig(size=10, seed=7))
+        second = banking_workload(WorkloadConfig(size=10, seed=7))
+        assert [(s.txn_type.name, s.args) for s in first] == [
+            (s.txn_type.name, s.args) for s in second
+        ]
+
+    def test_initial_state_shape(self):
+        state = banking_initial(3)
+        assert state.read_field("acct_sav", 2, "bal") == 5
+
+
+class TestTpccWorkload:
+    def test_mix_has_all_types_on_large_sample(self):
+        specs = tpcc_workload(WorkloadConfig(size=300, seed=2))
+        names = {s.txn_type.name for s in specs}
+        assert "TPCC_NewOrder" in names and "TPCC_Payment" in names
+
+    def test_args_match_type(self):
+        specs = tpcc_workload(WorkloadConfig(size=100, seed=2))
+        for spec in specs:
+            if spec.txn_type.name == "TPCC_NewOrder":
+                assert set(spec.args) == {"d", "c", "item", "qty"}
+            elif spec.txn_type.name == "TPCC_Delivery":
+                assert set(spec.args) == {"d"}
+
+
+class TestOrderEntryWorkload:
+    def test_order_infos_unique(self):
+        specs = order_entry_workload(WorkloadConfig(size=50, seed=3))
+        infos = [
+            s.args["order_info"] for s in specs if s.txn_type.name == "New_Order"
+        ]
+        assert len(infos) == len(set(infos))
+
+    def test_initial_state_consistent(self):
+        from repro.apps import orders
+
+        state = order_entry_initial()
+        assert orders.invariant("no_gap").evaluate(state, {})

@@ -1,0 +1,76 @@
+"""Unit tests for performance metrics."""
+
+from repro.sched.schedule import InstanceOutcome, ScheduleResult
+from repro.core.state import DbState
+from repro.workloads.metrics import RunMetrics, merge
+
+
+def fake_result(committed=3, aborted=1, steps=100, waits=5):
+    outcomes = []
+    for index in range(committed):
+        outcomes.append(
+            InstanceOutcome(
+                index=index, name=f"C{index}", txn_type=None, args={}, level="X",
+                status="committed", commit_tick=index + 1,
+            )
+        )
+    for index in range(aborted):
+        outcomes.append(
+            InstanceOutcome(
+                index=committed + index, name=f"A{index}", txn_type=None, args={},
+                level="X", status="aborted",
+            )
+        )
+    return ScheduleResult(
+        initial=DbState(), final=DbState(), outcomes=outcomes,
+        stats={"steps": steps, "waits": waits, "deadlocks": 0, "fcw_aborts": 0, "restarts": 0},
+    )
+
+
+class TestRunMetrics:
+    def test_add_accumulates(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result())
+        metrics.add(fake_result())
+        assert metrics.runs == 2
+        assert metrics.committed == 6
+        assert metrics.aborted == 2
+        assert metrics.steps == 200
+
+    def test_throughput(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(committed=10, steps=1000))
+        assert metrics.throughput == 10.0
+
+    def test_throughput_zero_steps(self):
+        assert RunMetrics().throughput == 0.0
+
+    def test_abort_rate(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(committed=3, aborted=1))
+        assert metrics.abort_rate == 0.25
+
+    def test_wait_rate(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(steps=100, waits=5))
+        assert metrics.wait_rate == 0.05
+
+    def test_violations_counted(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(), violations=1)
+        assert metrics.semantic_violations == 1
+
+    def test_row_shape(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result())
+        assert len(metrics.row()) == 5
+
+
+class TestMerge:
+    def test_merge_sums(self):
+        a, b = RunMetrics(), RunMetrics()
+        a.add(fake_result())
+        b.add(fake_result())
+        total = merge([a, b])
+        assert total.runs == 2
+        assert total.committed == 6

@@ -1,0 +1,102 @@
+"""Integration tests for the workload runners — the paper's shapes."""
+
+import pytest
+
+from repro.core.formula import conj, ge
+from repro.core.terms import Field, IntConst
+from repro.workloads.generator import (
+    WorkloadConfig,
+    banking_initial,
+    banking_workload,
+)
+from repro.workloads.runner import compare_assignments, run_workload, sweep_contention, sweep_levels
+
+ACCOUNTS = 3
+NAMES = ("Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch")
+
+
+def invariant():
+    return conj(
+        *[
+            ge(
+                Field("acct_sav", IntConst(i), "bal") + Field("acct_ch", IntConst(i), "bal"),
+                0,
+            )
+            for i in range(ACCOUNTS)
+        ]
+    )
+
+
+def make_specs(assignment):
+    return banking_workload(
+        WorkloadConfig(size=6, hot_fraction=0.8, seed=4), accounts=ACCOUNTS, levels=assignment
+    )
+
+
+class TestRunWorkload:
+    def test_metrics_populated(self):
+        specs = make_specs({name: "READ COMMITTED" for name in NAMES})
+        metrics = run_workload(banking_initial(ACCOUNTS), specs, rounds=3, seed=1,
+                               invariant=invariant())
+        assert metrics.runs == 3
+        assert metrics.committed > 0
+        assert metrics.steps > 0
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def level_sweep(self):
+        return sweep_levels(
+            make_specs,
+            banking_initial(ACCOUNTS),
+            ["READ UNCOMMITTED", "READ COMMITTED", "SERIALIZABLE"],
+            NAMES,
+            rounds=3,
+            seed=2,
+            invariant=invariant(),
+        )
+
+    def test_sweep_covers_levels(self, level_sweep):
+        assert set(level_sweep) == {"READ UNCOMMITTED", "READ COMMITTED", "SERIALIZABLE"}
+
+    def test_weak_levels_at_least_as_fast(self, level_sweep):
+        """The paper's performance direction: RU throughput >= SER."""
+        assert (
+            level_sweep["READ UNCOMMITTED"].throughput
+            >= level_sweep["SERIALIZABLE"].throughput
+        )
+
+    def test_serializable_never_violates(self, level_sweep):
+        assert level_sweep["SERIALIZABLE"].semantic_violations == 0
+
+    def test_contention_sweep_monotone_waits(self):
+        def specs_at(config):
+            return banking_workload(
+                config, accounts=ACCOUNTS,
+                levels={name: "SERIALIZABLE" for name in NAMES},
+            )
+
+        out = sweep_contention(
+            specs_at,
+            banking_initial(ACCOUNTS),
+            hot_fractions=[0.0, 1.0],
+            rounds=3,
+            seed=3,
+            size=6,
+            invariant=invariant(),
+        )
+        assert out[1.0].wait_rate >= out[0.0].wait_rate
+
+    def test_compare_assignments(self):
+        out = compare_assignments(
+            make_specs,
+            banking_initial(ACCOUNTS),
+            {
+                "all-ser": {name: "SERIALIZABLE" for name in NAMES},
+                "all-rc": {name: "READ COMMITTED" for name in NAMES},
+            },
+            rounds=2,
+            seed=5,
+            invariant=invariant(),
+        )
+        assert set(out) == {"all-ser", "all-rc"}

@@ -8,6 +8,7 @@ the reproduced rows survive a quiet run and EXPERIMENTS.md can cite them.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -20,3 +21,21 @@ def emit(experiment: str, text: str) -> None:
     print(body)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment}.txt").write_text(body)
+
+
+def emit_json(bench: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable result next to the text table.
+
+    ``payload`` follows the benchmark schema::
+
+        {bench, config, wall_ms, obligations, tier_counts}
+
+    Extra keys are allowed; ``bench`` is filled in from the argument so
+    callers cannot mislabel a file.  CI picks these up as artifacts.
+    """
+    record = dict(payload)
+    record["bench"] = bench
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{bench}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True, default=str) + "\n")
+    return path

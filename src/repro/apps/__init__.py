@@ -9,4 +9,26 @@
 * :mod:`repro.apps.orders` — Section 6 / Figures 2–5 (ORDERS / CUST /
   MAXDATE, the four-transaction ordering application);
 * :mod:`repro.apps.tpcc` — TPC-C-lite, the paper's stated future work.
+
+:func:`registry` maps short names to application factories.  It is the
+addressing scheme of the process-parallel backend: applications embed
+closures (abstract-predicate evaluators, domain constraints) that cannot
+cross a process boundary, so workers receive a registry name and rebuild
+the application on their side.
 """
+
+from __future__ import annotations
+
+
+def registry() -> dict:
+    """Short name -> zero-argument application factory, for CLI and workers."""
+    from repro.apps import banking, customers, employees, orders, tpcc
+
+    return {
+        "banking": banking.make_application,
+        "customers": customers.make_application,
+        "employees": employees.make_application,
+        "orders": lambda: orders.make_application("no_gap"),
+        "orders-strict": lambda: orders.make_application("one_order"),
+        "tpcc": tpcc.make_application,
+    }

@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.cache import VerdictCache, shared_cache
 from repro.core.chooser import analyze_application
 from repro.core.conditions import (
     ANSI_LADDER,
@@ -31,20 +32,14 @@ from repro.core.conditions import (
     check_transaction_at,
 )
 from repro.core.interference import InterferenceChecker
-from repro.core.report import failure_details, level_table
+from repro.core.parallel import ParallelPolicy, resolve_workers
+from repro.core.report import analysis_stats_table, failure_details, level_table
 
 
 def _app_registry() -> dict:
-    from repro.apps import banking, customers, employees, orders, tpcc
+    from repro.apps import registry
 
-    return {
-        "banking": banking.make_application,
-        "customers": customers.make_application,
-        "employees": employees.make_application,
-        "orders": lambda: orders.make_application("no_gap"),
-        "orders-strict": lambda: orders.make_application("one_order"),
-        "tpcc": tpcc.make_application,
-    }
+    return registry()
 
 
 def _load_app(name: str):
@@ -73,16 +68,24 @@ def cmd_levels(_args) -> int:
 
 def cmd_analyze(args) -> int:
     app = _load_app(args.app)
-    checker = InterferenceChecker(app.spec, budget=args.budget, seed=args.seed)
+    workers = resolve_workers(args.workers)
+    cache = VerdictCache(enabled=False) if args.no_cache else shared_cache()
+    checker = InterferenceChecker(
+        app.spec, budget=args.budget, seed=args.seed, cache=cache, workers=workers
+    )
+    policy = ParallelPolicy(workers=workers, backend=args.backend, app_ref=args.app)
     if args.transaction and args.level:
         result = check_transaction_at(
-            app, app.transaction(args.transaction), args.level, checker
+            app, app.transaction(args.transaction), args.level, checker, policy
         )
         print(failure_details(result) if not result.ok else result.summary())
+        if args.stats:
+            print()
+            print(analysis_stats_table(checker))
         return 0 if result.ok else 1
     ladder = EXTENDED_LADDER if args.ladder == "extended" else ANSI_LADDER
     report = analyze_application(
-        app, checker, ladder=ladder, include_snapshot=args.snapshot
+        app, checker, ladder=ladder, include_snapshot=args.snapshot, policy=policy
     )
     print(level_table(report))
     if args.snapshot:
@@ -91,6 +94,9 @@ def cmd_analyze(args) -> int:
             print(check.summary())
     print()
     print(f"interference tiers used: {checker.stats}")
+    if args.stats:
+        print()
+        print(analysis_stats_table(checker))
     return 0
 
 
@@ -183,6 +189,23 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--ladder", choices=("ansi", "extended"), default="ansi")
     analyze.add_argument("--snapshot", action="store_true", help="include Theorem 5 analysis")
+    analyze.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan obligations/BMC chunks across N workers"
+        " (default: $REPRO_WORKERS or 1 = serial)",
+    )
+    analyze.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the verdict cache (every obligation re-checked)",
+    )
+    analyze.add_argument(
+        "--stats", action="store_true",
+        help="print the per-tier timing and cache hit/miss table",
+    )
+    analyze.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="executor for parallel obligation dispatch (with --workers > 1)",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     simulate = sub.add_parser("simulate", help="run a workload on the engine")

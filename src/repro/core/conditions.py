@@ -414,79 +414,168 @@ def _sources(app: Application, target: TransactionType) -> list:
 
 
 # ---------------------------------------------------------------------------
-# per-level checks
+# obligation plans
 # ---------------------------------------------------------------------------
+#
+# Every level check is split into two phases: *planning* enumerates the
+# obligations the theorem demands (cheap, deterministic, and identical to
+# the order the historical single-loop implementation used), *discharging*
+# runs them through the checker.  The split is what makes the obligations
+# independently schedulable: a plan's entries carry no checker state, so
+# they can be discharged serially, across a thread pool, or — by index,
+# against a re-derived identical plan — in another process.
 
 
-def check_read_uncommitted(
-    app: Application, target: TransactionType, checker: InterferenceChecker
-) -> LevelCheckResult:
-    """Theorem 1."""
+@dataclass
+class ObligationSpec:
+    """One planned, not-yet-discharged interference obligation.
+
+    ``check`` names the checker entry point (``statement`` / ``rollback`` /
+    ``unit``); ``mode`` is the reporting label carried into
+    :class:`Obligation`; ``kwargs`` are the checker keyword arguments
+    (``dirty_reads``, ``fcw_excuse``, ``fcw_targets``).  Entries with
+    ``excused`` set are never dispatched.
+    """
+
+    target: TransactionType
+    assertion: CriticalAssertion
+    source: TransactionType
+    assumption: Formula
+    check: str
+    mode: str
+    statement: Statement | None = None
+    excused: str | None = None
+    kwargs: dict = field(default_factory=dict)
+
+
+def discharge_one(checker: InterferenceChecker, spec: ObligationSpec) -> InterferenceVerdict:
+    """Run one planned obligation through the checker."""
+    if spec.check == "statement":
+        return checker.check_statement(
+            spec.target, spec.assertion, spec.source, spec.statement,
+            assumption=spec.assumption, **spec.kwargs,
+        )
+    if spec.check == "rollback":
+        return checker.check_rollback(
+            spec.target, spec.assertion, spec.source, assumption=spec.assumption,
+        )
+    if spec.check == "unit":
+        return checker.check_unit(
+            spec.target, spec.assertion, spec.source,
+            assumption=spec.assumption, **spec.kwargs,
+        )
+    raise AnalysisError(f"unknown obligation check {spec.check!r}")
+
+
+def discharge(
+    app: Application,
+    target: TransactionType,
+    level: str,
+    checker: InterferenceChecker,
+    specs: list,
+    policy: "ParallelPolicy | None" = None,
+) -> list:
+    """Discharge a plan into :class:`Obligation` records, in plan order.
+
+    With a serial policy this is exactly the historical loop.  The thread
+    backend fans independent specs across a pool but reports results in plan
+    order; the process backend ships ``(app name, target, level, indices)``
+    references and re-derives the plan on the worker side.  With
+    ``early_cancel`` the returned list stops after the first failed
+    obligation (later specs may not have run at all).
+    """
+    from repro.core.parallel import (
+        PROCESS_BACKEND,
+        ParallelPolicy,
+        parallel_map,
+        process_discharge,
+    )
+
+    if policy is None:
+        policy = ParallelPolicy(workers=checker.workers)
+    live = [index for index, spec in enumerate(specs) if spec.excused is None]
+    stopped = None
+    if policy.workers > 1 and policy.backend == PROCESS_BACKEND and policy.app_ref:
+        verdicts = process_discharge(
+            policy.app_ref, target.name, level, live,
+            checker.config_dict(), policy.workers,
+        )
+    else:
+        stop = None
+        if policy.early_cancel:
+            stop = lambda verdict: verdict is not None and verdict.interferes
+        results, stopped = parallel_map(
+            lambda index: discharge_one(checker, specs[index]),
+            live, policy.workers, stop_on=stop,
+        )
+        verdicts = dict(zip(live, results))
+        if stopped is not None:
+            stopped = live[stopped]
+    obligations: list[Obligation] = []
+    for index, spec in enumerate(specs):
+        verdict = verdicts.get(index)
+        if spec.excused is None and verdict is None:
+            continue  # cancelled by early stop (or skipped by a worker)
+        obligations.append(
+            Obligation(
+                spec.target.name, spec.assertion, spec.source.name,
+                spec.mode, spec.statement, verdict, spec.excused,
+            )
+        )
+        if stopped is not None and index >= stopped:
+            break
+    return obligations
+
+
+def plan_read_uncommitted(app: Application, target: TransactionType) -> list:
+    """Theorem 1 plan."""
     assertions = consistency_assertions(target)
     assertions += [assertion for _stmt, assertion in read_post_assertions(target)]
     assertions += result_assertions(target)
-    obligations: list[Obligation] = []
+    specs: list[ObligationSpec] = []
     for source, assumption in _sources(app, target):
         writes = [stmt for stmt in source.statements() if stmt.is_db_write]
         for assertion in assertions:
             for stmt in writes:
-                verdict = checker.check_statement(
-                    target, assertion, source, stmt,
-                    assumption=assumption, dirty_reads=True,
-                )
-                obligations.append(
-                    Obligation(target.name, assertion, source.name, "statement", stmt, verdict)
+                specs.append(
+                    ObligationSpec(
+                        target, assertion, source, assumption, "statement",
+                        "statement", stmt, kwargs={"dirty_reads": True},
+                    )
                 )
             if writes:
-                verdict = checker.check_rollback(
-                    target, assertion, source, assumption=assumption
+                specs.append(
+                    ObligationSpec(
+                        target, assertion, source, assumption, "rollback", "rollback"
+                    )
                 )
-                obligations.append(
-                    Obligation(target.name, assertion, source.name, "rollback", None, verdict)
-                )
-    ok = all(ob.ok for ob in obligations)
-    return LevelCheckResult(target.name, READ_UNCOMMITTED, ok, obligations)
+    return specs
 
 
-def _check_units(
-    app: Application,
-    target: TransactionType,
-    checker: InterferenceChecker,
-    assertions: list,
-    level: str,
-) -> LevelCheckResult:
-    obligations: list[Obligation] = []
+def _plan_units(app: Application, target: TransactionType, assertions: list) -> list:
+    specs: list[ObligationSpec] = []
     for source, assumption in _sources(app, target):
         for assertion in assertions:
-            verdict = checker.check_unit(target, assertion, source, assumption=assumption)
-            obligations.append(
-                Obligation(target.name, assertion, source.name, "unit", None, verdict)
+            specs.append(
+                ObligationSpec(target, assertion, source, assumption, "unit", "unit")
             )
-    ok = all(ob.ok for ob in obligations)
-    return LevelCheckResult(target.name, level, ok, obligations)
+    return specs
 
 
-def check_read_committed(
-    app: Application, target: TransactionType, checker: InterferenceChecker
-) -> LevelCheckResult:
-    """Theorem 2."""
+def plan_read_committed(app: Application, target: TransactionType) -> list:
+    """Theorem 2 plan."""
     assertions = [assertion for _stmt, assertion in read_post_assertions(target)]
     assertions += result_assertions(target)
-    return _check_units(app, target, checker, assertions, READ_COMMITTED)
+    return _plan_units(app, target, assertions)
 
 
-def check_read_committed_fcw(
-    app: Application, target: TransactionType, checker: InterferenceChecker
-) -> LevelCheckResult:
-    """Theorem 3.
+def plan_read_committed_fcw(app: Application, target: TransactionType) -> list:
+    """Theorem 3 plan (see :func:`check_read_committed_fcw`)."""
+    specs, _excused_count = _plan_fcw(app, target)
+    return specs
 
-    Reads followed by a write of the same item are exempt, and — per the
-    paper's remark after the theorem — the commit-time first-committer-wins
-    check on those read-then-written items has the force of long read
-    locks: a partner whose write set intersects them cannot commit around
-    this transaction, so its interference with the remaining assertions is
-    excused exactly as in Theorem 5's condition 1.
-    """
+
+def _plan_fcw(app: Application, target: TransactionType) -> tuple:
     protected = fcw_protected_reads(target)
     assertions = []
     excused_count = 0
@@ -499,18 +588,143 @@ def check_read_committed_fcw(
             continue
         assertions.append(assertion)
     assertions += result_assertions(target)
-    obligations: list[Obligation] = []
+    specs: list[ObligationSpec] = []
     for source, assumption in _sources(app, target):
         for assertion in assertions:
-            verdict = checker.check_unit(
-                target, assertion, source,
-                fcw_excuse=bool(protected_targets),
-                assumption=assumption,
-                fcw_targets=protected_targets,
+            specs.append(
+                ObligationSpec(
+                    target, assertion, source, assumption, "unit", "unit-fcw",
+                    kwargs={
+                        "fcw_excuse": bool(protected_targets),
+                        "fcw_targets": protected_targets,
+                    },
+                )
             )
-            obligations.append(
-                Obligation(target.name, assertion, source.name, "unit-fcw", None, verdict)
+    return specs, excused_count
+
+
+def plan_repeatable_read(app: Application, target: TransactionType) -> list:
+    """Theorem 6 plan (empty for conventional applications, Thm 4)."""
+    if not app.is_relational:
+        return []
+    specs: list[ObligationSpec] = []
+    selects = [
+        (stmt, assertion)
+        for stmt, assertion in read_post_assertions(target)
+        if isinstance(stmt, (Select, SelectScalar, SelectCount))
+    ]
+    q_assertions = result_assertions(target)
+    for source, assumption in _sources(app, target):
+        for q_assertion in q_assertions:
+            specs.append(
+                ObligationSpec(target, q_assertion, source, assumption, "unit", "unit")
             )
+        for read_stmt, assertion in selects:
+            for write_stmt in (s for s in source.statements() if s.is_db_write):
+                if isinstance(write_stmt, (Update, Delete)) and getattr(
+                    write_stmt, "table", None
+                ) == read_stmt.table:
+                    if predicate_intersects(
+                        read_stmt.where, read_stmt.row, write_stmt.where, write_stmt.row
+                    ):
+                        specs.append(
+                            ObligationSpec(
+                                target, assertion, source, assumption, "statement",
+                                "select-vs-write", write_stmt,
+                                excused="blocked by long tuple read locks (Thm 6 cond. 2)",
+                            )
+                        )
+                        continue
+                if not overlaps(assertion.formula.resources(), write_stmt.written_resources()):
+                    specs.append(
+                        ObligationSpec(
+                            target, assertion, source, assumption, "statement",
+                            "select-vs-write", write_stmt,
+                            excused="disjoint footprint",
+                        )
+                    )
+                    continue
+                specs.append(
+                    ObligationSpec(
+                        target, assertion, source, assumption, "statement",
+                        "select-vs-write", write_stmt,
+                        kwargs={"dirty_reads": False},
+                    )
+                )
+    return specs
+
+
+def plan_snapshot(app: Application, target: TransactionType) -> list:
+    """Theorem 5 plan."""
+    assertions = [read_step_assertion(target)] + result_assertions(target)
+    specs: list[ObligationSpec] = []
+    for source, assumption in _sources(app, target):
+        for assertion in assertions:
+            specs.append(
+                ObligationSpec(
+                    target, assertion, source, assumption, "unit", "unit-fcw",
+                    kwargs={"fcw_excuse": True},
+                )
+            )
+    return specs
+
+
+_PLANS = {}  # populated after the level check functions below
+
+
+def plan_level(app: Application, target: TransactionType, level: str) -> list:
+    """The obligation plan one level's theorem demands for one target.
+
+    Deterministic: process workers re-derive it and address entries by
+    index.  SERIALIZABLE (and conventional REPEATABLE READ) plans are empty.
+    """
+    if level not in _PLANS:
+        raise AnalysisError(f"unknown isolation level {level!r}")
+    return _PLANS[level](app, target)
+
+
+# ---------------------------------------------------------------------------
+# per-level checks
+# ---------------------------------------------------------------------------
+
+
+def check_read_uncommitted(
+    app: Application, target: TransactionType, checker: InterferenceChecker,
+    policy=None,
+) -> LevelCheckResult:
+    """Theorem 1."""
+    specs = plan_read_uncommitted(app, target)
+    obligations = discharge(app, target, READ_UNCOMMITTED, checker, specs, policy)
+    ok = all(ob.ok for ob in obligations)
+    return LevelCheckResult(target.name, READ_UNCOMMITTED, ok, obligations)
+
+
+def check_read_committed(
+    app: Application, target: TransactionType, checker: InterferenceChecker,
+    policy=None,
+) -> LevelCheckResult:
+    """Theorem 2."""
+    specs = plan_read_committed(app, target)
+    obligations = discharge(app, target, READ_COMMITTED, checker, specs, policy)
+    ok = all(ob.ok for ob in obligations)
+    return LevelCheckResult(target.name, READ_COMMITTED, ok, obligations)
+
+
+def check_read_committed_fcw(
+    app: Application, target: TransactionType, checker: InterferenceChecker,
+    policy=None,
+) -> LevelCheckResult:
+    """Theorem 3.
+
+    Reads followed by a write of the same item are exempt, and — per the
+    paper's remark after the theorem — the commit-time first-committer-wins
+    check on those read-then-written items has the force of long read
+    locks: a partner whose write set intersects them cannot commit around
+    this transaction, so its interference with the remaining assertions is
+    excused exactly as in Theorem 5's condition 1.
+    """
+    specs, excused_count = _plan_fcw(app, target)
+    obligations = discharge(app, target, READ_COMMITTED_FCW, checker, specs, policy)
     ok = all(ob.ok for ob in obligations)
     result = LevelCheckResult(target.name, READ_COMMITTED_FCW, ok, obligations)
     result.note = f"{excused_count} read(s) protected by first-committer-wins"
@@ -518,7 +732,8 @@ def check_read_committed_fcw(
 
 
 def check_repeatable_read(
-    app: Application, target: TransactionType, checker: InterferenceChecker
+    app: Application, target: TransactionType, checker: InterferenceChecker,
+    policy=None,
 ) -> LevelCheckResult:
     """Theorem 4 (conventional model) / Theorem 6 (relational model)."""
     if not app.is_relational:
@@ -529,87 +744,26 @@ def check_repeatable_read(
             trivially_correct=True,
             note="conventional model: REPEATABLE READ is serializable (Thm 4)",
         )
-    obligations: list[Obligation] = []
-    selects = [
-        (stmt, assertion)
-        for stmt, assertion in read_post_assertions(target)
-        if isinstance(stmt, (Select, SelectScalar, SelectCount))
-    ]
-    q_assertions = result_assertions(target)
-    for source, assumption in _sources(app, target):
-        # Q_i must survive the whole partner transaction (Theorem 6)
-        for q_assertion in q_assertions:
-            verdict = checker.check_unit(target, q_assertion, source, assumption=assumption)
-            obligations.append(
-                Obligation(target.name, q_assertion, source.name, "unit", None, verdict)
-            )
-        # each SELECT's postcondition, per write statement of the partner
-        for read_stmt, assertion in selects:
-            for write_stmt in (s for s in source.statements() if s.is_db_write):
-                if isinstance(write_stmt, (Update, Delete)) and getattr(
-                    write_stmt, "table", None
-                ) == read_stmt.table:
-                    if predicate_intersects(
-                        read_stmt.where, read_stmt.row, write_stmt.where, write_stmt.row
-                    ):
-                        obligations.append(
-                            Obligation(
-                                target.name,
-                                assertion,
-                                source.name,
-                                "select-vs-write",
-                                write_stmt,
-                                excused="blocked by long tuple read locks (Thm 6 cond. 2)",
-                            )
-                        )
-                        continue
-                if not overlaps(assertion.formula.resources(), write_stmt.written_resources()):
-                    obligations.append(
-                        Obligation(
-                            target.name,
-                            assertion,
-                            source.name,
-                            "select-vs-write",
-                            write_stmt,
-                            excused="disjoint footprint",
-                        )
-                    )
-                    continue
-                verdict = checker.check_statement(
-                    target, assertion, source, write_stmt,
-                    assumption=assumption, dirty_reads=False,
-                )
-                obligations.append(
-                    Obligation(
-                        target.name, assertion, source.name, "select-vs-write", write_stmt, verdict
-                    )
-                )
-        # conventional reads inside a relational application are protected by
-        # the long tuple/item read locks (Theorem 4's argument applies).
+    specs = plan_repeatable_read(app, target)
+    obligations = discharge(app, target, REPEATABLE_READ, checker, specs, policy)
     ok = all(ob.ok for ob in obligations)
     return LevelCheckResult(target.name, REPEATABLE_READ, ok, obligations)
 
 
 def check_snapshot(
-    app: Application, target: TransactionType, checker: InterferenceChecker
+    app: Application, target: TransactionType, checker: InterferenceChecker,
+    policy=None,
 ) -> LevelCheckResult:
     """Theorem 5: K pairwise checks for this target (K² over the application)."""
-    assertions = [read_step_assertion(target)] + result_assertions(target)
-    obligations: list[Obligation] = []
-    for source, assumption in _sources(app, target):
-        for assertion in assertions:
-            verdict = checker.check_unit(
-                target, assertion, source, fcw_excuse=True, assumption=assumption
-            )
-            obligations.append(
-                Obligation(target.name, assertion, source.name, "unit-fcw", None, verdict)
-            )
+    specs = plan_snapshot(app, target)
+    obligations = discharge(app, target, SNAPSHOT, checker, specs, policy)
     ok = all(ob.ok for ob in obligations)
     return LevelCheckResult(target.name, SNAPSHOT, ok, obligations)
 
 
 def check_serializable(
-    app: Application, target: TransactionType, checker: InterferenceChecker
+    app: Application, target: TransactionType, checker: InterferenceChecker,
+    policy=None,
 ) -> LevelCheckResult:
     return LevelCheckResult(
         target.name,
@@ -629,19 +783,31 @@ _CHECKS = {
     SERIALIZABLE: check_serializable,
 }
 
+_PLANS.update(
+    {
+        READ_UNCOMMITTED: plan_read_uncommitted,
+        READ_COMMITTED: plan_read_committed,
+        READ_COMMITTED_FCW: plan_read_committed_fcw,
+        REPEATABLE_READ: plan_repeatable_read,
+        SNAPSHOT: plan_snapshot,
+        SERIALIZABLE: lambda app, target: [],
+    }
+)
+
 
 def check_transaction_at(
     app: Application,
     target: TransactionType,
     level: str,
     checker: InterferenceChecker | None = None,
+    policy=None,
 ) -> LevelCheckResult:
     """Check one transaction type of an application at one isolation level."""
     if level not in _CHECKS:
         raise AnalysisError(f"unknown isolation level {level!r}")
     if checker is None:
         checker = InterferenceChecker(app.spec)
-    return _CHECKS[level](app, target, checker)
+    return _CHECKS[level](app, target, checker, policy)
 
 
 # ---------------------------------------------------------------------------

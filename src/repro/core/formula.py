@@ -202,6 +202,12 @@ class Formula:
         """Database resources this assertion's truth can depend on."""
         return frozenset(_resources_of_atoms(self.atoms())) | self._extra_resources()
 
+    def fingerprint(self) -> str:
+        """Stable structural digest (see :mod:`repro.core.cache`)."""
+        from repro.core.cache import fingerprint
+
+        return fingerprint(self)
+
     def _extra_resources(self) -> frozenset[Resource]:
         return frozenset()
 

@@ -33,11 +33,14 @@ mechanisation adds over the paper's hand proofs.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.core import effects as fx
+from repro.core.cache import FORMULA_SCOPE, FULL_SCOPE, VerdictCache, fingerprint_many
 from repro.core.domains import DEFAULT_BUDGET, DomainSpec, iter_assignments, split_budget
+from repro.core.parallel import chunked, parallel_map
 from repro.core.formula import FALSE, Formula, TRUE, conj, disj, eq, implies
 from repro.core.program import (
     ForEach,
@@ -338,6 +341,8 @@ class InterferenceChecker:
         unroll: int = fx.DEFAULT_UNROLL,
         use_disjoint: bool = True,
         use_symbolic: bool = True,
+        cache: VerdictCache | None = None,
+        workers: int = 1,
     ) -> None:
         self.spec = spec
         self.budget = budget
@@ -348,10 +353,93 @@ class InterferenceChecker:
         #: disabled tiers simply push obligations to the next tier down
         self.use_disjoint = use_disjoint
         self.use_symbolic = use_symbolic
-        self.stats = {"disjoint": 0, "symbolic": 0, "bmc": 0, "assumed": 0}
+        #: verdict cache — private per checker by default, so one analysis
+        #: run shares verdicts across its levels and targets without leaking
+        #: tier accounting into an unrelated run; pass
+        #: :func:`repro.core.cache.shared_cache` to share process-wide
+        self.cache = cache if cache is not None else VerdictCache()
+        #: fan-out width for exhaustive BMC state chunks (1 = serial)
+        self.workers = max(1, workers)
+        self.stats = {
+            "disjoint": 0,
+            "symbolic": 0,
+            "bmc": 0,
+            "assumed": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+        }
+        #: wall seconds spent inside each tier, accumulated per check
+        self.tier_times = {"disjoint": 0.0, "symbolic": 0.0, "bmc": 0.0}
+        self._config_key: str | None = None
         self._state_cache: tuple | None = None
         self._trace_memo: dict = {}
         self._eval_memo: dict = {}
+
+    def config_dict(self) -> dict:
+        """Picklable constructor kwargs for rebuilding this checker elsewhere."""
+        return {
+            "budget": self.budget,
+            "seed": self.seed,
+            "unroll": self.unroll,
+            "use_disjoint": self.use_disjoint,
+            "use_symbolic": self.use_symbolic,
+        }
+
+    # -- cache keys ----------------------------------------------------------
+
+    def _config_fingerprint(self) -> str:
+        if self._config_key is None:
+            self._config_key = fingerprint_many(
+                self.budget, self.seed, self.unroll,
+                self.use_disjoint, self.use_symbolic, self.spec,
+            )
+        return self._config_key
+
+    def _keys(
+        self,
+        kind: str,
+        assertion: CriticalAssertion,
+        target: TransactionType,
+        source: TransactionType,
+        assumption: Formula,
+        formula_extra: tuple = (),
+        full_extra: tuple = (),
+    ) -> tuple:
+        """The two cache keys of one obligation.
+
+        The *formula* key identifies everything the target-independent tiers
+        (disjointness, symbolic) look at: assertion formula, source program,
+        assumption, per-mode extras and the checker configuration.  The
+        *full* key extends it with the target and the assertion's activation
+        data (kind, read statement), which is what the BMC trace depends on.
+        """
+        formula_key = fingerprint_many(
+            kind, assertion.formula, source, assumption,
+            *formula_extra, self._config_fingerprint(),
+        )
+        full_key = fingerprint_many(
+            formula_key, target, assertion.kind, assertion.read_stmt, *full_extra
+        )
+        return formula_key, full_key
+
+    def _cached_check(self, keys: tuple | None, decide):
+        """Run ``decide`` through the verdict cache.
+
+        ``decide`` returns ``(verdict, scope)``; the verdict is stored under
+        the formula- or full-scope key according to which tier decided it.
+        """
+        if keys is None or not self.cache.enabled:
+            verdict, _scope = decide()
+            return verdict
+        formula_key, full_key = keys
+        cached = self.cache.lookup(formula_key, full_key)
+        if cached is not None:
+            self.stats["cache_hits"] += 1
+            return cached
+        self.stats["cache_misses"] += 1
+        verdict, scope = decide()
+        self.cache.store(scope, formula_key if scope == FORMULA_SCOPE else full_key, verdict)
+        return verdict
 
     def _cached_states(self, rng: random.Random) -> tuple:
         """Materialise the constraint-filtered state list once per checker.
@@ -425,19 +513,44 @@ class InterferenceChecker:
         scenarios in which the target reads the source's uncommitted writes
         — legal at READ UNCOMMITTED, impossible at READ COMMITTED and above.
         """
+        keys = None
+        if self.cache.enabled:
+            keys = self._keys(
+                "statement", assertion, target, source, assumption,
+                formula_extra=(stmt,), full_extra=(dirty_reads,),
+            )
+        return self._cached_check(
+            keys,
+            lambda: self._decide_statement(
+                target, assertion, source, stmt, assumption, dirty_reads
+            ),
+        )
+
+    def _decide_statement(
+        self, target, assertion, source, stmt, assumption, dirty_reads
+    ) -> tuple:
+        start = time.perf_counter()
         if self.use_disjoint and not overlaps(
             assertion.formula.resources(), stmt.written_resources()
         ):
             self.stats["disjoint"] += 1
-            return InterferenceVerdict(False, PROVED, "disjoint")
+            self.tier_times["disjoint"] += time.perf_counter() - start
+            return InterferenceVerdict(False, PROVED, "disjoint"), FORMULA_SCOPE
+        self.tier_times["disjoint"] += time.perf_counter() - start
+        start = time.perf_counter()
         if self.use_symbolic:
             symbolic = self._statement_symbolic(assertion.formula, source, stmt, assumption)
             if symbolic is not None:
-                return symbolic
-        return self._bmc(
+                self.tier_times["symbolic"] += time.perf_counter() - start
+                return symbolic, FORMULA_SCOPE
+        self.tier_times["symbolic"] += time.perf_counter() - start
+        start = time.perf_counter()
+        verdict = self._bmc(
             target, assertion, source, mode="statement", stmt=stmt,
             assumption=assumption, dirty_reads=dirty_reads,
         )
+        self.tier_times["bmc"] += time.perf_counter() - start
+        return verdict, FULL_SCOPE
 
     def check_rollback(
         self,
@@ -447,19 +560,37 @@ class InterferenceChecker:
         assumption: Formula = TRUE,
     ) -> InterferenceVerdict:
         """Theorem 1 obligation: the rollback (undo) writes of ``source``."""
+        keys = None
+        if self.cache.enabled:
+            keys = self._keys("rollback", assertion, target, source, assumption)
+        return self._cached_check(
+            keys,
+            lambda: self._decide_rollback(target, assertion, source, assumption),
+        )
+
+    def _decide_rollback(self, target, assertion, source, assumption) -> tuple:
+        start = time.perf_counter()
         written = frozenset()
         for stmt in source.body:
             written |= stmt.written_resources()
         if self.use_disjoint and not overlaps(assertion.formula.resources(), written):
             self.stats["disjoint"] += 1
-            return InterferenceVerdict(False, PROVED, "disjoint")
+            self.tier_times["disjoint"] += time.perf_counter() - start
+            return InterferenceVerdict(False, PROVED, "disjoint"), FORMULA_SCOPE
+        self.tier_times["disjoint"] += time.perf_counter() - start
+        start = time.perf_counter()
         if self.use_symbolic:
             symbolic = self._rollback_symbolic(assertion.formula, source, assumption)
             if symbolic is not None:
-                return symbolic
-        return self._bmc(
+                self.tier_times["symbolic"] += time.perf_counter() - start
+                return symbolic, FORMULA_SCOPE
+        self.tier_times["symbolic"] += time.perf_counter() - start
+        start = time.perf_counter()
+        verdict = self._bmc(
             target, assertion, source, mode="rollback", assumption=assumption,
         )
+        self.tier_times["bmc"] += time.perf_counter() - start
+        return verdict, FULL_SCOPE
 
     def check_unit(
         self,
@@ -479,22 +610,51 @@ class InterferenceChecker:
         ones its commit effectively read-locked (the paper's remark after
         Theorem 3).
         """
+        # the excuse formula is the only target-dependent input of the
+        # symbolic tier, so it goes into the formula-scope key: obligations
+        # with equal excuses (in particular FALSE, the no-excuse case) share
+        # verdicts across targets
+        excuse = (
+            fcw_excuse_formula(target, source, fcw_targets) if fcw_excuse else FALSE
+        )
+        keys = None
+        if self.cache.enabled:
+            keys = self._keys(
+                "unit", assertion, target, source, assumption,
+                formula_extra=(excuse,), full_extra=(fcw_excuse, fcw_targets),
+            )
+        return self._cached_check(
+            keys,
+            lambda: self._decide_unit(
+                target, assertion, source, excuse, fcw_excuse, assumption, fcw_targets
+            ),
+        )
+
+    def _decide_unit(
+        self, target, assertion, source, excuse, fcw_excuse, assumption, fcw_targets
+    ) -> tuple:
+        start = time.perf_counter()
         if self.use_disjoint and not overlaps(
             assertion.formula.resources(), source.written_resources()
         ):
             self.stats["disjoint"] += 1
-            return InterferenceVerdict(False, PROVED, "disjoint")
-        excuse = (
-            fcw_excuse_formula(target, source, fcw_targets) if fcw_excuse else FALSE
-        )
+            self.tier_times["disjoint"] += time.perf_counter() - start
+            return InterferenceVerdict(False, PROVED, "disjoint"), FORMULA_SCOPE
+        self.tier_times["disjoint"] += time.perf_counter() - start
+        start = time.perf_counter()
         if self.use_symbolic:
             symbolic = self._transaction_symbolic(assertion.formula, source, excuse, assumption)
             if symbolic is not None:
-                return symbolic
-        return self._bmc(
+                self.tier_times["symbolic"] += time.perf_counter() - start
+                return symbolic, FORMULA_SCOPE
+        self.tier_times["symbolic"] += time.perf_counter() - start
+        start = time.perf_counter()
+        verdict = self._bmc(
             target, assertion, source, mode="unit", fcw_excuse=fcw_excuse,
             assumption=assumption, fcw_targets=fcw_targets,
         )
+        self.tier_times["bmc"] += time.perf_counter() - start
+        return verdict, FULL_SCOPE
 
     # -- tier 2: symbolic ------------------------------------------------------
 
@@ -638,8 +798,66 @@ class InterferenceChecker:
                 note="no bounded domains available; conservatively assumed to interfere",
             )
         rng = random.Random(self.seed)
-        arg_budget = 512
         states, exhaustive = self._cached_states(rng)
+        if self._bmc_chunkable(target, source, exhaustive, len(states)):
+            chunks = chunked(states, self.workers)
+            results, stopped = parallel_map(
+                lambda chunk: self._bmc_scan(
+                    chunk, random.Random(self.seed), True, target, assertion,
+                    source, mode, stmt, fcw_excuse, assumption, dirty_reads,
+                    fcw_targets,
+                ),
+                chunks,
+                self.workers,
+                stop_on=lambda scanned: scanned[0] is not None,
+            )
+            cases = sum(scanned[1] for scanned in results if scanned is not None)
+            witness = results[stopped][0] if stopped is not None else None
+        else:
+            witness, cases, exhaustive = self._bmc_scan(
+                states, rng, exhaustive, target, assertion, source, mode, stmt,
+                fcw_excuse, assumption, dirty_reads, fcw_targets,
+            )
+        self.stats["bmc"] += 1
+        if witness is not None:
+            return InterferenceVerdict(True, PROVED, f"bmc-{mode}", witness=witness)
+        confidence = BOUNDED if exhaustive else SAMPLED
+        return InterferenceVerdict(
+            False, confidence, f"bmc-{mode}", note=f"{cases} scenario cases examined"
+        )
+
+    def _bmc_chunkable(
+        self, target: TransactionType, source: TransactionType,
+        states_exhaustive: bool, n_states: int,
+    ) -> bool:
+        """Whether state chunks can be scanned concurrently without changing
+        the verdict: every search space must be exhaustive — sampled spaces
+        draw from one shared rng sequence, so partitioning them would change
+        which scenarios get examined."""
+        if self.workers <= 1 or n_states <= 1 or not states_exhaustive:
+            return False
+        probe = random.Random(self.seed)
+        target_space = iter_assignments(list(target.params), self.spec, 512, probe)
+        source_space = iter_assignments(list(source.params), self.spec, 512, probe)
+        return target_space.exhaustive and source_space.exhaustive
+
+    def _bmc_scan(
+        self,
+        states: Sequence[DbState],
+        rng: random.Random,
+        exhaustive: bool,
+        target: TransactionType,
+        assertion: CriticalAssertion,
+        source: TransactionType,
+        mode: str,
+        stmt: Statement | None,
+        fcw_excuse: bool,
+        assumption: Formula,
+        dirty_reads: bool,
+        fcw_targets: list | None,
+    ) -> tuple:
+        """Scan a subset of initial states; returns (witness, cases, exhaustive)."""
+        arg_budget = 512
         counter = {"cases": 0}
         for state0 in states:
             target_space = iter_assignments(list(target.params), self.spec, arg_budget, rng)
@@ -677,17 +895,12 @@ class InterferenceChecker:
                             source_args, assertion, mode, stmt, counter,
                         )
                     if witness is not None:
-                        self.stats["bmc"] += 1
                         witness.env = (witness.env or {}) | {
                             "target_args": target_args,
                             "source_args": source_args,
                         }
-                        return InterferenceVerdict(True, PROVED, f"bmc-{mode}", witness=witness)
-        self.stats["bmc"] += 1
-        confidence = BOUNDED if exhaustive else SAMPLED
-        return InterferenceVerdict(
-            False, confidence, f"bmc-{mode}", note=f"{counter['cases']} scenario cases examined"
-        )
+                        return witness, counter["cases"], exhaustive
+        return None, counter["cases"], exhaustive
 
     def _scenario_a(
         self, state0, target, target_env, target_args, source, source_env,

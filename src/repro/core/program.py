@@ -68,6 +68,12 @@ class Statement:
         """Directly nested statements (bodies of control structures)."""
         return ()
 
+    def fingerprint(self) -> str:
+        """Stable structural digest (see :mod:`repro.core.cache`)."""
+        from repro.core.cache import fingerprint
+
+        return fingerprint(self)
+
     @property
     def is_db_write(self) -> bool:
         """Whether this single statement writes the database."""
@@ -611,6 +617,12 @@ class TransactionType:
     param_pre: Formula = TRUE
     result: Formula = TRUE
     snapshot: tuple[tuple[LogicalVar, Term], ...] = ()
+
+    def fingerprint(self) -> str:
+        """Stable structural digest (see :mod:`repro.core.cache`)."""
+        from repro.core.cache import fingerprint
+
+        return fingerprint(self)
 
     def walk(self) -> Iterator[tuple[tuple[int, ...], Statement]]:
         """Yield ``(path, statement)`` for every statement, depth-first."""

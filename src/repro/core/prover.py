@@ -108,12 +108,66 @@ class ProofResult:
 
 
 # ---------------------------------------------------------------------------
+# memoization
+# ---------------------------------------------------------------------------
+
+#: Cap on entries per memo table; tables are cleared wholesale on overflow.
+MEMO_CAP = 200_000
+
+_term_memo: dict = {}
+_formula_memo: dict = {}
+_query_memo: dict = {}
+
+_memo_stats = {
+    "simplify_hits": 0,
+    "simplify_misses": 0,
+    "query_hits": 0,
+    "query_misses": 0,
+}
+
+
+def prover_cache_stats() -> dict:
+    """Hit/miss counters of the simplification and query memo tables."""
+    return dict(_memo_stats)
+
+
+def clear_prover_caches() -> None:
+    """Drop all memo tables and reset their counters (test isolation)."""
+    _term_memo.clear()
+    _formula_memo.clear()
+    _query_memo.clear()
+    for key in _memo_stats:
+        _memo_stats[key] = 0
+
+
+def _memo_put(table: dict, key, value) -> None:
+    if len(table) >= MEMO_CAP:
+        table.clear()
+    table[key] = value
+
+
+# ---------------------------------------------------------------------------
 # term simplification (constant folding)
 # ---------------------------------------------------------------------------
 
 
 def simplify_term(term: Term) -> Term:
-    """Fold constants and drop arithmetic identities."""
+    """Fold constants and drop arithmetic identities (memoized)."""
+    cached = _term_memo.get(term)
+    if cached is not None:
+        _memo_stats["simplify_hits"] += 1
+        return cached
+    _memo_stats["simplify_misses"] += 1
+    result = _simplify_term_impl(term)
+    _memo_put(_term_memo, term, result)
+    if result != term:
+        # a simplified term is its own fixed point — register it so a later
+        # simplify_term(result) is a hit instead of a full re-walk
+        _memo_put(_term_memo, result, result)
+    return result
+
+
+def _simplify_term_impl(term: Term) -> Term:
     if isinstance(term, (Add, Sub, Mul)):
         left = simplify_term(term.left)
         right = simplify_term(term.right)
@@ -155,7 +209,26 @@ def simplify_term(term: Term) -> Term:
 
 
 def simplify(formula: Formula) -> Formula:
-    """Lightweight formula simplification: fold constants, prune units."""
+    """Lightweight formula simplification: fold constants, prune units.
+
+    Memoized (bounded).  The result is also registered as its own fixed
+    point, so re-simplifying an already-simplified formula — which every
+    prover query used to do after the interference layer had simplified its
+    goal — is a dictionary hit rather than a second tree walk.
+    """
+    cached = _formula_memo.get(formula)
+    if cached is not None:
+        _memo_stats["simplify_hits"] += 1
+        return cached
+    _memo_stats["simplify_misses"] += 1
+    result = _simplify_impl(formula)
+    _memo_put(_formula_memo, formula, result)
+    if result != formula:
+        _memo_put(_formula_memo, result, result)
+    return result
+
+
+def _simplify_impl(formula: Formula) -> Formula:
     if isinstance(formula, Cmp):
         left = simplify_term(formula.left)
         right = simplify_term(formula.right)
@@ -687,7 +760,25 @@ def _congruence_axioms(goal: Formula) -> list:
 
 
 def is_satisfiable(formula: Formula, assumptions: Iterable[Formula] = ()) -> ProofResult:
-    """Decide satisfiability of ``formula`` under optional assumptions."""
+    """Decide satisfiability of ``formula`` under optional assumptions.
+
+    Memoized on ``(formula, assumptions)``: formulas are frozen dataclasses
+    with structural equality, so equal queries — which the interference
+    check issues in bulk across isolation levels — share one decision.
+    """
+    assumptions = tuple(assumptions)
+    key = ("sat", formula, assumptions)
+    cached = _query_memo.get(key)
+    if cached is not None:
+        _memo_stats["query_hits"] += 1
+        return cached
+    _memo_stats["query_misses"] += 1
+    result = _is_satisfiable_impl(formula, assumptions)
+    _memo_put(_query_memo, key, result)
+    return result
+
+
+def _is_satisfiable_impl(formula: Formula, assumptions: tuple) -> ProofResult:
     goal = conj(*assumptions, formula)
     goal = simplify(goal)
     if isinstance(goal, Top):
@@ -726,6 +817,7 @@ def is_valid(formula: Formula, assumptions: Iterable[Formula] = ()) -> ProofResu
     Returns VALID when ``assumptions and not formula`` is unsatisfiable.
     A SAT answer to that query yields INVALID with the model as a genuine
     counterexample; abstraction or arithmetic incompleteness yield UNKNOWN.
+    Memoized through :func:`is_satisfiable`.
     """
     negated = conj(*assumptions, Not(formula))
     result = is_satisfiable(negated)

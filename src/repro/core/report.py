@@ -68,6 +68,44 @@ def failure_details(result: LevelCheckResult, limit: int = 10) -> str:
     return "\n".join(lines)
 
 
+def analysis_stats_table(checker) -> str:
+    """Per-tier counts and wall time of one checker run, plus cache counters.
+
+    ``checker`` is an :class:`repro.core.interference.InterferenceChecker`;
+    the prover memo counters are process-global (the prover is a module).
+    """
+    from repro.core.prover import prover_cache_stats
+
+    rows = []
+    for tier in ("disjoint", "symbolic", "bmc"):
+        rows.append(
+            (
+                tier,
+                checker.stats.get(tier, 0),
+                f"{checker.tier_times.get(tier, 0.0) * 1000:.1f}",
+            )
+        )
+    rows.append(("assumed", checker.stats.get("assumed", 0), "-"))
+    lines = [format_table(("tier", "discharged", "wall ms"), rows)]
+    cache = checker.cache.stats
+    lines.append("")
+    lines.append(
+        f"verdict cache:  {cache.hits} hits / {cache.misses} misses"
+        f"  (hit rate {cache.hit_rate:.1%}, {len(checker.cache)} entries)"
+    )
+    lines.append(
+        f"checker reuse:  {checker.stats.get('cache_hits', 0)} obligations"
+        " answered from cache"
+    )
+    prover = prover_cache_stats()
+    lines.append(
+        f"prover memo:    simplify {prover['simplify_hits']} hits /"
+        f" {prover['simplify_misses']} misses,"
+        f" queries {prover['query_hits']} hits / {prover['query_misses']} misses"
+    )
+    return "\n".join(lines)
+
+
 def obligation_stats(results: Iterable[LevelCheckResult]) -> dict:
     """Aggregate obligation counts and tier usage across level checks."""
     stats = {

@@ -88,6 +88,12 @@ class Term:
         """Evaluate against a concrete database state and environment."""
         raise NotImplementedError
 
+    def fingerprint(self) -> str:
+        """Stable structural digest (see :mod:`repro.core.cache`)."""
+        from repro.core.cache import fingerprint
+
+        return fingerprint(self)
+
     # -- convenience constructors -----------------------------------------
     def __add__(self, other: "Term | int") -> "Add":
         return Add(self, _coerce(other))

@@ -4,9 +4,18 @@ Commands:
 
 * ``analyze <app>`` — run the Section 5 chooser over a bundled application
   and print the level table (optionally a single ``--transaction`` at a
-  single ``--level`` with failing obligations);
-* ``simulate <app>`` — run a generated workload under a uniform isolation
-  level and print throughput / waits / aborts / semantic violations;
+  single ``--level`` with failing obligations); ``--json`` emits the
+  machine-readable report (schema in ``docs/PIPELINE.md``);
+* ``certify <app>`` — the full cross-layer pipeline: static chooser, then
+  exhaustive mixed-level schedule exploration at (and one level below) the
+  recommended assignment, reconciled into per-type verdicts with
+  replayable counterexample histories;
+* ``explore <app>`` — exhaustively enumerate the schedules of one
+  registered scenario under an explicit level assignment and report the
+  pruning statistics and semantic violations;
+* ``simulate <app>`` — run a generated workload under an isolation-level
+  assignment (uniform ``--level`` or per-type ``--levels Txn=LEVEL``) with
+  a random or exhaustive scheduling policy;
 * ``replay "<history>"`` — replay a Berenson-style history (e.g.
   ``"w1[x=1] r2[x] c1 c2"``) under a per-transaction level assignment;
 * ``apps`` — list the bundled applications;
@@ -21,6 +30,7 @@ Example 3), ``customers`` (Example 1), ``employees`` (Example 2),
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.cache import VerdictCache, shared_cache
@@ -78,6 +88,9 @@ def cmd_analyze(args) -> int:
         result = check_transaction_at(
             app, app.transaction(args.transaction), args.level, checker, policy
         )
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+            return 0 if result.ok else 1
         print(failure_details(result) if not result.ok else result.summary())
         if args.stats:
             print()
@@ -87,6 +100,12 @@ def cmd_analyze(args) -> int:
     report = analyze_application(
         app, checker, ladder=ladder, include_snapshot=args.snapshot, policy=policy
     )
+    if args.json:
+        payload = report.to_dict()
+        payload["tiers"] = dict(checker.stats)
+        payload["cache"] = cache.stats.snapshot()
+        print(json.dumps(payload, indent=2))
+        return 0
     print(level_table(report))
     if args.snapshot:
         print()
@@ -98,6 +117,107 @@ def cmd_analyze(args) -> int:
         print()
         print(analysis_stats_table(checker))
     return 0
+
+
+def cmd_certify(args) -> int:
+    from repro.pipeline import RunContext, certify
+
+    context = RunContext(
+        seed=args.seed,
+        workers=args.workers,
+        backend=args.backend,
+        budget=args.budget,
+        max_schedules=args.max_schedules,
+        max_depth=args.max_depth,
+    )
+    report = certify(args.app, context=context, ladder=args.ladder)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.agreement else 1
+
+
+def _parse_type_levels(assignments) -> dict:
+    levels = {}
+    for assignment in assignments or []:
+        name, sep, level = assignment.partition("=")
+        if not sep:
+            raise SystemExit(f"--levels expects Txn=LEVEL, got {assignment!r}")
+        levels[name] = level
+    return levels
+
+
+def cmd_explore(args) -> int:
+    from repro.pipeline.scenarios import scenarios_for
+    from repro.sched.explore import explore
+    from repro.sched.histories import history_string
+    from repro.sched.semantic import check_semantic_correctness
+
+    scenarios = {scenario.name: scenario for scenario in scenarios_for(args.app)}
+    if not scenarios:
+        raise SystemExit(f"no registered scenarios for application {args.app!r}")
+    if args.scenario is None and len(scenarios) > 1 and not args.all:
+        raise SystemExit(
+            f"choose --scenario from {', '.join(sorted(scenarios))} (or pass --all)"
+        )
+    chosen = list(scenarios.values()) if (args.all or args.scenario is None) else [
+        scenarios.get(args.scenario) or _unknown_scenario(args.scenario, scenarios)
+    ]
+    overrides = _parse_type_levels(args.levels)
+    payload = []
+    exit_code = 0
+    for scenario in chosen:
+        levels: dict = {}
+        for spec in scenario.specs({}):
+            levels[spec.txn_type.name] = args.level
+        levels.update(overrides)
+        result = explore(
+            scenario.initial(),
+            scenario.specs(levels),
+            retry=not args.no_retry,
+            max_schedules=args.max_schedules,
+            max_depth=args.max_depth,
+            pruning=not args.no_pruning,
+            workers=resolve_workers(args.workers),
+        )
+        violations = []
+        for schedule in result.results:
+            report = check_semantic_correctness(schedule, scenario.invariant, scenario.cumulative)
+            if not report.correct:
+                violations.append((report.summary(), history_string(schedule.history)))
+        entry = {
+            "scenario": scenario.name,
+            "levels": levels,
+            **result.to_dict(),
+            "violations": len(violations),
+            "witnesses": [
+                {"summary": summary, "history": history}
+                for summary, history in violations[:3]
+            ],
+        }
+        payload.append(entry)
+        if violations:
+            exit_code = 1
+        if not args.json:
+            print(f"scenario {scenario.name!r} at {levels}:")
+            print(
+                f"  schedules: {result.schedules}  runs: {result.runs}"
+                f"  pruned(sleep/state): {result.pruned_sleep}/{result.pruned_state}"
+                f"  truncated: {result.truncated}"
+            )
+            print(f"  semantic violations: {len(violations)}")
+            for summary, history in violations[:3]:
+                print(f"    {summary}")
+                if history:
+                    print(f'      repro replay "{history}"')
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return exit_code
+
+
+def _unknown_scenario(name: str, scenarios: dict):
+    raise SystemExit(f"unknown scenario {name!r}; choose from {', '.join(sorted(scenarios))}")
 
 
 def cmd_simulate(args) -> int:
@@ -112,39 +232,71 @@ def cmd_simulate(args) -> int:
     from repro.workloads.runner import run_workload
 
     config = WorkloadConfig(size=args.size, hot_fraction=args.hot, seed=args.seed)
+    overrides = _parse_type_levels(args.levels)
     if args.app == "banking":
         names = ("Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch")
-        specs = banking_workload(config, levels={n: args.level for n in names})
+        levels = {n: overrides.get(n, args.level) for n in names}
+        specs = banking_workload(config, levels=levels)
         initial = banking_initial()
     elif args.app == "tpcc":
         from repro.apps import tpcc as tpcc_app
 
-        specs = tpcc_workload(config, levels={t.name: args.level for t in tpcc_app.ALL_TYPES})
+        levels = {t.name: overrides.get(t.name, args.level) for t in tpcc_app.ALL_TYPES}
+        specs = tpcc_workload(config, levels=levels)
         initial = tpcc_app.initial_state()
     elif args.app in ("orders", "orders-strict"):
         rule = "no_gap" if args.app == "orders" else "one_order"
         names = ("Mailing_List", "New_Order", "Delivery", "Audit")
-        specs = order_entry_workload(config, rule=rule, levels={n: args.level for n in names})
+        levels = {n: overrides.get(n, args.level) for n in names}
+        specs = order_entry_workload(config, rule=rule, levels=levels)
         initial = order_entry_initial()
     else:
         raise SystemExit(f"no workload generator for {args.app!r}")
+    if args.policy == "exhaustive":
+        from repro.sched.explore import explore
+        from repro.workloads.metrics import RunMetrics
+
+        exploration = explore(
+            initial.copy(),
+            specs,
+            retry=True,
+            max_schedules=args.max_schedules,
+            keep_results=True,
+        )
+        metrics = RunMetrics()
+        for result in exploration.results:
+            metrics.add(result)
+        print("policy:     exhaustive")
+        print(f"level(s):   {levels}")
+        print(
+            f"schedules:  {exploration.schedules} explored"
+            f" ({exploration.runs} runs, pruned sleep/state:"
+            f" {exploration.pruned_sleep}/{exploration.pruned_state},"
+            f" truncated: {exploration.truncated})"
+        )
+        if exploration.results:
+            print(f"throughput: {metrics.throughput:.1f} commits / 1000 steps")
+            print(f"wait rate:  {metrics.wait_rate:.3f}")
+            print(f"abort rate: {metrics.abort_rate:.3f}")
+        return 0
     if args.guard:
         from repro.sched.monitor import AssertionGuard
-        from repro.sched.simulator import Simulator
+        from repro.sched.simulator import Simulator, round_seeds
+
         from repro.workloads.metrics import RunMetrics
 
         metrics = RunMetrics()
-        for round_index in range(args.rounds):
+        for round_seed in round_seeds(args.seed, args.rounds):
             guard = AssertionGuard()
             simulator = Simulator(
-                initial.copy(), specs, seed=args.seed + round_index, retry=True,
+                initial.copy(), specs, seed=round_seed, retry=True,
                 observers=[guard],
             )
             metrics.add(simulator.run())
         print("assertional concurrency control: ON")
     else:
         metrics = run_workload(initial, specs, rounds=args.rounds, seed=args.seed)
-    print(f"level:      {args.level}")
+    print(f"level(s):   {levels if overrides else args.level}")
     print(f"throughput: {metrics.throughput:.1f} commits / 1000 steps")
     print(f"wait rate:  {metrics.wait_rate:.3f}")
     print(f"abort rate: {metrics.abort_rate:.3f}")
@@ -165,6 +317,8 @@ def cmd_replay(args) -> int:
         detail = f"  ({step.detail})" if step.detail else ""
         print(f"{step.token:20s} {step.status}{suffix}{detail}")
     print(f"final items: {result.final.items}")
+    if result.final.arrays:
+        print(f"final arrays: {result.final.arrays}")
     return 0
 
 
@@ -206,15 +360,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("thread", "process"), default="thread",
         help="executor for parallel obligation dispatch (with --workers > 1)",
     )
+    analyze.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (schema: docs/PIPELINE.md)",
+    )
     analyze.set_defaults(func=cmd_analyze)
+
+    certify = sub.add_parser(
+        "certify", help="static chooser + exhaustive dynamic certification"
+    )
+    certify.add_argument("app")
+    certify.add_argument("--ladder", choices=("ansi", "extended"), default="ansi")
+    certify.add_argument("--seed", type=int, default=0)
+    certify.add_argument("--budget", type=int, default=3000)
+    certify.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan static obligations and exploration root branches across N threads",
+    )
+    certify.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="executor for parallel obligation dispatch (with --workers > 1)",
+    )
+    certify.add_argument(
+        "--max-schedules", type=int, default=500,
+        help="simulator-run budget per scenario exploration",
+    )
+    certify.add_argument(
+        "--max-depth", type=int, default=None,
+        help="scheduling-decision budget per explored run",
+    )
+    certify.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable certificate (schema: docs/PIPELINE.md)",
+    )
+    certify.set_defaults(func=cmd_certify)
+
+    explore = sub.add_parser(
+        "explore", help="exhaustively enumerate one scenario's schedules"
+    )
+    explore.add_argument("app")
+    explore.add_argument("--scenario", help="registered scenario name")
+    explore.add_argument("--all", action="store_true", help="explore every scenario")
+    explore.add_argument("--level", default="SERIALIZABLE", help="uniform level")
+    explore.add_argument(
+        "--levels", nargs="*", metavar="Txn=LEVEL",
+        help="per-type level overrides (e.g. Withdraw_sav='READ COMMITTED')",
+    )
+    explore.add_argument("--max-schedules", type=int, default=500)
+    explore.add_argument("--max-depth", type=int, default=None)
+    explore.add_argument(
+        "--no-pruning", action="store_true",
+        help="disable sleep-set and visited-state pruning (full DFS)",
+    )
+    explore.add_argument("--no-retry", action="store_true", help="no abort-retry loop")
+    explore.add_argument("--workers", type=int, default=None, metavar="N")
+    explore.add_argument("--json", action="store_true")
+    explore.set_defaults(func=cmd_explore)
 
     simulate = sub.add_parser("simulate", help="run a workload on the engine")
     simulate.add_argument("app")
     simulate.add_argument("--level", default="SERIALIZABLE")
+    simulate.add_argument(
+        "--levels", nargs="*", metavar="Txn=LEVEL",
+        help="per-type level overrides for a mixed-level run"
+        " (e.g. Deposit_sav='READ COMMITTED')",
+    )
     simulate.add_argument("--size", type=int, default=10)
     simulate.add_argument("--hot", type=float, default=0.5)
     simulate.add_argument("--rounds", type=int, default=5)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--policy", choices=("random", "exhaustive"), default="random",
+        help="scheduling policy: seeded random rounds or bounded exhaustive"
+        " exploration",
+    )
+    simulate.add_argument(
+        "--max-schedules", type=int, default=200,
+        help="run budget with --policy exhaustive",
+    )
     simulate.add_argument(
         "--guard", action="store_true",
         help="run under the assertional concurrency control (AssertionGuard)",

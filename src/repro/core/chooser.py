@@ -47,6 +47,13 @@ class ChoiceResult:
         )
         return f"{self.transaction}: {self.level}   ({trail})"
 
+    def to_dict(self) -> dict:
+        return {
+            "transaction": self.transaction,
+            "level": self.level,
+            "attempts": [attempt.to_dict() for attempt in self.attempts],
+        }
+
 
 @dataclass
 class ApplicationReport:
@@ -64,6 +71,14 @@ class ApplicationReport:
 
     def levels(self) -> dict:
         return {choice.transaction: choice.level for choice in self.choices}
+
+    def to_dict(self) -> dict:
+        return {
+            "application": self.application,
+            "levels": self.levels(),
+            "choices": [choice.to_dict() for choice in self.choices],
+            "snapshot_checks": [check.to_dict() for check in self.snapshot_checks],
+        }
 
     def render(self) -> str:
         lines = [f"Isolation-level assignment for application {self.application!r}:"]

@@ -404,6 +404,18 @@ class LevelCheckResult:
         extra = " [trivial]" if self.trivially_correct else f" [{self.checked} obligations, {self.confidence}]"
         return f"{self.transaction} @ {self.level}: {status}{extra}"
 
+    def to_dict(self) -> dict:
+        return {
+            "transaction": self.transaction,
+            "level": self.level,
+            "ok": self.ok,
+            "obligations": self.checked,
+            "failures": len(self.failures),
+            "confidence": self.confidence,
+            "trivially_correct": self.trivially_correct,
+            "note": self.note,
+        }
+
 
 def _sources(app: Application, target: TransactionType) -> list:
     """Concurrent partners: every type renamed apart, with its assumption."""

@@ -553,6 +553,26 @@ class Delete(Statement):
 
 
 @dataclass(frozen=True)
+class Rollback(Statement):
+    """Explicitly abort the enclosing transaction — an engine-level rollback.
+
+    Only meaningful under the step interpreter, where the engine undoes the
+    transaction's earlier writes; the big-step executor cannot un-execute
+    preceding statements, so atomic execution rejects it.  Used to model
+    scripted ``a<t>`` history tokens and rollback scenarios.
+    """
+
+    reason: str = "rollback"
+    label: str | None = None
+
+    def execute(self, state: DbState, env: dict) -> None:
+        raise ProgramError("Rollback cannot be executed atomically")
+
+    def __repr__(self) -> str:
+        return "ROLLBACK"
+
+
+@dataclass(frozen=True)
 class ForEach(Statement):
     """Iterate over a row buffer previously bound by :class:`Select`.
 
@@ -845,4 +865,6 @@ def _substitute_statement(stmt: Statement, mapping: Mapping[Term, Term]) -> Stat
             binds=tuple((attr, mapping.get(local, local)) for attr, local in stmt.binds),
             post=sub_formula(stmt.post),
         )
+    if isinstance(stmt, Rollback):
+        return stmt
     raise ProgramError(f"unknown statement kind: {stmt!r}")

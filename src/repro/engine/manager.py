@@ -152,26 +152,34 @@ class Engine:
         self._require_active(txn)
         if txn.uses_snapshot:
             value = txn.snapshot_state.read_item(name)
-            self._record(txn, "r", ("item", name))
+            self._record(txn, "r", ("item", name), info={"value": value})
             return value
         key = ("item", name)
         self._read_lock(txn, key)
         value = self.store.read_item(name)
         txn.read_versions.setdefault(key, self.store.version_of(key))
-        self._record(txn, "r", key, dirty_from=self._dirty_writer(txn, key))
+        self._record(
+            txn, "r", key, dirty_from=self._dirty_writer(txn, key), info={"value": value}
+        )
         return value
 
     def read_field(self, txn: Txn, array: str, index: int, attr):
         self._require_active(txn)
         if txn.uses_snapshot:
             value = txn.snapshot_state.read_field(array, index, attr)
-            self._record(txn, "r", ("record", array, index))
+            self._record(txn, "r", ("record", array, index), info={"attr": attr, "value": value})
             return value
         key = ("record", array, index)
         self._read_lock(txn, key)
         value = self.store.read_field(array, index, attr)
         txn.read_versions.setdefault(key, self.store.version_of(key))
-        self._record(txn, "r", key, dirty_from=self._dirty_writer(txn, key))
+        self._record(
+            txn,
+            "r",
+            key,
+            dirty_from=self._dirty_writer(txn, key),
+            info={"attr": attr, "value": value},
+        )
         return value
 
     def read_record(self, txn: Txn, array: str, index: int, attrs: Iterable[str]) -> dict:
@@ -181,13 +189,21 @@ class Engine:
             values = {
                 attr: txn.snapshot_state.read_field(array, index, attr) for attr in attrs
             }
-            self._record(txn, "r", ("record", array, index))
+            self._record(
+                txn, "r", ("record", array, index), info={"attrs": tuple(attrs), "values": dict(values)}
+            )
             return values
         key = ("record", array, index)
         self._read_lock(txn, key)
         values = {attr: self.store.read_field(array, index, attr) for attr in attrs}
         txn.read_versions.setdefault(key, self.store.version_of(key))
-        self._record(txn, "r", key, dirty_from=self._dirty_writer(txn, key))
+        self._record(
+            txn,
+            "r",
+            key,
+            dirty_from=self._dirty_writer(txn, key),
+            info={"attrs": tuple(attrs), "values": dict(values)},
+        )
         return values
 
     # -- conventional writes -----------------------------------------------------
@@ -198,7 +214,7 @@ class Engine:
             txn.snapshot_state.write_item(name, value)
             txn.write_set.add(key)
             txn.redo.append(("item", name, value))
-            self._record(txn, "w", key)
+            self._record(txn, "w", key, info={"value": value})
             return
         self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
         txn.long_locks.add(key)
@@ -207,7 +223,7 @@ class Engine:
         txn.undo.append(("item", name, old))
         txn.redo.append(("item", name, value))
         txn.write_set.add(key)
-        self._record(txn, "w", key)
+        self._record(txn, "w", key, info={"value": value})
 
     def write_field(self, txn: Txn, array: str, index: int, attr, value) -> None:
         self._require_active(txn)
@@ -216,7 +232,7 @@ class Engine:
             txn.snapshot_state.write_field(array, index, attr, value)
             txn.write_set.add(key)
             txn.redo.append(("field", array, index, attr, value))
-            self._record(txn, "w", key)
+            self._record(txn, "w", key, info={"attr": attr, "value": value})
             return
         self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
         txn.long_locks.add(key)
@@ -225,7 +241,7 @@ class Engine:
         txn.undo.append(("field", array, index, attr, old))
         txn.redo.append(("field", array, index, attr, value))
         txn.write_set.add(key)
-        self._record(txn, "w", key)
+        self._record(txn, "w", key, info={"attr": attr, "value": value})
 
     # -- relational operations ------------------------------------------------
     def select(self, txn: Txn, table: str, predicate: Callable[[dict], bool]) -> list:
@@ -276,7 +292,7 @@ class Engine:
             txn.snapshot_inserted.add(rid)
             txn.redo.append(("insert", table, rid, image))
             txn.write_set.add(("row", table, rid))
-            self._record(txn, "ins", ("table", table))
+            self._record(txn, "ins", ("table", table), info={"row": dict(image)})
             return
         # phantom protection: the new row must not fall into another
         # transaction's predicate (read or write) lock
@@ -289,7 +305,7 @@ class Engine:
         txn.undo.append(("insert", table, rid))
         txn.redo.append(("insert", table, rid, image))
         txn.write_set.add(key)
-        self._record(txn, "ins", key)
+        self._record(txn, "ins", key, info={"row": dict(image)})
 
     def update(
         self,

@@ -1,0 +1,35 @@
+"""The cross-layer certification pipeline.
+
+Wires the static Section 5 chooser (:mod:`repro.core.chooser`) to the
+exhaustive schedule explorer (:mod:`repro.sched.explore`) through a shared
+:class:`~repro.pipeline.context.RunContext`, and reconciles both layers
+into a :class:`~repro.pipeline.certify.CertificateReport` — the artifact
+behind ``repro certify``.
+"""
+
+from repro.pipeline.certify import (
+    CertificateReport,
+    DynamicProbe,
+    TypeVerdict,
+    Witness,
+    certify,
+    classify,
+    level_below,
+    run_probe,
+)
+from repro.pipeline.context import RunContext
+from repro.pipeline.scenarios import Scenario, scenarios_for
+
+__all__ = [
+    "CertificateReport",
+    "DynamicProbe",
+    "RunContext",
+    "Scenario",
+    "TypeVerdict",
+    "Witness",
+    "certify",
+    "classify",
+    "level_below",
+    "run_probe",
+    "scenarios_for",
+]

@@ -1,0 +1,154 @@
+"""Concrete concurrency scenarios for dynamic certification.
+
+The static chooser reasons over *all* possible concurrent executions; the
+dynamic half of the pipeline needs concrete, finite ones.  A
+:class:`Scenario` packages the smallest instance set known to exercise a
+transaction type's interesting interference — the lost update, the write
+skew, the deposit race of the paper's Example 3 — together with the
+initial state and the invariant the semantic checker evaluates.
+
+Scenarios are deliberately tiny (two or three instances over one
+account): exhaustive exploration is exponential in instances, and the
+paper's anomalies all need only two participants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.formula import Formula, conj, ge
+from repro.core.state import DbState
+from repro.core.terms import Field, IntConst
+from repro.sched.simulator import InstanceSpec
+
+
+@dataclass
+class Scenario:
+    """One concrete instance set used to certify the focus types."""
+
+    name: str
+    description: str
+    focus: tuple  # transaction type names this scenario certifies
+    initial: Callable[[], DbState]
+    make_specs: Callable[[dict], list]  # levels: type name -> level
+    invariant: Formula
+    cumulative: Callable | None = None
+
+    def specs(self, levels: dict) -> list:
+        return self.make_specs(dict(levels))
+
+
+def _banking_invariant(accounts: int = 1) -> Formula:
+    return conj(
+        *(
+            ge(
+                Field("acct_sav", IntConst(i), "bal") + Field("acct_ch", IntConst(i), "bal"),
+                0,
+            )
+            for i in range(accounts)
+        )
+    )
+
+
+def _banking_state(sav: int, ch: int) -> Callable[[], DbState]:
+    def build() -> DbState:
+        return DbState(
+            arrays={"acct_sav": {0: {"bal": sav}}, "acct_ch": {0: {"bal": ch}}}
+        )
+
+    return build
+
+
+def banking_scenarios() -> list:
+    from repro.apps import banking
+
+    def withdraw_race(levels: dict) -> list:
+        level = levels.get("Withdraw_sav", "SERIALIZABLE")
+        return [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, level, "W1"),
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, level, "W2"),
+        ]
+
+    def write_skew(levels: dict) -> list:
+        return [
+            InstanceSpec(
+                banking.WITHDRAW_SAV,
+                {"i": 0, "w": 2},
+                levels.get("Withdraw_sav", "SERIALIZABLE"),
+                "Wsav",
+            ),
+            InstanceSpec(
+                banking.WITHDRAW_CH,
+                {"i": 0, "w": 2},
+                levels.get("Withdraw_ch", "SERIALIZABLE"),
+                "Wch",
+            ),
+        ]
+
+    def deposit_race(levels: dict) -> list:
+        level = levels.get("Deposit_sav", "SERIALIZABLE")
+        return [
+            InstanceSpec(banking.DEPOSIT_SAV, {"i": 0, "d": 1}, level, "D1"),
+            InstanceSpec(banking.DEPOSIT_SAV, {"i": 0, "d": 1}, level, "D2"),
+        ]
+
+    def deposit_vs_withdraw(levels: dict) -> list:
+        return [
+            InstanceSpec(
+                banking.DEPOSIT_CH,
+                {"i": 0, "d": 1},
+                levels.get("Deposit_ch", "SERIALIZABLE"),
+                "D",
+            ),
+            InstanceSpec(
+                banking.WITHDRAW_CH,
+                {"i": 0, "w": 1},
+                levels.get("Withdraw_ch", "SERIALIZABLE"),
+                "W",
+            ),
+        ]
+
+    invariant = _banking_invariant()
+    return [
+        Scenario(
+            name="withdraw-race",
+            description="two withdrawals of 1 from the same savings balance of 2"
+            " — the classic lost update",
+            focus=("Withdraw_sav",),
+            initial=_banking_state(sav=2, ch=0),
+            make_specs=withdraw_race,
+            invariant=invariant,
+        ),
+        Scenario(
+            name="write-skew",
+            description="savings and checking withdrawals of 2 against balances 1/1"
+            " — Example 3's write skew",
+            focus=("Withdraw_sav", "Withdraw_ch"),
+            initial=_banking_state(sav=1, ch=1),
+            make_specs=write_skew,
+            invariant=invariant,
+        ),
+        Scenario(
+            name="deposit-race",
+            description="two deposits of 1 into the same savings balance"
+            " — a lost deposit",
+            focus=("Deposit_sav",),
+            initial=_banking_state(sav=0, ch=0),
+            make_specs=deposit_race,
+            invariant=invariant,
+        ),
+        Scenario(
+            name="deposit-vs-withdraw",
+            description="a checking deposit racing a checking withdrawal",
+            focus=("Deposit_ch", "Withdraw_ch"),
+            initial=_banking_state(sav=0, ch=2),
+            make_specs=deposit_vs_withdraw,
+            invariant=invariant,
+        ),
+    ]
+
+
+def scenarios_for(app_name: str) -> list:
+    """The registered scenarios of an application (empty when none)."""
+    return {"banking": banking_scenarios}.get(app_name, lambda: [])()

@@ -1,0 +1,391 @@
+"""Systematic schedule exploration: DFS with sleep-set + state pruning.
+
+:class:`~repro.sched.policy.ExhaustivePolicy` drives a single run down one
+branch of the scheduling tree; this module owns the backtracking.  Each run
+returns the :class:`~repro.sched.policy.Frame` stack of the decisions it
+took; the explorer backtracks to the deepest frame with an untried,
+not-asleep sibling and relaunches a fresh simulator with the corresponding
+decision prefix.  Because replay is deterministic, re-running the prefix
+reconstructs the node exactly (the simulator is cheap; cloning engine
+state mid-run would not be).
+
+Two prunings, both sound for state/outcome coverage:
+
+* **sleep sets** (DPOR-lite, after Godefroid): when branch ``i`` at a node
+  has been fully explored, sibling branches carry ``i``'s first-step
+  signature asleep — any schedule that would merely commute ``i`` past
+  independent steps is never re-explored.  Signatures come from the engine
+  history itself (:func:`repro.sched.policy.op_signature`), so "independent"
+  means *no shared lock granule with a write*; commits, aborts and blocked
+  attempts are conservatively dependent on everything.
+* **state fingerprints**: a run that reaches a previously-seen global state
+  (store + locks + waits-for edges + per-instance progress) stops — every
+  continuation from that state has been or will be explored from its first
+  visit.  This is the persistent-set-flavoured dedup of revisited prefixes.
+
+``workers > 1`` fans the root branches across
+:func:`repro.core.parallel.parallel_map` threads; the visited set is
+shared, and sibling sleep sets are seeded from per-branch probe runs so
+the parallel tree prunes exactly like the sequential one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.parallel import parallel_map
+from repro.core.state import DbState
+from repro.sched.policy import DEPENDENT, ExhaustivePolicy
+from repro.sched.simulator import InstanceSpec, Simulator
+
+# ---------------------------------------------------------------------------
+# state fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _state_token(state: DbState) -> tuple:
+    return (
+        tuple(sorted((k, repr(v)) for k, v in state.items.items())),
+        tuple(
+            (array, tuple(sorted((index, repr(fields)) for index, fields in cells.items())))
+            for array, cells in sorted(state.arrays.items())
+        ),
+        tuple(
+            (table, tuple(sorted(repr(sorted(row.items())) for row in rows)))
+            for table, rows in sorted(state.tables.items())
+        ),
+    )
+
+
+def _txn_token(txn) -> tuple | None:
+    if txn is None:
+        return None
+    return (
+        txn.txn_id,
+        txn.level,
+        txn.status,
+        tuple(sorted(txn.long_locks)),
+        tuple(sorted(txn.write_set)),
+        tuple(sorted((k, v) for k, v in txn.read_versions.items())),
+        tuple(repr(entry) for entry in txn.redo),
+        tuple(repr(entry) for entry in txn.undo),
+        None if txn.snapshot_state is None else _state_token(txn.snapshot_state),
+    )
+
+
+def state_fingerprint(simulator: Simulator) -> str:
+    """A digest of everything that determines the simulator's future.
+
+    Two runs whose fingerprints collide behave identically from here on:
+    the digest covers the versioned store (current + committed + version
+    counters), the lock table (granule holders and predicate locks),
+    waits-for edges, and each instance's full progress (interpreter
+    position, workspace, transaction logs).  Conservative by construction —
+    anything hard to canonicalise (e.g. row ids) is included as-is, which
+    can only make distinct states *look* distinct, never merge them.
+    """
+    engine = simulator.engine
+    store = engine.store
+    locks = engine.locks
+    token = (
+        _state_token(store.current),
+        _state_token(store.committed),
+        tuple(sorted((k, v) for k, v in store.versions.items())),
+        tuple(
+            (key, tuple(sorted(holders.items())))
+            for key, holders in sorted(locks._held.items())
+            if holders
+        ),
+        tuple(
+            sorted(
+                (lock.txn_id, lock.table, lock.mode, lock.duration) for lock in locks._predicates
+            )
+        ),
+        tuple(sorted(simulator.wfg._graph.edges())),
+        tuple(
+            (
+                rt.index,
+                rt.status,
+                rt.started,
+                rt.at_commit,
+                rt.blocked,
+                rt.ops_done,
+                rt.restarts,
+                tuple(sorted((repr(k), repr(v)) for k, v in rt.env.items())),
+                tuple(sorted((repr(k), repr(v)) for k, v in rt.obs.items())),
+                _txn_token(rt.txn),
+            )
+            for rt in simulator._runtimes
+        ),
+    )
+    return hashlib.sha256(repr(token).encode()).hexdigest()
+
+
+class _Visited:
+    """Thread-safe check-and-add set of state fingerprints."""
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+        self._lock = threading.Lock()
+
+    def seen(self, fingerprint: str) -> bool:
+        with self._lock:
+            if fingerprint in self._seen:
+                return True
+            self._seen.add(fingerprint)
+            return False
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+
+class _Budget:
+    """Shared run budget; ``take()`` is False once exhausted."""
+
+    def __init__(self, limit: int | None) -> None:
+        self.limit = limit
+        self.used = 0
+        self.exhausted = False
+        self._lock = threading.Lock()
+
+    def take(self) -> bool:
+        with self._lock:
+            if self.limit is not None and self.used >= self.limit:
+                self.exhausted = True
+                return False
+            self.used += 1
+            return True
+
+
+# ---------------------------------------------------------------------------
+# results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one :func:`explore` call."""
+
+    runs: int = 0  # simulator runs launched (incl. pruned branches)
+    schedules: int = 0  # runs that reached a quiescent end state
+    pruned_sleep: int = 0  # branches cut because every child was asleep
+    pruned_state: int = 0  # branches cut on a revisited state fingerprint
+    truncated_depth: int = 0  # branches cut by the max_depth bound
+    truncated: bool = False  # run budget exhausted before the tree was done
+    results: list = field(default_factory=list)  # ScheduleResults (keep_results)
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": self.runs,
+            "schedules": self.schedules,
+            "pruned_sleep": self.pruned_sleep,
+            "pruned_state": self.pruned_state,
+            "truncated_depth": self.truncated_depth,
+            "truncated": self.truncated,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the explorer
+# ---------------------------------------------------------------------------
+
+
+class Explorer:
+    """Depth-first exploration over one instance set."""
+
+    def __init__(
+        self,
+        initial: DbState,
+        specs: Sequence[InstanceSpec],
+        *,
+        retry: bool = True,
+        max_steps: int = 100_000,
+        max_schedules: int | None = None,
+        max_depth: int | None = None,
+        pruning: bool = True,
+        workers: int = 1,
+        observer_factory: Callable | None = None,
+        on_schedule: Callable | None = None,
+        keep_results: bool = True,
+    ) -> None:
+        self.initial = initial
+        self.specs = list(specs)
+        self.retry = retry
+        self.max_steps = max_steps
+        self.max_depth = max_depth
+        self.pruning = pruning
+        self.workers = max(1, workers)
+        self.observer_factory = observer_factory
+        self.on_schedule = on_schedule
+        self.keep_results = keep_results
+        self.visited = _Visited() if pruning else None
+        self.budget = _Budget(max_schedules)
+        self.result = ExplorationResult()
+        self._lock = threading.Lock()
+
+    # -- single runs --------------------------------------------------------
+    def _policy(self, prefix, entry_sleep, max_depth=None) -> ExhaustivePolicy:
+        return ExhaustivePolicy(
+            prefix,
+            entry_sleep,
+            pruning=self.pruning,
+            visited=self.visited,
+            fingerprint=state_fingerprint if self.pruning else None,
+            max_depth=self.max_depth if max_depth is None else max_depth,
+        )
+
+    def _run(self, policy: ExhaustivePolicy):
+        observers = None
+        if self.observer_factory is not None:
+            built = self.observer_factory()
+            observers = built if isinstance(built, (list, tuple)) else [built]
+        simulator = Simulator(
+            self.initial.copy(),
+            self.specs,
+            retry=self.retry,
+            max_steps=self.max_steps,
+            policy=policy,
+            observers=observers,
+        )
+        schedule_result = simulator.run()
+        # let consumers (e.g. the certification pipeline) read per-run
+        # observer state — monitors are born and die with their run
+        schedule_result.observers = observers or []
+        with self._lock:
+            self.result.runs += 1
+            if policy.stop_reason is None:
+                self.result.schedules += 1
+                if self.keep_results:
+                    self.result.results.append(schedule_result)
+            elif policy.stop_reason == "sleep":
+                self.result.pruned_sleep += 1
+            elif policy.stop_reason == "state":
+                self.result.pruned_state += 1
+            elif policy.stop_reason == "depth":
+                self.result.truncated_depth += 1
+        if policy.stop_reason is None and self.on_schedule is not None:
+            self.on_schedule(schedule_result)
+        return schedule_result
+
+    # -- DFS ----------------------------------------------------------------
+    def _dfs(self, root_prefix: list, root_entry_sleep: dict) -> None:
+        """Exhaust the subtree under ``root_prefix``.
+
+        ``path`` holds the frames of decisions *below* the root prefix; the
+        deepest frame with an untried, awake sibling is re-opened by
+        re-running the simulator with the extended prefix (deterministic
+        replay reconstructs the node).
+        """
+        if not self.budget.take():
+            return
+        policy = self._policy(root_prefix, root_entry_sleep)
+        self._run(policy)
+        path = list(policy.frames)
+        while path:
+            frame = path[-1]
+            candidate = frame.next_candidate()
+            if candidate is None:
+                path.pop()
+                continue
+            if not self.budget.take():
+                return
+            frame.choice = candidate
+            prefix = root_prefix + [f.choice for f in path]
+            if self.pruning:
+                # descendants of the new branch start with the ancestors'
+                # sleep entries plus the fully-explored siblings
+                entry_sleep = dict(frame.sleep)
+                entry_sleep.update(dict(frame.tried))
+            else:
+                entry_sleep = {}
+            policy = self._policy(prefix, entry_sleep)
+            self._run(policy)
+            frame.tried.append((candidate, policy.candidate_signature or DEPENDENT))
+            path.extend(policy.frames)
+
+    def _probe_signature(self, index: int):
+        """First-step signature of root branch ``index`` (one-step run).
+
+        Probe runs are bookkeeping, not exploration — they bypass the
+        stats and the visited set (max_depth stops them before the first
+        fingerprint check).
+        """
+        policy = self._policy([index], {}, max_depth=1)
+        Simulator(
+            self.initial.copy(),
+            self.specs,
+            retry=self.retry,
+            max_steps=self.max_steps,
+            policy=policy,
+        ).run()
+        return policy.candidate_signature or DEPENDENT
+
+    def run(self) -> ExplorationResult:
+        if self.workers <= 1:
+            self._dfs([], {})
+        else:
+            # every instance is ready at the root, so the root's enabled
+            # set is simply all of them, in index order
+            roots = list(range(len(self.specs)))
+            # earlier siblings sleep in later subtrees, exactly as the
+            # sequential DFS would leave them — probe their signatures first
+            if self.pruning:
+                signatures = {index: self._probe_signature(index) for index in roots}
+            tasks = []
+            for position, index in enumerate(roots):
+                entry_sleep = (
+                    {earlier: signatures[earlier] for earlier in roots[:position]}
+                    if self.pruning
+                    else {}
+                )
+                tasks.append((index, entry_sleep))
+            parallel_map(
+                lambda task: self._dfs([task[0]], task[1]),
+                tasks,
+                workers=self.workers,
+            )
+        self.result.truncated = self.budget.exhausted
+        return self.result
+
+
+def explore(
+    initial: DbState,
+    specs: Sequence[InstanceSpec],
+    *,
+    retry: bool = True,
+    max_steps: int = 100_000,
+    max_schedules: int | None = None,
+    max_depth: int | None = None,
+    pruning: bool = True,
+    workers: int = 1,
+    observer_factory: Callable | None = None,
+    on_schedule: Callable | None = None,
+    keep_results: bool = True,
+) -> ExplorationResult:
+    """Explore the scheduling tree of ``specs`` over ``initial``.
+
+    Returns an :class:`ExplorationResult`; completed schedules are kept in
+    ``result.results`` (``keep_results``) and streamed to ``on_schedule``.
+    ``max_schedules`` bounds the total number of simulator runs (pruned
+    branches included); ``max_depth`` bounds decisions per run; ``pruning``
+    toggles both sleep sets and the visited-state dedup (for measuring
+    their effect).  ``observer_factory`` builds fresh per-run observers
+    (e.g. an anomaly monitor); ``workers`` fans root branches across
+    threads.
+    """
+    return Explorer(
+        initial,
+        specs,
+        retry=retry,
+        max_steps=max_steps,
+        max_schedules=max_schedules,
+        max_depth=max_depth,
+        pruning=pruning,
+        workers=workers,
+        observer_factory=observer_factory,
+        on_schedule=on_schedule,
+        keep_results=keep_results,
+    ).run()

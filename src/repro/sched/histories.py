@@ -9,6 +9,9 @@ Grammar per token:
 
 * ``r<t>[item]``        — transaction *t* reads ``item``;
 * ``w<t>[item=value]``  — transaction *t* writes integer ``value``;
+* ``r<t>[arr[i].attr]`` / ``w<t>[arr[i].attr=value]`` — record-array
+  variants (e.g. ``r1[acct_sav[0].bal]``), so simulator counterexamples
+  over record arrays round-trip through the DSL;
 * ``c<t>`` / ``a<t>``   — commit / abort;
 * ``rp<t>[table:attr=value]``      — predicate read (SELECT attr=value);
 * ``ins<t>[table:attr=value,...]`` — insert a row.
@@ -19,6 +22,18 @@ dropped — the lock protocol prevented the interleaving), or *aborts* the
 transaction (first-committer-wins).  The outcome object reports which
 steps executed, so a bench can assert e.g. "the dirty-read history is
 executable at READ UNCOMMITTED but its read blocks at READ COMMITTED."
+
+Two bridges to the simulator stack close the loop between the DSL and
+policy-driven execution:
+
+* :func:`compile_history` translates a history into synthetic transaction
+  types, instance specs and a scheduling script, and
+  :func:`replay_via_policy` runs them through the simulator with a
+  :class:`~repro.sched.policy.ReplayPolicy` — reproducing :func:`replay`'s
+  outcomes step for step on one shared execution core;
+* :func:`history_string` renders an executed schedule's engine history
+  back into a DSL line, making explored counterexamples replayable via
+  ``repro replay``.
 """
 
 from __future__ import annotations
@@ -32,8 +47,11 @@ from repro.engine.manager import Engine
 from repro.errors import FirstCommitterWinsAbort, TransactionAborted
 
 _TOKEN = re.compile(
-    r"^(?P<op>rp|ins|r|w|c|a)(?P<txn>\d+)(?:\[(?P<body>[^\]]*)\])?$"
+    r"^(?P<op>rp|ins|r|w|c|a)(?P<txn>\d+)(?:\[(?P<body>.*)\])?$"
 )
+
+#: Field references inside r/w token bodies: ``array[index].attr``.
+_FIELD = re.compile(r"^(?P<array>\w+)\[(?P<index>-?\d+)\]\.(?P<attr>\w+)$")
 
 
 @dataclass
@@ -93,12 +111,7 @@ def replay(
     """Replay a history; ``levels`` maps txn number -> isolation level."""
     state = initial.copy() if initial is not None else DbState(items={})
     tokens = parse(history)
-    # ensure all mentioned scalar items exist
-    for _raw, op, _txn, body in tokens:
-        if op in ("r", "w") and body:
-            item = body.split("=")[0]
-            if not state.has_item(item):
-                state.write_item(item, 0)
+    _ensure_locations(state, tokens)
     engine = Engine(state)
     txns: dict = {}
     result = ReplayResult(engine=engine)
@@ -113,11 +126,23 @@ def replay(
         txn = txns[number]
         try:
             if op == "r":
-                value = engine.read_item(txn, body)
+                target = _FIELD.match(body)
+                if target is not None:
+                    value = engine.read_field(
+                        txn, target["array"], int(target["index"]), target["attr"]
+                    )
+                else:
+                    value = engine.read_item(txn, body)
                 result.steps.append(StepOutcome(raw, "ok", value=value))
             elif op == "w":
-                item, _eq, literal = body.partition("=")
-                engine.write_item(txn, item, int(literal))
+                lhs, _eq, literal = body.partition("=")
+                target = _FIELD.match(lhs)
+                if target is not None:
+                    engine.write_field(
+                        txn, target["array"], int(target["index"]), target["attr"], int(literal)
+                    )
+                else:
+                    engine.write_item(txn, lhs, int(literal))
                 result.steps.append(StepOutcome(raw, "ok"))
             elif op == "rp":
                 table, _colon, cond = body.partition(":")
@@ -163,3 +188,249 @@ def _parse_value(literal: str):
         return int(literal)
     except ValueError:
         return literal
+
+
+def _ensure_locations(state: DbState, tokens) -> None:
+    """Pre-create every scalar/field location a history mentions (as 0)."""
+    for _raw, op, _txn, body in tokens:
+        if op not in ("r", "w") or not body:
+            continue
+        lhs = body.partition("=")[0]
+        target = _FIELD.match(lhs)
+        if target is not None:
+            array, index, attr = target["array"], int(target["index"]), target["attr"]
+            if not state.has_field(array, index, attr):
+                state.write_field(array, index, attr, 0)
+        elif not state.has_item(lhs):
+            state.write_item(lhs, 0)
+
+
+# ---------------------------------------------------------------------------
+# bridges to the policy-driven simulator
+# ---------------------------------------------------------------------------
+
+
+def compile_history(
+    history: str,
+    levels: dict,
+    initial: DbState | None = None,
+    default_level: str = "READ COMMITTED",
+):
+    """Translate a history into ``(initial, specs, script)``.
+
+    Each transaction number becomes a synthetic straight-line
+    :class:`~repro.core.program.TransactionType` (one statement per op
+    token, a :class:`~repro.core.program.Rollback` for ``a<t>``), and the
+    token order becomes a scheduling script — one entry per token, the
+    ``c<t>`` token claiming the instance's commit step.
+    """
+    from repro.core.formula import RowAttr, eq
+    from repro.core.program import Insert, Read, Rollback, Select, TransactionType, Write
+    from repro.core.terms import Field, IntConst, Item, Local, coerce
+    from repro.sched.simulator import InstanceSpec
+
+    state = initial.copy() if initial is not None else DbState(items={})
+    tokens = parse(history)
+    _ensure_locations(state, tokens)
+
+    numbers: list = []  # transaction numbers in first-appearance order
+    bodies: dict = {}  # number -> list of statements
+    for raw, op, number, body in tokens:
+        if number not in bodies:
+            bodies[number] = []
+            numbers.append(number)
+        stmts = bodies[number]
+        position = len(stmts)
+        if op == "r":
+            target = _FIELD.match(body)
+            source = (
+                Field(target["array"], IntConst(int(target["index"])), target["attr"])
+                if target is not None
+                else Item(body)
+            )
+            stmts.append(Read(into=Local(f"v{number}_{position}"), source=source))
+        elif op == "w":
+            lhs, _eq_, literal = body.partition("=")
+            target = _FIELD.match(lhs)
+            dest = (
+                Field(target["array"], IntConst(int(target["index"])), target["attr"])
+                if target is not None
+                else Item(lhs)
+            )
+            stmts.append(Write(target=dest, value=IntConst(int(literal))))
+        elif op == "rp":
+            table, _colon, cond = body.partition(":")
+            attr, _eq_, literal = cond.partition("=")
+            wanted = _parse_value(literal)
+            sort = "str" if isinstance(wanted, str) else ("bool" if isinstance(wanted, bool) else "int")
+            stmts.append(
+                Select(
+                    table=table,
+                    into=Local(f"v{number}_{position}"),
+                    where=eq(RowAttr("r", attr, sort), coerce(wanted)),
+                    row="r",
+                )
+            )
+        elif op == "ins":
+            table, _colon, assigns = body.partition(":")
+            values = []
+            for assign in assigns.split(","):
+                attr, _eq_, literal = assign.partition("=")
+                values.append((attr, coerce(_parse_value(literal))))
+            stmts.append(Insert(table=table, values=tuple(values)))
+        elif op == "a":
+            stmts.append(Rollback(reason="scripted abort"))
+        # 'c' contributes no statement: it claims the instance's commit step
+
+    index_of = {number: position for position, number in enumerate(numbers)}
+    specs = [
+        InstanceSpec(
+            txn_type=TransactionType(name=f"T{number}", body=tuple(bodies[number])),
+            level=levels.get(number, default_level),
+            name=f"T{number}",
+        )
+        for number in numbers
+    ]
+    script = [index_of[number] for _raw, _op, number, _body in tokens]
+    return state, specs, script
+
+
+def replay_via_policy(
+    history: str,
+    levels: dict,
+    initial: DbState | None = None,
+    default_level: str = "READ COMMITTED",
+) -> ReplayResult:
+    """Replay a history through the simulator's execution core.
+
+    Equivalent to :func:`replay` — same step outcomes, same final state —
+    but driven by :class:`~repro.sched.policy.ReplayPolicy` over the
+    compiled script, with blocked operations dropped exactly as the DSL
+    prescribes.
+    """
+    from repro.sched.policy import ReplayPolicy
+    from repro.sched.simulator import Simulator
+
+    state, specs, script = compile_history(history, levels, initial, default_level)
+    simulator = Simulator(
+        state,
+        specs,
+        policy=ReplayPolicy(script, on_exhausted="stop"),
+        retry=False,
+        collect_trace=True,
+        drop_blocked=True,
+    )
+    simulator.run()
+    slots: dict = {}
+    for event in simulator.trace:
+        slots.setdefault(event.slot, []).append(event)
+    result = ReplayResult(engine=simulator.engine)
+    for slot, (raw, op, _number, _body) in enumerate(parse(history), start=1):
+        result.steps.append(_outcome_from_events(raw, op, slots.get(slot, ())))
+    result.final = simulator.engine.committed_state()
+    return result
+
+
+def _outcome_from_events(raw: str, op: str, events) -> StepOutcome:
+    kinds = [event.kind for event in events]
+    if not events or "skip" in kinds:
+        # either the script entry named a finished instance, or the run
+        # ended before reaching it (all live instances already finished) —
+        # both mean the transaction died under an earlier token
+        return StepOutcome(raw, "skipped", detail="transaction aborted earlier")
+    if op == "a":
+        # the rollback op executed; the trailing abort event is the point
+        return StepOutcome(raw, "ok")
+    if "blocked" in kinds:
+        event = events[kinds.index("blocked")]
+        return StepOutcome(raw, "blocked", detail=f"blocked by {sorted(event.blockers)}")
+    if "abort" in kinds:
+        event = events[kinds.index("abort")]
+        return StepOutcome(raw, "aborted", detail=event.detail)
+    if "commit" in kinds:
+        return StepOutcome(raw, "ok")
+    if "op" in kinds:
+        event = events[kinds.index("op")]
+        value = event.value if op in ("r", "rp") else None
+        return StepOutcome(raw, "ok", value=value)
+    return StepOutcome(raw, "ok")  # pragma: no cover - every step emits events
+
+
+# ---------------------------------------------------------------------------
+# schedules back to history strings
+# ---------------------------------------------------------------------------
+
+
+def history_numbering(history_ops) -> dict:
+    """Engine ``txn_id`` -> DSL transaction number, 1..n in begin order.
+
+    The same numbering :func:`history_string` uses, so a caller can
+    translate per-instance facts (e.g. isolation levels) into the
+    ``--levels N=LEVEL`` assignments that make the rendered history
+    replayable.
+    """
+    numbering: dict = {}
+    for op in history_ops:
+        if op.kind == "begin":
+            numbering.setdefault(op.txn_id, len(numbering) + 1)
+    return numbering
+
+
+def history_string(history_ops) -> str | None:
+    """Render recorded engine operations as a replayable DSL line.
+
+    Transactions are renumbered 1..n in begin order (a restarted instance
+    gets a fresh number — its aborted incarnation is part of the history).
+    Returns ``None`` when the history contains operations the DSL cannot
+    express (updates, deletes, non-literal values).
+    """
+    numbering: dict = {}
+    tokens: list = []
+    for op in history_ops:
+        if op.kind == "begin":
+            numbering.setdefault(op.txn_id, len(numbering) + 1)
+            continue
+        number = numbering.get(op.txn_id)
+        if number is None:  # pragma: no cover - begins always precede ops
+            return None
+        if op.kind == "commit":
+            tokens.append(f"c{number}")
+        elif op.kind == "abort":
+            tokens.append(f"a{number}")
+        elif op.kind in ("r", "w"):
+            rendered = _render_access(number, op)
+            if rendered is None:
+                return None
+            tokens.extend(rendered)
+        else:
+            return None
+    return " ".join(tokens)
+
+
+def _render_access(number: int, op) -> list | None:
+    key = op.key
+    if key is None:
+        return None
+    if op.kind == "r":
+        if key[0] == "item":
+            return [f"r{number}[{key[1]}]"]
+        if key[0] == "record":
+            attrs = op.info.get("attrs")
+            if attrs is None:
+                attr = op.info.get("attr")
+                attrs = (attr,) if attr is not None else None
+            if attrs is None or any(a is None for a in attrs):
+                return None
+            return [f"r{number}[{key[1]}[{key[2]}].{attr}]" for attr in attrs]
+        return None
+    value = op.info.get("value")
+    if not isinstance(value, int) or isinstance(value, bool):
+        return None
+    if key[0] == "item":
+        return [f"w{number}[{key[1]}={value}]"]
+    if key[0] == "record":
+        attr = op.info.get("attr")
+        if attr is None:
+            return None
+        return [f"w{number}[{key[1]}[{key[2]}].{attr}={value}]"]
+    return None

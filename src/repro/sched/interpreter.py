@@ -29,6 +29,7 @@ from repro.core.program import (
     LocalAssign,
     Read,
     ReadRecord,
+    Rollback,
     Select,
     SelectCount,
     SelectScalar,
@@ -123,9 +124,12 @@ def steps(
                 values = yield (
                     lambda a=stmt.array, i=index, fs=attrs: engine.read_record(txn, a, i, fs)
                 )
-                for attr, local in stmt.binds:
-                    env[local] = values[attr]
-                    obs[("field", stmt.array, index, attr)] = values[attr]
+                # a dropped (blocked) operation sends None back: no values
+                # were observed, so the locals stay unbound
+                if values is not None:
+                    for attr, local in stmt.binds:
+                        env[local] = values[attr]
+                        obs[("field", stmt.array, index, attr)] = values[attr]
             elif isinstance(stmt, Write):
                 value = _local_eval(stmt.value, env)
                 target = stmt.target
@@ -143,6 +147,8 @@ def steps(
             elif isinstance(stmt, Select):
                 predicate = _row_predicate(stmt.where, stmt.row, env)
                 rows = yield (lambda t=stmt.table, p=predicate: engine.select(txn, t, p))
+                if rows is None:  # dropped (blocked) operation
+                    rows = []
                 if stmt.attrs is not None:
                     rows = [{attr: row.get(attr) for attr in stmt.attrs} for row in rows]
                 env[stmt.into] = tuple(tuple(sorted(row.items())) for row in rows)
@@ -153,7 +159,7 @@ def steps(
             elif isinstance(stmt, SelectCount):
                 predicate = _row_predicate(stmt.where, stmt.row, env)
                 rows = yield (lambda t=stmt.table, p=predicate: engine.select(txn, t, p))
-                env[stmt.into] = len(rows)
+                env[stmt.into] = len(rows or ())
             elif isinstance(stmt, Insert):
                 row = {attr: _local_eval(term, env) for attr, term in stmt.values}
                 yield (lambda t=stmt.table, r=row: engine.insert(txn, t, r))
@@ -178,6 +184,11 @@ def steps(
                     if fuel < 0:
                         raise ScheduleError(f"loop fuel exhausted in {stmt!r}")
                     yield from run(stmt.body)
+            elif isinstance(stmt, Rollback):
+                # one engine op: abort the transaction (undo + lock release);
+                # the simulator notices the aborted status and finishes the
+                # instance without retrying
+                yield (lambda reason=stmt.reason: engine.abort(txn, reason=reason))
             elif isinstance(stmt, ForEach):
                 buffered = env.get(stmt.buffer, ())
                 for packed in buffered:

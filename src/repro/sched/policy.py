@@ -1,0 +1,281 @@
+"""Scheduling policies: the decision-point interface of the simulator.
+
+The simulator owns the execution core (one engine operation per step);
+*which* instance takes the next step is delegated to a
+:class:`SchedulePolicy`.  A policy implements::
+
+    choose(active, simulator) -> _Runtime | None
+
+``active`` is the list of runtimes that are still ready/running, in
+instance order; ``simulator`` exposes the full runtime state (engine,
+waits-for graph, stats) for policies that want it.  Returning ``None``
+stops the run (the schedule stays incomplete).  A policy may also define
+``observe_step(simulator, runtime, ops)``, called after every executed
+step with the slice of engine history the step produced — the hook the
+exhaustive policy uses to learn conflict information.
+
+Three policies:
+
+* :class:`RandomPolicy` — the seeded uniformly-random picker used by the
+  statistical validation sweeps (prefers unblocked instances);
+* :class:`ReplayPolicy` — an explicit script of instance indices, one per
+  step, for reproducing exact anomaly interleavings (this subsumes the
+  history-DSL replay in :mod:`repro.sched.histories`);
+* :class:`ExhaustivePolicy` — one depth-first branch of a systematic
+  exploration, following a forced decision prefix and then extending it
+  deterministically while maintaining a *sleep set* (DPOR-lite, after
+  Godefroid): scheduling decisions whose first operation commutes with
+  everything executed since a sibling branch covered them are never
+  re-explored.  :mod:`repro.sched.explore` drives the backtracking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
+
+from repro.errors import ScheduleError
+
+
+class SchedulePolicy:
+    """Decides which instance the simulator steps next."""
+
+    def choose(self, active, simulator):
+        """Return the runtime to step next, or ``None`` to stop the run."""
+        raise NotImplementedError
+
+
+class RandomPolicy(SchedulePolicy):
+    """Seeded uniformly-random scheduling, preferring unblocked instances."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def choose(self, active, simulator):
+        unblocked = [rt for rt in active if not rt.blocked]
+        pool = unblocked or active
+        return pool[self.rng.randrange(len(pool))]
+
+
+class ReplayPolicy(SchedulePolicy):
+    """Replay an explicit script of instance indices.
+
+    Script entries naming a finished instance are consumed without a step
+    (the simulator records a skip).  When the script runs out,
+    ``on_exhausted`` selects the behaviour: ``"random"`` finishes the
+    remaining instances with a :class:`RandomPolicy` seeded with ``seed``
+    (the historical ``Simulator(script=...)`` behaviour), ``"stop"`` ends
+    the run, leaving unfinished instances incomplete (the history-DSL
+    behaviour).
+    """
+
+    def __init__(
+        self,
+        script: Sequence[int],
+        seed: int = 0,
+        on_exhausted: str = "random",
+    ) -> None:
+        if on_exhausted not in ("random", "stop"):
+            raise ValueError(f"on_exhausted must be 'random' or 'stop', not {on_exhausted!r}")
+        self.script = list(script)
+        self.position = 0
+        self.on_exhausted = on_exhausted
+        self._fallback = RandomPolicy(seed)
+
+    def choose(self, active, simulator):
+        if self.position >= len(self.script):
+            if self.on_exhausted == "stop":
+                return None
+            return self._fallback.choose(active, simulator)
+        index = self.script[self.position]
+        self.position += 1
+        runtimes = simulator._runtimes
+        if not (0 <= index < len(runtimes)):
+            raise ScheduleError(f"script index {index} out of range")
+        return runtimes[index]
+
+
+# ---------------------------------------------------------------------------
+# conflict signatures (the engine-derived independence relation)
+# ---------------------------------------------------------------------------
+
+#: Sentinel signature for steps that must be considered dependent on every
+#: other step: commits and aborts (they release locks and publish state)
+#: and blocked attempts (they probe lock state without recording history).
+DEPENDENT = "<dependent>"
+
+
+def _resource(key: tuple):
+    """Collapse engine lock keys to conflict granules (tables coarsened)."""
+    if key[0] in ("table", "row"):
+        return ("table", key[1])
+    return key
+
+
+def op_signature(ops):
+    """Summarise one scheduler step's engine operations for independence.
+
+    ``ops`` is the slice of engine history the step produced.  The result
+    is either :data:`DEPENDENT` or a frozenset of ``(resource, is_write)``
+    pairs.  An empty slice means the step blocked (or was dropped) — the
+    attempt still interacted with the lock table, so it is conservatively
+    dependent on everything.
+    """
+    if not ops:
+        return DEPENDENT
+    signature = set()
+    for op in ops:
+        if op.kind == "begin":
+            continue
+        if op.kind in ("commit", "abort") or op.key is None:
+            return DEPENDENT
+        signature.add((_resource(op.key), op.kind != "r"))
+    if not signature:
+        # a bare begin: the step also executed nothing else observable,
+        # which cannot happen for a real op step — stay conservative
+        return DEPENDENT
+    return frozenset(signature)
+
+
+def independent(sig_a, sig_b) -> bool:
+    """Do two step signatures commute (no shared granule with a write)?"""
+    if sig_a is None or sig_b is None or DEPENDENT in (sig_a, sig_b):
+        return False
+    for resource, is_write in sig_a:
+        for other, other_write in sig_b:
+            if resource == other and (is_write or other_write):
+                return False
+    return True
+
+
+def _filter_sleep(sleep: dict, signature) -> dict:
+    """Keep only sleep entries independent of the step just executed."""
+    return {index: sig for index, sig in sleep.items() if independent(sig, signature)}
+
+
+# ---------------------------------------------------------------------------
+# the exhaustive policy (one DFS branch)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Frame:
+    """One decision point on the current DFS path."""
+
+    depth: int
+    enabled: tuple  # instance indices eligible at this node, in order
+    sleep: dict  # index -> signature asleep at this node
+    choice: int  # child currently on the path
+    tried: list = dataclass_field(default_factory=list)  # [(index, signature)]
+
+    def next_candidate(self):
+        """The next unexplored, not-asleep child, or ``None``."""
+        done = {index for index, _sig in self.tried}
+        for index in self.enabled:
+            if index not in done and index not in self.sleep:
+                return index
+        return None
+
+
+def enabled_indices(active) -> list:
+    """Candidate instances at a decision point, unblocked preferred.
+
+    Mirrors :class:`RandomPolicy`'s pool so the explored tree covers the
+    same schedules the random sweeps sample from, in deterministic order.
+    """
+    unblocked = sorted(rt.index for rt in active if not rt.blocked)
+    return unblocked or sorted(rt.index for rt in active)
+
+
+class ExhaustivePolicy(SchedulePolicy):
+    """Drive one run of a DFS over scheduling decisions.
+
+    The policy follows ``prefix`` (a list of instance indices, one per
+    decision), then extends the path deterministically: at each new node
+    it steps the lowest-indexed enabled instance that is not asleep.  It
+    records a :class:`Frame` per new node so the explorer can backtrack,
+    and threads the sleep set forward, waking entries whose signature
+    conflicts with each executed step.
+
+    ``entry_sleep`` is the sleep context of the *last* prefix decision
+    (the candidate branch being opened): ancestors' sleep entries plus the
+    signatures of previously explored siblings.  It is filtered by the
+    candidate's own first-step signature once that is observed.
+
+    Pruning hooks (both optional):
+
+    * ``visited`` — an object with ``seen(fingerprint) -> bool``
+      (check-and-add); a revisited state ends the run (``stop_reason
+      == "state"``);
+    * ``max_depth`` — decision budget per run (``stop_reason == "depth"``).
+    """
+
+    def __init__(
+        self,
+        prefix: Sequence[int] = (),
+        entry_sleep: dict | None = None,
+        *,
+        pruning: bool = True,
+        visited=None,
+        fingerprint=None,
+        max_depth: int | None = None,
+    ) -> None:
+        self.prefix = list(prefix)
+        self.entry_sleep = dict(entry_sleep or {})
+        self.pruning = pruning
+        self.visited = visited if pruning else None
+        self.fingerprint = fingerprint
+        self.max_depth = max_depth
+        self.depth = 0
+        # live sleep set; seeded immediately for an empty prefix, otherwise
+        # derived from entry_sleep when the candidate's signature arrives
+        self.sleep: dict = {} if not self.prefix else dict(self.entry_sleep)
+        self.frames: list = []  # new frames (depths >= len(prefix))
+        self.candidate_signature = None  # first-step signature of prefix[-1]
+        self.stop_reason = None  # None | "sleep" | "state" | "depth"
+
+    def choose(self, active, simulator):
+        depth = self.depth
+        if depth < len(self.prefix):
+            index = self.prefix[depth]
+            self.depth += 1
+            return simulator._runtimes[index]
+        if self.max_depth is not None and depth >= self.max_depth:
+            self.stop_reason = "depth"
+            return None
+        if self.visited is not None and self.fingerprint is not None:
+            if self.visited.seen(self.fingerprint(simulator)):
+                self.stop_reason = "state"
+                return None
+        enabled = enabled_indices(active)
+        candidates = [index for index in enabled if index not in self.sleep]
+        if not candidates:
+            # every enabled decision is covered by a sibling branch
+            self.stop_reason = "sleep"
+            return None
+        choice = candidates[0]
+        self.frames.append(
+            Frame(depth=depth, enabled=tuple(enabled), sleep=dict(self.sleep), choice=choice)
+        )
+        self.depth += 1
+        return simulator._runtimes[choice]
+
+    def observe_step(self, simulator, runtime, ops):
+        signature = op_signature(ops)
+        depth = self.depth - 1  # the decision just executed
+        if depth == len(self.prefix) - 1:
+            # the candidate branch's own first step: seed the live sleep set
+            self.candidate_signature = signature
+            self.sleep = _filter_sleep(self.entry_sleep, signature)
+            return
+        if depth < len(self.prefix):
+            return  # interior prefix step: decisions already taken
+        if not self.pruning:
+            if self.frames:
+                frame = self.frames[-1]
+                frame.tried.append((frame.choice, signature))
+            return
+        frame = self.frames[-1]
+        frame.tried.append((frame.choice, signature))
+        self.sleep = _filter_sleep(self.sleep, signature)

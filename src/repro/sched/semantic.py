@@ -153,13 +153,13 @@ def validate_level(
     the tally should be zero; one level below, witnesses should appear.
     Returns ``{"rounds", "violations", "witnesses", "serial_divergences"}``.
     """
-    from repro.sched.simulator import Simulator
+    from repro.sched.simulator import Simulator, round_seeds
 
     violations = 0
     witnesses = []
     serial_divergences = 0
-    for round_index in range(rounds):
-        simulator = Simulator(initial.copy(), specs, seed=seed + round_index, retry=retry)
+    for round_index, round_seed in enumerate(round_seeds(seed, rounds)):
+        simulator = Simulator(initial.copy(), specs, seed=round_seed, retry=retry)
         schedule = simulator.run()
         report = check_semantic_correctness(schedule, invariant, cumulative)
         if not report.correct:

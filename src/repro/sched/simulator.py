@@ -1,21 +1,27 @@
 """Interleaved execution of transaction instances under the engine.
 
-The simulator owns scheduling policy; the engine owns level semantics.
-Each scheduler step attempts exactly one engine operation of one instance:
+The simulator owns the execution core; the engine owns level semantics;
+a :class:`repro.sched.policy.SchedulePolicy` owns the scheduling
+decisions.  Each scheduler step attempts exactly one engine operation of
+one instance:
 
 * a successful operation advances that instance's interpreter;
 * an operation that raises :class:`~repro.engine.locks.WouldBlock` leaves
   the instance blocked (the same thunk is retried when next scheduled) and
-  records waits-for edges; a cycle aborts the youngest transaction in it;
+  records waits-for edges; a cycle aborts the youngest transaction in it —
+  unless ``drop_blocked`` is set, in which case the blocked operation is
+  *dropped* (the history-DSL convention: the lock protocol prevented the
+  interleaving, the script moves on);
 * first-committer-wins aborts (READ COMMITTED FCW writes, SNAPSHOT
   commits) and deadlock-victim aborts optionally restart the instance from
   scratch against the now-committed state — the standard retry loop;
-* ``abort_after`` injects an explicit rollback after N database operations
-  — how the READ UNCOMMITTED rollback scenarios are driven.
+* an explicit :class:`~repro.core.program.Rollback` statement (and the
+  legacy ``abort_after`` injection) aborts the instance without retry.
 
-Two scheduling policies: a seeded uniformly-random picker (for statistical
-validation sweeps), and a *script* — an explicit list of instance indices,
-one per step — for reproducing exact anomaly interleavings.
+Policies are pluggable (see :mod:`repro.sched.policy`); the ``seed`` and
+``script`` constructor arguments remain as shorthand for
+:class:`~repro.sched.policy.RandomPolicy` and
+:class:`~repro.sched.policy.ReplayPolicy` respectively.
 """
 
 from __future__ import annotations
@@ -29,9 +35,11 @@ from repro.core.state import DbState
 from repro.engine.deadlock import WaitsForGraph
 from repro.engine.locks import WouldBlock
 from repro.engine.manager import Engine
+from repro.engine.transaction import ABORTED as _TXN_ABORTED
 from repro.errors import FirstCommitterWinsAbort, ScheduleError, TransactionAborted
 from repro.sched.interpreter import bind_ghosts, steps
 from repro.sched.monitor import GuardVeto
+from repro.sched.policy import RandomPolicy, ReplayPolicy, SchedulePolicy
 from repro.sched.schedule import InstanceOutcome, ScheduleResult
 
 
@@ -47,6 +55,23 @@ class InstanceSpec:
 
     def label(self, index: int) -> str:
         return self.name or f"{self.txn_type.name}#{index}"
+
+
+@dataclass
+class TraceEvent:
+    """One recorded scheduling event (``collect_trace=True``).
+
+    ``slot`` counts policy decisions (1-based): every consumed scheduling
+    decision — including skips of finished instances — gets one slot, so a
+    replayed script aligns slot-for-entry with its source.
+    """
+
+    slot: int
+    kind: str  # op | commit | abort | blocked | skip
+    index: int
+    value: object = None
+    detail: str = ""
+    blockers: tuple = ()
 
 
 class _Runtime:
@@ -86,6 +111,9 @@ class Simulator:
         max_steps: int = 100_000,
         phantom_protection: bool = True,
         observers: Sequence | None = None,
+        policy: SchedulePolicy | None = None,
+        collect_trace: bool = False,
+        drop_blocked: bool = False,
     ) -> None:
         self.engine = Engine(initial, phantom_protection=phantom_protection)
         #: callables invoked as ``observer(self, runtime)`` after every
@@ -94,11 +122,17 @@ class Simulator:
         self.observers = list(observers or [])
         self.initial = initial.copy()
         self.specs = list(specs)
-        self.rng = random.Random(seed)
         self.script = list(script) if script is not None else None
+        if policy is None:
+            if script is not None:
+                policy = ReplayPolicy(script, seed=seed, on_exhausted="random")
+            else:
+                policy = RandomPolicy(seed)
+        self.policy = policy
         self.retry = retry
         self.max_restarts = max_restarts
         self.max_steps = max_steps
+        self.drop_blocked = drop_blocked
         self.wfg = WaitsForGraph()
         self.stats = {
             "steps": 0,
@@ -112,36 +146,33 @@ class Simulator:
         self._runtimes = [_Runtime(i, spec) for i, spec in enumerate(self.specs)]
         self._committed_states: dict = {}
         self._realised: list = []
+        self.trace: list | None = [] if collect_trace else None
+        self._slot = 0
 
     # -- public ------------------------------------------------------------
     def run(self) -> ScheduleResult:
-        script_pos = 0
         while self.stats["steps"] < self.max_steps:
             active = [rt for rt in self._runtimes if rt.status in ("ready", "running")]
             if not active:
                 break
-            if self.script is not None:
-                if script_pos >= len(self.script):
-                    # script exhausted: finish the remainder round-robin
-                    choice = self._pick_random(active)
-                else:
-                    index = self.script[script_pos]
-                    script_pos += 1
-                    if not (0 <= index < len(self._runtimes)):
-                        raise ScheduleError(f"script index {index} out of range")
-                    choice = self._runtimes[index]
-                    if choice.status not in ("ready", "running"):
-                        continue
-            else:
-                choice = self._pick_random(active)
+            choice = self.policy.choose(active, self)
+            if choice is None:
+                break
+            self._slot += 1
+            if choice.status not in ("ready", "running"):
+                self._note("skip", choice, detail="transaction aborted earlier")
+                continue
+            mark = len(self.engine.history)
             self._step(choice)
+            observe = getattr(self.policy, "observe_step", None)
+            if observe is not None:
+                observe(self, choice, self.engine.history[mark:])
         return self._result()
 
     # -- internals ------------------------------------------------------------
-    def _pick_random(self, active) -> _Runtime:
-        unblocked = [rt for rt in active if not rt.blocked]
-        pool = unblocked or active
-        return pool[self.rng.randrange(len(pool))]
+    def _note(self, kind: str, rt: _Runtime, **payload) -> None:
+        if self.trace is not None:
+            self.trace.append(TraceEvent(slot=self._slot, kind=kind, index=rt.index, **payload))
 
     def _start(self, rt: _Runtime) -> None:
         spec = rt.spec
@@ -189,6 +220,7 @@ class Simulator:
                 self.wfg.remove(rt.txn.txn_id)
                 self.stats["commits"] += 1
                 self._committed_states[rt.index] = self.engine.committed_state()
+                self._note("commit", rt)
                 # SNAPSHOT transactions publish their buffered writes at
                 # commit: observers must see that state transition too
                 for observer in self.observers:
@@ -210,6 +242,13 @@ class Simulator:
             self.wfg.clear_waits(rt.txn.txn_id)
             rt.last_result = result
             rt.pending = None
+            self._note("op", rt, value=result)
+            if rt.txn.status == _TXN_ABORTED:
+                # an explicit Rollback statement tore the transaction down
+                # through the engine; the rollback is part of the program,
+                # so the instance finishes aborted without retry
+                self._finish_aborted(rt, rt.txn.abort_reason or "rollback", allow_retry=False)
+                return
             # advance the interpreter now so the operation's result lands
             # in the workspace before observers look at it
             injected = rt.spec.abort_after is not None and rt.ops_done >= rt.spec.abort_after
@@ -224,6 +263,15 @@ class Simulator:
                 return
         except WouldBlock as block:
             self.stats["waits"] += 1
+            self._note("blocked", rt, blockers=tuple(sorted(block.blockers)))
+            if self.drop_blocked:
+                # history-DSL semantics: the blocked operation is dropped
+                # (not retried) and no waits-for edges accumulate
+                if not rt.at_commit:
+                    rt.last_result = None
+                    rt.pending = None
+                    self._advance(rt)
+                return
             rt.blocked = True
             self.wfg.add_waits(rt.txn.txn_id, block.blockers)
             self._resolve_deadlock()
@@ -263,6 +311,7 @@ class Simulator:
 
     def _finish_aborted(self, rt: _Runtime, reason: str, allow_retry: bool) -> None:
         rt.abort_reasons.append(reason)
+        self._note("abort", rt, detail=reason)
         self.wfg.remove(rt.txn.txn_id)
         rt.blocked = False
         if rt.gen is not None:
@@ -325,6 +374,17 @@ class _FirstSentinel:
 _FIRST = _FirstSentinel()
 
 
+def round_seeds(seed: int, rounds: int) -> list:
+    """Independent per-round seeds drawn from a ``random.Random(seed)`` stream.
+
+    Deriving round seeds as ``seed + round_index`` makes sweeps with
+    adjacent base seeds share most of their interleavings; a seeded stream
+    keeps rounds reproducible without that overlap.
+    """
+    stream = random.Random(seed)
+    return [stream.randrange(2**32) for _ in range(rounds)]
+
+
 def run_random_schedules(
     initial: DbState,
     specs: Sequence[InstanceSpec],
@@ -334,7 +394,7 @@ def run_random_schedules(
 ) -> list:
     """Run the same instance set under many random interleavings."""
     results = []
-    for round_index in range(rounds):
-        simulator = Simulator(initial.copy(), specs, seed=seed + round_index, retry=retry)
+    for round_seed in round_seeds(seed, rounds):
+        simulator = Simulator(initial.copy(), specs, seed=round_seed, retry=retry)
         results.append(simulator.run())
     return results

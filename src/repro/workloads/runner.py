@@ -15,7 +15,7 @@ from typing import Callable, Mapping, Sequence
 from repro.core.formula import Formula, TRUE
 from repro.core.state import DbState
 from repro.sched.semantic import check_semantic_correctness
-from repro.sched.simulator import Simulator
+from repro.sched.simulator import Simulator, round_seeds
 from repro.workloads.generator import WorkloadConfig
 from repro.workloads.metrics import RunMetrics
 
@@ -31,11 +31,11 @@ def run_workload(
 ) -> RunMetrics:
     """Run a workload ``rounds`` times under random interleavings."""
     metrics = RunMetrics()
-    for round_index in range(rounds):
+    for round_seed in round_seeds(seed, rounds):
         simulator = Simulator(
             initial.copy(),
             specs,
-            seed=seed + round_index,
+            seed=round_seed,
             retry=retry,
             max_restarts=max_restarts,
         )

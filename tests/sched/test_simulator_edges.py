@@ -5,7 +5,7 @@ import pytest
 from repro.core.formula import ge
 from repro.core.program import Read, TransactionType, Write
 from repro.core.state import DbState
-from repro.core.terms import Item, Local
+from repro.core.terms import Item, Local, LogicalVar
 from repro.errors import ScheduleError
 from repro.sched.simulator import InstanceSpec, Simulator
 
@@ -79,6 +79,132 @@ class TestCapsAndStalls:
         assert len(result.committed) == 1
         assert len(result.aborted) == 1
         assert result.stats["deadlocks"] == 1
+
+
+class TestWouldBlockRetry:
+    def test_blocked_operation_is_retried_until_the_lock_frees(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        # A takes the long write lock on x; B's read blocks twice before A
+        # commits, then the very same operation succeeds on retry
+        sim = Simulator(DbState(items={"x": 0}), specs, script=[0, 0, 1, 1, 0, 1, 1, 1])
+        result = sim.run()
+        assert result.stats["waits"] == 2
+        assert len(result.committed) == 2
+        # B's read landed after A's commit, so no update is lost
+        assert result.final.read_item("x") == 2
+
+    def test_blocked_instance_does_not_advance_its_program(self):
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "B"),
+        ]
+        sim = Simulator(
+            DbState(items={"x": 0}), specs, script=[0, 0, 1], seed=3, collect_trace=True
+        )
+        sim.run()
+        blocked = [event for event in sim.trace if event.kind == "blocked"]
+        assert blocked and blocked[0].index == 1
+        assert blocked[0].blockers  # the blocking txn is named
+
+    def test_ghost_rebinds_to_observed_value_after_blocking(self):
+        """The logical-variable snapshot follows the observed read, not the
+        stale committed state the transaction happened to begin under."""
+        reader = TransactionType(
+            name="R",
+            body=(Read(Local("v"), Item("x")),),
+            snapshot=((LogicalVar("X0"), Item("x")),),
+        )
+        specs = [
+            InstanceSpec(incrementer(), {}, "READ COMMITTED", "A"),
+            InstanceSpec(reader, {}, "READ COMMITTED", "B"),
+        ]
+        envs = {}
+
+        def capture(sim, rt):
+            if rt.status == "committed":
+                envs[rt.spec.name] = dict(rt.env)
+
+        sim = Simulator(
+            DbState(items={"x": 0}),
+            specs,
+            script=[0, 0, 1, 0, 1, 1],
+            observers=[capture],
+        )
+        result = sim.run()
+        assert len(result.committed) == 2
+        # B began while x was still 0, blocked on A's write lock, and read 1
+        # after A committed — the ghost must equal the observed 1
+        assert envs["B"][LogicalVar("X0")] == 1
+
+
+class TestRestartRebinding:
+    def deadlock_pair(self):
+        t_xy = TransactionType(
+            name="XY",
+            body=(
+                Read(Local("a"), Item("x")), Write(Item("x"), Local("a") + 1),
+                Read(Local("b"), Item("y")), Write(Item("y"), Local("b") + 1),
+            ),
+            snapshot=((LogicalVar("X0"), Item("x")),),
+        )
+        t_yx = TransactionType(
+            name="YX",
+            body=(
+                Read(Local("a"), Item("y")), Write(Item("y"), Local("a") + 1),
+                Read(Local("b"), Item("x")), Write(Item("x"), Local("b") + 1),
+            ),
+            snapshot=((LogicalVar("X0"), Item("y")),),
+        )
+        return [
+            InstanceSpec(t_xy, {}, "READ COMMITTED", "A"),
+            InstanceSpec(t_yx, {}, "READ COMMITTED", "B"),
+        ]
+
+    # both instances take their first lock, then cross: deadlock.  The
+    # victim (index 1) restarts; the script lets the survivor commit before
+    # the victim's retry, which then runs to completion alone.
+    DEADLOCK_THEN_RETRY = [0, 0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 1, 1]
+
+    def test_deadlock_victim_retries_and_both_commit(self):
+        sim = Simulator(
+            DbState(items={"x": 0, "y": 0}),
+            self.deadlock_pair(),
+            script=self.DEADLOCK_THEN_RETRY,
+            retry=True,
+        )
+        result = sim.run()
+        assert result.stats["deadlocks"] == 1
+        assert result.stats["restarts"] == 1
+        assert len(result.committed) == 2
+        assert result.final.read_item("x") == 2
+        assert result.final.read_item("y") == 2
+
+    def test_restarted_instance_rebinds_ghosts_to_fresh_state(self):
+        envs = {}
+        restarted = {}
+
+        def capture(sim, rt):
+            if rt.status == "committed":
+                envs[rt.spec.name] = dict(rt.env)
+                restarted[rt.spec.name] = rt.restarts
+
+        sim = Simulator(
+            DbState(items={"x": 0, "y": 0}),
+            self.deadlock_pair(),
+            script=self.DEADLOCK_THEN_RETRY,
+            retry=True,
+            observers=[capture],
+        )
+        result = sim.run()
+        assert len(result.committed) == 2
+        assert restarted == {"A": 0, "B": 1}
+        # the survivor incremented both items before the victim's retry ran,
+        # so the victim's snapshot ghost must see 1 — a stale rebinding
+        # would still show the initial 0
+        assert envs["B"][LogicalVar("X0")] == 1
 
 
 class TestObserverContract:

@@ -89,3 +89,119 @@ class TestGuardOption:
         assert code == 0
         out = capsys.readouterr().out
         assert "assertional concurrency control: ON" in out
+
+
+class TestLevelOverrides:
+    def test_simulate_with_mixed_levels(self, capsys):
+        code = main(
+            ["simulate", "banking", "--level", "REPEATABLE READ",
+             "--levels", "Deposit_sav=READ COMMITTED",
+             "--levels", "Deposit_ch=READ COMMITTED",
+             "--size", "4", "--rounds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "READ COMMITTED" in out and "REPEATABLE READ" in out
+
+    def test_malformed_level_assignment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "banking", "--levels", "Withdraw_sav", "--size", "2"])
+
+
+class TestExhaustiveSimulate:
+    def test_simulate_policy_exhaustive(self, capsys):
+        code = main(
+            ["simulate", "banking", "--policy", "exhaustive",
+             "--level", "READ COMMITTED", "--size", "2", "--max-schedules", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "policy:     exhaustive" in out
+        assert "schedules:" in out
+
+
+class TestExploreCommand:
+    def test_explore_finds_rc_lost_update(self, capsys):
+        code = main(
+            ["explore", "banking", "--scenario", "withdraw-race",
+             "--level", "READ COMMITTED"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "semantic violations:" in out
+        assert "repro replay" in out
+
+    def test_explore_clean_at_repeatable_read(self, capsys):
+        code = main(
+            ["explore", "banking", "--scenario", "withdraw-race",
+             "--level", "REPEATABLE READ"]
+        )
+        assert code == 0
+        assert "semantic violations: 0" in capsys.readouterr().out
+
+    def test_explore_json_payload(self, capsys):
+        import json as json_module
+
+        code = main(
+            ["explore", "banking", "--scenario", "withdraw-race",
+             "--level", "READ COMMITTED", "--json"]
+        )
+        assert code == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload[0]["scenario"] == "withdraw-race"
+        assert payload[0]["violations"] > 0
+        assert payload[0]["witnesses"][0]["history"]
+
+    def test_explore_requires_scenario_choice(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "banking"])
+
+    def test_explore_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "banking", "--scenario", "nope"])
+
+    def test_explore_app_without_scenarios_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "employees"])
+
+
+class TestJsonOutput:
+    def test_analyze_single_transaction_json(self, capsys):
+        import json as json_module
+
+        code = main(
+            ["analyze", "employees", "--transaction", "Print_Record",
+             "--level", "READ COMMITTED", "--budget", "3000", "--json"]
+        )
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["transaction"] == "Print_Record"
+        assert payload["ok"] is True
+
+    def test_analyze_full_app_json(self, capsys):
+        import json as json_module
+
+        code = main(["analyze", "employees", "--budget", "3000", "--json"])
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["application"] == "employees"
+        assert "levels" in payload and "tiers" in payload and "cache" in payload
+
+
+class TestCertifyCommand:
+    def test_certify_parser_defaults(self):
+        args = build_parser().parse_args(["certify", "banking"])
+        assert args.app == "banking"
+        assert args.ladder == "ansi"
+        assert args.max_schedules == 500
+
+    def test_certify_banking_agreement(self, capsys):
+        import json as json_module
+
+        code = main(["certify", "banking", "--json"])
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["agreement"] is True
+        assert {v["transaction"] for v in payload["verdicts"]} == {
+            "Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch",
+        }

@@ -1,0 +1,121 @@
+"""E13 — SDG obligation pre-pruning: equivalence and cost.
+
+Two claims, benchmarked:
+
+1. **Soundness / equivalence** — with SDG pruning on vs. off the chooser
+   returns byte-identical level assignments for every bundled application
+   (the pruned obligations are exactly the ones the checker's disjointness
+   tier would prove, so only the dispatch work disappears).
+2. **Cost** — pruning removes a strictly positive number of obligations
+   per application and shaves dispatch/cache overhead off the analysis
+   wall-clock.
+
+Emits ``BENCH_sdg.json`` with per-application pruned/discharged counts and
+wall-clock deltas.  tpcc is analysed at a reduced budget — its BMC tier
+dominates either way and one equivalence data point suffices per app.
+"""
+
+import time
+
+import pytest
+
+from benchmarks._report import emit, emit_json
+from repro.apps import registry
+from repro.core.cache import VerdictCache
+from repro.core.chooser import analyze_application
+from repro.core.interference import InterferenceChecker
+from repro.core.prover import clear_prover_caches
+from repro.core.report import format_table
+
+#: BMC budget per application: enough to decide every bundled app, small
+#: enough for a CI-friendly double (on/off) run.  tpcc's BMC tier costs
+#: ~1.8s per sample batch, so it gets the smallest budget.
+BUDGETS = {"tpcc": 30, "orders": 60, "orders-strict": 60}
+DEFAULT_BUDGET = 200
+
+
+def _analyze(name, app, use_sdg: bool):
+    # cold prover memo per run keeps the on/off timings symmetric; budgets
+    # key on the registry name (``tpcc``), not ``app.name`` (``tpcc-lite``)
+    clear_prover_caches()
+    checker = InterferenceChecker(
+        app.spec,
+        budget=BUDGETS.get(name, DEFAULT_BUDGET),
+        cache=VerdictCache(enabled=False),
+        use_sdg=use_sdg,
+    )
+    start = time.perf_counter()
+    report = analyze_application(app, checker)
+    wall_ms = (time.perf_counter() - start) * 1000
+    return report.levels(), dict(checker.stats), wall_ms
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for name, factory in sorted(registry().items()):
+        app = factory()
+        out[name] = (_analyze(name, app, True), _analyze(name, app, False))
+    return out
+
+
+def test_bench_sdg_pruning(sweep):
+    rows = []
+    payload = {"apps": {}}
+    for name, ((_lv_on, stats_on, ms_on), (_lv_off, stats_off, ms_off)) in sweep.items():
+        discharged_off = sum(stats_off[t] for t in ("disjoint", "symbolic", "bmc"))
+        discharged_on = sum(stats_on[t] for t in ("disjoint", "symbolic", "bmc"))
+        rows.append(
+            (
+                name,
+                stats_on["sdg_pruned"],
+                discharged_on,
+                discharged_off,
+                f"{ms_on:.0f}",
+                f"{ms_off:.0f}",
+                f"{ms_off - ms_on:+.0f}",
+            )
+        )
+        payload["apps"][name] = {
+            "pruned": stats_on["sdg_pruned"],
+            "discharged_with_sdg": discharged_on,
+            "discharged_without_sdg": discharged_off,
+            "wall_ms_with_sdg": round(ms_on, 1),
+            "wall_ms_without_sdg": round(ms_off, 1),
+            "wall_ms_delta": round(ms_off - ms_on, 1),
+        }
+    emit(
+        "E13-sdg-pruning",
+        format_table(
+            (
+                "application",
+                "pruned",
+                "discharged (sdg)",
+                "discharged (no sdg)",
+                "ms (sdg)",
+                "ms (no sdg)",
+                "delta",
+            ),
+            rows,
+        ),
+    )
+    emit_json("BENCH_sdg", payload)
+
+
+def test_levels_byte_identical_with_and_without_sdg(sweep):
+    """Acceptance: SDG pruning never changes a level assignment."""
+    for name, ((lv_on, _s_on, _t_on), (lv_off, _s_off, _t_off)) in sweep.items():
+        assert lv_on == lv_off, name
+
+
+def test_every_app_prunes_something(sweep):
+    """Acceptance: a strictly positive pruned count per application."""
+    for name, ((_lv, stats_on, _t), _off) in sweep.items():
+        assert stats_on["sdg_pruned"] > 0, name
+
+
+def test_pruned_equals_the_disjoint_tier(sweep):
+    """What pruning removes is exactly the checker's disjointness tier."""
+    for name, ((_lv_on, stats_on, _t_on), (_lv_off, stats_off, _t_off)) in sweep.items():
+        assert stats_on["sdg_pruned"] == stats_off["disjoint"], name
+        assert stats_on["disjoint"] == 0, name

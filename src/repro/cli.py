@@ -18,6 +18,9 @@ Commands:
   a random or exhaustive scheduling policy;
 * ``replay "<history>"`` — replay a Berenson-style history (e.g.
   ``"w1[x=1] r2[x] c1 c2"``) under a per-transaction level assignment;
+* ``lint [app ...]`` — static well-formedness checks plus the SDG
+  dangerous-structure pass (``repro.core.lint``); exits 1 on any
+  ``error``-severity finding;
 * ``apps`` — list the bundled applications;
 * ``levels`` — list the supported isolation levels.
 
@@ -81,7 +84,8 @@ def cmd_analyze(args) -> int:
     workers = resolve_workers(args.workers)
     cache = VerdictCache(enabled=False) if args.no_cache else shared_cache()
     checker = InterferenceChecker(
-        app.spec, budget=args.budget, seed=args.seed, cache=cache, workers=workers
+        app.spec, budget=args.budget, seed=args.seed, cache=cache, workers=workers,
+        use_sdg=not args.no_sdg,
     )
     policy = ParallelPolicy(workers=workers, backend=args.backend, app_ref=args.app)
     if args.transaction and args.level:
@@ -129,6 +133,7 @@ def cmd_certify(args) -> int:
         budget=args.budget,
         max_schedules=args.max_schedules,
         max_depth=args.max_depth,
+        use_sdg=not args.no_sdg,
     )
     report = certify(args.app, context=context, ladder=args.ladder)
     if args.json:
@@ -138,12 +143,29 @@ def cmd_certify(args) -> int:
     return 0 if report.agreement else 1
 
 
-def _parse_type_levels(assignments) -> dict:
+def _parse_type_levels(assignments, known_types=None) -> dict:
+    """Parse ``Txn=LEVEL`` overrides, rejecting unknown names outright.
+
+    An unknown level would otherwise raise a ``KeyError`` deep inside the
+    lock table; an unknown transaction name would be silently carried in
+    the levels dict and never applied.  Both fail here with the list of
+    valid choices instead.
+    """
     levels = {}
     for assignment in assignments or []:
         name, sep, level = assignment.partition("=")
         if not sep:
             raise SystemExit(f"--levels expects Txn=LEVEL, got {assignment!r}")
+        if level not in LEVEL_ORDER:
+            raise SystemExit(
+                f"--levels: unknown isolation level {level!r} for {name!r};"
+                f" choose from {', '.join(sorted(LEVEL_ORDER, key=LEVEL_ORDER.get))}"
+            )
+        if known_types is not None and name not in known_types:
+            raise SystemExit(
+                f"--levels: unknown transaction type {name!r};"
+                f" choose from {', '.join(sorted(known_types))}"
+            )
         levels[name] = level
     return levels
 
@@ -154,6 +176,7 @@ def cmd_explore(args) -> int:
     from repro.sched.histories import history_string
     from repro.sched.semantic import check_semantic_correctness
 
+    app = _load_app(args.app)
     scenarios = {scenario.name: scenario for scenario in scenarios_for(args.app)}
     if not scenarios:
         raise SystemExit(f"no registered scenarios for application {args.app!r}")
@@ -164,7 +187,8 @@ def cmd_explore(args) -> int:
     chosen = list(scenarios.values()) if (args.all or args.scenario is None) else [
         scenarios.get(args.scenario) or _unknown_scenario(args.scenario, scenarios)
     ]
-    overrides = _parse_type_levels(args.levels)
+    _validate_level(args.level)
+    overrides = _parse_type_levels(args.levels, known_types=app.transaction_names())
     payload = []
     exit_code = 0
     for scenario in chosen:
@@ -220,6 +244,14 @@ def _unknown_scenario(name: str, scenarios: dict):
     raise SystemExit(f"unknown scenario {name!r}; choose from {', '.join(sorted(scenarios))}")
 
 
+def _validate_level(level: str) -> None:
+    if level not in LEVEL_ORDER:
+        raise SystemExit(
+            f"unknown isolation level {level!r};"
+            f" choose from {', '.join(sorted(LEVEL_ORDER, key=LEVEL_ORDER.get))}"
+        )
+
+
 def cmd_simulate(args) -> int:
     from repro.workloads.generator import (
         WorkloadConfig,
@@ -232,7 +264,10 @@ def cmd_simulate(args) -> int:
     from repro.workloads.runner import run_workload
 
     config = WorkloadConfig(size=args.size, hot_fraction=args.hot, seed=args.seed)
-    overrides = _parse_type_levels(args.levels)
+    _validate_level(args.level)
+    overrides = _parse_type_levels(
+        args.levels, known_types=_load_app(args.app).transaction_names()
+    )
     if args.app == "banking":
         names = ("Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch")
         levels = {n: overrides.get(n, args.level) for n in names}
@@ -304,13 +339,31 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.core.lint import lint_application
+
+    names = args.apps or sorted(_app_registry())
+    reports = [lint_application(_load_app(name)) for name in names]
+    failed = any(not report.ok for report in reports)
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        return 1 if failed else 0
+    for report in reports:
+        print(report.render())
+    return 1 if failed else 0
+
+
 def cmd_replay(args) -> int:
     from repro.sched.histories import replay
 
     levels = {}
     for assignment in args.levels or []:
-        txn, _eq, level = assignment.partition("=")
+        txn, sep, level = assignment.partition("=")
+        if not sep or not txn.isdigit():
+            raise SystemExit(f"--levels expects N=LEVEL with numeric N, got {assignment!r}")
+        _validate_level(level)
         levels[int(txn)] = level
+    _validate_level(args.default_level)
     result = replay(args.history, levels, default_level=args.default_level)
     for step in result.steps:
         suffix = f" -> {step.value!r}" if step.value is not None else ""
@@ -353,6 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the verdict cache (every obligation re-checked)",
     )
     analyze.add_argument(
+        "--no-sdg", action="store_true",
+        help="disable SDG obligation pre-pruning (verdicts are identical;"
+        " every obligation goes through the checker tiers)",
+    )
+    analyze.add_argument(
         "--stats", action="store_true",
         help="print the per-tier timing and cache hit/miss table",
     )
@@ -390,10 +448,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling-decision budget per explored run",
     )
     certify.add_argument(
+        "--no-sdg", action="store_true",
+        help="disable SDG obligation pre-pruning in the static layer",
+    )
+    certify.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable certificate (schema: docs/PIPELINE.md)",
     )
     certify.set_defaults(func=cmd_certify)
+
+    lint = sub.add_parser(
+        "lint", help="static well-formedness + SDG dangerous-structure checks"
+    )
+    lint.add_argument(
+        "apps", nargs="*",
+        help="applications to lint (default: every bundled application)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable findings (schema: docs/PIPELINE.md)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     explore = sub.add_parser(
         "explore", help="exhaustively enumerate one scenario's schedules"

@@ -48,8 +48,14 @@ class Application:
 
     def __post_init__(self) -> None:
         names = [txn.name for txn in self.transactions]
-        if len(names) != len(set(names)):
-            raise AnalysisError(f"duplicate transaction names in application {self.name!r}")
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise AnalysisError(
+                f"duplicate transaction names in application {self.name!r}:"
+                f" {', '.join(duplicates)} — every lookup by name"
+                " (assumptions, level assignments, plans) would silently"
+                " pick one of the duplicates"
+            )
 
     def transaction(self, name: str) -> TransactionType:
         for txn in self.transactions:

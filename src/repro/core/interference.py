@@ -341,6 +341,7 @@ class InterferenceChecker:
         unroll: int = fx.DEFAULT_UNROLL,
         use_disjoint: bool = True,
         use_symbolic: bool = True,
+        use_sdg: bool = True,
         cache: VerdictCache | None = None,
         workers: int = 1,
     ) -> None:
@@ -353,6 +354,12 @@ class InterferenceChecker:
         #: disabled tiers simply push obligations to the next tier down
         self.use_disjoint = use_disjoint
         self.use_symbolic = use_symbolic
+        #: SDG pre-pruning (see :func:`repro.core.sdg.prune_plan`): excuse
+        #: footprint-disjoint obligations before dispatch.  Deliberately
+        #: absent from :meth:`config_dict` and the cache fingerprint — the
+        #: pruned obligations are exactly the ones tier 1 would prove, so
+        #: verdicts (and therefore cache entries) are identical either way
+        self.use_sdg = use_sdg
         #: verdict cache — private per checker by default, so one analysis
         #: run shares verdicts across its levels and targets without leaking
         #: tier accounting into an unrelated run; pass
@@ -365,6 +372,7 @@ class InterferenceChecker:
             "symbolic": 0,
             "bmc": 0,
             "assumed": 0,
+            "sdg_pruned": 0,
             "cache_hits": 0,
             "cache_misses": 0,
         }

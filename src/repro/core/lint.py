@@ -1,0 +1,321 @@
+"""Well-formedness lint for transaction programs, plus the SDG risk pass.
+
+The analysis layers (chooser, explorer, certifier) all assume the input
+application is *sensible*: names are unique, preconditions are satisfiable,
+assertions talk about values the program actually computes.  A broken
+input does not make them unsound — it makes them vacuous (an unsatisfiable
+``B_i`` discharges every obligation) or confusing (an assertion over a
+never-bound local can never activate).  ``repro lint`` surfaces those
+defects before any expensive analysis runs.
+
+Rules and severities:
+
+========================== ========= =====================================
+rule                       severity  meaning
+========================== ========= =====================================
+duplicate-transaction-name error     two types share a name; dict-keyed
+                                     lookups would silently pick one
+unsatisfiable-precondition error     the prover refutes ``B_i`` (with and
+                                     without ``I_i``): every obligation
+                                     under it is vacuously true
+unbound-assertion-variable error     ``I_i``/``Q_i``/an explicit read post
+                                     mentions a local no statement binds —
+                                     the assertion can never be evaluated
+dead-statement             warning   a statement follows an unconditional
+                                     ROLLBACK in the same sequence
+sdg-write-skew             warning   SDG dangerous structure (see
+                                     :func:`repro.core.sdg.
+                                     dangerous_structures`)
+sdg-lost-update            warning   SDG dangerous structure
+unannotated-write          info      a write statement touches resources no
+                                     critical assertion mentions — the
+                                     analysis cannot say anything about it
+========================== ========= =====================================
+
+Severity contract: ``error`` findings are defects the analysis layers
+would mishandle and fail CI (`repro lint` exits 1); ``warning`` marks
+risks worth reviewing; ``info`` is advisory.  The bundled applications
+are error-clean (enforced by the CI lint smoke job) but do carry
+warnings — the banking write skew is famously real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import sdg
+from repro.core.application import Application
+from repro.core.formula import Formula, conj
+from repro.core.program import (
+    ForEach,
+    If,
+    ReadRecord,
+    Rollback,
+    Statement,
+    TransactionType,
+    While,
+)
+from repro.core.prover import Verdict, is_satisfiable
+from repro.core.resources import overlaps
+from repro.core.terms import Local
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    rule: str
+    severity: str
+    transaction: str | None  # None for application-level findings
+    message: str
+
+    def __repr__(self) -> str:
+        where = f" [{self.transaction}]" if self.transaction else ""
+        return f"{self.severity}: {self.rule}{where}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "transaction": self.transaction,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintReport:
+    """All findings for one application, errors first."""
+
+    application: str
+    findings: list = field(default_factory=list)
+
+    @property
+    def errors(self) -> list:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def sort(self) -> None:
+        self.findings.sort(
+            key=lambda f: (_SEVERITY_ORDER[f.severity], f.rule, f.transaction or "")
+        )
+
+    def render(self) -> str:
+        lines = [f"lint {self.application}: {len(self.findings)} finding(s)"]
+        for finding in self.findings:
+            lines.append(f"  {finding!r}")
+        if not self.findings:
+            lines.append("  clean")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "application": self.application,
+            "ok": self.ok,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+# ---------------------------------------------------------------------------
+# per-rule checks
+# ---------------------------------------------------------------------------
+
+
+def check_duplicate_names(transactions) -> list:
+    """Two transaction types sharing one name (dict lookups pick one)."""
+    seen: dict = {}
+    findings = []
+    for txn in transactions:
+        seen[txn.name] = seen.get(txn.name, 0) + 1
+    for name, count in seen.items():
+        if count > 1:
+            findings.append(
+                Finding(
+                    "duplicate-transaction-name", ERROR, name,
+                    f"{count} transaction types named {name!r}; lookups by name"
+                    " would silently pick one of them",
+                )
+            )
+    return findings
+
+
+def check_precondition(txn: TransactionType) -> list:
+    """An unsatisfiable ``B_i`` makes every obligation vacuously true.
+
+    Checked twice: ``B_i`` alone (self-contradictory parameters) and
+    ``B_i ∧ I_i`` (parameters incompatible with the consistency
+    constraint).  Only a definite UNSAT is a finding — UNKNOWN means the
+    abstraction gave up, not that the precondition is broken.
+    """
+    findings = []
+    if is_satisfiable(txn.param_pre).verdict == Verdict.UNSAT:
+        findings.append(
+            Finding(
+                "unsatisfiable-precondition", ERROR, txn.name,
+                f"B_i is unsatisfiable: {txn.param_pre!r}",
+            )
+        )
+    elif is_satisfiable(conj(txn.param_pre, txn.consistency)).verdict == Verdict.UNSAT:
+        findings.append(
+            Finding(
+                "unsatisfiable-precondition", ERROR, txn.name,
+                "B_i is unsatisfiable under the consistency constraint I_i",
+            )
+        )
+    return findings
+
+
+def _bound_locals(stmts) -> set:
+    """Locals some statement *binds* (not merely uses)."""
+    out: set = set()
+
+    def visit(statement: Statement) -> None:
+        for attr_name in ("into", "buffer"):
+            target = getattr(statement, attr_name, None)
+            if isinstance(target, Local):
+                out.add(target)
+        if isinstance(statement, ForEach):
+            for _attr, local in statement.bind:
+                out.add(local)
+        if isinstance(statement, ReadRecord):
+            for _attr, local in statement.binds:
+                out.add(local)
+        for child in statement.substatements():
+            visit(child)
+
+    for stmt in stmts:
+        visit(stmt)
+    return out
+
+
+def _formula_locals(formula: Formula) -> set:
+    return {atom for atom in formula.atoms() if isinstance(atom, Local)}
+
+
+def check_assertion_variables(txn: TransactionType) -> list:
+    """Assertion locals never bound by any statement.
+
+    Covers ``I_i``, ``Q_i`` and every *explicit* read postcondition
+    (canonical posts are derived from the read itself, hence bound by
+    construction).  Membership is order-insensitive on purpose: binding
+    *after* use inside a loop is legal in this IR.
+    """
+    bound = _bound_locals(txn.body)
+    findings = []
+    surfaces = [("I_i", txn.consistency), ("Q_i", txn.result)]
+    for stmt in txn.statements():
+        post = getattr(stmt, "post", None)
+        if post is not None:
+            surfaces.append((f"post of {stmt!r}", post))
+    for label, formula in surfaces:
+        for local in sorted(_formula_locals(formula) - bound, key=lambda l: l.name):
+            findings.append(
+                Finding(
+                    "unbound-assertion-variable", ERROR, txn.name,
+                    f"{label} references local {local!r} which no statement binds",
+                )
+            )
+    return findings
+
+
+def _dead_after_rollback(stmts) -> list:
+    dead = []
+    rolled_back = False
+    for stmt in stmts:
+        if rolled_back:
+            dead.append(stmt)
+            continue
+        if isinstance(stmt, Rollback):
+            rolled_back = True
+        elif isinstance(stmt, If):
+            dead.extend(_dead_after_rollback(stmt.then))
+            dead.extend(_dead_after_rollback(stmt.orelse))
+        elif isinstance(stmt, (While, ForEach)):
+            dead.extend(_dead_after_rollback(stmt.body))
+    return dead
+
+
+def check_dead_statements(txn: TransactionType) -> list:
+    """Statements after an unconditional ROLLBACK in the same sequence.
+
+    A rollback inside an ``If`` branch only kills the remainder of that
+    branch; statements after the ``If`` stay live via the other branch.
+    """
+    return [
+        Finding(
+            "dead-statement", WARNING, txn.name,
+            f"unreachable after ROLLBACK: {stmt!r}",
+        )
+        for stmt in _dead_after_rollback(txn.body)
+    ]
+
+
+def check_unannotated_writes(txn: TransactionType) -> list:
+    """Writes no critical assertion mentions.
+
+    The theorems only constrain writes through the assertions that read
+    them back (``I_i``, read posts, ``Q_i``); a write outside that surface
+    is analysed as harmless by construction, which is worth knowing.
+    """
+    protected = sdg.assertion_resources(txn)
+    findings = []
+    for stmt in txn.write_statements():
+        if not overlaps(stmt.written_resources(), protected):
+            findings.append(
+                Finding(
+                    "unannotated-write", INFO, txn.name,
+                    f"write {stmt!r} touches no resource any critical"
+                    " assertion mentions",
+                )
+            )
+    return findings
+
+
+def sdg_findings(graph: sdg.ConflictGraph) -> list:
+    """Dangerous structures reported as lint warnings."""
+    rule = {sdg.WRITE_SKEW: "sdg-write-skew", sdg.LOST_UPDATE: "sdg-lost-update"}
+    return [
+        Finding(
+            rule[structure.kind], WARNING, "/".join(structure.transactions),
+            f"dangerous below {structure.level}: {structure.detail}",
+        )
+        for structure in sdg.dangerous_structures(graph)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_transactions(name: str, transactions) -> LintReport:
+    """Lint a raw list of transaction types.
+
+    Takes the list rather than an :class:`Application` so the duplicate-name
+    rule can fire (``Application`` refuses to construct with duplicates).
+    """
+    report = LintReport(application=name)
+    report.findings.extend(check_duplicate_names(transactions))
+    for txn in transactions:
+        report.findings.extend(check_precondition(txn))
+        report.findings.extend(check_assertion_variables(txn))
+        report.findings.extend(check_dead_statements(txn))
+        report.findings.extend(check_unannotated_writes(txn))
+    report.sort()
+    return report
+
+
+def lint_application(app: Application) -> LintReport:
+    """Lint a full application: program rules plus the SDG risk pass."""
+    report = lint_transactions(app.name, app.transactions)
+    report.findings.extend(sdg_findings(sdg.build_graph(app)))
+    report.sort()
+    return report

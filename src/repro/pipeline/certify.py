@@ -11,7 +11,13 @@
    :class:`~repro.sched.monitor.AssertionMonitor` attached;
 3. each focus type is additionally probed **one level below** its chosen
    level — the theorems claim that level can fail, and the explorer tries
-   to exhibit a schedule proving it.
+   to exhibit a schedule proving it;
+4. the **static conflict graph** (:mod:`repro.core.sdg`) is reconciled as
+   a third verdict source (:func:`reconcile_sdg`): its sound
+   "statically safe" verdicts must never undercut the chooser (a
+   disagreement breaks ``agreement`` and fails the run), and its
+   dangerous structures are cross-checked against the Berenson
+   phenomena the probes actually observed.
 
 Per transaction type the two layers are reconciled into a verdict:
 
@@ -37,11 +43,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.core import sdg
 from repro.core.application import Application
 from repro.core.chooser import ApplicationReport, analyze_application
-from repro.core.conditions import ANSI_LADDER, EXTENDED_LADDER, SERIALIZABLE
+from repro.core.conditions import ANSI_LADDER, EXTENDED_LADDER, LEVEL_ORDER, SERIALIZABLE
 from repro.pipeline.context import RunContext
 from repro.pipeline.scenarios import Scenario, scenarios_for
+from repro.sched.anomalies import SDG_ANOMALY_NAMES, detect_all
 from repro.sched.explore import explore
 from repro.sched.histories import history_numbering, history_string
 from repro.sched.monitor import AssertionMonitor
@@ -95,6 +103,7 @@ class DynamicProbe:
     violations: int = 0
     witnesses: list = field(default_factory=list)
     exploration: dict = field(default_factory=dict)  # ExplorationResult.to_dict()
+    anomalies: dict = field(default_factory=dict)  # detector name -> occurrences
 
     def to_dict(self) -> dict:
         return {
@@ -104,6 +113,7 @@ class DynamicProbe:
             "violations": self.violations,
             "witnesses": [witness.to_dict() for witness in self.witnesses],
             "exploration": dict(self.exploration),
+            "anomalies": dict(self.anomalies),
         }
 
 
@@ -152,11 +162,18 @@ class CertificateReport:
     static: ApplicationReport
     verdicts: list = field(default_factory=list)
     stats: dict = field(default_factory=dict)
+    #: the third verdict layer: per-type SDG safe levels, dangerous
+    #: structures (with dynamic corroboration), and any disagreement with
+    #: the prover-backed chooser (see :func:`reconcile_sdg`)
+    sdg: dict = field(default_factory=dict)
 
     @property
     def agreement(self) -> bool:
-        """No dynamic counterexample contradicts a static claim."""
-        return all(verdict.verdict != "counterexample" for verdict in self.verdicts)
+        """No dynamic counterexample and no SDG-vs-prover disagreement."""
+        return (
+            all(verdict.verdict != "counterexample" for verdict in self.verdicts)
+            and not self.sdg.get("disagreements")
+        )
 
     def verdict_for(self, name: str) -> TypeVerdict:
         for verdict in self.verdicts:
@@ -196,12 +213,32 @@ class CertificateReport:
                 seen.add(command)
                 lines.append(f"  [{v.transaction} / {witness.scenario}] {witness.summary}")
                 lines.append(f"    {command}")
+        if self.sdg:
+            lines.append("static conflict graph (SDG):")
+            for entry in self.sdg.get("types", []):
+                safe = entry["safe_level"] or "(none below SERIALIZABLE)"
+                lines.append(
+                    f"  {entry['transaction']:{width}s} SDG-safe from {safe}"
+                )
+            for structure in self.sdg.get("structures", []):
+                mark = "corroborated" if structure.get("corroborated") else "not observed"
+                lines.append(
+                    f"  dangerous: {structure['kind']}"
+                    f" [{'/'.join(structure['transactions'])}]"
+                    f" below {structure['level']} ({mark} by exploration)"
+                )
+            for disagreement in self.sdg.get("disagreements", []):
+                lines.append(f"  DISAGREEMENT: {disagreement['detail']}")
         lines.append(
             "overall: "
             + (
-                "static and dynamic layers agree"
+                "static, dynamic and SDG layers agree"
                 if self.agreement
-                else "DYNAMIC COUNTEREXAMPLE to a static claim"
+                else (
+                    "SDG DISAGREES with the prover-backed chooser"
+                    if self.sdg.get("disagreements")
+                    else "DYNAMIC COUNTEREXAMPLE to a static claim"
+                )
             )
         )
         return "\n".join(lines)
@@ -213,6 +250,7 @@ class CertificateReport:
             "agreement": self.agreement,
             "static": self.static.to_dict(),
             "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+            "sdg": dict(self.sdg),
             "stats": dict(self.stats),
         }
 
@@ -224,6 +262,67 @@ def classify(chosen_violations: int, below_level: str | None, below_violations: 
     if below_level is None or below_violations:
         return "agree"
     return "static-too-conservative"
+
+
+def reconcile_sdg(app: Application, assignment: dict, ladder, probes) -> dict:
+    """The third verdict layer: the conflict graph vs the chooser and probes.
+
+    Only the *sound* direction counts as a disagreement: ``statically safe
+    at L`` means every obligation the theorem enumerates at ``L`` has a
+    disjoint footprint, so the prover-backed chooser must land at ``L`` or
+    lower — a strictly higher choice is a bug in one of the layers.
+    Dangerous structures are heuristic risk flags; a structure the probes
+    did not reproduce is ordinary imprecision, but one whose matching
+    Berenson phenomenon (:data:`repro.sched.anomalies.SDG_ANOMALY_NAMES`)
+    showed up in a probe over the same transaction types is marked
+    ``corroborated``.
+    """
+    graph = sdg.build_graph(app)
+    rungs = list(ladder)
+    if rungs[-1] != SERIALIZABLE:
+        rungs.append(SERIALIZABLE)
+    types = []
+    disagreements = []
+    for name in graph.nodes:
+        safe = sdg.safe_levels(graph, name, rungs)
+        safe_level = safe[0] if safe else None
+        types.append({"transaction": name, "safe_level": safe_level})
+        chosen = assignment.get(name)
+        if (
+            safe_level is not None
+            and chosen is not None
+            and LEVEL_ORDER[chosen] > LEVEL_ORDER[safe_level]
+        ):
+            disagreements.append(
+                {
+                    "transaction": name,
+                    "sdg_safe_level": safe_level,
+                    "chosen_level": chosen,
+                    "detail": (
+                        f"SDG certifies {name} safe at {safe_level} (disjoint"
+                        f" footprints throughout) but the chooser picked"
+                        f" {chosen}: one layer is wrong"
+                    ),
+                }
+            )
+    structures = []
+    for structure in sdg.dangerous_structures(graph):
+        phenomenon = SDG_ANOMALY_NAMES.get(structure.kind)
+        corroborated = any(
+            set(structure.transactions) <= set(probe.levels)
+            and probe.anomalies.get(phenomenon, 0) > 0
+            for probe in probes
+        )
+        entry = structure.to_dict()
+        entry["phenomenon"] = phenomenon
+        entry["corroborated"] = corroborated
+        structures.append(entry)
+    return {
+        "types": types,
+        "structures": structures,
+        "disagreements": disagreements,
+        "edges": len(graph.edges),
+    }
 
 
 def level_below(level: str, ladder) -> str | None:
@@ -254,6 +353,9 @@ def run_probe(scenario: Scenario, type_levels: dict, context: RunContext) -> Dyn
     probe.exploration = result.to_dict()
     probe.schedules = result.schedules
     for schedule in result.results:
+        for name, occurrences in detect_all(schedule).items():
+            if occurrences:
+                probe.anomalies[name] = probe.anomalies.get(name, 0) + len(occurrences)
         report = check_semantic_correctness(schedule, scenario.invariant, scenario.cumulative)
         if report.correct:
             continue
@@ -324,6 +426,7 @@ def certify(
     report = CertificateReport(
         application=app.name, ladder=rungs, static=static, stats=context.stats
     )
+    all_probes = list(chosen_probes.values())
     explored_runs = sum(p.exploration.get("runs", 0) for p in chosen_probes.values())
     for txn in app.transactions:
         chosen = assignment[txn.name]
@@ -350,6 +453,7 @@ def certify(
                 lowered = dict(assignment)
                 lowered[txn.name] = verdict.below_level
                 verdict.below_probes.append(run_probe(scenario, lowered, context))
+                all_probes.append(verdict.below_probes[-1])
                 explored_runs += verdict.below_probes[-1].exploration.get("runs", 0)
         verdict.verdict = classify(
             verdict.chosen_violations, verdict.below_level, verdict.below_violations
@@ -361,4 +465,5 @@ def certify(
         scenarios=len(scenarios),
         runs=explored_runs,
     )
+    report.sdg = reconcile_sdg(app, assignment, rungs, all_probes)
     return report

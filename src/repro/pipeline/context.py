@@ -26,6 +26,7 @@ class RunContext:
     budget: int = 3000  # BMC sample budget per obligation
     max_schedules: int | None = 500  # exploration run bound per scenario
     max_depth: int | None = None  # exploration decision bound per run
+    use_sdg: bool = True  # SDG obligation pre-pruning in the static layer
     cache: VerdictCache | None = None  # None -> process-shared cache
     stats: dict = field(default_factory=dict)
 
@@ -42,6 +43,7 @@ class RunContext:
             seed=self.seed,
             cache=self.cache,
             workers=self.workers,
+            use_sdg=self.use_sdg,
         )
 
     def policy(self, app_ref: str | None = None) -> ParallelPolicy:

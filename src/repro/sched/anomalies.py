@@ -239,3 +239,15 @@ ALL_DETECTORS = {
 def detect_all(result: ScheduleResult) -> dict:
     """Run every detector; returns {name: [occurrences]}."""
     return {name: detector(result) for name, detector in ALL_DETECTORS.items()}
+
+
+#: Which runtime phenomenon corroborates each static dangerous structure
+#: (:func:`repro.core.sdg.dangerous_structures`).  The SDG flags the *shape*
+#: (edge pattern over transaction types); the detector observes the *event*
+#: (an occurrence in an explored schedule).  A flagged structure whose
+#: matching phenomenon shows up in a probe over the same types is
+#: corroborated — static and dynamic layers point at the same anomaly.
+SDG_ANOMALY_NAMES = {
+    "snapshot-write-skew": "A5B-write-skew",
+    "rc-lost-update": "P4-lost-update",
+}

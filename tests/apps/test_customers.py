@@ -33,7 +33,9 @@ class TestStaticAnalysis:
         assert rollback_obs and all(ob.ok for ob in rollback_obs)
 
     def test_every_obligation_discharged_by_disjointness(self, app, checker):
-        local_checker = InterferenceChecker(app.spec, budget=4000, seed=5)
+        # use_sdg=False so the disjoint obligations reach the checker's own
+        # tier instead of being excused by SDG pre-pruning
+        local_checker = InterferenceChecker(app.spec, budget=4000, seed=5, use_sdg=False)
         result = check_transaction_at(
             app, app.transaction("Mailing_List_c"), READ_UNCOMMITTED, local_checker
         )
@@ -42,6 +44,15 @@ class TestStaticAnalysis:
         # discharged by the cheapest tier
         assert local_checker.stats["disjoint"] > 0
         assert local_checker.stats["bmc"] == 0
+
+    def test_sdg_prunes_what_disjointness_would_discharge(self, app, checker):
+        pruning_checker = InterferenceChecker(app.spec, budget=4000, seed=5)
+        result = check_transaction_at(
+            app, app.transaction("Mailing_List_c"), READ_UNCOMMITTED, pruning_checker
+        )
+        assert result.ok
+        assert pruning_checker.stats["sdg_pruned"] > 0
+        assert pruning_checker.stats["disjoint"] == 0
 
 
 class TestModelSanity:

@@ -31,6 +31,15 @@ class TestApplication:
         with pytest.raises(AnalysisError):
             Application("a", (conventional(), conventional()))
 
+    def test_duplicate_error_names_the_duplicates(self):
+        with pytest.raises(AnalysisError, match=r"Conv") as exc:
+            Application(
+                "a", (conventional(), conventional(), relational(), relational())
+            )
+        message = str(exc.value)
+        assert "Conv" in message and "Rel" in message
+        assert "'a'" in message  # the application is identified too
+
     def test_relational_detection(self):
         assert not Application("a", (conventional(),)).is_relational
         assert Application("b", (relational(),)).is_relational

@@ -1,0 +1,171 @@
+"""Unit tests for the program lint pass (repro.core.lint).
+
+One fixture transaction per seeded defect class, plus the bundled-app
+cleanliness contract the CI smoke job relies on.
+"""
+
+import pytest
+
+from repro.apps import registry
+from repro.core import lint
+from repro.core.application import Application
+from repro.core.formula import conj, eq, ge
+from repro.core.program import If, Read, Rollback, TransactionType, Write
+from repro.core.terms import Field, IntConst, Item, Local, Param
+from repro.errors import AnalysisError
+
+
+def _txn(name="T", **kwargs) -> TransactionType:
+    return TransactionType(name=name, **kwargs)
+
+
+def _rules(findings) -> set:
+    return {finding.rule for finding in findings}
+
+
+class TestDuplicateNames:
+    def test_duplicate_reported(self):
+        report = lint.lint_transactions("demo", [_txn("Dup"), _txn("Dup"), _txn("Ok")])
+        dupes = [f for f in report.findings if f.rule == "duplicate-transaction-name"]
+        assert len(dupes) == 1
+        assert dupes[0].severity == lint.ERROR
+        assert dupes[0].transaction == "Dup"
+        assert not report.ok
+
+    def test_unique_names_clean(self):
+        report = lint.lint_transactions("demo", [_txn("A"), _txn("B")])
+        assert "duplicate-transaction-name" not in _rules(report.findings)
+
+    def test_application_rejects_duplicates_by_name(self):
+        with pytest.raises(AnalysisError, match="Dup"):
+            Application(name="demo", transactions=(_txn("Dup"), _txn("Dup")))
+
+
+class TestUnsatisfiablePrecondition:
+    def test_contradictory_b_i_reported(self):
+        h = Param("h")
+        txn = _txn(params=(h,), param_pre=conj(eq(h, 0), eq(h, 1)))
+        report = lint.lint_transactions("demo", [txn])
+        assert "unsatisfiable-precondition" in _rules(report.errors)
+
+    def test_satisfiable_b_i_clean(self):
+        h = Param("h")
+        txn = _txn(params=(h,), param_pre=ge(h, 0))
+        report = lint.lint_transactions("demo", [txn])
+        assert "unsatisfiable-precondition" not in _rules(report.findings)
+
+
+class TestUnboundAssertionVariable:
+    def test_unbound_local_in_result(self):
+        bound = Local("B")
+        ghost = Local("Z")
+        txn = _txn(
+            body=(Read(into=bound, source=Item("x")),),
+            result=eq(ghost, 1),
+        )
+        report = lint.lint_transactions("demo", [txn])
+        findings = [f for f in report.errors if f.rule == "unbound-assertion-variable"]
+        assert findings and "Z" in findings[0].message
+
+    def test_bound_local_clean(self):
+        bound = Local("B")
+        txn = _txn(
+            body=(Read(into=bound, source=Item("x")),),
+            result=ge(bound, 0),
+        )
+        report = lint.lint_transactions("demo", [txn])
+        assert "unbound-assertion-variable" not in _rules(report.findings)
+
+    def test_unbound_local_in_explicit_post(self):
+        bound = Local("B")
+        ghost = Local("Z")
+        txn = _txn(body=(Read(into=bound, source=Item("x"), post=eq(ghost, 1)),))
+        report = lint.lint_transactions("demo", [txn])
+        assert "unbound-assertion-variable" in _rules(report.errors)
+
+
+class TestDeadStatements:
+    def test_statement_after_rollback(self):
+        txn = _txn(body=(Rollback(), Write(Item("x"), IntConst(1))))
+        report = lint.lint_transactions("demo", [txn])
+        dead = [f for f in report.findings if f.rule == "dead-statement"]
+        assert dead and dead[0].severity == lint.WARNING
+
+    def test_rollback_in_branch_only_kills_that_branch(self):
+        branchy = If(
+            cond=ge(Param("p"), 0),
+            then=(Rollback(), Write(Item("x"), IntConst(1))),  # dead
+            orelse=(Write(Item("y"), IntConst(2)),),
+        )
+        txn = _txn(params=(Param("p"),), body=(branchy, Write(Item("z"), IntConst(3))))
+        report = lint.lint_transactions("demo", [txn])
+        dead = [f for f in report.findings if f.rule == "dead-statement"]
+        assert len(dead) == 1  # only the then-branch write, not z
+
+    def test_trailing_rollback_clean(self):
+        txn = _txn(body=(Write(Item("x"), IntConst(1)), Rollback()))
+        report = lint.lint_transactions("demo", [txn])
+        assert "dead-statement" not in _rules(report.findings)
+
+
+class TestUnannotatedWrites:
+    def test_write_outside_assertion_surface(self):
+        txn = _txn(body=(Write(Item("shadow"), IntConst(7)),))
+        report = lint.lint_transactions("demo", [txn])
+        findings = [f for f in report.findings if f.rule == "unannotated-write"]
+        assert findings and findings[0].severity == lint.INFO
+        assert report.ok  # info only, not an error
+
+    def test_write_covered_by_consistency_clean(self):
+        txn = _txn(
+            body=(Write(Item("x"), IntConst(1)),),
+            consistency=ge(Item("x"), 0),
+        )
+        report = lint.lint_transactions("demo", [txn])
+        assert "unannotated-write" not in _rules(report.findings)
+
+
+class TestSdgFindings:
+    def test_banking_write_skew_as_warning(self):
+        report = lint.lint_application(registry()["banking"]())
+        skews = [f for f in report.findings if f.rule == "sdg-write-skew"]
+        assert skews and all(f.severity == lint.WARNING for f in skews)
+        assert any("Withdraw_ch" in f.transaction for f in skews)
+
+    def test_lost_update_flagged_on_employees(self):
+        report = lint.lint_application(registry()["employees"]())
+        assert "sdg-lost-update" in _rules(report.findings)
+
+
+class TestReport:
+    def test_errors_sort_first(self):
+        h = Param("h")
+        bad = _txn("Bad", params=(h,), param_pre=conj(eq(h, 0), eq(h, 1)))
+        dead = _txn("Dead", body=(Rollback(), Write(Item("x"), IntConst(1))))
+        report = lint.lint_transactions("demo", [bad, dead])
+        severities = [f.severity for f in report.findings]
+        assert severities == sorted(severities, key=lambda s: lint._SEVERITY_ORDER[s])
+
+    def test_to_dict_shape(self):
+        report = lint.lint_application(registry()["employees"]())
+        payload = report.to_dict()
+        assert payload["application"] == "employees"
+        assert isinstance(payload["ok"], bool)
+        assert all(
+            {"rule", "severity", "transaction", "message"} <= set(f)
+            for f in payload["findings"]
+        )
+
+    def test_render_mentions_rule_names(self):
+        report = lint.lint_application(registry()["banking"]())
+        text = report.render()
+        assert "sdg-write-skew" in text
+
+
+class TestBundledAppsClean:
+    """The CI smoke contract: no error-severity findings in bundled apps."""
+
+    @pytest.mark.parametrize("name", sorted(registry()))
+    def test_no_errors(self, name):
+        report = lint.lint_application(registry()[name]())
+        assert report.ok, [repr(f) for f in report.errors]

@@ -1,0 +1,210 @@
+"""Unit tests for the static conflict graph (repro.core.sdg)."""
+
+import pytest
+
+from repro.apps import banking, customers, employees, registry
+from repro.core import sdg
+from repro.core.cache import VerdictCache
+from repro.core.chooser import analyze_application
+from repro.core.conditions import (
+    ANSI_LADDER,
+    EXTENDED_LADDER,
+    READ_COMMITTED,
+    READ_UNCOMMITTED,
+    REPEATABLE_READ,
+    SERIALIZABLE,
+    SNAPSHOT,
+    plan_level,
+)
+from repro.core.interference import InterferenceChecker
+from repro.core.resources import overlaps
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def banking_graph():
+    return sdg.build_graph(banking.make_application())
+
+
+class TestFootprints:
+    def test_withdraw_sav_reads_both_balances_writes_one(self, banking_graph):
+        fp = banking_graph.footprint("Withdraw_sav")
+        read_names = {repr(r) for r in fp.reads}
+        assert any("acct_sav" in name for name in read_names)
+        assert any("acct_ch" in name for name in read_names)
+        assert all("acct_sav" in repr(r) for r in fp.writes)
+
+    def test_assert_surface_covers_consistency(self, banking_graph):
+        # TOTAL >= 0 mentions both balances, so the assert surface does too
+        fp = banking_graph.footprint("Withdraw_sav")
+        assert any("acct_sav" in repr(r) for r in fp.asserts)
+        assert any("acct_ch" in repr(r) for r in fp.asserts)
+
+    def test_unknown_type_raises(self, banking_graph):
+        with pytest.raises(AnalysisError):
+            banking_graph.footprint("Nope")
+
+
+class TestEdges:
+    def test_self_pairs_present(self, banking_graph):
+        # two Withdraw_sav instances conflict on the savings balance
+        assert banking_graph.edges_between("Withdraw_sav", "Withdraw_sav", sdg.WW)
+        assert banking_graph.edges_between("Withdraw_sav", "Withdraw_sav", sdg.RW)
+
+    def test_rw_antidependency_pair(self, banking_graph):
+        # the write-skew pair: each reads what the other writes
+        assert banking_graph.edges_between("Withdraw_sav", "Withdraw_ch", sdg.RW)
+        assert banking_graph.edges_between("Withdraw_ch", "Withdraw_sav", sdg.RW)
+
+    def test_no_ww_between_skew_pair(self, banking_graph):
+        # disjoint write sets (sav vs ch) — the write-skew precondition
+        assert not banking_graph.edges_between("Withdraw_sav", "Withdraw_ch", sdg.WW)
+
+    def test_edges_into(self, banking_graph):
+        incoming = banking_graph.edges_into("Withdraw_sav", sdg.WW)
+        assert {edge.source for edge in incoming} == {"Withdraw_sav", "Deposit_sav"}
+
+    def test_read_only_type_has_no_outgoing_ww(self):
+        graph = sdg.build_graph(customers.make_application())
+        assert not [e for e in graph.edges if e.source == "Mailing_List_c" and e.kind != sdg.RW]
+
+    def test_to_dict_round_trips_shapes(self, banking_graph):
+        payload = banking_graph.to_dict()
+        assert set(payload["nodes"]) == set(banking_graph.nodes)
+        assert all(
+            {"source", "target", "kind", "resources"} <= set(edge)
+            for edge in payload["edges"]
+        )
+
+
+class TestDangerousStructures:
+    def test_banking_write_skew_detected(self, banking_graph):
+        structures = sdg.dangerous_structures(banking_graph)
+        skews = {s.transactions for s in structures if s.kind == sdg.WRITE_SKEW}
+        assert ("Withdraw_ch", "Withdraw_sav") in skews
+
+    def test_write_skew_flagged_at_snapshot(self, banking_graph):
+        for structure in sdg.dangerous_structures(banking_graph):
+            if structure.kind == sdg.WRITE_SKEW:
+                assert structure.level == SNAPSHOT
+
+    def test_lost_update_on_read_modify_write_self_pair(self):
+        graph = sdg.build_graph(employees.make_application())
+        structures = sdg.dangerous_structures(graph)
+        lost = [s for s in structures if s.kind == sdg.LOST_UPDATE]
+        assert any(s.transactions == ("Hours",) for s in lost)
+
+    def test_no_write_skew_without_cross_reads(self):
+        graph = sdg.build_graph(employees.make_application())
+        assert not [
+            s for s in sdg.dangerous_structures(graph) if s.kind == sdg.WRITE_SKEW
+        ]
+
+    def test_deduplicated_per_pair(self, banking_graph):
+        structures = sdg.dangerous_structures(banking_graph)
+        keys = [(s.kind, s.transactions) for s in structures]
+        assert len(keys) == len(set(keys))
+
+
+class TestStaticallySafe:
+    def test_serializable_always_safe(self, banking_graph):
+        for name in banking_graph.nodes:
+            assert sdg.statically_safe(banking_graph, name, SERIALIZABLE)
+
+    def test_conventional_repeatable_read_safe(self, banking_graph):
+        for name in banking_graph.nodes:
+            assert sdg.statically_safe(banking_graph, name, REPEATABLE_READ)
+
+    def test_written_asserts_not_safe_below_rr(self, banking_graph):
+        assert not sdg.statically_safe(banking_graph, "Withdraw_sav", READ_COMMITTED)
+        assert not sdg.statically_safe(banking_graph, "Withdraw_sav", READ_UNCOMMITTED)
+
+    def test_empty_footprint_safe_everywhere(self):
+        graph = sdg.build_graph(customers.make_application())
+        assert sdg.safe_levels(graph, "Mailing_List_c", EXTENDED_LADDER) == list(
+            EXTENDED_LADDER
+        )
+
+    def test_unknown_level_raises(self, banking_graph):
+        with pytest.raises(AnalysisError):
+            sdg.statically_safe(banking_graph, "Withdraw_sav", "CHAOS")
+
+    def test_safety_is_sound_against_the_chooser(self):
+        """SDG-safe at L implies the prover-backed chooser picks <= L."""
+        from repro.core.conditions import LEVEL_ORDER
+
+        for name in ("banking", "customers", "employees"):
+            app = registry()[name]()
+            graph = sdg.build_graph(app)
+            checker = InterferenceChecker(
+                app.spec, budget=200, cache=VerdictCache(enabled=False)
+            )
+            levels = analyze_application(app, checker).levels()
+            for txn in graph.nodes:
+                safe = sdg.safe_levels(graph, txn, ANSI_LADDER)
+                if safe:
+                    assert LEVEL_ORDER[levels[txn]] <= LEVEL_ORDER[safe[0]], (
+                        name, txn, levels[txn], safe,
+                    )
+
+
+class TestPrunePlan:
+    def _plans(self, app, level):
+        return [
+            spec
+            for txn in app.transactions
+            for spec in plan_level(app, txn, level)
+        ]
+
+    def test_prunes_only_disjoint_specs(self):
+        app = banking.make_application()
+        specs = self._plans(app, READ_UNCOMMITTED)
+        pruned = sdg.prune_plan(specs)
+        assert pruned > 0
+        for spec in specs:
+            disjoint = not overlaps(
+                spec.assertion.formula.resources(), sdg.spec_write_resources(spec)
+            )
+            if spec.excused == sdg.SDG_EXCUSE:
+                assert disjoint
+            elif spec.excused is None:
+                assert not disjoint
+
+    def test_idempotent(self):
+        app = banking.make_application()
+        specs = self._plans(app, READ_COMMITTED)
+        first = sdg.prune_plan(specs)
+        assert first > 0
+        assert sdg.prune_plan(specs) == 0
+
+    def test_preserves_existing_excuses(self):
+        from repro.apps import orders
+
+        app = orders.make_application()
+        specs = self._plans(app, REPEATABLE_READ)
+        before = {
+            id(spec): spec.excused for spec in specs if spec.excused is not None
+        }
+        sdg.prune_plan(specs)
+        for spec in specs:
+            if id(spec) in before:
+                assert spec.excused == before[id(spec)]
+
+    def test_levels_identical_with_and_without_pruning(self):
+        """The acceptance criterion: byte-identical assignments, >0 pruned."""
+        for name in ("banking", "customers", "employees"):
+            app = registry()[name]()
+            on = InterferenceChecker(
+                app.spec, budget=200, cache=VerdictCache(enabled=False), use_sdg=True
+            )
+            off = InterferenceChecker(
+                app.spec, budget=200, cache=VerdictCache(enabled=False), use_sdg=False
+            )
+            assert (
+                analyze_application(app, on).levels()
+                == analyze_application(app, off).levels()
+            )
+            assert on.stats["sdg_pruned"] > 0
+            assert off.stats["sdg_pruned"] == 0
+            # the pruned obligations are exactly the checker's disjoint tier
+            assert on.stats["sdg_pruned"] == off.stats["disjoint"]

@@ -143,4 +143,52 @@ class TestBankingCertificate:
         assert {v["transaction"] for v in payload["verdicts"]} == {
             v.transaction for v in banking_report.verdicts
         }
-        assert "static" in payload and "stats" in payload
+        assert "static" in payload and "stats" in payload and "sdg" in payload
+
+
+class TestSdgLayer:
+    def test_no_sdg_vs_prover_disagreement(self, banking_report):
+        """Acceptance: the SDG never undercuts the prover-backed chooser."""
+        assert banking_report.sdg["disagreements"] == []
+        assert banking_report.agreement
+
+    def test_sdg_safe_levels_match_the_chooser(self, banking_report):
+        # banking is conventional: every type is SDG-safe from REPEATABLE
+        # READ, exactly where the chooser lands
+        for entry in banking_report.sdg["types"]:
+            assert entry["safe_level"] == "REPEATABLE READ"
+
+    def test_write_skew_structure_is_corroborated(self, banking_report):
+        structures = banking_report.sdg["structures"]
+        skew = [s for s in structures if s["kind"] == "snapshot-write-skew"]
+        assert any(
+            s["transactions"] == ["Withdraw_ch", "Withdraw_sav"] for s in skew
+        )
+        # the below-level probes exhibit the matching Berenson phenomena
+        corroborated = [s for s in structures if s["corroborated"]]
+        assert corroborated
+        assert all(s["phenomenon"] for s in structures)
+
+    def test_probes_carry_anomaly_counts(self, banking_report):
+        counts = {}
+        for verdict in banking_report.verdicts:
+            for probe in verdict.chosen_probes + verdict.below_probes:
+                for name, count in probe.anomalies.items():
+                    counts[name] = counts.get(name, 0) + count
+        assert counts.get("P4-lost-update", 0) > 0
+
+    def test_render_includes_sdg_section(self, banking_report):
+        text = banking_report.render()
+        assert "static conflict graph (SDG)" in text
+        assert "SDG-safe from" in text
+
+    def test_disagreement_breaks_agreement(self, banking_report):
+        import dataclasses
+
+        tampered = dataclasses.replace(banking_report)
+        tampered.sdg = dict(banking_report.sdg)
+        tampered.sdg["disagreements"] = [
+            {"transaction": "X", "detail": "synthetic"}
+        ]
+        assert not tampered.agreement
+        assert "DISAGREEMENT" in tampered.render()

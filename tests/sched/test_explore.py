@@ -101,6 +101,37 @@ class TestBounds:
             "truncated",
         }
 
+    def test_max_depth_zero_terminates_with_no_schedules(self):
+        """Every run stops before its first decision; nothing completes."""
+        initial = DbState(items={"x": 0})
+        result = explore(
+            initial, specs_for(["x", "x"]), pruning=False, max_depth=0
+        )
+        assert result.schedules == 0
+        assert result.truncated_depth == result.runs > 0
+        assert result.pruned_sleep == 0 and result.pruned_state == 0
+
+    def test_max_schedules_one_runs_exactly_once(self):
+        initial = DbState(items={"x": 0})
+        result = explore(
+            initial, specs_for(["x", "x"]), pruning=False, max_schedules=1
+        )
+        assert result.runs == 1
+        assert result.truncated
+        assert result.schedules <= 1
+
+    def test_single_instance_yields_exactly_one_schedule(self):
+        """One transaction has one interleaving — no pruning, no miscounts."""
+        initial = DbState(items={"x": 0})
+        for pruning in (False, True):
+            result = explore(initial.copy(), specs_for(["x"]), pruning=pruning)
+            assert result.schedules == 1
+            assert result.runs == 1
+            assert result.pruned_sleep == 0 and result.pruned_state == 0
+            assert not result.truncated and result.truncated_depth == 0
+            (finals,) = final_states(result)
+            assert finals == ((("x", 1),), ("T0",))
+
 
 class TestParallelFanOut:
     def test_workers_agree_with_sequential(self):

@@ -107,6 +107,36 @@ class TestLevelOverrides:
         with pytest.raises(SystemExit):
             main(["simulate", "banking", "--levels", "Withdraw_sav", "--size", "2"])
 
+    def test_unknown_level_name_rejected(self):
+        with pytest.raises(SystemExit, match="unknown isolation level"):
+            main(["simulate", "banking", "--levels", "Withdraw_sav=READ COMITTED",
+                  "--size", "2"])
+
+    def test_unknown_transaction_type_rejected(self):
+        with pytest.raises(SystemExit, match="unknown transaction type"):
+            main(["simulate", "banking", "--levels", "Withdraw=READ COMMITTED",
+                  "--size", "2"])
+
+    def test_unknown_uniform_level_rejected(self):
+        with pytest.raises(SystemExit, match="unknown isolation level"):
+            main(["simulate", "banking", "--level", "SNAPSHOTISH", "--size", "2"])
+
+    def test_explore_validates_override_names(self):
+        with pytest.raises(SystemExit, match="unknown transaction type"):
+            main(["explore", "banking", "--scenario", "withdraw-race",
+                  "--levels", "Withdrew_sav=READ COMMITTED"])
+
+    def test_explore_validates_override_levels(self):
+        with pytest.raises(SystemExit, match="unknown isolation level"):
+            main(["explore", "banking", "--scenario", "withdraw-race",
+                  "--levels", "Withdraw_sav=RC"])
+
+    def test_replay_validates_levels(self):
+        with pytest.raises(SystemExit, match="unknown isolation level"):
+            main(["replay", "w1[x=1] c1", "--levels", "1=NOPE"])
+        with pytest.raises(SystemExit, match="numeric"):
+            main(["replay", "w1[x=1] c1", "--levels", "one=READ COMMITTED"])
+
 
 class TestExhaustiveSimulate:
     def test_simulate_policy_exhaustive(self, capsys):
@@ -205,3 +235,53 @@ class TestCertifyCommand:
         assert {v["transaction"] for v in payload["verdicts"]} == {
             "Withdraw_sav", "Withdraw_ch", "Deposit_sav", "Deposit_ch",
         }
+        assert payload["sdg"]["disagreements"] == []
+
+
+class TestSdgFlag:
+    def test_analyze_prunes_by_default(self, capsys):
+        import json as json_module
+
+        code = main(["analyze", "employees", "--budget", "2000", "--no-cache",
+                     "--json"])
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["tiers"]["sdg_pruned"] > 0
+
+    def test_no_sdg_disables_pruning_same_levels(self, capsys):
+        import json as json_module
+
+        main(["analyze", "employees", "--budget", "2000", "--no-cache", "--json"])
+        with_sdg = json_module.loads(capsys.readouterr().out)
+        code = main(["analyze", "employees", "--budget", "2000", "--no-cache",
+                     "--no-sdg", "--json"])
+        assert code == 0
+        without = json_module.loads(capsys.readouterr().out)
+        assert without["tiers"]["sdg_pruned"] == 0
+        assert without["tiers"]["disjoint"] > 0
+        assert with_sdg["levels"] == without["levels"]
+
+
+class TestLintCommand:
+    def test_lint_bundled_apps_clean(self, capsys):
+        code = main(["lint"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("banking", "customers", "employees", "orders", "tpcc"):
+            assert f"lint {name}" in out
+
+    def test_lint_single_app_json(self, capsys):
+        import json as json_module
+
+        code = main(["lint", "banking", "--json"])
+        assert code == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["application"] == "banking"
+        assert payload[0]["ok"] is True
+        rules = {f["rule"] for f in payload[0]["findings"]}
+        assert "sdg-write-skew" in rules
+
+    def test_lint_unknown_app_rejected(self):
+        with pytest.raises(SystemExit, match="unknown application"):
+            main(["lint", "nope"])

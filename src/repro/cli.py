@@ -80,14 +80,27 @@ def cmd_levels(_args) -> int:
 
 
 def cmd_analyze(args) -> int:
+    from repro.core.persist import open_store
+
     app = _load_app(args.app)
     workers = resolve_workers(args.workers)
     cache = VerdictCache(enabled=False) if args.no_cache else shared_cache()
+    store = open_store(args.cache_dir, no_persist=args.no_persist or args.no_cache)
+    if store is not None:
+        store.load(cache)
     checker = InterferenceChecker(
         app.spec, budget=args.budget, seed=args.seed, cache=cache, workers=workers,
         use_sdg=not args.no_sdg,
     )
     policy = ParallelPolicy(workers=workers, backend=args.backend, app_ref=args.app)
+    try:
+        return _run_analyze(args, app, cache, checker, policy, store)
+    finally:
+        if store is not None:
+            store.flush(cache)
+
+
+def _run_analyze(args, app, cache, checker, policy, store) -> int:
     if args.transaction and args.level:
         result = check_transaction_at(
             app, app.transaction(args.transaction), args.level, checker, policy
@@ -108,6 +121,8 @@ def cmd_analyze(args) -> int:
         payload = report.to_dict()
         payload["tiers"] = dict(checker.stats)
         payload["cache"] = cache.stats.snapshot()
+        if store is not None:
+            payload["persist"] = store.snapshot()
         print(json.dumps(payload, indent=2))
         return 0
     print(level_table(report))
@@ -134,6 +149,8 @@ def cmd_certify(args) -> int:
         max_schedules=args.max_schedules,
         max_depth=args.max_depth,
         use_sdg=not args.no_sdg,
+        cache_dir=args.cache_dir,
+        no_persist=args.no_persist,
     )
     report = certify(args.app, context=context, ladder=args.ladder)
     if args.json:
@@ -406,6 +423,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the verdict cache (every obligation re-checked)",
     )
     analyze.add_argument(
+        "--cache-dir", nargs="?", const=".repro-cache", default=None, metavar="DIR",
+        help="persistent verdict cache directory (bare flag: .repro-cache;"
+        " default: $REPRO_CACHE_DIR, else persistence stays off)",
+    )
+    analyze.add_argument(
+        "--no-persist", action="store_true",
+        help="never load or write the persistent verdict cache",
+    )
+    analyze.add_argument(
         "--no-sdg", action="store_true",
         help="disable SDG obligation pre-pruning (verdicts are identical;"
         " every obligation goes through the checker tiers)",
@@ -450,6 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument(
         "--no-sdg", action="store_true",
         help="disable SDG obligation pre-pruning in the static layer",
+    )
+    certify.add_argument(
+        "--cache-dir", nargs="?", const=".repro-cache", default=None, metavar="DIR",
+        help="persistent verdict cache directory (bare flag: .repro-cache;"
+        " default: $REPRO_CACHE_DIR, else persistence stays off)",
+    )
+    certify.add_argument(
+        "--no-persist", action="store_true",
+        help="never load or write the persistent verdict cache",
     )
     certify.add_argument(
         "--json", action="store_true",

@@ -46,6 +46,10 @@ from typing import Any
 FORMULA_SCOPE = "formula"
 FULL_SCOPE = "full"
 
+#: Version of the fingerprint scheme itself; part of the persistent-store
+#: salt so digests computed by an older scheme can never satisfy a lookup.
+FINGERPRINT_VERSION = "1"
+
 #: Cap on the number of interned sub-object digests kept alive.
 _INTERN_CAP = 1_000_000
 
@@ -96,12 +100,33 @@ def _callable_token(obj: Any, _depth: int) -> tuple:
     return tuple(parts)
 
 
+_NODE_BASES: tuple | None = None
+
+
+def _node_bases() -> tuple:
+    """The hash-consed node roots (resolved lazily to avoid an import cycle)."""
+    global _NODE_BASES
+    if _NODE_BASES is None:
+        from repro.core.formula import Formula
+        from repro.core.terms import Term
+
+        _NODE_BASES = (Term, Formula)
+    return _NODE_BASES
+
+
 def _token(obj: Any, _depth: int = 0) -> object:
     """A hashable, order-stable token structurally identifying ``obj``."""
     if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
         return (type(obj).__name__, obj)
     if _depth > 64:
         return ("deep", _opaque(obj))
+    is_node = isinstance(obj, _node_bases())
+    if is_node:
+        # Term/Formula nodes carry their digest; interned nodes compute it
+        # exactly once per process no matter how many trees share them.
+        cached_fp = obj.__dict__.get("_hc_fp")
+        if cached_fp is not None:
+            return cached_fp
     key = id(obj)
     cached = _intern.get(key)
     if cached is not None and cached[0] is obj:
@@ -134,6 +159,9 @@ def _token(obj: Any, _depth: int = 0) -> object:
     else:
         token = ("opaque", _opaque(obj))
     digest = hashlib.sha256(repr(token).encode()).hexdigest()[:24]
+    if is_node:
+        object.__setattr__(obj, "_hc_fp", digest)
+        return digest
     if len(_intern) >= _INTERN_CAP:
         _intern.clear()
     _intern[key] = (obj, digest)
@@ -180,6 +208,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    persist_hits: int = 0  # hits answered by an entry warmed from disk
 
     @property
     def lookups(self) -> int:
@@ -196,6 +225,7 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "hit_rate": round(self.hit_rate, 4),
+            "persist_hits": self.persist_hits,
         }
 
 
@@ -215,6 +245,7 @@ class VerdictCache:
         self.enabled = enabled
         self.stats = CacheStats()
         self._store: dict = {}
+        self._persisted: set = set()  # keys warmed from the on-disk store
 
     def __len__(self) -> int:
         return len(self._store)
@@ -230,13 +261,17 @@ class VerdictCache:
         """
         if not self.enabled:
             return None
-        verdict = self._store.get((FORMULA_SCOPE, formula_key))
+        key = (FORMULA_SCOPE, formula_key)
+        verdict = self._store.get(key)
         if verdict is None:
-            verdict = self._store.get((FULL_SCOPE, full_key))
+            key = (FULL_SCOPE, full_key)
+            verdict = self._store.get(key)
         if verdict is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        if key in self._persisted:
+            self.stats.persist_hits += 1
         return verdict
 
     def store(self, scope: str, key: str, verdict) -> None:
@@ -247,12 +282,35 @@ class VerdictCache:
             drop = max(1, self.cap // 100)
             for stale in list(self._store)[:drop]:
                 del self._store[stale]
+                self._persisted.discard(stale)
             self.stats.evictions += drop
         self._store[(scope, key)] = verdict
         self.stats.stores += 1
 
+    def absorb(self, scope: str, key: str, verdict) -> bool:
+        """Warm one entry from the persistent store.
+
+        In-memory entries win (they are at least as fresh); returns whether
+        the entry was actually added.  Warmed entries are tracked so hits on
+        them count as ``persist_hits``.
+        """
+        if not self.enabled:
+            return False
+        composite = (scope, key)
+        if composite in self._store:
+            return False
+        self._store[composite] = verdict
+        self._persisted.add(composite)
+        return True
+
+    def items(self):
+        """All ``((scope, key), verdict)`` pairs plus their persisted flag."""
+        for composite, verdict in self._store.items():
+            yield composite, verdict, composite in self._persisted
+
     def clear(self) -> None:
         self._store.clear()
+        self._persisted.clear()
         self.stats = CacheStats()
 
 

@@ -79,6 +79,13 @@ from repro.core.resources import overlaps
 from repro.core.terms import Field, Item
 from repro.errors import AnalysisError
 
+#: Version of the obligation-plan shape produced by the ``plan_*`` functions.
+#: Part of the persistent verdict store's salt
+#: (:func:`repro.core.persist.store_salt`): a change to which obligations a
+#: level generates — or to what a cached verdict means for a level — must
+#: bump this so verdicts persisted by older plans miss cleanly.
+PLAN_VERSION = "1"
+
 # ---------------------------------------------------------------------------
 # isolation levels
 # ---------------------------------------------------------------------------

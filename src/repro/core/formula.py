@@ -28,12 +28,12 @@ evaluation, mirroring :class:`repro.core.terms.Term`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 from repro.core import terms
 from repro.core.resources import ArrayResource, Resource, ScalarResource, TableResource
-from repro.core.terms import Term, Value, coerce
+from repro.core.terms import HashConsMeta, Term, Value, coerce
 from repro.errors import EvaluationError, SortError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,7 +70,7 @@ class RowAttr(Term):
     def sort(self) -> str:
         return self.var_sort
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return mapping.get(self, self)
 
     def atoms(self) -> Iterator[Term]:
@@ -96,7 +96,7 @@ class BoundVar(Term):
     def sort(self) -> str:
         return "int"
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return mapping.get(self, self)
 
     def atoms(self) -> Iterator[Term]:
@@ -131,7 +131,7 @@ class CountWhere(Term):
     def sort(self) -> str:
         return "int"
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         inner = _drop_bound(mapping, self.row)
         return CountWhere(self.table, self.row, self.where.substitute(inner))
 
@@ -160,13 +160,26 @@ class CountWhere(Term):
         return f"COUNT({self.row} in {self.table} where {self.where!r})"
 
 
+#: (row_var, attr) -> the three sorted RowAttr keys; row binding happens in
+#: the innermost loop of every quantifier/aggregate evaluation, so the keys
+#: are looked up here instead of going through the constructor each time.
+_ROW_KEYS: dict = {}
+
+
 def _bind_row(env: Env, row_var: str, row: Mapping[str, Value]) -> Env:
     """Extend an environment with bindings for every attribute of a row."""
     extended = dict(env)
     for attr, value in row.items():
-        extended[RowAttr(row_var, attr)] = value
-        extended[RowAttr(row_var, attr, "bool")] = value
-        extended[RowAttr(row_var, attr, "str")] = value
+        try:
+            int_key, bool_key, str_key = _ROW_KEYS[(row_var, attr)]
+        except KeyError:
+            int_key = RowAttr(row_var, attr)
+            bool_key = RowAttr(row_var, attr, "bool")
+            str_key = RowAttr(row_var, attr, "str")
+            _ROW_KEYS[(row_var, attr)] = (int_key, bool_key, str_key)
+        extended[int_key] = value
+        extended[bool_key] = value
+        extended[str_key] = value
     return extended
 
 
@@ -185,28 +198,85 @@ def _drop_bound(mapping: Mapping[Term, Term], row_var: str) -> dict:
 
 
 @dataclass(frozen=True)
-class Formula:
+class Formula(metaclass=HashConsMeta):
     """Base class of all assertions."""
 
+    _hc_intern = True
+
     def substitute(self, mapping: Mapping[Term, Term]) -> "Formula":
+        """Capture-free substitution; returns ``self`` untouched (identity-
+        preserving) when no key of ``mapping`` occurs free in the formula."""
+        if self.atom_set().isdisjoint(mapping):
+            return self
+        return self._substitute(mapping)
+
+    def _substitute(self, mapping: Mapping[Term, Term]) -> "Formula":
+        """Per-class substitution body; only called when atoms intersect."""
         raise NotImplementedError
 
     def atoms(self) -> Iterator[Term]:
         """Yield every free atomic reference term in the formula."""
         raise NotImplementedError
 
+    def atom_set(self) -> frozenset:
+        """The free atoms of this formula as a set, computed once and cached."""
+        cached = self.__dict__.get("_hc_atoms")
+        if cached is None:
+            cached = frozenset(self.atoms())
+            object.__setattr__(self, "_hc_atoms", cached)
+        return cached
+
+    def projectable(self) -> bool:
+        """Whether :meth:`atom_set` fully describes this formula's env reads.
+
+        True for every structural formula: evaluation looks up the
+        environment only at free atoms.  False as soon as the tree contains
+        an :class:`AbstractPred` — its opaque evaluator may read anything —
+        which tells evaluation memos they must key on the whole environment.
+        Computed once and cached on the node.
+        """
+        cached = self.__dict__.get("_hc_projectable")
+        if cached is None:
+            cached = True
+            stack: list = [self]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, AbstractPred):
+                    cached = False
+                    break
+                for f in dataclass_fields(node):
+                    value = getattr(node, f.name)
+                    if isinstance(value, Formula):
+                        stack.append(value)
+                    elif isinstance(value, tuple):
+                        stack.extend(v for v in value if isinstance(v, Formula))
+            object.__setattr__(self, "_hc_projectable", cached)
+        return cached
+
     def evaluate(self, state: "DbState", env: Env) -> bool:
         raise NotImplementedError
 
     def resources(self) -> frozenset[Resource]:
-        """Database resources this assertion's truth can depend on."""
-        return frozenset(_resources_of_atoms(self.atoms())) | self._extra_resources()
+        """Database resources this assertion's truth can depend on (cached)."""
+        cached = self.__dict__.get("_hc_resources")
+        if cached is None:
+            cached = frozenset(_resources_of_atoms(self.atoms())) | self._extra_resources()
+            object.__setattr__(self, "_hc_resources", cached)
+        return cached
 
     def fingerprint(self) -> str:
-        """Stable structural digest (see :mod:`repro.core.cache`)."""
+        """Stable structural digest, cached on the node (see :mod:`repro.core.cache`)."""
+        cached = self.__dict__.get("_hc_fp")
+        if cached is not None:
+            return cached
         from repro.core.cache import fingerprint
 
         return fingerprint(self)
+
+    def __getstate__(self) -> dict:
+        # Mirror Term.__getstate__: the cached hash is per-process (string
+        # hash salting), so no _hc_* cache may cross a pickle boundary.
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_hc_")}
 
     def _extra_resources(self) -> frozenset[Resource]:
         return frozenset()
@@ -238,7 +308,7 @@ def _resources_of_atoms(atoms: Iterator[Term]) -> set[Resource]:
 class Top(Formula):
     """The trivially true assertion."""
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return self
 
     def atoms(self) -> Iterator[Term]:
@@ -255,7 +325,7 @@ class Top(Formula):
 class Bottom(Formula):
     """The trivially false assertion."""
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return self
 
     def atoms(self) -> Iterator[Term]:
@@ -286,7 +356,7 @@ class Cmp(Formula):
         if self.op not in ("==", "!=") and (self.left.sort == "str" or self.right.sort == "str"):
             raise SortError(f"ordering comparison on string terms: {self!r}")
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Cmp(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
 
     def atoms(self) -> Iterator[Term]:
@@ -312,7 +382,7 @@ class BoolAtom(Formula):
 
     term: Term
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return BoolAtom(self.term.substitute(mapping))
 
     def atoms(self) -> Iterator[Term]:
@@ -332,7 +402,7 @@ class Not(Formula):
 
     operand: Formula
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Not(self.operand.substitute(mapping))
 
     def atoms(self) -> Iterator[Term]:
@@ -354,7 +424,7 @@ class And(Formula):
 
     operands: tuple[Formula, ...]
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return And(tuple(op.substitute(mapping) for op in self.operands))
 
     def atoms(self) -> Iterator[Term]:
@@ -380,7 +450,7 @@ class Or(Formula):
 
     operands: tuple[Formula, ...]
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Or(tuple(op.substitute(mapping) for op in self.operands))
 
     def atoms(self) -> Iterator[Term]:
@@ -407,7 +477,7 @@ class Implies(Formula):
     premise: Formula
     conclusion: Formula
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return Implies(self.premise.substitute(mapping), self.conclusion.substitute(mapping))
 
     def atoms(self) -> Iterator[Term]:
@@ -433,7 +503,7 @@ class ForAllRows(Formula):
     body: Formula
     where: Formula = TRUE
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         inner = _drop_bound(mapping, self.row)
         return ForAllRows(self.table, self.row, self.body.substitute(inner), self.where.substitute(inner))
 
@@ -476,7 +546,7 @@ class ExistsRow(Formula):
     body: Formula
     where: Formula = TRUE
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         inner = _drop_bound(mapping, self.row)
         return ExistsRow(self.table, self.row, self.body.substitute(inner), self.where.substitute(inner))
 
@@ -523,7 +593,7 @@ class ForAllInts(Formula):
     high: Term
     body: Formula
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         inner = {k: v for k, v in mapping.items() if k != BoundVar(self.var)}
         return ForAllInts(self.var, self.low.substitute(inner), self.high.substitute(inner), self.body.substitute(inner))
 
@@ -539,9 +609,10 @@ class ForAllInts(Formula):
         high = self.high.evaluate(state, env)
         if not isinstance(low, int) or not isinstance(high, int):
             raise EvaluationError(f"non-integer bounds in {self!r}")
+        bound = BoundVar(self.var)
         for value in range(low, high + 1):
             extended = dict(env)
-            extended[BoundVar(self.var)] = value
+            extended[bound] = value
             if not self.body.evaluate(state, extended):
                 return False
         return True
@@ -560,7 +631,7 @@ class InTable(Formula):
     table: str
     values: tuple[tuple[str, Term], ...]
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return InTable(self.table, tuple((attr, term.substitute(mapping)) for attr, term in self.values))
 
     def atoms(self) -> Iterator[Term]:
@@ -602,7 +673,12 @@ class AbstractPred(Formula):
     reads: frozenset[Resource] = frozenset()
     evaluator: Callable[["DbState", Env], bool] | None = field(default=None, compare=False)
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Formula:
+    # Interning keys on equality, and equality ignores ``evaluator``; an
+    # interned AbstractPred would silently swap one predicate's evaluator
+    # for another's.  Construction stays un-interned for this class.
+    _hc_intern = False
+
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Formula:
         return self
 
     def atoms(self) -> Iterator[Term]:
@@ -648,6 +724,9 @@ def _atoms_with_bound(formula: Formula) -> Iterator[Term]:
 
 # expose as a method so quantifier footprints can see nested bound attrs
 Formula.atoms_with_bound = _atoms_with_bound  # type: ignore[attr-defined]
+
+# register the formula hierarchy with the hash-consing helpers in terms.py
+terms._HASHCONS_BASES.append(Formula)
 
 
 def cmp(op: str, left, right) -> Cmp:

@@ -124,12 +124,21 @@ class InterferenceVerdict:
 
 @dataclass
 class TraceEvent:
-    """One database operation observed during a concrete trace."""
+    """One database operation observed during a concrete trace.
+
+    ``before`` and ``after`` are snapshots shared with the trace's ``states``
+    list (and with each other for reads, which never mutate the database) —
+    consumers must copy before mutating.  ``undo`` and ``delta`` lazily cache
+    the event's inverse write recipe and changed-location set; both are pure
+    functions of the immutable snapshots.
+    """
 
     statement: Statement
     before: DbState
     after: DbState
     is_write: bool
+    undo: tuple | None = None
+    delta: frozenset | None = None
 
 
 @dataclass
@@ -144,24 +153,51 @@ class Trace:
     events: list
     envs: list
     states: list
+    _cumulative: list | None = None
+    _undo_memo: dict | None = None
 
     @property
     def length(self) -> int:
         return len(self.events)
 
+    def cumulative_writes(self) -> list:
+        """``result[p]`` = locations written by the first ``p`` events.
+
+        Cached on the trace; scenario filtering consults it once per
+        activation position instead of re-unioning deltas per call.
+        """
+        if self._cumulative is None:
+            acc: frozenset = frozenset()
+            cumulative = [acc]
+            for event in self.events:
+                if event.is_write:
+                    acc = acc | _event_delta(event)
+                cumulative.append(acc)
+            self._cumulative = cumulative
+        return self._cumulative
+
 
 def trace(txn: TransactionType, state: DbState, args: dict) -> Trace:
-    """Execute a transaction concretely, snapshotting around every DB op."""
+    """Execute a transaction concretely, snapshotting around every DB op.
+
+    Snapshots are shared, not duplicated: the checkpoint state at position
+    ``p`` *is* event ``p``'s ``before`` state, and a read event's ``after``
+    is its ``before`` (reads never mutate the database).  Only writes pay
+    for a second copy.  State copying dominated BMC cost before this
+    sharing (benchmarked in E14).
+    """
     events: list[TraceEvent] = []
     envs: list[dict] = []
     states: list[DbState] = []
     env = txn.initial_env(args, state)
-
-    def checkpoint() -> None:
-        envs.append(dict(env))
-        states.append(state.copy())
+    # one live snapshot, reused until the next write invalidates it: reads
+    # never mutate the database, so every position between two writes shares
+    # a single state object (which also lets identity-keyed evaluation memos
+    # collapse those positions)
+    snap: DbState | None = None
 
     def run(stmts: Sequence[Statement]) -> None:
+        nonlocal snap
         for stmt in stmts:
             if isinstance(stmt, If):
                 branch = stmt.then if stmt.cond.evaluate(state, env) else stmt.orelse
@@ -180,16 +216,28 @@ def trace(txn: TransactionType, state: DbState, args: dict) -> Trace:
                     for attr, local in stmt.bind:
                         env[local] = row.get(attr)
                     run(stmt.body)
-            elif stmt.is_db_read or stmt.is_db_write:
-                checkpoint()
-                before = state.copy()
+            elif stmt.is_db_write:
+                envs.append(dict(env))
+                if snap is None:
+                    snap = state.fork()
+                states.append(snap)
                 stmt.execute(state, env)
-                events.append(TraceEvent(stmt, before, state.copy(), stmt.is_db_write))
+                after = state.fork()
+                events.append(TraceEvent(stmt, snap, after, True))
+                snap = after
+            elif stmt.is_db_read:
+                envs.append(dict(env))
+                if snap is None:
+                    snap = state.fork()
+                states.append(snap)
+                stmt.execute(state, env)
+                events.append(TraceEvent(stmt, snap, snap, False))
             else:
                 stmt.execute(state, env)
 
     run(txn.body)
-    checkpoint()
+    envs.append(dict(env))
+    states.append(snap if snap is not None else state.fork())
     return Trace(events, envs, states)
 
 
@@ -197,48 +245,126 @@ def undo_states(events: Sequence[TraceEvent]) -> list:
     """States passed through while rolling back a traced prefix, in order."""
     if not events:
         return []
-    current = events[-1].after.copy()
+    current = events[-1].after.fork()
     states = []
     for event in reversed(events):
         if not event.is_write:
             continue
-        _restore(current, event.after, event.before)
-        states.append(current.copy())
+        _apply_undo(current, _event_undo(event))
+        states.append(current.fork())
     return states
 
 
-def _restore(current: DbState, after: DbState, before: DbState) -> None:
-    """Apply the inverse of the ``before -> after`` delta onto ``current``."""
+def _cached_undo_states(tr: Trace, k: int) -> list:
+    """``undo_states`` of the trace's first ``k + 1`` events, cached.
+
+    The rolled-back state sequence depends only on the trace prefix, not on
+    the assertion being checked against it; rollback injection probes the
+    same prefix once per (assertion, activation position), so the states are
+    materialised once per trace.  Callers must not mutate them.
+    """
+    memo = tr._undo_memo
+    if memo is None:
+        memo = tr._undo_memo = {}
+    states = memo.get(k)
+    if states is None:
+        states = undo_states(tr.events[: k + 1])
+        memo[k] = states
+    return states
+
+
+#: Marker for "location absent before the write" in undo recipes.
+_MISSING = object()
+
+
+def _event_undo(event: TraceEvent) -> tuple:
+    """The event's undo recipe, diffed once and cached on the event.
+
+    Rollback scenarios replay the same event's inverse against many
+    states; diffing the full snapshots each time (the old ``_restore``)
+    was a top-three BMC cost.  The recipe is a pure function of the
+    immutable ``before``/``after`` snapshots.
+    """
+    recipe = event.undo
+    if recipe is None:
+        recipe = _undo_recipe(event.before, event.after)
+        event.undo = recipe
+    return recipe
+
+
+def _undo_recipe(before: DbState, after: DbState) -> tuple:
+    """Compact inverse of the ``before -> after`` delta.
+
+    Returns ``(items, fields, rows)``: item/field restorations (with
+    :data:`_MISSING` for locations the write created) and per-table row
+    multiset corrections.
+    """
+    if before is after:
+        return ((), (), ())
+    items = []
     for name in set(after.items) | set(before.items):
         if after.items.get(name) != before.items.get(name):
-            if name in before.items:
-                current.items[name] = before.items[name]
-            else:
-                current.items.pop(name, None)
+            items.append((name, before.items.get(name, _MISSING)))
+    fields = []
     for array in set(after.arrays) | set(before.arrays):
-        indices = set(after.arrays.get(array, {})) | set(before.arrays.get(array, {}))
+        before_elems = before.arrays.get(array, {})
+        after_elems = after.arrays.get(array, {})
+        if before_elems is after_elems:  # shared through fork(): untouched
+            continue
+        indices = set(after_elems) | set(before_elems)
         for index in indices:
-            old = before.arrays.get(array, {}).get(index, {})
-            new = after.arrays.get(array, {}).get(index, {})
+            old = before_elems.get(index, {})
+            new = after_elems.get(index, {})
+            if old is new:
+                continue
             for attr in set(old) | set(new):
                 if old.get(attr) != new.get(attr):
-                    if attr in old:
-                        current.write_field(array, index, attr, old[attr])
-                    else:
-                        current.arrays.get(array, {}).get(index, {}).pop(attr, None)
+                    fields.append((array, index, attr, old.get(attr, _MISSING)))
+    rows = []
     for table in set(after.tables) | set(before.tables):
+        before_rows = before.tables.get(table, [])
+        after_rows = after.tables.get(table, [])
+        if before_rows is after_rows or before_rows == after_rows:
+            continue
         added = _multiset_minus(
-            _row_multiset(after.tables.get(table, [])),
-            _row_multiset(before.tables.get(table, [])),
+            _row_multiset(after_rows), _row_multiset(before_rows)
         )
         removed = _multiset_minus(
-            _row_multiset(before.tables.get(table, [])),
-            _row_multiset(after.tables.get(table, [])),
+            _row_multiset(before_rows), _row_multiset(after_rows)
         )
+        if added or removed:
+            rows.append((table, tuple(added), tuple(removed)))
+    return (tuple(items), tuple(fields), tuple(rows))
+
+
+def _apply_undo(current: DbState, recipe: tuple) -> None:
+    """Apply a cached undo recipe onto ``current``."""
+    items, fields, rows = recipe
+    for name, old in items:
+        if old is _MISSING:
+            current.items.pop(name, None)
+        else:
+            current.items[name] = old
+    for array, index, attr, old in fields:
+        if old is _MISSING:
+            # Replace, don't mutate: the attrs dict may be shared by forks.
+            elems = dict(current.arrays.get(array, ()))
+            attrs = dict(elems.get(index, ()))
+            attrs.pop(attr, None)
+            elems[index] = attrs
+            current.arrays[array] = elems
+        else:
+            current.write_field(array, index, attr, old)
+    for table, added, removed in rows:
         for key in added:
             current.delete_rows(table, _once_matcher(dict(key)))
         for key in removed:
             current.insert_row(table, dict(key))
+
+
+def _restore(current: DbState, after: DbState, before: DbState) -> None:
+    """Apply the inverse of the ``before -> after`` delta onto ``current``."""
+    _apply_undo(current, _undo_recipe(before, after))
 
 
 def _once_matcher(row: dict):
@@ -382,6 +508,15 @@ class InterferenceChecker:
         self._state_cache: tuple | None = None
         self._trace_memo: dict = {}
         self._eval_memo: dict = {}
+        self._proj_key_memo: dict = {}
+        self._args_key_memo: dict = {}
+        self._unit_memo: dict = {}
+        self._stmt_memo: dict = {}
+        self._swt_memo: dict = {}
+        self._overlap_memo: dict = {}
+        self._pos_memo: dict = {}
+        self._space_memo: dict = {}
+        self._combined_memo: dict = {}
 
     def config_dict(self) -> dict:
         """Picklable constructor kwargs for rebuilding this checker elsewhere."""
@@ -471,11 +606,11 @@ class InterferenceChecker:
         distinct names only via the `!2` suffixed parameters, so the
         argument tuple disambiguates them).
         """
-        key = (txn.name, tuple(sorted(args.items())), id(state0))
+        key = (txn.name, self._args_key(args), id(state0))
         cached = self._trace_memo.get(key)
         if cached is not None:
             return cached
-        result = trace(txn, state0.copy(), args)
+        result = trace(txn, state0.fork(), args)
         if len(self._trace_memo) < 200_000:
             self._trace_memo[key] = result
         return result
@@ -486,21 +621,203 @@ class InterferenceChecker:
         Scenario loops re-evaluate the same (assertion, state, env)
         combination for every partner argument assignment; formula
         evaluation (nested quantifiers, COUNT aggregates) dominates BMC
-        cost, so this cache is the main lever.  Valid because the states
-        come from immutable caches (identity-keyed) and environments are
-        small dictionaries.
+        cost, so this cache is the main lever.  The formula itself is part
+        of the key (hash-consing makes hashing it an O(1) cached lookup and
+        keeps it alive, so its entry can never alias another formula);
+        states come from identity-stable caches.  Environments with
+        unhashable values (none in practice — buffers are packed as
+        tuples) fall back to direct evaluation.
         """
-        try:
-            env_key = tuple(sorted((repr(k), v) for k, v in env.items()))
-        except TypeError:
+        return self._memo_holds_keyed(formula, state, env, self._env_key(formula, env))
+
+    def _memo_holds_keyed(self, formula, state, env, env_key) -> bool:
+        """:meth:`_memo_holds` with the environment key precomputed.
+
+        The scenario loops already compute the assertion's env key for
+        position deduplication; passing it through avoids a second
+        projection probe per position.
+        """
+        if env_key is None:
             return _holds(formula, state, env)
-        key = (id(formula), id(state), env_key)
+        key = (formula, id(state), env_key)
         cached = self._eval_memo.get(key)
         if cached is None:
             cached = _holds(formula, state, env)
             if len(self._eval_memo) < 2_000_000:
                 self._eval_memo[key] = cached
         return cached
+
+    def _env_key(self, formula, env):
+        """The formula's evaluation-relevant view of ``env``, memoised.
+
+        Structural formulas read the environment only at their free atoms,
+        so the key projects ``env`` onto them — a formula with no free
+        parameters collapses to one entry per state no matter how many
+        partner-argument environments probe it.  Opaque evaluators
+        (:class:`~repro.core.formula.AbstractPred` trees) key on the whole
+        environment.  Memoised per (formula, env) identity (entries keep
+        strong references and are re-verified, so id reuse cannot alias);
+        returns None when the environment holds unhashable values.
+        """
+        pkey = (id(formula), id(env))
+        entry = self._proj_key_memo.get(pkey)
+        if entry is not None and entry[0] is formula and entry[1] is env:
+            return entry[2]
+        try:
+            if formula.projectable():
+                atoms = formula.atom_set()
+                env_key = frozenset(
+                    (atom, env[atom]) for atom in atoms.intersection(env)
+                )
+            else:
+                env_key = frozenset(env.items())
+        except TypeError:
+            env_key = None
+        if len(self._proj_key_memo) < 1_000_000:
+            self._proj_key_memo[pkey] = (formula, env, env_key)
+        return env_key
+
+    def _args_key(self, args: dict) -> tuple:
+        """``tuple(sorted(args.items()))``, memoised by dict identity."""
+        entry = self._args_key_memo.get(id(args))
+        if entry is not None and entry[0] is args:
+            return entry[1]
+        key = tuple(sorted(args.items()))
+        if len(self._args_key_memo) < 500_000:
+            self._args_key_memo[id(args)] = (args, key)
+        return key
+
+    def _static_targets(self, txn: TransactionType) -> list:
+        """:func:`static_write_targets`, memoised per transaction type."""
+        entry = self._swt_memo.get(id(txn))
+        if entry is not None and entry[0] is txn:
+            return entry[1]
+        targets = static_write_targets(txn)
+        if len(self._swt_memo) < 10_000:
+            self._swt_memo[id(txn)] = (txn, targets)
+        return targets
+
+    def _stmt_written(self, stmt: Statement) -> frozenset:
+        """``stmt.written_resources()``, memoised per statement."""
+        entry = self._swt_memo.get(("wr", id(stmt)))
+        if entry is not None and entry[0] is stmt:
+            return entry[1]
+        written = stmt.written_resources()
+        if len(self._swt_memo) < 10_000:
+            self._swt_memo[("wr", id(stmt))] = (stmt, written)
+        return written
+
+    def _res_overlaps(self, res: frozenset, stmt: Statement) -> bool:
+        """Whether ``stmt``'s written footprint overlaps ``res``, memoised.
+
+        The rollback pruning asks this for the same (assertion-resources,
+        statement) pair once per undo step per position; both operands are
+        identity-stable (resources are cached on the interned formula), so
+        the symbolic overlap test runs once per distinct pair.
+        """
+        key = (id(res), id(stmt))
+        entry = self._overlap_memo.get(key)
+        if entry is not None and entry[0] is res and entry[1] is stmt:
+            return entry[2]
+        result = overlaps(res, self._stmt_written(stmt))
+        if len(self._overlap_memo) < 100_000:
+            self._overlap_memo[key] = (res, stmt, result)
+        return result
+
+    def _assignment_space(self, params: tuple, rng: random.Random) -> tuple:
+        """Materialised ``(env, args)`` pairs for a parameter tuple.
+
+        Exhaustive spaces enumerate deterministically (``itertools.product``,
+        no rng draws), so their materialisation is cached: the env and args
+        dicts become identity-stable across every scan of the run, which is
+        what the identity-keyed projection/args/trace memos feed on.  Sampled
+        spaces stay uncached so each scan keeps drawing fresh cases.
+        Returns ``(pairs, exhaustive)``.
+        """
+        key = tuple(id(param) for param in params)
+        entry = self._space_memo.get(key)
+        if entry is not None and all(a is b for a, b in zip(entry[0], params)):
+            return entry[1], True
+        space = iter_assignments(list(params), self.spec, 512, rng)
+        pairs = [
+            (env, {param.name: value for param, value in env.items()})
+            for env in space
+        ]
+        if not space.exhaustive:
+            return pairs, False
+        if len(self._space_memo) < 10_000:
+            self._space_memo[key] = (params, pairs)
+        return pairs, True
+
+    def _combined_env(self, target_env: dict, source_env: dict) -> dict:
+        """The merged scan environment, memoised by operand identity."""
+        key = (id(target_env), id(source_env))
+        entry = self._combined_memo.get(key)
+        if entry is not None and entry[0] is target_env and entry[1] is source_env:
+            return entry[2]
+        combined = dict(target_env)
+        combined.update(source_env)
+        if len(self._combined_memo) < 500_000:
+            self._combined_memo[key] = (target_env, source_env, combined)
+        return combined
+
+    def _positions(self, assertion: CriticalAssertion, trace_obj: Trace) -> list:
+        """:func:`_activation_positions`, memoised per (assertion, trace)."""
+        key = (id(assertion), id(trace_obj))
+        entry = self._pos_memo.get(key)
+        if entry is not None and entry[0] is assertion and entry[1] is trace_obj:
+            return entry[2]
+        positions = list(_activation_positions(assertion, trace_obj))
+        if len(self._pos_memo) < 500_000:
+            self._pos_memo[key] = (assertion, trace_obj, positions)
+        return positions
+
+    def _memo_unit_final(self, source: TransactionType, state0: DbState, args: dict):
+        """Final state of ``source`` run atomically from ``state0``, memoised.
+
+        Unit-mode injection re-runs the same source from the same
+        activation state for every assertion sharing the trace; the run is
+        deterministic, so the final state is computed once.  Returns None
+        when the run raises :class:`EvaluationError`.
+        """
+        key = (source.name, self._args_key(args), id(state0))
+        if key in self._unit_memo:
+            return self._unit_memo[key]
+        final = state0.fork()
+        try:
+            source.run(final, args)
+        except EvaluationError:
+            final = None
+        if len(self._unit_memo) < 200_000:
+            self._unit_memo[key] = final
+        return final
+
+    def _memo_stmt_after(self, stmt: Statement, state: DbState, env: dict):
+        """State after ``stmt`` executes on ``state`` under ``env``, memoised.
+
+        Dirty-read scenarios inject the same source write into the same
+        activation state once per assertion; execution is deterministic, so
+        the result state is shared.  The entry keeps strong references and
+        re-verifies identity, so id reuse cannot alias.  Returns None when
+        execution raises :class:`EvaluationError`.
+        """
+        key = (id(stmt), id(state), id(env))
+        entry = self._stmt_memo.get(key)
+        if (
+            entry is not None
+            and entry[0] is stmt
+            and entry[1] is state
+            and entry[2] is env
+        ):
+            return entry[3]
+        after = state.fork()
+        try:
+            stmt.execute(after, dict(env))
+        except EvaluationError:
+            after = None
+        if len(self._stmt_memo) < 200_000:
+            self._stmt_memo[key] = (stmt, state, env, after)
+        return after
 
     # -- public checks -------------------------------------------------------
 
@@ -865,28 +1182,35 @@ class InterferenceChecker:
         fcw_targets: list | None,
     ) -> tuple:
         """Scan a subset of initial states; returns (witness, cases, exhaustive)."""
-        arg_budget = 512
         counter = {"cases": 0}
+        target_params = tuple(target.params)
+        source_params = tuple(source.params)
         for state0 in states:
-            target_space = iter_assignments(list(target.params), self.spec, arg_budget, rng)
-            exhaustive = exhaustive and target_space.exhaustive
-            for target_env in target_space:
-                target_args = {param.name: value for param, value in target_env.items()}
-                source_space = iter_assignments(list(source.params), self.spec, arg_budget, rng)
-                exhaustive = exhaustive and source_space.exhaustive
-                for source_env in source_space:
-                    source_args = {param.name: value for param, value in source_env.items()}
+            target_space, t_exhaustive = self._assignment_space(target_params, rng)
+            exhaustive = exhaustive and t_exhaustive
+            for target_env, target_args in target_space:
+                source_space, s_exhaustive = self._assignment_space(source_params, rng)
+                exhaustive = exhaustive and s_exhaustive
+                for source_env, source_args in source_space:
                     if not self._memo_holds(source.param_pre, state0, source_env):
                         continue
-                    combined_env = dict(target_env)
-                    combined_env.update(source_env)
-                    if not _holds(assumption, state0, combined_env):
+                    if assumption is not TRUE and not self._memo_holds(
+                        assumption, state0, self._combined_env(target_env, source_env)
+                    ):
                         continue
                     if fcw_excuse:
                         target_writes = _concrete_write_targets(
-                            target, target_env, restrict=fcw_targets
+                            target,
+                            target_env,
+                            restrict=(
+                                fcw_targets
+                                if fcw_targets is not None
+                                else self._static_targets(target)
+                            ),
                         )
-                        source_writes = _concrete_write_targets(source, source_env)
+                        source_writes = _concrete_write_targets(
+                            source, source_env, restrict=self._static_targets(source)
+                        )
                         if (
                             target_writes is not None
                             and source_writes is not None
@@ -915,21 +1239,32 @@ class InterferenceChecker:
         source_args, assertion, mode, stmt, counter,
     ) -> Witness | None:
         """Target reaches an activation point first, then the source acts."""
-        if not _holds(target.consistency, state0, target_env):
+        if not self._memo_holds(target.consistency, state0, target_env):
             return None
-        if not _holds(target.param_pre, state0, target_env):
+        if not self._memo_holds(target.param_pre, state0, target_env):
             return None
         try:
             target_trace = self._cached_trace(target, state0, target_args)
         except EvaluationError:
             return None
-        for position in _activation_positions(assertion, target_trace):
-            counter["cases"] += 1
+        # positions sharing a snapshot *and* an assertion-relevant env view
+        # are fully equivalent for injection — the injected states, every
+        # assertion evaluation and hence the witness verdict coincide — so
+        # each equivalence class is examined once
+        seen: set = set()
+        for position in self._positions(assertion, target_trace):
             mid_state = target_trace.states[position]
             mid_env = target_trace.envs[position]
+            env_key = self._env_key(assertion.formula, mid_env)
+            if env_key is not None:
+                dedupe = (id(mid_state), env_key)
+                if dedupe in seen:
+                    continue
+                seen.add(dedupe)
+            counter["cases"] += 1
             if not self._memo_holds(source.consistency, mid_state, source_env):
                 continue
-            if not self._memo_holds(assertion.formula, mid_state, mid_env):
+            if not self._memo_holds_keyed(assertion.formula, mid_state, mid_env, env_key):
                 continue
             witness = self._inject_source(
                 assertion, mid_state, mid_env, source, source_args, mode, stmt
@@ -952,6 +1287,7 @@ class InterferenceChecker:
         write_positions = [k for k, event in enumerate(source_trace.events) if event.is_write]
         if not write_positions:
             return None
+        source_cumulative = source_trace.cumulative_writes()
         for k in write_positions:
             # the source has executed k events; its (k+1)-th is a write for
             # statement mode, or the rollback point for rollback mode
@@ -961,54 +1297,59 @@ class InterferenceChecker:
                 continue
             if mode == "statement" and not prefix:
                 continue  # ordering A already covers a source acting fresh
-            source_written = set()
-            for event in prefix:
-                source_written |= _delta_locations(event.before, event.after)
+            source_written = source_cumulative[prefix_end]
+            # dirty states are identity-stable (the source trace is memoised),
+            # so the target trace from each one is memoised too: every
+            # obligation over this (state, args) scenario shares it
             dirty_state = source_trace.states[prefix_end]
-            if not _holds(target.consistency, dirty_state, target_env):
+            if not self._memo_holds(target.consistency, dirty_state, target_env):
                 continue
-            if not _holds(target.param_pre, dirty_state, target_env):
+            if not self._memo_holds(target.param_pre, dirty_state, target_env):
                 continue
             try:
-                target_trace = trace(target, dirty_state.copy(), target_args)
+                target_trace = self._cached_trace(target, dirty_state, target_args)
             except EvaluationError:
                 continue
-            # cumulative write locations of the target per position: only
-            # positions at which the target has not yet touched a location
-            # the source write-locked are reachable interleavings
-            cumulative: list[set] = [set()]
-            for event in target_trace.events:
-                step = set(cumulative[-1])
-                if event.is_write:
-                    step |= _delta_locations(event.before, event.after)
-                cumulative.append(step)
-            for position in _activation_positions(assertion, target_trace):
+            # only positions at which the target has not yet touched a
+            # location the source write-locked are reachable interleavings
+            cumulative = target_trace.cumulative_writes()
+            seen: set = set()
+            for position in self._positions(assertion, target_trace):
                 if source_written & cumulative[position]:
                     continue  # long write locks forbid this interleaving
-                counter["cases"] += 1
                 mid_state = target_trace.states[position]
                 mid_env = target_trace.envs[position]
-                if not _holds(assertion.formula, mid_state, mid_env):
+                env_key = self._env_key(assertion.formula, mid_env)
+                if env_key is not None:
+                    dedupe = (id(mid_state), env_key)
+                    if dedupe in seen:
+                        continue  # equivalent to an already-examined position
+                    seen.add(dedupe)
+                counter["cases"] += 1
+                if not self._memo_holds_keyed(assertion.formula, mid_state, mid_env, env_key):
                     continue
                 if mode == "statement":
-                    after = mid_state.copy()
-                    try:
-                        stmt.execute(after, dict(source_trace.envs[k]))
-                    except EvaluationError:
+                    after = self._memo_stmt_after(stmt, mid_state, source_trace.envs[k])
+                    if after is None:
                         continue
-                    if not _holds(assertion.formula, after, mid_env):
+                    if not self._memo_holds(assertion.formula, after, mid_env):
                         return Witness(
                             "concrete",
                             f"{stmt!r} of {source.name} (started first) flips {assertion.label}",
                             state=mid_state,
                         )
                 else:  # rollback
-                    current = mid_state.copy()
+                    res = assertion.formula.resources()
+                    current = mid_state.fork()
                     flipped = False
                     for event in reversed(prefix):
                         if not event.is_write:
                             continue
-                        _restore(current, event.after, event.before)
+                        _apply_undo(current, _event_undo(event))
+                        # an undo with a footprint disjoint from the
+                        # assertion cannot have changed its value
+                        if not self._res_overlaps(res, event.statement):
+                            continue
                         if not _holds(assertion.formula, current, mid_env):
                             flipped = True
                             break
@@ -1032,12 +1373,10 @@ class InterferenceChecker:
         stmt: Statement | None,
     ) -> Witness | None:
         if mode == "unit":
-            final = mid_state.copy()
-            try:
-                source.run(final, source_args)
-            except EvaluationError:
+            final = self._memo_unit_final(source, mid_state, source_args)
+            if final is None:
                 return None
-            if not _holds(assertion.formula, final, mid_env):
+            if not self._memo_holds(assertion.formula, final, mid_env):
                 return Witness(
                     "concrete",
                     f"{source.name} as a unit flips {assertion.label}",
@@ -1045,14 +1384,17 @@ class InterferenceChecker:
                 )
             return None
         try:
-            source_trace = trace(source, mid_state.copy(), source_args)
+            source_trace = self._cached_trace(source, mid_state, source_args)
         except EvaluationError:
             return None
         if mode == "statement":
+            akey = self._env_key(assertion.formula, mid_env)
             for event in source_trace.events:
                 if event.statement == stmt and event.is_write:
-                    if _holds(assertion.formula, event.before, mid_env) and not _holds(
-                        assertion.formula, event.after, mid_env
+                    if self._memo_holds_keyed(
+                        assertion.formula, event.before, mid_env, akey
+                    ) and not self._memo_holds_keyed(
+                        assertion.formula, event.after, mid_env, akey
                     ):
                         return Witness(
                             "concrete",
@@ -1061,16 +1403,34 @@ class InterferenceChecker:
                         )
             return None
         if mode == "rollback":
+            # undoing a write can only change the assertion's value if the
+            # write's footprint overlaps the assertion's resources — the same
+            # soundness assumption the disjointness tier rests on — so
+            # non-overlapping undo steps skip the evaluation
+            res = assertion.formula.resources()
             write_positions = [
                 k for k, event in enumerate(source_trace.events) if event.is_write
             ]
+            akey = self._env_key(assertion.formula, mid_env)
             for k in write_positions:
-                prefix = source_trace.events[: k + 1]
-                mid = prefix[-1].after
-                if not _holds(assertion.formula, mid, mid_env):
+                undo_events = [
+                    event
+                    for event in reversed(source_trace.events[: k + 1])
+                    if event.is_write
+                ]
+                if not any(
+                    self._res_overlaps(res, event.statement) for event in undo_events
+                ):
                     continue
-                for rolled in undo_states(prefix):
-                    if not _holds(assertion.formula, rolled, mid_env):
+                mid = source_trace.events[k].after
+                if not self._memo_holds_keyed(assertion.formula, mid, mid_env, akey):
+                    continue
+                for event, rolled in zip(
+                    undo_events, _cached_undo_states(source_trace, k)
+                ):
+                    if not self._res_overlaps(res, event.statement):
+                        continue
+                    if not self._memo_holds_keyed(assertion.formula, rolled, mid_env, akey):
                         return Witness(
                             "rollback",
                             f"rollback of {source.name} after {k + 1} ops flips {assertion.label}",
@@ -1078,6 +1438,26 @@ class InterferenceChecker:
                         )
             return None
         raise ValueError(f"unknown BMC mode {mode!r}")
+
+
+def _event_delta(event: TraceEvent) -> frozenset:
+    """Locations the event changed, derived from the undo recipe and cached."""
+    delta = event.delta
+    if delta is None:
+        items, fields, rows = _event_undo(event)
+        out = set()
+        for name, _old in items:
+            out.add(("item", name))
+        for array, index, attr, _old in fields:
+            out.add(("field", array, index, attr))
+        for table, added, removed in rows:
+            for key in added:
+                out.add(("row", table, key))
+            for key in removed:
+                out.add(("row", table, key))
+        delta = frozenset(out)
+        event.delta = delta
+    return delta
 
 
 def _delta_locations(before: DbState, after: DbState) -> set:

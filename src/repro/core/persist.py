@@ -1,0 +1,263 @@
+"""Persistent verdict store: cross-run warm starts for the verdict cache.
+
+The E1/E14 benchmarks show a three-orders-of-magnitude gap between a cold
+analysis and a warm one — the obligations of one application change rarely,
+but every fresh process, CI job and ``certify`` invocation used to pay the
+full discharge bill again.  This module closes the gap with a disk-backed
+store under ``.repro-cache/`` that warms the in-memory
+:class:`~repro.core.cache.VerdictCache` at startup and flushes newly decided
+verdicts on exit.
+
+Design constraints, in order:
+
+* **Never wrong.**  Entries are keyed by the same structural fingerprints the
+  in-memory cache uses, and every segment carries a *salt* combining the
+  fingerprint-scheme, prover and obligation-plan versions
+  (:func:`store_salt`).  A segment written by any other version of the
+  analysis code misses cleanly — it is simply not loaded.  Fingerprints that
+  embed process-local identities (the ``@id`` fallback of
+  :func:`repro.core.cache.fingerprint` for opaque objects) can never match a
+  fresh run's keys, so such entries go stale harmlessly rather than aliasing.
+* **Never crash.**  Truncated or corrupted segment lines (killed process,
+  full disk, concurrent compaction) are skipped and counted, not raised.
+* **Never clobber.**  Each process writes its own uniquely named segment
+  (``verdicts-<pid>-<uuid>.jsonl``) via a temp-file rename; two processes
+  sharing a cache directory only ever append distinct files.  Compaction
+  merges segments into a fresh uniquely named file before unlinking the
+  inputs, tolerating races with other compactors.
+
+Witnesses are persisted in stripped form (kind and description only): the
+concrete states and environments exist to render one report and are not
+worth their serialised weight, and the stripped witness still carries the
+evidence text shown in level tables.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+
+from repro.core.cache import FINGERPRINT_VERSION, VerdictCache
+from repro.core.interference import InterferenceVerdict, Witness
+from repro.core.prover import PROVER_VERSION
+
+#: On-disk segment format version (bumped on incompatible layout changes).
+STORE_FORMAT = 1
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Compaction triggers when a directory accumulates more segments than this.
+COMPACT_THRESHOLD = 8
+
+_SEGMENT_GLOB = "verdicts-*.jsonl"
+
+
+def store_salt() -> str:
+    """The version salt all loadable segments must carry.
+
+    Combines the fingerprint scheme, the prover semantics and the obligation
+    plan shape: a change to any of them invalidates every persisted verdict
+    (clean miss), because the keys or the meaning of the cached answers may
+    have shifted.
+    """
+    from repro.core.conditions import PLAN_VERSION  # lazy: import cycle
+
+    return f"fp{FINGERPRINT_VERSION}.prover{PROVER_VERSION}.plan{PLAN_VERSION}"
+
+
+def _strip_witness(witness: Witness | None) -> dict | None:
+    if witness is None:
+        return None
+    return {"kind": witness.kind, "description": witness.description}
+
+
+def _encode_verdict(verdict: InterferenceVerdict) -> dict:
+    return {
+        "interferes": verdict.interferes,
+        "confidence": verdict.confidence,
+        "method": verdict.method,
+        "note": verdict.note,
+        "witness": _strip_witness(verdict.witness),
+    }
+
+
+def _decode_verdict(payload: dict) -> InterferenceVerdict:
+    witness_payload = payload.get("witness")
+    witness = None
+    if witness_payload is not None:
+        witness = Witness(
+            kind=str(witness_payload["kind"]),
+            description=str(witness_payload["description"]),
+        )
+    return InterferenceVerdict(
+        interferes=bool(payload["interferes"]),
+        confidence=str(payload["confidence"]),
+        method=str(payload["method"]),
+        witness=witness,
+        note=str(payload.get("note", "")),
+    )
+
+
+class PersistentStore:
+    """Append-only JSONL verdict segments in one cache directory."""
+
+    def __init__(self, directory: str | os.PathLike, salt: str | None = None) -> None:
+        self.directory = Path(directory)
+        self.salt = store_salt() if salt is None else salt
+        self.stats = {
+            "segments_loaded": 0,
+            "segments_skipped": 0,  # wrong salt/format or unreadable
+            "entries_loaded": 0,
+            "lines_skipped": 0,  # corrupted or truncated
+            "entries_flushed": 0,
+            "compactions": 0,
+        }
+
+    # -- loading -------------------------------------------------------------
+
+    def load(self, cache: VerdictCache) -> int:
+        """Warm ``cache`` from every readable same-salt segment.
+
+        Returns the number of entries absorbed.  In-memory entries win over
+        disk entries; between segments, the newest-sorted line wins simply by
+        being absorbed first (absorb is first-write-wins, and verdicts for
+        one key are equal by construction anyway).
+        """
+        absorbed = 0
+        for segment in sorted(self.directory.glob(_SEGMENT_GLOB)):
+            absorbed += self._load_segment(segment, cache)
+        self.stats["entries_loaded"] += absorbed
+        return absorbed
+
+    def _load_segment(self, path: Path, cache: VerdictCache) -> int:
+        try:
+            handle = open(path, encoding="utf-8")
+        except OSError:
+            self.stats["segments_skipped"] += 1
+            return 0
+        absorbed = 0
+        with handle:
+            try:
+                header = json.loads(handle.readline())
+            except (ValueError, OSError):
+                self.stats["segments_skipped"] += 1
+                return 0
+            if (
+                not isinstance(header, dict)
+                or header.get("format") != STORE_FORMAT
+                or header.get("salt") != self.salt
+            ):
+                self.stats["segments_skipped"] += 1
+                return 0
+            self.stats["segments_loaded"] += 1
+            for line in handle:
+                try:
+                    entry = json.loads(line)
+                    scope = entry["scope"]
+                    key = entry["key"]
+                    verdict = _decode_verdict(entry["verdict"])
+                except (ValueError, KeyError, TypeError):
+                    self.stats["lines_skipped"] += 1
+                    continue
+                if not isinstance(scope, str) or not isinstance(key, str):
+                    self.stats["lines_skipped"] += 1
+                    continue
+                if cache.absorb(scope, key, verdict):
+                    absorbed += 1
+        return absorbed
+
+    # -- flushing ------------------------------------------------------------
+
+    def flush(self, cache: VerdictCache) -> int:
+        """Write the cache's not-yet-persisted verdicts as a new segment.
+
+        Returns the number of entries written.  The segment name embeds the
+        pid and a fresh uuid, so concurrent processes never write the same
+        file; the temp-file rename keeps half-written segments invisible to
+        readers (they would be skipped anyway).
+        """
+        entries = [
+            (scope_key, verdict)
+            for scope_key, verdict, persisted in cache.items()
+            if not persisted
+        ]
+        if entries:
+            self._write_segment(entries)
+            self.stats["entries_flushed"] += len(entries)
+        self._maybe_compact(cache)
+        return len(entries)
+
+    def _write_segment(self, entries: list) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        name = f"verdicts-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
+        final = self.directory / name
+        temp = self.directory / (name + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"format": STORE_FORMAT, "salt": self.salt}) + "\n")
+            for (scope, key), verdict in entries:
+                handle.write(
+                    json.dumps(
+                        {"scope": scope, "key": key, "verdict": _encode_verdict(verdict)}
+                    )
+                    + "\n"
+                )
+        os.replace(temp, final)
+        return final
+
+    # -- compaction ----------------------------------------------------------
+
+    def _maybe_compact(self, cache: VerdictCache) -> None:
+        try:
+            segments = sorted(self.directory.glob(_SEGMENT_GLOB))
+        except OSError:
+            return
+        if len(segments) <= COMPACT_THRESHOLD:
+            return
+        merged = VerdictCache(cap=cache.cap)
+        for segment in segments:
+            self._load_segment(segment, merged)
+        entries = [(scope_key, verdict) for scope_key, verdict, _ in merged.items()]
+        if entries:
+            self._write_segment(entries)
+        for segment in segments:
+            # A concurrent compactor may have beaten us to the unlink; the
+            # merged segment we just wrote is self-sufficient either way.
+            # Stale-salt segments are dropped too: no future run loads them.
+            try:
+                segment.unlink()
+            except OSError:
+                pass
+        self.stats["compactions"] += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def segment_count(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob(_SEGMENT_GLOB))
+        except OSError:
+            return 0
+
+    def snapshot(self) -> dict:
+        return dict(self.stats)
+
+
+def open_store(
+    cache_dir: str | os.PathLike | None,
+    no_persist: bool = False,
+) -> PersistentStore | None:
+    """The CLI/pipeline entry point: a store, or None when persistence is off.
+
+    ``cache_dir`` falls back to the ``REPRO_CACHE_DIR`` environment variable;
+    with neither set, persistence stays off (analysis never touches the disk
+    unless asked to).
+    """
+    if no_persist:
+        return None
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    if cache_dir is None:
+        return None
+    return PersistentStore(cache_dir)

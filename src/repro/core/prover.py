@@ -14,11 +14,17 @@ Pipeline for :func:`is_satisfiable`:
    through an abstraction is only a *candidate* and is downgraded to
    ``UNKNOWN`` unless the formula needed no abstraction;
 2. *negation normal form* with integer ``!=`` split into ``< or >``;
-3. *disjunctive normal form* (capped — oversized formulas yield UNKNOWN);
+3. *disjunctive normal form* (capped — oversized formulas yield UNKNOWN),
+   with cubes ordered cheapest-first so a SAT exit is found early;
 4. each cube is decided by: boolean-literal consistency, a union-find over
-   string equalities, and linear-integer reasoning — LP-relaxation
-   feasibility via ``scipy.optimize.linprog`` followed by an integer-point
-   search (rounding of the relaxed solution, then a small box enumeration).
+   string equalities, and linear-integer reasoning.  Integer cubes go
+   through a pure-Python fast path first — bounds propagation with integer
+   tightening, complete enumeration of small implied boxes, and pairwise
+   Fourier–Motzkin elimination for rational refutation — and only cubes the
+   fast path cannot close fall back to the LP relaxation
+   (``scipy.optimize.linprog`` + rounding + box search).  ``scipy`` is a
+   lazy, optional import: without it, hard cubes degrade to UNKNOWN with a
+   logged reason instead of failing the analysis.
 
 Verdicts are three-valued (:class:`Verdict`); every consumer in the
 interference checker treats ``UNKNOWN`` conservatively.
@@ -27,11 +33,9 @@ interference checker treats ``UNKNOWN`` conservatively.
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
-
-import numpy as np
-from scipy.optimize import linprog
 
 from repro.core import formula as fm
 from repro.core import terms as tm
@@ -68,6 +72,11 @@ from repro.core.terms import (
 )
 from repro.errors import ProverError
 
+#: Version of the decision procedure; part of the persistent verdict-store
+#: salt (see :mod:`repro.core.persist`) so verdicts computed by an older
+#: prover can never satisfy a lookup after the procedure changes.
+PROVER_VERSION = "2"
+
 #: Maximum number of DNF cubes explored before giving up with UNKNOWN.
 MAX_CUBES = 4096
 
@@ -76,6 +85,21 @@ BOX_RADIUS = 4
 
 #: Maximum number of integer variables for which box enumeration is tried.
 MAX_BOX_VARS = 5
+
+#: Global switch for the LP-free integer fast path (benchmarks flip it off
+#: to measure the pure-LP baseline; verdicts are identical either way).
+USE_FAST_PATH = True
+
+#: Bounds-propagation rounds before the fast path stops tightening.
+FAST_PROP_ROUNDS = 16
+
+#: Largest implied integer box the fast path enumerates exhaustively.
+FAST_BOX_LIMIT = 4096
+
+#: Row cap for Fourier–Motzkin elimination before the fast path gives up.
+FAST_FM_ROWS = 256
+
+_log = logging.getLogger("repro.prover")
 
 
 class Verdict:
@@ -111,7 +135,8 @@ class ProofResult:
 # memoization
 # ---------------------------------------------------------------------------
 
-#: Cap on entries per memo table; tables are cleared wholesale on overflow.
+#: Cap on entries per memo table; the oldest insertion half is evicted on
+#: overflow (see :func:`_memo_put`).
 MEMO_CAP = 200_000
 
 _term_memo: dict = {}
@@ -123,12 +148,35 @@ _memo_stats = {
     "simplify_misses": 0,
     "query_hits": 0,
     "query_misses": 0,
+    "memo_evictions": 0,
+    "fastpath_sat": 0,
+    "fastpath_unsat": 0,
+    "fastpath_open": 0,  # cubes the fast path could not close
+    "lp_calls": 0,
+    "lp_unavailable": 0,
 }
 
 
 def prover_cache_stats() -> dict:
-    """Hit/miss counters of the simplification and query memo tables."""
-    return dict(_memo_stats)
+    """Counters and sizes of the prover's memo tables and decision paths.
+
+    Includes the simplify/query hit and miss counts, per-table entry counts,
+    derived hit rates, and how many integer cubes the LP-free fast path
+    closed versus handed to ``linprog``.
+    """
+    stats = dict(_memo_stats)
+    stats["term_memo_size"] = len(_term_memo)
+    stats["formula_memo_size"] = len(_formula_memo)
+    stats["query_memo_size"] = len(_query_memo)
+    simplify_total = stats["simplify_hits"] + stats["simplify_misses"]
+    stats["simplify_hit_rate"] = (
+        round(stats["simplify_hits"] / simplify_total, 4) if simplify_total else 0.0
+    )
+    query_total = stats["query_hits"] + stats["query_misses"]
+    stats["query_hit_rate"] = (
+        round(stats["query_hits"] / query_total, 4) if query_total else 0.0
+    )
+    return stats
 
 
 def clear_prover_caches() -> None:
@@ -142,7 +190,13 @@ def clear_prover_caches() -> None:
 
 def _memo_put(table: dict, key, value) -> None:
     if len(table) >= MEMO_CAP:
-        table.clear()
+        # Evict the oldest insertion half rather than clearing wholesale: a
+        # long certify run keeps its recent (hot) entries instead of losing
+        # the entire memo at the cap and re-proving everything.
+        drop = len(table) // 2
+        for stale in list(itertools.islice(table, drop)):
+            del table[stale]
+        _memo_stats["memo_evictions"] += drop
     table[key] = value
 
 
@@ -528,20 +582,231 @@ def _check_int_assignment(constraints: Sequence[_IntConstraint], assignment: dic
     return True
 
 
+# -- lazy LP backend ---------------------------------------------------------
+
+_lp_backend: tuple | None = None
+_lp_probed = False
+
+
+def _load_lp():
+    """``(numpy, linprog)`` or None when scipy is not installed.
+
+    The import is deferred to the first cube the fast path cannot close, so
+    fast-path-only installs never pay (or need) the scipy import; the
+    degradation to UNKNOWN is logged once per process.
+    """
+    global _lp_backend, _lp_probed
+    if not _lp_probed:
+        _lp_probed = True
+        try:
+            import numpy as np
+            from scipy.optimize import linprog
+
+            _lp_backend = (np, linprog)
+        except ImportError:
+            _lp_backend = None
+            _log.warning(
+                "scipy is not installed; hard linear cubes will be reported "
+                "UNKNOWN (install the 'lp' extra for the LP fallback)"
+            )
+    return _lp_backend
+
+
+# -- LP-free fast path -------------------------------------------------------
+
+
+def _as_inequalities(constraints: Sequence[_IntConstraint]) -> list:
+    """Normalise to ``coeffs . x <= bound`` rows (equalities become pairs)."""
+    rows: list = []
+    for constraint in constraints:
+        if constraint.rel == "<=":
+            rows.append((constraint.coeffs, constraint.bound))
+        else:  # ==  ->  <= and >=
+            rows.append((constraint.coeffs, constraint.bound))
+            rows.append(
+                ({var: -coeff for var, coeff in constraint.coeffs.items()}, -constraint.bound)
+            )
+    return rows
+
+
+def _propagate_bounds(rows: Sequence, var_list: Sequence):
+    """Fixpoint interval propagation with integer tightening.
+
+    Returns ``(lower, upper)`` bound dicts (entries may stay ``None``), or
+    ``None`` when a variable's interval became empty — which, because every
+    derived bound uses floor/ceil division, refutes *integer* solutions even
+    for rationally feasible systems (e.g. ``2x <= 1 ∧ 2x >= 1``).
+    """
+    lower: dict = {var: None for var in var_list}
+    upper: dict = {var: None for var in var_list}
+    for _ in range(FAST_PROP_ROUNDS):
+        changed = False
+        for coeffs, bound in rows:
+            if not coeffs:
+                if 0 > bound:
+                    return None
+                continue
+            for var, coeff in coeffs.items():
+                residual = bound
+                usable = True
+                for other, other_coeff in coeffs.items():
+                    if other is var or other == var:
+                        continue
+                    if other_coeff > 0:
+                        if lower[other] is None:
+                            usable = False
+                            break
+                        residual -= other_coeff * lower[other]
+                    else:
+                        if upper[other] is None:
+                            usable = False
+                            break
+                        residual -= other_coeff * upper[other]
+                if not usable:
+                    continue
+                if coeff > 0:
+                    new_upper = residual // coeff  # floor
+                    if upper[var] is None or new_upper < upper[var]:
+                        upper[var] = new_upper
+                        changed = True
+                else:
+                    new_lower = -((-residual) // coeff)  # ceil(residual / coeff)
+                    if lower[var] is None or new_lower > lower[var]:
+                        lower[var] = new_lower
+                        changed = True
+                if (
+                    lower[var] is not None
+                    and upper[var] is not None
+                    and lower[var] > upper[var]
+                ):
+                    return None
+        if not changed:
+            break
+    return lower, upper
+
+
+def _fourier_motzkin_refutes(rows: Sequence, var_list: Sequence) -> bool:
+    """True when pairwise elimination derives ``0 <= negative`` (sound UNSAT).
+
+    All combinations scale by positive integers, so the arithmetic stays
+    exact over ``int``; rational infeasibility implies integer infeasibility.
+    Row growth is capped — hitting the cap just means "not refuted here".
+    """
+    current = [(dict(coeffs), bound) for coeffs, bound in rows]
+    for var in var_list:
+        uppers, lowers, rest = [], [], []
+        for coeffs, bound in current:
+            coeff = coeffs.get(var, 0)
+            if coeff > 0:
+                uppers.append((coeffs, bound, coeff))
+            elif coeff < 0:
+                lowers.append((coeffs, bound, coeff))
+            else:
+                rest.append((coeffs, bound))
+        if len(rest) + len(uppers) * len(lowers) > FAST_FM_ROWS:
+            return False
+        for u_coeffs, u_bound, u_coeff in uppers:
+            for l_coeffs, l_bound, l_coeff in lowers:
+                combo: dict = {}
+                for key, value in u_coeffs.items():
+                    if key != var:
+                        combo[key] = combo.get(key, 0) + (-l_coeff) * value
+                for key, value in l_coeffs.items():
+                    if key != var:
+                        combo[key] = combo.get(key, 0) + u_coeff * value
+                combo = {key: value for key, value in combo.items() if value != 0}
+                new_bound = (-l_coeff) * u_bound + u_coeff * l_bound
+                if not combo:
+                    if 0 > new_bound:
+                        return True
+                    continue
+                rest.append((combo, new_bound))
+        current = rest
+    return any(not coeffs and 0 > bound for coeffs, bound in current)
+
+
+def _fast_int_solve(constraints: Sequence[_IntConstraint], var_list: Sequence):
+    """Decide an integer cube without the LP relaxation where possible.
+
+    SAT answers always carry a verified assignment; UNSAT answers come from
+    integer-tightened bounds propagation, exhaustive enumeration of a small
+    implied box, or Fourier–Motzkin rational refutation — all sound.
+    UNKNOWN means "hand the cube to the LP fallback".
+    """
+    rows = _as_inequalities(constraints)
+    propagated = _propagate_bounds(rows, var_list)
+    if propagated is None:
+        return Verdict.UNSAT, None
+    lower, upper = propagated
+
+    if all(lower[var] is not None and upper[var] is not None for var in var_list):
+        box = 1
+        for var in var_list:
+            box *= upper[var] - lower[var] + 1
+            if box > FAST_BOX_LIMIT:
+                break
+        if box <= FAST_BOX_LIMIT:
+            # the box contains every integer solution (bounds are implied by
+            # the constraints), so enumeration is a complete decision
+            ranges = [range(lower[var], upper[var] + 1) for var in var_list]
+            for candidate in itertools.product(*ranges):
+                assignment = dict(zip(var_list, candidate))
+                if _check_int_assignment(constraints, assignment):
+                    return Verdict.SAT, assignment
+            return Verdict.UNSAT, None
+
+    # cheap candidate probes at the interval corners / zero
+    probes = []
+    probes.append({var: lower[var] if lower[var] is not None else (upper[var] or 0) for var in var_list})
+    probes.append({var: upper[var] if upper[var] is not None else (lower[var] or 0) for var in var_list})
+    probes.append(
+        {
+            var: min(max(0, lower[var] or 0), upper[var] if upper[var] is not None else max(0, lower[var] or 0))
+            for var in var_list
+        }
+    )
+    for assignment in probes:
+        if _check_int_assignment(constraints, assignment):
+            return Verdict.SAT, assignment
+
+    if _fourier_motzkin_refutes(rows, var_list):
+        return Verdict.UNSAT, None
+    return Verdict.UNKNOWN, None
+
+
 def _solve_int_constraints(constraints: Sequence[_IntConstraint], variables: dict):
     """Decide a conjunction of linear integer constraints.
 
     Returns ``(verdict, assignment)`` where verdict is SAT/UNSAT/UNKNOWN.
+    The pure-Python fast path runs first; ``linprog`` is only consulted for
+    cubes it leaves open (and is itself optional — see :func:`_load_lp`).
     """
     if not constraints:
         return Verdict.SAT, {}
     var_list = sorted(variables, key=variables.get)
-    index = {var: i for i, var in enumerate(var_list)}
     n = len(var_list)
     if n == 0:
         # all constraints are ground
         ok = _check_int_assignment(constraints, {})
         return (Verdict.SAT, {}) if ok else (Verdict.UNSAT, None)
+
+    if USE_FAST_PATH:
+        verdict, assignment = _fast_int_solve(constraints, var_list)
+        if verdict == Verdict.SAT:
+            _memo_stats["fastpath_sat"] += 1
+            return verdict, assignment
+        if verdict == Verdict.UNSAT:
+            _memo_stats["fastpath_unsat"] += 1
+            return verdict, None
+        _memo_stats["fastpath_open"] += 1
+
+    lp = _load_lp()
+    if lp is None:
+        _memo_stats["lp_unavailable"] += 1
+        return Verdict.UNKNOWN, None
+    np, linprog = lp
+    _memo_stats["lp_calls"] += 1
+    index = {var: i for i, var in enumerate(var_list)}
 
     a_ub, b_ub, a_eq, b_eq = [], [], [], []
     for constraint in constraints:
@@ -792,6 +1057,11 @@ def _is_satisfiable_impl(formula: Formula, assumptions: tuple) -> ProofResult:
     cubes = _dnf_cubes(nnf)
     if cubes is None:
         return ProofResult(Verdict.UNKNOWN, reason="DNF size cap exceeded")
+    # cheapest cubes first: a single SAT cube ends the query, so trying the
+    # small ones early avoids deciding large cubes at all on SAT formulas
+    # (verdict-neutral: SAT is any-cube, UNSAT is all-cubes)
+    cubes.sort(key=len)
+    lp_missing_before = _memo_stats["lp_unavailable"]
     saw_unknown = False
     for cube in cubes:
         verdict, model = _decide_cube(cube)
@@ -807,7 +1077,10 @@ def _is_satisfiable_impl(formula: Formula, assumptions: tuple) -> ProofResult:
         if verdict == Verdict.UNKNOWN:
             saw_unknown = True
     if saw_unknown:
-        return ProofResult(Verdict.UNKNOWN, reason="some cubes undecided")
+        reason = "some cubes undecided"
+        if _memo_stats["lp_unavailable"] > lp_missing_before:
+            reason += " (scipy unavailable: hard cubes degraded; install the 'lp' extra)"
+        return ProofResult(Verdict.UNKNOWN, reason=reason)
     return ProofResult(Verdict.UNSAT, abstracted=opacifier.used)
 
 

@@ -103,7 +103,19 @@ def analysis_stats_table(checker) -> str:
         f"prover memo:    simplify {prover['simplify_hits']} hits /"
         f" {prover['simplify_misses']} misses,"
         f" queries {prover['query_hits']} hits / {prover['query_misses']} misses"
+        f" ({prover['term_memo_size']}t/{prover['formula_memo_size']}f"
+        f"/{prover['query_memo_size']}q entries)"
     )
+    lines.append(
+        f"cube fast path: {prover['fastpath_sat']} sat"
+        f" / {prover['fastpath_unsat']} unsat decided LP-free,"
+        f" {prover['fastpath_open']} handed to linprog"
+        f" ({prover['lp_calls']} LP calls, {prover['lp_unavailable']} degraded)"
+    )
+    if cache.persist_hits:
+        lines.append(
+            f"persist:        {cache.persist_hits} hits answered by disk-warmed entries"
+        )
     return "\n".join(lines)
 
 

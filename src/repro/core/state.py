@@ -58,7 +58,13 @@ class DbState:
             raise EvaluationError(f"unknown array element {where}")
 
     def write_field(self, array: str, index: int, attr: str | None, value: Value) -> None:
-        self.arrays.setdefault(array, {}).setdefault(index, {})[attr] = value
+        # Replaces the per-array containers instead of mutating them so
+        # :meth:`fork` snapshots sharing them stay isolated.
+        elems = dict(self.arrays.get(array, ()))
+        attrs = dict(elems.get(index, ()))
+        attrs[attr] = value
+        elems[index] = attrs
+        self.arrays[array] = elems
 
     def has_field(self, array: str, index: int, attr: str | None) -> bool:
         return attr in self.arrays.get(array, {}).get(index, {})
@@ -72,7 +78,9 @@ class DbState:
         yield from self.tables.get(table, ())
 
     def insert_row(self, table: str, row: Mapping[str, Value]) -> None:
-        self.tables.setdefault(table, []).append(dict(row))
+        rows = list(self.tables.get(table, ()))
+        rows.append(dict(row))
+        self.tables[table] = rows
 
     def delete_rows(self, table: str, predicate: Callable[[Row], bool]) -> int:
         """Delete matching rows; returns the number deleted."""
@@ -81,7 +89,8 @@ class DbState:
             return 0
         kept = [row for row in rows if not predicate(row)]
         deleted = len(rows) - len(kept)
-        self.tables[table] = kept
+        if deleted:
+            self.tables[table] = kept
         return deleted
 
     def update_rows(
@@ -93,13 +102,22 @@ class DbState:
         """Apply ``updater`` to matching rows; returns the number updated.
 
         ``updater`` receives the current row and returns the attributes to
-        overwrite (it must not mutate the row it receives).
+        overwrite (it must not mutate the row it receives).  Updated rows are
+        replaced, not mutated, so :meth:`fork` snapshots stay isolated.
         """
+        rows = self.tables.get(table)
+        if rows is None:
+            return 0
         updated = 0
-        for row in self.tables.get(table, ()):
+        new_rows: list | None = None
+        for position, row in enumerate(rows):
             if predicate(row):
-                row.update(updater(row))
+                if new_rows is None:
+                    new_rows = list(rows)
+                new_rows[position] = {**row, **updater(row)}
                 updated += 1
+        if new_rows is not None:
+            self.tables[table] = new_rows
         return updated
 
     def table_size(self, table: str) -> int:
@@ -115,6 +133,24 @@ class DbState:
                 for array, elems in self.arrays.items()
             },
             tables={table: [dict(row) for row in rows] for table, rows in self.tables.items()},
+        )
+
+    def fork(self) -> "DbState":
+        """A copy-on-write snapshot sharing the inner containers.
+
+        Valid only for consumers that mutate states exclusively through the
+        write methods above, which replace the shared per-array/per-table
+        containers rather than mutating them.  Code that reaches into
+        ``arrays``/``tables`` and mutates elements or rows in place (the
+        transactional engine's row-id machinery) must use :meth:`copy`.
+        Shared containers also make the bounded model checker's trace
+        delta-diffing O(changed locations): untouched tables and arrays
+        keep their identity across a fork, so ``is`` checks skip them.
+        """
+        return DbState(
+            items=dict(self.items),
+            arrays=dict(self.arrays),
+            tables=dict(self.tables),
         )
 
     def canonical(self) -> tuple:

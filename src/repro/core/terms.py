@@ -50,6 +50,102 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Concrete values terms evaluate to.
 Value = Union[int, bool, str]
 
+# ---------------------------------------------------------------------------
+# hash-consing
+# ---------------------------------------------------------------------------
+
+#: Global switch; benchmarks flip it off to measure the un-consed baseline.
+HASH_CONSING = True
+
+#: Per-class intern-table capacity.  Past the cap construction stops
+#: interning (the table is never cleared, so existing identities and any
+#: identity-based fast paths stay valid).
+_INTERN_CAP = 1 << 20
+
+
+class HashConsMeta(type):
+    """Metaclass interning instances per concrete class (hash-consing).
+
+    Structurally equal nodes become identity-equal, which turns the deep
+    structural hashing and equality of memo-table probes into pointer work:
+    the structural hash is computed once and cached on the instance
+    (``_hc_hash``), and dict probes against interned nodes hit the identity
+    fast path of ``==``.  Classes with ``_hc_intern = False`` (e.g.
+    ``AbstractPred``, whose ``evaluator`` field is excluded from equality,
+    so interning would conflate predicates with different evaluators) are
+    never interned but still get the cached hash.
+    """
+
+    def __call__(cls, *args, **kwargs):
+        if "_hc_ready" not in cls.__dict__:
+            _prepare_hashcons_class(cls)
+        obj = super().__call__(*args, **kwargs)
+        if not HASH_CONSING or not cls._hc_intern:
+            return obj
+        table = cls.__dict__["_hc_table"]
+        interned = table.get(obj)
+        if interned is not None:
+            return interned
+        if len(table) < _INTERN_CAP:
+            table[obj] = obj
+        return obj
+
+
+def _prepare_hashcons_class(cls) -> None:
+    """Install the caching ``__hash__`` wrapper on first instantiation.
+
+    The dataclass decorator runs *after* the metaclass creates the class,
+    so the generated field-based ``__hash__`` can only be wrapped lazily.
+    """
+    generated = cls.__hash__
+
+    def cached_hash(self, _orig=generated):
+        h = self.__dict__.get("_hc_hash")
+        if h is None:
+            h = _orig(self)
+            object.__setattr__(self, "_hc_hash", h)
+        return h
+
+    cls.__hash__ = cached_hash
+    cls._hc_table = {}
+    cls._hc_ready = True
+
+
+def hashcons_stats() -> dict:
+    """Sizes of every intern table (for diagnostics and tests)."""
+    out: dict = {}
+    for node_base in _HASHCONS_BASES:
+        for sub in _all_subclasses(node_base):
+            table = sub.__dict__.get("_hc_table")
+            if table:
+                out[sub.__name__] = len(table)
+    return out
+
+
+def clear_hashcons_tables() -> None:
+    """Drop every intern table (benchmarking/test isolation only).
+
+    Nodes interned earlier stay alive wherever they are referenced and
+    remain structurally equal to newly built ones; only the identity
+    guarantee for *future* constructions is reset.
+    """
+    for node_base in _HASHCONS_BASES:
+        for sub in _all_subclasses(node_base):
+            table = sub.__dict__.get("_hc_table")
+            if table is not None:
+                table.clear()
+
+
+def _all_subclasses(cls) -> Iterator[type]:
+    yield cls
+    for sub in cls.__subclasses__():
+        yield from _all_subclasses(sub)
+
+
+#: Root classes whose subclass intern tables the helpers above walk;
+#: ``formula.py`` appends its ``Formula`` root on import.
+_HASHCONS_BASES: list = []
+
 #: Environment mapping atomic reference terms (``Local``/``Param``/
 #: ``LogicalVar``) to concrete values.  Keyed by the term itself, which is
 #: hashable because all terms are frozen dataclasses.
@@ -61,8 +157,10 @@ _STR = "str"
 
 
 @dataclass(frozen=True)
-class Term:
+class Term(metaclass=HashConsMeta):
     """Base class of all expression terms."""
+
+    _hc_intern = True
 
     @property
     def sort(self) -> str:
@@ -77,22 +175,48 @@ class Term:
         index mentions a substituted ``Param`` has the index rewritten, and a
         ``Field`` that is itself a key in ``mapping`` is replaced wholesale
         (index rewriting is applied first, then whole-term lookup).
+
+        Returns ``self`` (identity-preserving) when no key of ``mapping``
+        occurs free in the term, without traversing it.
         """
+        if self.atom_set().isdisjoint(mapping):
+            return self
+        return self._substitute(mapping)
+
+    def _substitute(self, mapping: Mapping["Term", "Term"]) -> "Term":
+        """Per-class substitution body; only called when atoms intersect."""
         raise NotImplementedError
 
     def atoms(self) -> Iterator["Term"]:
         """Yield every atomic reference term occurring in this term."""
         raise NotImplementedError
 
+    def atom_set(self) -> frozenset:
+        """The atoms of this term as a set, computed once and cached."""
+        cached = self.__dict__.get("_hc_atoms")
+        if cached is None:
+            cached = frozenset(self.atoms())
+            object.__setattr__(self, "_hc_atoms", cached)
+        return cached
+
     def evaluate(self, state: "DbState", env: Env) -> Value:
         """Evaluate against a concrete database state and environment."""
         raise NotImplementedError
 
     def fingerprint(self) -> str:
-        """Stable structural digest (see :mod:`repro.core.cache`)."""
+        """Stable structural digest, cached on the node (see :mod:`repro.core.cache`)."""
+        cached = self.__dict__.get("_hc_fp")
+        if cached is not None:
+            return cached
         from repro.core.cache import fingerprint
 
         return fingerprint(self)
+
+    def __getstate__(self) -> dict:
+        # The cached structural hash must not cross process boundaries
+        # (string hashing is per-process salted via PYTHONHASHSEED), and the
+        # other _hc_* caches are cheap to recompute; strip them all.
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_hc_")}
 
     # -- convenience constructors -----------------------------------------
     def __add__(self, other: "Term | int") -> "Add":
@@ -141,7 +265,7 @@ class IntConst(Term):
     def sort(self) -> str:
         return _INT
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return self
 
     def atoms(self) -> Iterator[Term]:
@@ -164,7 +288,7 @@ class BoolConst(Term):
     def sort(self) -> str:
         return _BOOL
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return self
 
     def atoms(self) -> Iterator[Term]:
@@ -187,7 +311,7 @@ class StrConst(Term):
     def sort(self) -> str:
         return _STR
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return self
 
     def atoms(self) -> Iterator[Term]:
@@ -209,7 +333,7 @@ class StrConst(Term):
 class _Ref(Term):
     """Common behaviour of atomic reference terms."""
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return mapping.get(self, self)
 
     def atoms(self) -> Iterator[Term]:
@@ -314,7 +438,7 @@ class Field(Term):
     def sort(self) -> str:
         return self.var_sort
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         rewritten = Field(self.array, self.index.substitute(mapping), self.attr, self.var_sort)
         return mapping.get(rewritten, rewritten)
 
@@ -351,7 +475,7 @@ class _BinOp(Term):
     def sort(self) -> str:
         return _INT
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return type(self)(self.left.substitute(mapping), self.right.substitute(mapping))
 
     def atoms(self) -> Iterator[Term]:
@@ -412,7 +536,7 @@ class Neg(Term):
     def sort(self) -> str:
         return _INT
 
-    def substitute(self, mapping: Mapping[Term, Term]) -> Term:
+    def _substitute(self, mapping: Mapping[Term, Term]) -> Term:
         return Neg(self.operand.substitute(mapping))
 
     def atoms(self) -> Iterator[Term]:
@@ -452,3 +576,6 @@ def is_rigid(term: Term) -> bool:
 def references_database(term: Term) -> bool:
     """True if evaluating the term touches the database state."""
     return any(isinstance(atom, (Item, Field)) for atom in term.atoms())
+
+
+_HASHCONS_BASES.append(Term)

@@ -403,19 +403,27 @@ def certify(
         scenarios = scenarios_for(app.name)
 
     started = time.perf_counter()
+    store = context.store()
+    if store is not None:
+        store.load(context.cache)
     checker = context.checker(app.spec)
-    static = analyze_application(
-        app,
-        checker,
-        ladder=rungs,
-        include_snapshot=include_snapshot,
-        policy=context.policy(app.name),
-    )
+    try:
+        static = analyze_application(
+            app,
+            checker,
+            ladder=rungs,
+            include_snapshot=include_snapshot,
+            policy=context.policy(app.name),
+        )
+    finally:
+        if store is not None:
+            store.flush(context.cache)
     context.record(
         "static",
         seconds=round(time.perf_counter() - started, 3),
         tiers=dict(checker.stats),
         cache=context.cache.stats.snapshot(),
+        **({"persist": store.snapshot()} if store is not None else {}),
     )
     assignment = static.levels()
 

@@ -28,12 +28,20 @@ class RunContext:
     max_depth: int | None = None  # exploration decision bound per run
     use_sdg: bool = True  # SDG obligation pre-pruning in the static layer
     cache: VerdictCache | None = None  # None -> process-shared cache
+    cache_dir: str | None = None  # persistent store directory (None -> env/off)
+    no_persist: bool = False  # force the persistent store off
     stats: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.workers = resolve_workers(self.workers)
         if self.cache is None:
             self.cache = shared_cache()
+
+    def store(self):
+        """The persistent verdict store, or None when persistence is off."""
+        from repro.core.persist import open_store
+
+        return open_store(self.cache_dir, no_persist=self.no_persist)
 
     def checker(self, spec) -> InterferenceChecker:
         """A fresh interference checker wired to this context."""

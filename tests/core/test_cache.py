@@ -39,8 +39,16 @@ class TestFingerprint:
     def test_equal_structures_collide(self):
         a = conj(ge(Item("x"), 0), eq(Item("y"), IntConst(1)))
         b = conj(ge(Item("x"), 0), eq(Item("y"), IntConst(1)))
-        assert a is not b
+        # hash-consing interns structurally equal formulas into one node...
+        assert a is b
         assert fingerprint(a) == fingerprint(b)
+        # ...but fingerprints must collide even for distinct equal objects
+        # (e.g. nodes unpickled from a process worker bypass interning)
+        import pickle
+
+        c = pickle.loads(pickle.dumps(a))
+        assert c is not a and c == a
+        assert fingerprint(c) == fingerprint(a)
 
     def test_different_structures_do_not_collide(self):
         assert fingerprint(ge(Item("x"), 0)) != fingerprint(ge(Item("x"), 1))

@@ -123,3 +123,63 @@ class TestWholeState:
 
     def test_canonical_is_hashable(self, state):
         assert hash(state.canonical()) == hash(state.copy().canonical())
+
+
+class TestFork:
+    """fork() shares inner containers but stays isolated under DbState writes."""
+
+    def test_fork_matches_original(self, state):
+        assert state.same_as(state.fork())
+
+    def test_write_item_isolated(self, state):
+        fork = state.fork()
+        fork.write_item("x", 99)
+        assert state.read_item("x") == 1
+        state.write_item("x", 7)
+        assert fork.read_item("x") == 99
+
+    def test_write_field_isolated(self, state):
+        fork = state.fork()
+        fork.write_field("a", 0, "v", 99)
+        assert state.read_field("a", 0, "v") == 10
+        state.write_field("a", 1, "w", 77)
+        assert fork.read_field("a", 1, "w") == 21
+
+    def test_insert_row_isolated(self, state):
+        fork = state.fork()
+        fork.insert_row("T", {"k": 5})
+        assert state.table_size("T") == 3
+        assert fork.table_size("T") == 4
+
+    def test_delete_rows_isolated(self, state):
+        fork = state.fork()
+        fork.delete_rows("T", lambda r: r["k"] == 2)
+        assert state.table_size("T") == 3
+        assert fork.table_size("T") == 1
+
+    def test_update_rows_isolated(self, state):
+        fork = state.fork()
+        fork.update_rows("T", lambda r: r["k"] == 1, lambda r: {"k": 100})
+        assert all(row["k"] != 100 for row in state.rows("T"))
+        assert any(row["k"] == 100 for row in fork.rows("T"))
+
+    def test_untouched_containers_keep_identity(self, state):
+        fork = state.fork()
+        fork.write_item("x", 99)
+        # only the items dict was copied up-front; inner structures of the
+        # untouched arrays/tables are still the very same objects
+        assert fork.arrays["a"] is state.arrays["a"]
+        assert fork.tables["T"] is state.tables["T"]
+
+    def test_write_replaces_instead_of_mutating(self, state):
+        fork = state.fork()
+        shared_rows = state.tables["T"]
+        fork.insert_row("T", {"k": 9})
+        assert state.tables["T"] is shared_rows
+        assert fork.tables["T"] is not shared_rows
+
+    def test_delete_without_matches_keeps_identity(self, state):
+        fork = state.fork()
+        shared_rows = state.tables["T"]
+        assert fork.delete_rows("T", lambda r: r["k"] == 999) == 0
+        assert fork.tables["T"] is shared_rows

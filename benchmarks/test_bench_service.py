@@ -1,0 +1,179 @@
+"""E15 — warm-server throughput vs cold CLI invocations.
+
+The service exists to amortise analysis state across requests: a resident
+process keeps the verdict cache hot, coalesces duplicate work and batches
+concurrent requests (docs/SERVICE.md).  This bench boots one
+:class:`ReproService` on an ephemeral port, measures the same analyze
+request under 1, 8 and 32 concurrent HTTP clients, and compares against
+the honest alternative: a cold ``repro analyze --json`` subprocess per
+request (fresh interpreter, empty caches).
+
+Headline assertions: every concurrent client gets the byte-identical
+deterministic payload, nothing is rejected or timed out at these widths,
+and one warm-server request beats one cold CLI invocation.
+"""
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from benchmarks._report import emit, emit_json
+from repro.core.report import format_table
+from repro.service.client import ServiceClient
+from repro.service.server import ReproService, ServiceConfig
+
+APP = "banking"
+BUDGET = 150
+CONCURRENCY = (1, 8, 32)
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _cold_cli_ms():
+    """One cold batch invocation: fresh interpreter, empty caches."""
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", APP,
+         "--budget", str(BUDGET), "--json"],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    wall_ms = (time.perf_counter() - start) * 1000
+    assert proc.returncode == 0, proc.stderr
+    return wall_ms, json.loads(proc.stdout)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    cold_ms, cold_payload = _cold_cli_ms()
+
+    async def main():
+        service = ReproService(ServiceConfig(port=0, no_persist=True))
+        await service.start()
+
+        def one_request():
+            client = ServiceClient(port=service.port, timeout=120)
+            start = time.perf_counter()
+            response = client.analyze(APP, budget=BUDGET)
+            latency_ms = (time.perf_counter() - start) * 1000
+            return latency_ms, response
+
+        # warm the verdict cache once; the warm state is what we measure
+        await asyncio.to_thread(one_request)
+        rounds = {}
+        for width in CONCURRENCY:
+            start = time.perf_counter()
+            outcomes = await asyncio.gather(
+                *[asyncio.to_thread(one_request) for _ in range(width)]
+            )
+            wall_ms = (time.perf_counter() - start) * 1000
+            rounds[width] = {"wall_ms": wall_ms, "outcomes": outcomes}
+        metrics_text = await asyncio.to_thread(
+            ServiceClient(port=service.port).metrics
+        )
+        coalesced = service.telemetry.coalesced.value()
+        service.begin_drain()
+        await asyncio.wait_for(service._stopped.wait(), timeout=60)
+        return rounds, metrics_text, coalesced
+
+    rounds, metrics_text, coalesced = asyncio.run(main())
+    return {
+        "cold_ms": cold_ms,
+        "cold_payload": cold_payload,
+        "rounds": rounds,
+        "metrics_text": metrics_text,
+        "coalesced": coalesced,
+    }
+
+
+def _round_stats(round_data):
+    latencies = sorted(latency for latency, _ in round_data["outcomes"])
+    width = len(latencies)
+    return {
+        "clients": width,
+        "wall_ms": round(round_data["wall_ms"], 1),
+        "throughput_rps": round(1000.0 * width / round_data["wall_ms"], 2),
+        "p50_ms": round(_quantile(latencies, 0.50), 1),
+        "p99_ms": round(_quantile(latencies, 0.99), 1),
+    }
+
+
+def test_bench_service(measurements):
+    """Emit the E15 table and BENCH_service.json."""
+    stats = [_round_stats(measurements["rounds"][w]) for w in CONCURRENCY]
+    rows = [
+        (str(s["clients"]), f"{s['wall_ms']:.0f}", f"{s['throughput_rps']:.2f}",
+         f"{s['p50_ms']:.0f}", f"{s['p99_ms']:.0f}")
+        for s in stats
+    ]
+    rows.append(("cold CLI", f"{measurements['cold_ms']:.0f}",
+                 f"{1000.0 / measurements['cold_ms']:.2f}", "-", "-"))
+    emit(
+        "E15-service-throughput",
+        format_table(
+            ("clients", "wall ms", "req/s", "p50 ms", "p99 ms"), rows
+        ),
+    )
+    emit_json(
+        "BENCH_service",
+        {
+            "config": {
+                "app": APP,
+                "kind": "analyze",
+                "budget": BUDGET,
+                "concurrency": list(CONCURRENCY),
+            },
+            "cold_cli_ms": round(measurements["cold_ms"], 1),
+            "rounds": stats,
+            "coalesced_total": measurements["coalesced"],
+        },
+    )
+
+
+def test_all_clients_get_identical_payloads(measurements):
+    """Every concurrent client sees the batch CLI's deterministic bytes."""
+    expected = dict(measurements["cold_payload"])
+    for key in ("tiers", "cache", "persist"):  # run-varying batch stats
+        expected.pop(key, None)
+    expected_bytes = json.dumps(expected, indent=2)
+    for width in CONCURRENCY:
+        for _, response in measurements["rounds"][width]["outcomes"]:
+            assert response["timed_out"] is False
+            (entry,) = response["results"]
+            assert entry["exit_code"] == 0
+            assert json.dumps(entry["result"], indent=2) == expected_bytes
+
+
+def test_no_rejections_at_bench_widths(measurements):
+    """Default admission cap (64) absorbs 32 concurrent duplicates."""
+    assert "repro_rejected_total 0" in measurements["metrics_text"]
+    assert "repro_deadline_timeouts_total 0" in measurements["metrics_text"]
+
+
+def test_warm_server_beats_cold_cli(measurements):
+    """The point of residency: one warm request < one cold process."""
+    single = _round_stats(measurements["rounds"][1])
+    assert single["p50_ms"] < measurements["cold_ms"], (
+        f"warm request {single['p50_ms']}ms not faster than"
+        f" cold CLI {measurements['cold_ms']:.0f}ms"
+    )
+
+
+def test_concurrent_duplicates_coalesce(measurements):
+    """Duplicate fan-in shares executions instead of re-running them."""
+    assert measurements["coalesced"] > 0

@@ -21,6 +21,11 @@ Commands:
 * ``lint [app ...]`` — static well-formedness checks plus the SDG
   dangerous-structure pass (``repro.core.lint``); exits 1 on any
   ``error``-severity finding;
+* ``serve`` — run the long-lived analysis service (``repro.service``):
+  an asyncio JSON-over-HTTP server with request batching, admission
+  control and Prometheus telemetry (see ``docs/SERVICE.md``);
+* ``submit <kind> <app> ...`` — send analyze/certify/lint jobs to a
+  running service and render the results;
 * ``apps`` — list the bundled applications;
 * ``levels`` — list the supported isolation levels.
 
@@ -28,6 +33,13 @@ The bundled applications are the paper's: ``banking`` (Figure 1 /
 Example 3), ``customers`` (Example 1), ``employees`` (Example 2),
 ``orders`` / ``orders-strict`` (Section 6, the two business rules), and
 ``tpcc`` (Section 7 future work).
+
+Exit codes are uniform across subcommands: 0 success, 1 analysis verdict
+failure (interference found, certification disagreement, lint errors),
+2 usage or input errors (including every :class:`~repro.errors.ReproError`),
+3 unexpected internal errors, and for ``submit`` additionally 4 connection
+refused, 5 server busy (429), 6 deadline exceeded.  Errors print one
+``repro: error: …`` line to stderr, never a traceback.
 """
 
 from __future__ import annotations
@@ -37,16 +49,30 @@ import json
 import sys
 
 from repro.core.cache import VerdictCache, shared_cache
-from repro.core.chooser import analyze_application
-from repro.core.conditions import (
-    ANSI_LADDER,
-    EXTENDED_LADDER,
-    LEVEL_ORDER,
-    check_transaction_at,
-)
-from repro.core.interference import InterferenceChecker
-from repro.core.parallel import ParallelPolicy, resolve_workers
+from repro.core.conditions import LEVEL_ORDER
+from repro.core.parallel import resolve_workers
 from repro.core.report import analysis_stats_table, failure_details, level_table
+from repro.errors import ReproError
+
+#: Uniform exit codes (see module docstring and docs/SERVICE.md).
+EXIT_OK = 0
+EXIT_VERDICT = 1
+EXIT_USAGE = 2
+EXIT_INTERNAL = 3
+EXIT_CONNECT = 4
+EXIT_BUSY = 5
+EXIT_DEADLINE = 6
+
+
+def _version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - metadata always present when installed
+        from repro import __version__
+
+        return __version__
 
 
 def _app_registry() -> dict:
@@ -79,85 +105,115 @@ def cmd_levels(_args) -> int:
     return 0
 
 
-def cmd_analyze(args) -> int:
-    from repro.core.persist import open_store
+def _stats_registry():
+    """A telemetry registry + obligation-latency histogram for ``--stats``."""
+    from repro.service.telemetry import Registry
 
-    app = _load_app(args.app)
-    workers = resolve_workers(args.workers)
-    cache = VerdictCache(enabled=False) if args.no_cache else shared_cache()
-    store = open_store(args.cache_dir, no_persist=args.no_persist or args.no_cache)
-    if store is not None:
-        store.load(cache)
-    checker = InterferenceChecker(
-        app.spec, budget=args.budget, seed=args.seed, cache=cache, workers=workers,
-        use_sdg=not args.no_sdg,
+    registry = Registry()
+    histogram = registry.histogram(
+        "repro_obligation_seconds", "wall time per decided obligation"
     )
-    policy = ParallelPolicy(workers=workers, backend=args.backend, app_ref=args.app)
-    try:
-        return _run_analyze(args, app, cache, checker, policy, store)
-    finally:
-        if store is not None:
-            store.flush(cache)
+    return registry, histogram
 
 
-def _run_analyze(args, app, cache, checker, policy, store) -> int:
-    if args.transaction and args.level:
-        result = check_transaction_at(
-            app, app.transaction(args.transaction), args.level, checker, policy
-        )
+def _telemetry_summary(histogram) -> str:
+    snap = histogram.snapshot()
+    return (
+        f"obligation latency: {snap['count']} decided,"
+        f" mean {snap['mean'] * 1000:.2f} ms,"
+        f" p50 {snap['p50'] * 1000:.2f} ms, p99 {snap['p99'] * 1000:.2f} ms"
+        " (service telemetry histogram)"
+    )
+
+
+def cmd_analyze(args) -> int:
+    from repro.pipeline.jobs import JobSpec, run_job
+
+    _load_app(args.app)  # fail early with the canonical unknown-app message
+    histogram = None
+    checker_hook = None
+    if args.stats:
+        _registry, histogram = _stats_registry()
+
+        def checker_hook(checker, histogram=histogram):
+            checker.latency_observer = histogram.observe
+
+    cache = VerdictCache(enabled=False) if args.no_cache else shared_cache()
+    spec = JobSpec(
+        kind="analyze",
+        app=args.app,
+        budget=args.budget,
+        seed=args.seed,
+        ladder=args.ladder,
+        snapshot=args.snapshot,
+        use_sdg=not args.no_sdg,
+        transaction=args.transaction or None,
+        level=args.level or None,
+    )
+    job = run_job(
+        spec,
+        cache=cache,
+        workers=resolve_workers(args.workers),
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        no_persist=args.no_persist or args.no_cache,
+        checker_hook=checker_hook,
+    )
+    checker = job.artifacts["checker"]
+    if spec.transaction is not None:
         if args.json:
-            print(json.dumps(result.to_dict(), indent=2))
-            return 0 if result.ok else 1
+            print(json.dumps(job.payload, indent=2))
+            return job.exit_code
+        result = job.report
         print(failure_details(result) if not result.ok else result.summary())
         if args.stats:
             print()
             print(analysis_stats_table(checker))
-        return 0 if result.ok else 1
-    ladder = EXTENDED_LADDER if args.ladder == "extended" else ANSI_LADDER
-    report = analyze_application(
-        app, checker, ladder=ladder, include_snapshot=args.snapshot, policy=policy
-    )
+            print(_telemetry_summary(histogram))
+        return job.exit_code
     if args.json:
-        payload = report.to_dict()
-        payload["tiers"] = dict(checker.stats)
-        payload["cache"] = cache.stats.snapshot()
-        if store is not None:
-            payload["persist"] = store.snapshot()
-        print(json.dumps(payload, indent=2))
-        return 0
-    print(level_table(report))
+        print(json.dumps({**job.payload, **job.extras}, indent=2))
+        return job.exit_code
+    print(level_table(job.report))
     if args.snapshot:
         print()
-        for check in report.snapshot_checks:
+        for check in job.report.snapshot_checks:
             print(check.summary())
     print()
     print(f"interference tiers used: {checker.stats}")
     if args.stats:
         print()
         print(analysis_stats_table(checker))
-    return 0
+        print(_telemetry_summary(histogram))
+    return job.exit_code
 
 
 def cmd_certify(args) -> int:
-    from repro.pipeline import RunContext, certify
+    from repro.pipeline.jobs import JobSpec, run_job
 
-    context = RunContext(
-        seed=args.seed,
-        workers=args.workers,
-        backend=args.backend,
+    _load_app(args.app)
+    spec = JobSpec(
+        kind="certify",
+        app=args.app,
         budget=args.budget,
+        seed=args.seed,
+        ladder=args.ladder,
+        use_sdg=not args.no_sdg,
         max_schedules=args.max_schedules,
         max_depth=args.max_depth,
-        use_sdg=not args.no_sdg,
+    )
+    job = run_job(
+        spec,
+        workers=args.workers,
+        backend=args.backend,
         cache_dir=args.cache_dir,
         no_persist=args.no_persist,
     )
-    report = certify(args.app, context=context, ladder=args.ladder)
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        print(json.dumps({**job.payload, "stats": job.extras["stats"]}, indent=2))
     else:
-        print(report.render())
-    return 0 if report.agreement else 1
+        print(job.report.render())
+    return job.exit_code
 
 
 def _parse_type_levels(assignments, known_types=None) -> dict:
@@ -357,17 +413,132 @@ def cmd_simulate(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.core.lint import lint_application
+    from repro.pipeline.jobs import JobSpec, run_job
 
     names = args.apps or sorted(_app_registry())
-    reports = [lint_application(_load_app(name)) for name in names]
-    failed = any(not report.ok for report in reports)
+    for name in names:
+        _load_app(name)  # canonical unknown-app rejection before any work
+    jobs = [run_job(JobSpec(kind="lint", app=name)) for name in names]
+    failed = any(job.exit_code for job in jobs)
     if args.json:
-        print(json.dumps([report.to_dict() for report in reports], indent=2))
-        return 1 if failed else 0
-    for report in reports:
-        print(report.render())
-    return 1 if failed else 0
+        print(json.dumps([job.payload for job in jobs], indent=2))
+        return EXIT_VERDICT if failed else EXIT_OK
+    for job in jobs:
+        print(job.report.render())
+    return EXIT_VERDICT if failed else EXIT_OK
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers if args.workers is not None else 2,
+        job_workers=args.job_workers,
+        window=args.window_ms / 1000.0,
+        max_pending=args.queue_limit,
+        max_body=args.max_body,
+        default_deadline_ms=args.deadline_ms,
+        drain_timeout=args.drain_timeout,
+        cache_dir=args.cache_dir,
+        no_persist=args.no_persist,
+        backend=args.backend,
+    )
+    return serve(config)
+
+
+def _submit_options(args) -> dict:
+    options = {
+        "budget": args.budget,
+        "seed": args.seed,
+        "ladder": args.ladder,
+        "use_sdg": not args.no_sdg,
+    }
+    if args.kind == "analyze":
+        options["snapshot"] = args.snapshot
+        if args.transaction:
+            options["transaction"] = args.transaction
+        if args.level:
+            options["level"] = args.level
+    if args.kind == "certify":
+        options["max_schedules"] = args.max_schedules
+        if args.max_depth is not None:
+            options["max_depth"] = args.max_depth
+    if args.kind == "lint":
+        # lint results depend on the app alone; a lean spec maximises the
+        # service's chance to coalesce concurrent lint requests
+        options = {}
+    return options
+
+
+def cmd_submit(args) -> int:
+    from repro.service.client import (
+        ServiceBusyError,
+        ServiceClient,
+        ServiceConnectionError,
+        ServiceError,
+    )
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        response = client.submit(
+            args.kind, args.apps, deadline_ms=args.deadline_ms, **_submit_options(args)
+        )
+    except ServiceBusyError as exc:
+        print(f"repro: busy: {exc}", file=sys.stderr)
+        return EXIT_BUSY
+    except ServiceConnectionError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_CONNECT
+    except ServiceError as exc:
+        detail = exc.payload.get("error") if isinstance(exc.payload, dict) else exc
+        print(f"repro: error: {detail}", file=sys.stderr)
+        return EXIT_USAGE if exc.status == 400 else EXIT_INTERNAL
+    entries = response.get("results", [])
+    if args.result_only:
+        if len(entries) != 1:
+            print("repro: error: --result-only needs exactly one app", file=sys.stderr)
+            return EXIT_USAGE
+        entry = entries[0]
+        if entry.get("timed_out"):
+            print("repro: error: request deadline exceeded", file=sys.stderr)
+            return EXIT_DEADLINE
+        print(json.dumps(entry.get("result"), indent=2))
+        return int(entry.get("exit_code", EXIT_INTERNAL))
+    if args.json:
+        print(json.dumps(response, indent=2))
+    else:
+        for entry in entries:
+            if entry.get("timed_out"):
+                print(f"{entry['kind']} {entry['app']}: TIMED OUT (partial response)")
+                continue
+            if "error" in entry:
+                print(f"{entry['kind']} {entry['app']}: ERROR {entry['error']}")
+                continue
+            line = (
+                f"{entry['kind']} {entry['app']}: exit {entry['exit_code']}"
+                f" in {entry['seconds']:.3f}s"
+            )
+            if entry.get("coalesced"):
+                line += " (coalesced)"
+            print(line)
+            result = entry.get("result") or {}
+            for txn, level in sorted((result.get("levels") or {}).items()):
+                print(f"  {txn:24s} {level}")
+            if "agreement" in result:
+                print(f"  agreement: {result['agreement']}")
+            if "ok" in result:
+                print(f"  ok: {result['ok']}")
+    exit_code = EXIT_OK
+    for entry in entries:
+        if entry.get("timed_out"):
+            exit_code = max(exit_code, EXIT_DEADLINE)
+        elif "error" in entry:
+            exit_code = max(exit_code, EXIT_INTERNAL)
+        else:
+            exit_code = max(exit_code, int(entry.get("exit_code", 0)))
+    return exit_code
 
 
 def cmd_replay(args) -> int:
@@ -396,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Semantic correctness at weak isolation levels (ICDE 2000), mechanised.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -560,13 +735,109 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--default-level", default="READ COMMITTED")
     replay.set_defaults(func=cmd_replay)
 
+    serve = sub.add_parser(
+        "serve", help="run the long-lived analysis service (docs/SERVICE.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8923,
+        help="listen port (0 picks a free port, announced on stdout)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="job worker pool size (default 2)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=1, metavar="N",
+        help="obligation fan-out width inside each job (default 1)",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=5.0,
+        help="batching window in milliseconds (0 dispatches immediately)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="admission cap: jobs admitted but unfinished before 429s",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=1_000_000,
+        help="maximum request body bytes before 413",
+    )
+    serve.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="default per-request deadline (requests may override)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight work on SIGTERM",
+    )
+    serve.add_argument(
+        "--cache-dir", nargs="?", const=".repro-cache", default=None, metavar="DIR",
+        help="persistent verdict store warmed at boot, flushed on drain"
+        " (bare flag: .repro-cache; default: $REPRO_CACHE_DIR, else off)",
+    )
+    serve.add_argument(
+        "--no-persist", action="store_true",
+        help="never load or write the persistent verdict cache",
+    )
+    serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="executor for per-job obligation dispatch (with --job-workers > 1)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send jobs to a running analysis service"
+    )
+    submit.add_argument("kind", choices=("analyze", "certify", "lint"))
+    submit.add_argument("apps", nargs="+", help="application name(s)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8923)
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, help="client socket timeout (seconds)"
+    )
+    submit.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="server-side deadline; late units come back with timed_out markers",
+    )
+    submit.add_argument("--budget", type=int, default=3000)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--ladder", choices=("ansi", "extended"), default="ansi")
+    submit.add_argument("--snapshot", action="store_true")
+    submit.add_argument("--transaction", help="analyze one transaction (with --level)")
+    submit.add_argument("--level", help="analyze at one level (with --transaction)")
+    submit.add_argument("--max-schedules", type=int, default=500)
+    submit.add_argument("--max-depth", type=int, default=None)
+    submit.add_argument("--no-sdg", action="store_true")
+    submit.add_argument(
+        "--json", action="store_true", help="print the full service response"
+    )
+    submit.add_argument(
+        "--result-only", action="store_true",
+        help="print only the result payload (byte-identical to the batch CLI's"
+        " deterministic JSON; requires exactly one app)",
+    )
+    submit.set_defaults(func=cmd_submit)
+
     return parser
 
 
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        return EXIT_OK
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception as exc:  # noqa: BLE001 - tracebacks are not a UI
+        print(f"repro: internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

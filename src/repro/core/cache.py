@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -238,6 +239,13 @@ class VerdictCache:
     discipline and counters.  Eviction is FIFO (insertion order), which is
     adequate because one analysis run rarely overflows the cap and the cap
     exists only to bound memory on pathological inputs.
+
+    One instance may be shared across threads (the parallel thread backend
+    and the service's worker pool both do): lookups read plain dicts, which
+    is safe under the GIL, while every mutation — store, eviction, absorb,
+    clear, the flush snapshot — takes a lock so the eviction scan can never
+    interleave with a concurrent store and the persisted-flag bookkeeping
+    stays consistent.
     """
 
     def __init__(self, cap: int = DEFAULT_CACHE_CAP, enabled: bool = True) -> None:
@@ -246,6 +254,7 @@ class VerdictCache:
         self.stats = CacheStats()
         self._store: dict = {}
         self._persisted: set = set()  # keys warmed from the on-disk store
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -277,15 +286,16 @@ class VerdictCache:
     def store(self, scope: str, key: str, verdict) -> None:
         if not self.enabled:
             return
-        if len(self._store) >= self.cap:
-            # FIFO eviction of the oldest ~1% keeps the common path O(1)
-            drop = max(1, self.cap // 100)
-            for stale in list(self._store)[:drop]:
-                del self._store[stale]
-                self._persisted.discard(stale)
-            self.stats.evictions += drop
-        self._store[(scope, key)] = verdict
-        self.stats.stores += 1
+        with self._lock:
+            if len(self._store) >= self.cap:
+                # FIFO eviction of the oldest ~1% keeps the common path O(1)
+                drop = max(1, self.cap // 100)
+                for stale in list(self._store)[:drop]:
+                    del self._store[stale]
+                    self._persisted.discard(stale)
+                self.stats.evictions += drop
+            self._store[(scope, key)] = verdict
+            self.stats.stores += 1
 
     def absorb(self, scope: str, key: str, verdict) -> bool:
         """Warm one entry from the persistent store.
@@ -296,22 +306,32 @@ class VerdictCache:
         """
         if not self.enabled:
             return False
-        composite = (scope, key)
-        if composite in self._store:
-            return False
-        self._store[composite] = verdict
-        self._persisted.add(composite)
-        return True
+        with self._lock:
+            composite = (scope, key)
+            if composite in self._store:
+                return False
+            self._store[composite] = verdict
+            self._persisted.add(composite)
+            return True
 
     def items(self):
-        """All ``((scope, key), verdict)`` pairs plus their persisted flag."""
-        for composite, verdict in self._store.items():
-            yield composite, verdict, composite in self._persisted
+        """All ``((scope, key), verdict)`` pairs plus their persisted flag.
+
+        Snapshotted under the lock so a flush iterating the cache can never
+        race a concurrent store's eviction scan.
+        """
+        with self._lock:
+            snapshot = [
+                (composite, verdict, composite in self._persisted)
+                for composite, verdict in self._store.items()
+            ]
+        return iter(snapshot)
 
     def clear(self) -> None:
-        self._store.clear()
-        self._persisted.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._store.clear()
+            self._persisted.clear()
+            self.stats = CacheStats()
 
 
 _shared: VerdictCache | None = None

@@ -504,6 +504,10 @@ class InterferenceChecker:
         }
         #: wall seconds spent inside each tier, accumulated per check
         self.tier_times = {"disjoint": 0.0, "symbolic": 0.0, "bmc": 0.0}
+        #: optional callable(seconds) observing each *decided* obligation's
+        #: wall time (cache hits are not observed); the CLI's ``--stats``
+        #: wires a telemetry histogram here, the service its job metrics
+        self.latency_observer = None
         self._config_key: str | None = None
         self._state_cache: tuple | None = None
         self._trace_memo: dict = {}
@@ -572,7 +576,7 @@ class InterferenceChecker:
         the formula- or full-scope key according to which tier decided it.
         """
         if keys is None or not self.cache.enabled:
-            verdict, _scope = decide()
+            verdict, _scope = self._observed_decide(decide)
             return verdict
         formula_key, full_key = keys
         cached = self.cache.lookup(formula_key, full_key)
@@ -580,9 +584,18 @@ class InterferenceChecker:
             self.stats["cache_hits"] += 1
             return cached
         self.stats["cache_misses"] += 1
-        verdict, scope = decide()
+        verdict, scope = self._observed_decide(decide)
         self.cache.store(scope, formula_key if scope == FORMULA_SCOPE else full_key, verdict)
         return verdict
+
+    def _observed_decide(self, decide):
+        if self.latency_observer is None:
+            return decide()
+        start = time.perf_counter()
+        try:
+            return decide()
+        finally:
+            self.latency_observer(time.perf_counter() - start)
 
     def _cached_states(self, rng: random.Random) -> tuple:
         """Materialise the constraint-filtered state list once per checker.

@@ -55,6 +55,20 @@ class SemanticReport:
     def correct(self) -> bool:
         return self.consistent and not self.result_violations and not self.cumulative_violations
 
+    @property
+    def violation_count(self) -> int:
+        """How many distinct clauses of the criterion failed.
+
+        One for a broken invariant plus one per result/cumulative violation;
+        ``serial_equivalent`` is informational and never counted (see the
+        module docstring).
+        """
+        return (
+            (0 if self.consistent else 1)
+            + len(self.result_violations)
+            + len(self.cumulative_violations)
+        )
+
     def summary(self) -> str:
         if self.correct:
             tail = "" if self.serial_equivalent else " (final state not serially reachable)"

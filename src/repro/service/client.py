@@ -1,0 +1,141 @@
+"""A small blocking client for the analysis service.
+
+Used by ``repro submit``, the service tests and the E15 benchmark.  One
+HTTP/1.1 request per connection (matching the server's connection-per-
+request model), stdlib :mod:`http.client` underneath, JSON in and out.
+
+Errors map onto a small exception ladder so callers can translate them
+into the CLI's exit-code contract (see ``docs/SERVICE.md``):
+
+* :class:`ServiceConnectionError` — the server is unreachable;
+* :class:`ServiceBusyError` — admission control said 429;
+* :class:`ServiceError` — any other non-2xx answer (carries status and
+  the decoded error payload).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The service answered with a non-2xx status."""
+
+    def __init__(self, status: int, payload) -> None:
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"service answered {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceBusyError(ServiceError):
+    """Admission control rejected the request (HTTP 429)."""
+
+
+class ServiceConnectionError(ReproError):
+    """The service could not be reached at all."""
+
+
+class ServiceClient:
+    """Blocking JSON client bound to one host/port."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8923, timeout: float = 300.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------------
+
+    def request(self, method: str, path: str, payload: dict | None = None):
+        """One request; returns ``(status, body_text)`` or raises."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            text = response.read().decode("utf-8", "replace")
+            return response.status, text
+        except (ConnectionError, socket.timeout, OSError) as exc:
+            raise ServiceConnectionError(
+                f"cannot reach repro service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    def request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, text = self.request(method, path, payload)
+        try:
+            decoded = json.loads(text)
+        except ValueError:
+            decoded = {"error": text.strip()}
+        if status == 429:
+            raise ServiceBusyError(status, decoded)
+        if not 200 <= status < 300:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------------
+
+    def submit(self, kind: str, apps, deadline_ms: int | None = None, **options) -> dict:
+        """POST one job request; ``apps`` is a name or a list of names."""
+        if isinstance(apps, str):
+            payload: dict = {"app": apps}
+        else:
+            payload = {"apps": list(apps)}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        payload.update(options)
+        return self.request_json("POST", f"/{kind}", payload)
+
+    def analyze(self, apps, **options) -> dict:
+        return self.submit("analyze", apps, **options)
+
+    def certify(self, apps, **options) -> dict:
+        return self.submit("certify", apps, **options)
+
+    def lint(self, apps, **options) -> dict:
+        return self.submit("lint", apps, **options)
+
+    def health(self, raise_for_status: bool = False) -> dict:
+        status, text = self.request("GET", "/healthz")
+        try:
+            decoded = json.loads(text)
+        except ValueError:
+            decoded = {"status": text.strip()}
+        if raise_for_status and status != 200:
+            raise ServiceError(status, decoded)
+        decoded["http_status"] = status
+        return decoded
+
+    def metrics(self) -> str:
+        status, text = self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, {"error": text.strip()})
+        return text
+
+    def wait_ready(self, timeout: float = 15.0, interval: float = 0.05) -> dict:
+        """Poll /healthz until the server answers; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except ServiceConnectionError as exc:
+                last = exc
+                time.sleep(interval)
+        raise ServiceConnectionError(
+            f"service at {self.host}:{self.port} not ready after {timeout}s: {last}"
+        )

@@ -1,0 +1,464 @@
+"""The asyncio JSON-over-HTTP analysis server.
+
+Stdlib only: :func:`asyncio.start_server` plus a hand-rolled HTTP/1.1
+request parser (request line, headers, ``Content-Length`` body; chunked
+uploads are refused with 501).  Every connection serves one request and is
+closed — the clients this server exists for (CI jobs, benchmark loops,
+``repro submit``) open cheap local connections, and one-shot connections
+keep the drain logic exact.
+
+Endpoints (schemas in ``docs/SERVICE.md``):
+
+* ``POST /analyze`` / ``POST /certify`` / ``POST /lint`` — run jobs for
+  one ``app`` or a list of ``apps``; options mirror the batch CLI flags.
+  Responses carry per-unit ``result`` payloads byte-identical to the
+  batch CLI's JSON (both fronts call :func:`repro.pipeline.jobs.run_job`).
+* ``GET /healthz`` — liveness + drain state (503 while draining).
+* ``GET /metrics`` — Prometheus text exposition of the telemetry registry.
+
+Robustness invariants, each enforced here and pinned by tests:
+
+* **admission control** — beyond ``max_pending`` queued jobs the server
+  answers 429 *before* allocating any work (``Batcher.admit`` is
+  synchronous), so a flood costs memory proportional to open sockets only;
+* **deadlines** — a request-level ``deadline_ms`` returns whatever units
+  finished in time plus ``timed_out`` markers for the rest; the late jobs
+  keep running and warm the cache for the retry;
+* **isolation** — a malformed request dies with a 400 and a crashing job
+  is confined to its per-unit error entry; the loop and the shared verdict
+  cache survive both;
+* **lifecycle** — SIGTERM/SIGINT stop the listener, drain in-flight work
+  (bounded by ``drain_timeout``), flush the persistent verdict store once,
+  then exit; the store is also what ``start`` warms the cache from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+
+from repro.core.cache import VerdictCache
+from repro.core.persist import open_store
+from repro.errors import ReproError
+from repro.pipeline.jobs import JobError, JobSpec, run_job
+from repro.service.batcher import Batcher, QueueFullError
+from repro.service.telemetry import ServiceTelemetry
+
+#: HTTP status reasons for the subset of codes the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+#: Option fields a job request may carry besides app/apps/deadline_ms.
+JOB_OPTION_FIELDS = (
+    "budget", "seed", "ladder", "snapshot", "use_sdg",
+    "transaction", "level", "max_schedules", "max_depth",
+)
+
+
+class _HttpError(ReproError):
+    """Internal: abort the request with this status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceConfig:
+    """Tunables of one :class:`ReproService` (defaults suit local use)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8923,
+        workers: int = 2,
+        job_workers: int = 1,
+        window: float = 0.005,
+        max_pending: int = 64,
+        max_body: int = 1_000_000,
+        read_timeout: float = 30.0,
+        drain_timeout: float = 30.0,
+        default_deadline_ms: int | None = None,
+        cache_dir: str | None = None,
+        no_persist: bool = False,
+        backend: str = "thread",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.job_workers = job_workers
+        self.window = window
+        self.max_pending = max_pending
+        self.max_body = max_body
+        self.read_timeout = read_timeout
+        self.drain_timeout = drain_timeout
+        self.default_deadline_ms = default_deadline_ms
+        self.cache_dir = cache_dir
+        self.no_persist = no_persist
+        self.backend = backend
+
+
+class ReproService:
+    """One warmed analysis process serving many requests."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = ServiceTelemetry()
+        self.cache = VerdictCache()
+        self.telemetry.track_cache(self.cache)
+        self.store = open_store(self.config.cache_dir, no_persist=self.config.no_persist)
+        self.warmed_entries = 0
+        self.batcher = Batcher(
+            self._execute,
+            workers=self.config.workers,
+            window=self.config.window,
+            max_pending=self.config.max_pending,
+            telemetry=self.telemetry,
+        )
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._started = time.monotonic()
+        self._draining = False
+        self._active = 0
+        self._idle = None  # asyncio.Event set whenever _active == 0
+        self._stopped = None  # asyncio.Event set when drain completes
+        self._drain_task = None
+
+    # -- job execution (pool threads) ----------------------------------------
+
+    def _execute(self, spec: JobSpec):
+        """The batcher's runner: one job on one pool thread, shared cache."""
+        return run_job(
+            spec,
+            cache=self.cache,
+            workers=self.config.job_workers,
+            backend=self.config.backend,
+            no_persist=True,  # the service owns persistence (boot/drain)
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm the cache from the persistent store and open the listener."""
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stopped = asyncio.Event()
+        self._started = time.monotonic()
+        if self.store is not None:
+            self.warmed_entries = self.store.load(self.cache)
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.begin_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    def begin_drain(self) -> None:
+        """Idempotently start the graceful shutdown sequence."""
+        if self._draining:
+            return
+        self._draining = True
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        deadline = time.monotonic() + self.config.drain_timeout
+        await self.batcher.drain(timeout=self.config.drain_timeout)
+        # handlers finish right after their jobs resolve; give them the rest
+        # of the drain budget to flush their responses
+        remaining = max(0.0, deadline - time.monotonic())
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=remaining or 0.05)
+        except asyncio.TimeoutError:  # pragma: no cover - only on stuck jobs
+            pass
+        if self.store is not None:
+            self.store.flush(self.cache)
+        self.batcher.shutdown()
+        self._stopped.set()
+
+    async def serve_forever(self) -> None:
+        """Run until a signal (or :meth:`begin_drain`) completes the drain."""
+        if self._server is None:
+            await self.start()
+        self.install_signal_handlers()
+        await self._stopped.wait()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle(self, reader, writer) -> None:
+        self._active += 1
+        self._idle.clear()
+        self.telemetry.inflight_requests.inc()
+        started = time.perf_counter()
+        endpoint, status = "?", 500
+        try:
+            try:
+                method, path, headers = await asyncio.wait_for(
+                    self._read_head(reader), timeout=self.config.read_timeout
+                )
+            except asyncio.TimeoutError:
+                raise _HttpError(408, "timed out reading request head")
+            endpoint = path
+            body = await self._read_body(reader, method, headers)
+            status, payload, content_type = await self._route(method, path, body)
+            await self._respond(writer, status, payload, content_type)
+        except _HttpError as exc:
+            status = exc.status
+            await self._respond_safely(writer, exc.status, {"error": str(exc)})
+        except (ConnectionError, asyncio.IncompleteReadError):
+            status = 0  # client went away; nothing to answer
+        except Exception as exc:  # noqa: BLE001 - the loop must survive anything
+            status = 500
+            await self._respond_safely(
+                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.telemetry.inflight_requests.dec()
+            self.telemetry.requests.inc(endpoint=endpoint, status=str(status))
+            self.telemetry.request_seconds.observe(time.perf_counter() - started)
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    async def _read_head(self, reader):
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        parts = request_line.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            if len(headers) > 100:
+                raise _HttpError(400, "too many headers")
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _HttpError(400, f"malformed header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        return method, path.split("?", 1)[0], headers
+
+    async def _read_body(self, reader, method: str, headers: dict) -> bytes:
+        if method != "POST":
+            return b""
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _HttpError(501, "chunked uploads are not supported")
+        raw_length = headers.get("content-length")
+        if raw_length is None:
+            raise _HttpError(411, "POST requires Content-Length")
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise _HttpError(400, f"bad Content-Length {raw_length!r}")
+        if length < 0:
+            raise _HttpError(400, f"bad Content-Length {raw_length!r}")
+        if length > self.config.max_body:
+            raise _HttpError(
+                413, f"request body of {length} bytes exceeds limit {self.config.max_body}"
+            )
+        try:
+            return await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.config.read_timeout
+            )
+        except asyncio.TimeoutError:
+            raise _HttpError(408, "timed out reading request body")
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes):
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "use GET /healthz")
+            return self._healthz()
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "use GET /metrics")
+            return 200, self.telemetry.registry.render(), "text/plain; version=0.0.4"
+        if path in ("/analyze", "/certify", "/lint"):
+            if method != "POST":
+                raise _HttpError(405, f"use POST {path}")
+            if self._draining:
+                raise _HttpError(503, "service is draining")
+            payload = await self._handle_jobs(path.lstrip("/"), body)
+            return 200, payload, "application/json"
+        raise _HttpError(404, f"no route for {path}")
+
+    def _healthz(self):
+        status = "draining" if self._draining else "ok"
+        payload = {
+            "status": status,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "queue_depth": self.batcher.admitted,
+            "warmed_entries": self.warmed_entries,
+            "cache_entries": len(self.cache),
+        }
+        return (503 if self._draining else 200), payload, "application/json"
+
+    def _parse_jobs(self, kind: str, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "request body must be a JSON object")
+        apps = payload.get("apps")
+        if apps is None:
+            app = payload.get("app")
+            if not isinstance(app, str):
+                raise _HttpError(400, "request needs an 'app' string or 'apps' list")
+            apps = [app]
+        if not isinstance(apps, list) or not all(isinstance(a, str) for a in apps):
+            raise _HttpError(400, "'apps' must be a list of application names")
+        if not apps:
+            raise _HttpError(400, "'apps' must not be empty")
+        deadline_ms = payload.get("deadline_ms", self.config.default_deadline_ms)
+        if deadline_ms is not None and (
+            not isinstance(deadline_ms, int) or deadline_ms <= 0
+        ):
+            raise _HttpError(400, "'deadline_ms' must be a positive integer")
+        options = {
+            key: payload[key] for key in JOB_OPTION_FIELDS if key in payload
+        }
+        unknown = set(payload) - set(JOB_OPTION_FIELDS) - {"app", "apps", "deadline_ms"}
+        if unknown:
+            raise _HttpError(400, f"unknown request fields: {', '.join(sorted(unknown))}")
+        specs = []
+        for app in apps:
+            try:
+                spec = JobSpec.from_dict({**options, "app": app}, kind=kind)
+                spec.validate()
+            except JobError as exc:
+                raise _HttpError(400, str(exc))
+            specs.append(spec)
+        return specs, deadline_ms
+
+    async def _handle_jobs(self, kind: str, body: bytes) -> dict:
+        specs, deadline_ms = self._parse_jobs(kind, body)
+        loop = asyncio.get_running_loop()
+        cutoff = loop.time() + deadline_ms / 1000.0 if deadline_ms else None
+        units = []
+        try:
+            for spec in specs:
+                units.append((spec, *self.batcher.admit(spec)))
+        except QueueFullError as exc:
+            raise _HttpError(429, str(exc))
+        entries = []
+        any_timeout = False
+        for spec, future, coalesced in units:
+            entry = {
+                "app": spec.app,
+                "kind": spec.kind,
+                "fingerprint": spec.fingerprint(),
+                "coalesced": coalesced,
+                "timed_out": False,
+            }
+            started = time.perf_counter()
+            try:
+                if cutoff is None:
+                    result = await asyncio.shield(future)
+                else:
+                    remaining = cutoff - loop.time()
+                    if remaining <= 0:
+                        raise asyncio.TimeoutError
+                    result = await asyncio.wait_for(asyncio.shield(future), remaining)
+            except asyncio.TimeoutError:
+                # the job keeps running and will warm the cache for a retry;
+                # swallow its eventual outcome so nothing logs as unretrieved
+                future.add_done_callback(_swallow_outcome)
+                self.telemetry.timeouts.inc()
+                entry["timed_out"] = True
+                any_timeout = True
+                entries.append(entry)
+                continue
+            except Exception as exc:  # noqa: BLE001 - per-unit isolation
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+                entry["exit_code"] = 3
+                entries.append(entry)
+                continue
+            entry["seconds"] = round(time.perf_counter() - started, 6)
+            entry["exit_code"] = result.exit_code
+            entry["result"] = result.payload
+            entry["meta"] = result.extras
+            entries.append(entry)
+        return {"kind": kind, "results": entries, "timed_out": any_timeout}
+
+    # -- responses -----------------------------------------------------------
+
+    async def _respond(self, writer, status: int, payload, content_type: str) -> None:
+        if isinstance(payload, (dict, list)):
+            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+        else:
+            body = str(payload).encode("utf-8")
+        reason = REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+        )
+        if status == 429:
+            head += "Retry-After: 1\r\n"
+        head += "Connection: close\r\n\r\n"
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    async def _respond_safely(self, writer, status: int, payload) -> None:
+        try:
+            await self._respond(writer, status, payload, "application/json")
+        except (ConnectionError, OSError):  # pragma: no cover - client gone
+            pass
+
+
+def _swallow_outcome(future) -> None:
+    if not future.cancelled():
+        future.exception()
+
+
+async def _amain(config: ServiceConfig, announce=print) -> int:
+    service = ReproService(config)
+    await service.start()
+    announce(
+        f"repro service listening on http://{config.host}:{service.port}"
+        f" (workers={config.workers}, max_pending={config.max_pending},"
+        f" warmed {service.warmed_entries} verdicts)",
+        flush=True,
+    )
+    await service.serve_forever()
+    announce("repro service drained cleanly", flush=True)
+    return 0
+
+
+def serve(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    return asyncio.run(_amain(config or ServiceConfig()))

@@ -1,0 +1,297 @@
+"""Service telemetry: counters, gauges and fixed-bucket histograms.
+
+Designed for the service's thread mix — asyncio handlers on the loop
+thread, job execution on pool threads — without locks: every mutation is a
+single ``+=`` / ``=`` on an int slot, which the GIL makes indivisible
+enough for monitoring (a lost increment under a torn read is acceptable
+drift; a crash or a deadlock is not, and lock-free code cannot have
+either).  Rendering takes a point-in-time snapshot and never blocks
+writers.
+
+Histograms use *fixed* cumulative buckets chosen once at construction —
+the Prometheus model — so observation is O(#buckets) worst case with no
+allocation, and quantiles are estimated by linear interpolation inside the
+winning bucket (:meth:`Histogram.quantile`), which is exactly as precise
+as the bucket layout and therefore honest about its own resolution.
+
+The same primitives back the batch CLI's ``--stats`` enrichment
+(``repro analyze --stats`` renders a :class:`Registry` summary) and the
+E15 benchmark's latency accounting, so one schema serves all three
+surfaces; ``GET /metrics`` renders the registry in Prometheus text
+exposition format (version 0.0.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Default latency buckets (seconds): 1 ms .. 60 s, roughly ×2.5 per step.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count, optionally split by label values."""
+
+    name: str
+    help: str = ""
+    _values: dict = field(default_factory=dict)
+
+    def inc(self, amount: int = 1, **labels) -> None:
+        key = tuple(sorted(labels.items()))
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> int:
+        if labels:
+            return self._values.get(tuple(sorted(labels.items())), 0)
+        return sum(self._values.values())
+
+    def render(self) -> list:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} counter"]
+        if not self._values:
+            lines.append(f"{self.name} 0")
+            return lines
+        for key in sorted(self._values):
+            lines.append(
+                f"{self.name}{_format_labels(dict(key))}"
+                f" {_format_value(float(self._values[key]))}"
+            )
+        return lines
+
+    def snapshot(self) -> dict:
+        if not self._values:
+            return {"total": 0}
+        out = {"total": self.value()}
+        for key, count in sorted(self._values.items()):
+            if key:
+                out[",".join(f"{k}={v}" for k, v in key)] = count
+        return out
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (queue depth, in-flight requests, …)."""
+
+    name: str
+    help: str = ""
+    _value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    def value(self) -> float:
+        return self._value
+
+    def render(self) -> list:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} gauge",
+            f"{self.name} {_format_value(float(self._value))}",
+        ]
+
+    def snapshot(self) -> dict:
+        return {"value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with quantile estimation."""
+
+    def __init__(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        # one extra slot for the +Inf bucket; slots are *non*-cumulative
+        # internally and accumulated only at render/quantile time, so
+        # observe() touches exactly one slot
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1), interpolated within its bucket."""
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            bucket = self._counts[i]
+            if cumulative + bucket >= target:
+                if bucket == 0:
+                    return bound
+                fraction = (target - cumulative) / bucket
+                return lower + fraction * (bound - lower)
+            cumulative += bucket
+            lower = bound
+        return self.buckets[-1] if self.buckets else 0.0
+
+    def render(self) -> list:
+        lines = [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} histogram"]
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += self._counts[i]
+            lines.append(f'{self.name}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {self._count}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self._count,
+            "sum": round(self._sum, 6),
+            "mean": round(self.mean, 6),
+            "p50": round(self.quantile(0.50), 6),
+            "p99": round(self.quantile(0.99), 6),
+        }
+
+
+class Registry:
+    """An ordered collection of metrics with one rendering surface."""
+
+    def __init__(self) -> None:
+        self._metrics: dict = {}
+        self._collectors: list = []
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(name, Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._register(name, Histogram(name, help, buckets))
+
+    def _register(self, name: str, metric):
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        self._metrics[name] = metric
+        return metric
+
+    def add_collector(self, collector) -> None:
+        """Register a callable returning ``{metric_name: value}`` gauges.
+
+        Collectors surface externally owned counters (e.g. the shared
+        verdict cache's hit/miss totals) without copying them on every
+        mutation; they are polled at render time only.
+        """
+        self._collectors.append(collector)
+
+    def render(self) -> str:
+        """Prometheus text exposition format (one trailing newline)."""
+        lines = []
+        for metric in self._metrics.values():
+            lines.extend(metric.render())
+        for collector in self._collectors:
+            for name, value in sorted(collector().items()):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(float(value))}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-friendly snapshot (the /healthz and --stats surface)."""
+        out = {name: metric.snapshot() for name, metric in self._metrics.items()}
+        for collector in self._collectors:
+            for name, value in collector().items():
+                out[name] = {"value": value}
+        return out
+
+
+@dataclass
+class ServiceTelemetry:
+    """The service's pre-declared metric set (schema in docs/SERVICE.md)."""
+
+    registry: Registry = field(default_factory=Registry)
+
+    def __post_init__(self) -> None:
+        reg = self.registry
+        self.requests = reg.counter(
+            "repro_requests_total", "HTTP requests by endpoint and status code"
+        )
+        self.request_seconds = reg.histogram(
+            "repro_request_seconds", "End-to-end request latency (seconds)"
+        )
+        self.jobs = reg.counter(
+            "repro_jobs_total", "Jobs executed by kind and outcome"
+        )
+        self.job_seconds = reg.histogram(
+            "repro_job_seconds", "Single-job execution latency (seconds)"
+        )
+        self.batches = reg.counter("repro_batches_total", "Dispatched job batches")
+        self.batch_size = reg.histogram(
+            "repro_batch_size", "Jobs per dispatched batch",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self.coalesced = reg.counter(
+            "repro_coalesced_total", "Requests answered by an in-flight duplicate"
+        )
+        self.rejected = reg.counter(
+            "repro_rejected_total", "Requests rejected by admission control (429)"
+        )
+        self.timeouts = reg.counter(
+            "repro_deadline_timeouts_total", "Jobs that missed their request deadline"
+        )
+        self.queue_depth = reg.gauge(
+            "repro_queue_depth", "Jobs admitted but not yet finished"
+        )
+        self.inflight_requests = reg.gauge(
+            "repro_inflight_requests", "HTTP requests currently being served"
+        )
+
+    def track_cache(self, cache) -> None:
+        """Expose a VerdictCache's counters as collected gauges."""
+
+        def collect() -> dict:
+            stats = cache.stats
+            return {
+                "repro_verdict_cache_hits": stats.hits,
+                "repro_verdict_cache_misses": stats.misses,
+                "repro_verdict_cache_entries": len(cache),
+                "repro_verdict_cache_persist_hits": stats.persist_hits,
+            }
+
+        self.registry.add_collector(collect)

@@ -9,7 +9,7 @@ exactly the shape the paper's performance argument is about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Iterable
 
 from repro.sched.schedule import ScheduleResult
@@ -66,17 +66,23 @@ class RunMetrics:
             f"{self.semantic_violations:4d}",
         )
 
+    def as_dict(self) -> dict:
+        """Raw counters plus derived rates, for JSON benchmark records."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["throughput"] = round(self.throughput, 4)
+        out["abort_rate"] = round(self.abort_rate, 4)
+        out["wait_rate"] = round(self.wait_rate, 4)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunMetrics":
+        """Rebuild the counters from :meth:`as_dict` (derived rates ignored)."""
+        return cls(**{f.name: payload[f.name] for f in fields(cls) if f.name in payload})
+
 
 def merge(metrics: Iterable[RunMetrics]) -> RunMetrics:
     total = RunMetrics()
     for item in metrics:
-        total.runs += item.runs
-        total.committed += item.committed
-        total.aborted += item.aborted
-        total.steps += item.steps
-        total.waits += item.waits
-        total.deadlocks += item.deadlocks
-        total.fcw_aborts += item.fcw_aborts
-        total.restarts += item.restarts
-        total.semantic_violations += item.semantic_violations
+        for f in fields(RunMetrics):
+            setattr(total, f.name, getattr(total, f.name) + getattr(item, f.name))
     return total

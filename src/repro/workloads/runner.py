@@ -41,7 +41,9 @@ def run_workload(
         )
         result = simulator.run()
         report = check_semantic_correctness(result, invariant)
-        metrics.add(result, violations=0 if report.correct else 1)
+        # count every failed clause, not a 0/1 flag per round — a single
+        # round can break the invariant and several Q_i at once
+        metrics.add(result, violations=report.violation_count)
     return metrics
 
 

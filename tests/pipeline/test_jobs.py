@@ -1,0 +1,103 @@
+"""Unit tests for the job layer shared by the batch CLI and the service."""
+
+import json
+
+import pytest
+
+from repro.pipeline.jobs import JobError, JobSpec, run_job
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(JobError, match="unknown job kind"):
+            JobSpec(kind="explore", app="banking").validate()
+
+    def test_unknown_app(self):
+        with pytest.raises(JobError, match="unknown application"):
+            JobSpec(kind="lint", app="nope").validate()
+
+    def test_unknown_ladder(self):
+        with pytest.raises(JobError, match="unknown ladder"):
+            JobSpec(kind="analyze", app="banking", ladder="spiral").validate()
+
+    def test_transaction_requires_level(self):
+        with pytest.raises(JobError, match="given together"):
+            JobSpec(kind="analyze", app="banking", transaction="Deposit").validate()
+
+    def test_unknown_level(self):
+        with pytest.raises(JobError, match="unknown isolation level"):
+            JobSpec(
+                kind="analyze", app="banking", transaction="Deposit", level="CASUAL"
+            ).validate()
+
+    def test_unknown_transaction(self):
+        with pytest.raises(JobError, match="unknown transaction"):
+            JobSpec(
+                kind="analyze", app="banking",
+                transaction="Nope", level="SERIALIZABLE",
+            ).validate()
+
+    def test_negative_budget(self):
+        with pytest.raises(JobError, match="budget"):
+            JobSpec(kind="analyze", app="banking", budget=-1).validate()
+
+    def test_valid_spec_passes(self):
+        JobSpec(kind="analyze", app="banking").validate()
+
+
+class TestFromDict:
+    def test_round_trip(self):
+        spec = JobSpec(kind="analyze", app="banking", budget=100, ladder="extended")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(JobError, match="unknown job fields"):
+            JobSpec.from_dict({"app": "banking", "bananas": 2}, kind="lint")
+
+    def test_non_integer_budget_rejected(self):
+        with pytest.raises(JobError, match="must be an integer"):
+            JobSpec.from_dict({"app": "banking", "budget": "lots"}, kind="analyze")
+
+    def test_kind_argument_fills_in(self):
+        assert JobSpec.from_dict({"app": "banking"}, kind="certify").kind == "certify"
+
+
+class TestFingerprint:
+    def test_stable_for_equal_specs(self):
+        a = JobSpec(kind="analyze", app="banking", budget=100)
+        b = JobSpec(kind="analyze", app="banking", budget=100)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_every_semantic_field_matters(self):
+        base = JobSpec(kind="analyze", app="banking")
+        variants = [
+            JobSpec(kind="lint", app="banking"),
+            JobSpec(kind="analyze", app="employees"),
+            JobSpec(kind="analyze", app="banking", budget=7),
+            JobSpec(kind="analyze", app="banking", seed=7),
+            JobSpec(kind="analyze", app="banking", ladder="extended"),
+            JobSpec(kind="analyze", app="banking", snapshot=True),
+            JobSpec(kind="analyze", app="banking", use_sdg=False),
+        ]
+        prints = {base.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(prints) == len(variants) + 1
+
+
+class TestRunJob:
+    def test_lint_payload_and_exit_code(self):
+        job = run_job(JobSpec(kind="lint", app="banking"))
+        assert job.exit_code == 0
+        assert job.payload["ok"] is True
+
+    def test_analyze_payload_deterministic(self):
+        spec = JobSpec(kind="analyze", app="banking", budget=150)
+        first = run_job(spec, no_persist=True)
+        second = run_job(spec, no_persist=True)
+        assert first.exit_code == 0
+        # byte-identity is the service's contract: payloads serialise equally
+        assert json.dumps(first.payload) == json.dumps(second.payload)
+        assert set(first.extras) >= {"tiers", "cache"}
+
+    def test_invalid_spec_raises_before_running(self):
+        with pytest.raises(JobError):
+            run_job(JobSpec(kind="analyze", app="missing"))

@@ -73,6 +73,18 @@ class TestSemanticCheck:
         assert not report.consistent
         assert "invariant violated" in report.summary()
 
+    def test_violation_count_sums_all_clauses(self):
+        from repro.sched.semantic import SemanticReport
+
+        assert SemanticReport(consistent=True).violation_count == 0
+        report = SemanticReport(
+            consistent=False,
+            result_violations=["a", "b"],
+            cumulative_violations=["c"],
+            serial_equivalent=False,  # informational, never counted
+        )
+        assert report.violation_count == 4
+
     def test_cumulative_hook_runs(self):
         def cumulative(initial, final, committed):
             expected = initial.read_item("bal") + sum(o.args["d"] for o in committed)

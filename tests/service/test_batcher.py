@@ -1,0 +1,159 @@
+"""Unit tests for the batcher: coalescing, windows, admission, drain."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.pipeline.jobs import JobSpec
+from repro.service.batcher import Batcher, QueueFullError
+from repro.service.telemetry import ServiceTelemetry
+
+
+def spec(app="banking", kind="lint", **overrides):
+    return JobSpec(kind=kind, app=app, **overrides)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_same_fingerprint_shares_a_future(self):
+        async def main():
+            batcher = Batcher(lambda s: s.app, window=0.0)
+            first, coalesced_first = batcher.admit(spec())
+            second, coalesced_second = batcher.admit(spec())
+            assert second is first
+            assert not coalesced_first
+            assert coalesced_second
+            assert await first == "banking"
+            batcher.shutdown()
+
+        run(main())
+
+    def test_distinct_specs_do_not_coalesce(self):
+        async def main():
+            batcher = Batcher(lambda s: s.app, window=0.0)
+            first, _ = batcher.admit(spec(budget=100))
+            second, _ = batcher.admit(spec(budget=200))
+            assert second is not first
+            await asyncio.gather(first, second)
+            batcher.shutdown()
+
+        run(main())
+
+    def test_coalescing_counted_in_telemetry(self):
+        async def main():
+            telemetry = ServiceTelemetry()
+            batcher = Batcher(lambda s: s.app, window=0.0, telemetry=telemetry)
+            batcher.admit(spec())
+            batcher.admit(spec())
+            await batcher.drain()
+            assert telemetry.coalesced.value() == 1
+            batcher.shutdown()
+
+        run(main())
+
+
+class TestWindow:
+    def test_window_batches_admissions_together(self):
+        async def main():
+            telemetry = ServiceTelemetry()
+            batcher = Batcher(lambda s: s.app, window=0.05, telemetry=telemetry)
+            first, _ = batcher.admit(spec(budget=1))
+            second, _ = batcher.admit(spec(budget=2))
+            third, _ = batcher.admit(spec(budget=3))
+            await asyncio.gather(first, second, third)
+            assert telemetry.batches.value() == 1
+            assert telemetry.batch_size.count == 1
+            batcher.shutdown()
+
+        run(main())
+
+    def test_separate_windows_are_separate_batches(self):
+        async def main():
+            telemetry = ServiceTelemetry()
+            batcher = Batcher(lambda s: s.app, window=0.0, telemetry=telemetry)
+            first, _ = batcher.admit(spec(budget=1))
+            await first
+            second, _ = batcher.admit(spec(budget=2))
+            await second
+            assert telemetry.batches.value() == 2
+            batcher.shutdown()
+
+        run(main())
+
+
+class TestAdmissionControl:
+    def test_cap_rejects_synchronously(self):
+        async def main():
+            gate = threading.Event()
+            telemetry = ServiceTelemetry()
+            batcher = Batcher(
+                lambda s: gate.wait(5), window=0.0, max_pending=1, telemetry=telemetry
+            )
+            future, _ = batcher.admit(spec(budget=1))
+            with pytest.raises(QueueFullError):
+                batcher.admit(spec(budget=2))
+            assert telemetry.rejected.value() == 1
+            # a duplicate of the in-flight job still coalesces past the cap
+            same, coalesced = batcher.admit(spec(budget=1))
+            assert coalesced and same is future
+            gate.set()
+            await future
+            batcher.shutdown()
+
+        run(main())
+
+    def test_slot_freed_after_completion(self):
+        async def main():
+            batcher = Batcher(lambda s: s.app, window=0.0, max_pending=1)
+            first, _ = batcher.admit(spec(budget=1))
+            await first
+            second, _ = batcher.admit(spec(budget=2))
+            assert await second == "banking"
+            batcher.shutdown()
+
+        run(main())
+
+
+class TestFailureIsolation:
+    def test_runner_exception_reaches_the_future_only(self):
+        def runner(s):
+            if s.budget == 1:
+                raise RuntimeError("boom")
+            return "ok"
+
+        async def main():
+            batcher = Batcher(runner, window=0.0)
+            bad, _ = batcher.admit(spec(budget=1))
+            good, _ = batcher.admit(spec(budget=2))
+            with pytest.raises(RuntimeError):
+                await bad
+            assert await good == "ok"
+            batcher.shutdown()
+
+        run(main())
+
+
+class TestDrain:
+    def test_drain_flushes_pending_window(self):
+        async def main():
+            batcher = Batcher(lambda s: s.app, window=30.0)  # would never flush alone
+            future, _ = batcher.admit(spec())
+            assert await batcher.drain(timeout=10)
+            assert future.done() and future.result() == "banking"
+            batcher.shutdown()
+
+        run(main())
+
+    def test_admit_after_drain_rejected(self):
+        async def main():
+            batcher = Batcher(lambda s: s.app, window=0.0)
+            await batcher.drain()
+            with pytest.raises(QueueFullError):
+                batcher.admit(spec())
+            batcher.shutdown()
+
+        run(main())

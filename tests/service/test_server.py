@@ -1,0 +1,274 @@
+"""End-to-end tests of the analysis service over real sockets.
+
+Each test boots a :class:`ReproService` on an ephemeral port inside its own
+event loop and talks to it with the blocking :class:`ServiceClient` moved
+off-loop via ``asyncio.to_thread`` — the exact client/server pair that
+``repro submit`` / ``repro serve`` use.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.pipeline.jobs import JobSpec, run_job
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.server import ReproService, ServiceConfig
+
+
+def serve_test(handler, **config_overrides):
+    """Boot a service, run ``handler(service, client)``, drain, return."""
+    config_overrides.setdefault("port", 0)
+    config_overrides.setdefault("no_persist", True)
+    config_overrides.setdefault("window", 0.0)
+
+    async def main():
+        service = ReproService(ServiceConfig(**config_overrides))
+        await service.start()
+        client = ServiceClient(port=service.port, timeout=60)
+        try:
+            return await handler(service, client)
+        finally:
+            service.begin_drain()
+            await asyncio.wait_for(service._stopped.wait(), timeout=30)
+
+    return asyncio.run(main())
+
+
+def gate_runner(batcher, gate):
+    """Replace the batcher's runner with one that blocks until ``gate`` set."""
+
+    def runner(spec):
+        gate.wait(30)
+        return run_job(spec)
+
+    batcher._runner = runner
+
+
+class TestEndpoints:
+    def test_healthz(self):
+        async def handler(service, client):
+            health = await asyncio.to_thread(client.health)
+            assert health["http_status"] == 200
+            assert health["status"] == "ok"
+            assert health["queue_depth"] == 0
+            assert "uptime_seconds" in health and "cache_entries" in health
+
+        serve_test(handler)
+
+    def test_lint_round_trip(self):
+        async def handler(service, client):
+            response = await asyncio.to_thread(client.lint, "banking")
+            assert response["kind"] == "lint"
+            assert response["timed_out"] is False
+            (entry,) = response["results"]
+            assert entry["app"] == "banking"
+            assert entry["exit_code"] == 0
+            assert entry["coalesced"] is False
+            assert entry["result"]["ok"] is True
+
+        serve_test(handler)
+
+    def test_analyze_matches_batch_byte_for_byte(self):
+        spec = JobSpec(kind="analyze", app="banking", budget=150)
+        batch = run_job(spec, no_persist=True)
+
+        async def handler(service, client):
+            response = await asyncio.to_thread(client.analyze, "banking", budget=150)
+            (entry,) = response["results"]
+            assert entry["fingerprint"] == spec.fingerprint()
+            assert json.dumps(entry["result"], indent=2) == json.dumps(
+                batch.payload, indent=2
+            )
+            assert entry["exit_code"] == batch.exit_code
+            assert set(entry["meta"]) >= {"tiers", "cache"}
+
+        serve_test(handler)
+
+    def test_certify_matches_batch_byte_for_byte(self):
+        spec = JobSpec(kind="certify", app="banking", budget=200, max_schedules=200)
+        batch = run_job(spec, no_persist=True)
+
+        async def handler(service, client):
+            response = await asyncio.to_thread(
+                client.certify, "banking", budget=200, max_schedules=200
+            )
+            (entry,) = response["results"]
+            assert json.dumps(entry["result"], indent=2) == json.dumps(
+                batch.payload, indent=2
+            )
+            assert entry["exit_code"] == batch.exit_code
+            assert "stats" in entry["meta"]
+
+        serve_test(handler)
+
+    def test_multi_app_coalesces_duplicates(self):
+        async def handler(service, client):
+            response = await asyncio.to_thread(
+                client.lint, ["banking", "banking", "employees"]
+            )
+            entries = response["results"]
+            assert [e["app"] for e in entries] == ["banking", "banking", "employees"]
+            assert entries[0]["coalesced"] is False
+            assert entries[1]["coalesced"] is True
+            assert entries[0]["result"] == entries[1]["result"]
+            assert service.telemetry.coalesced.value() == 1
+
+        serve_test(handler)
+
+    def test_metrics_exposition(self):
+        async def handler(service, client):
+            await asyncio.to_thread(client.lint, "banking")
+            text = await asyncio.to_thread(client.metrics)
+            assert "# TYPE repro_requests_total counter" in text
+            assert 'repro_requests_total{endpoint="/lint",status="200"} 1' in text
+            assert "repro_job_seconds_bucket" in text
+            assert "repro_verdict_cache_hits" in text
+            assert "repro_queue_depth 0" in text
+
+        serve_test(handler)
+
+
+class TestRequestValidation:
+    def test_invalid_json_is_400(self):
+        async def handler(service, client):
+            status, _ = await asyncio.to_thread(
+                client.request, "POST", "/lint", {"app": "banking"}
+            )
+            assert status == 200
+            with pytest.raises(ServiceError) as err:
+                await asyncio.to_thread(client.request_json, "POST", "/lint", {})
+            assert err.value.status == 400
+
+        serve_test(handler)
+
+    def test_unknown_app_is_400(self):
+        async def handler(service, client):
+            with pytest.raises(ServiceError) as err:
+                await asyncio.to_thread(client.lint, "nope")
+            assert err.value.status == 400
+            assert "unknown application" in str(err.value)
+
+        serve_test(handler)
+
+    def test_unknown_field_is_400(self):
+        async def handler(service, client):
+            with pytest.raises(ServiceError) as err:
+                await asyncio.to_thread(client.lint, "banking", bananas=2)
+            assert err.value.status == 400
+            assert "unknown request fields" in str(err.value)
+
+        serve_test(handler)
+
+    def test_unknown_route_and_method(self):
+        async def handler(service, client):
+            with pytest.raises(ServiceError) as err:
+                await asyncio.to_thread(client.request_json, "GET", "/nope")
+            assert err.value.status == 404
+            with pytest.raises(ServiceError) as err:
+                await asyncio.to_thread(client.request_json, "GET", "/lint")
+            assert err.value.status == 405
+
+        serve_test(handler)
+
+    def test_oversized_body_is_413(self):
+        async def handler(service, client):
+            with pytest.raises(ServiceError) as err:
+                await asyncio.to_thread(
+                    client.request_json, "POST", "/lint",
+                    {"app": "banking", "level": "x" * 200},
+                )
+            assert err.value.status == 413
+
+        serve_test(handler, max_body=64)
+
+    def test_bad_request_does_not_kill_the_server(self):
+        async def handler(service, client):
+            for _ in range(3):
+                with pytest.raises(ServiceError):
+                    await asyncio.to_thread(client.lint, "nope")
+            response = await asyncio.to_thread(client.lint, "banking")
+            assert response["results"][0]["exit_code"] == 0
+
+        serve_test(handler)
+
+
+class TestBackpressure:
+    def test_flood_gets_fast_429(self):
+        gate = threading.Event()
+
+        async def handler(service, client):
+            gate_runner(service.batcher, gate)
+            first = asyncio.create_task(
+                asyncio.to_thread(client.lint, "banking")
+            )
+            while service.batcher.admitted < 1:
+                await asyncio.sleep(0.005)
+            with pytest.raises(ServiceBusyError) as err:
+                await asyncio.to_thread(client.lint, "employees")
+            assert err.value.status == 429
+            assert service.telemetry.rejected.value() == 1
+            gate.set()
+            response = await first
+            assert response["results"][0]["exit_code"] == 0
+
+        serve_test(handler, max_pending=1)
+
+    def test_deadline_returns_partial_with_marker(self):
+        gate = threading.Event()
+
+        async def handler(service, client):
+            gate_runner(service.batcher, gate)
+            response = await asyncio.to_thread(
+                client.lint, "banking", deadline_ms=100
+            )
+            assert response["timed_out"] is True
+            (entry,) = response["results"]
+            assert entry["timed_out"] is True
+            assert "result" not in entry
+            assert service.telemetry.timeouts.value() == 1
+            gate.set()
+            # the job kept running; once finished a retry is served normally
+            while service.batcher.admitted > 0:
+                await asyncio.sleep(0.01)
+            retry = await asyncio.to_thread(client.lint, "banking")
+            assert retry["results"][0]["exit_code"] == 0
+
+        serve_test(handler)
+
+
+class TestLifecycle:
+    def test_drain_completes_and_rejects_new_work(self):
+        async def handler(service, client):
+            await asyncio.to_thread(client.lint, "banking")
+            service.begin_drain()
+            await asyncio.wait_for(service._stopped.wait(), timeout=30)
+            assert service.draining
+            # listener is closed: new connections fail fast
+            from repro.service.client import ServiceConnectionError
+
+            with pytest.raises((ServiceConnectionError, ServiceError)):
+                await asyncio.to_thread(client.lint, "banking")
+
+        serve_test(handler)
+
+    def test_store_flushed_on_drain_and_warmed_on_boot(self, tmp_path):
+        cache_dir = str(tmp_path / "verdicts")
+
+        async def first_run(service, client):
+            await asyncio.to_thread(client.analyze, "banking", budget=150)
+            assert len(service.cache) > 0
+
+        serve_test(first_run, no_persist=False, cache_dir=cache_dir)
+
+        async def second_run(service, client):
+            assert service.warmed_entries > 0
+            health = await asyncio.to_thread(client.health)
+            assert health["cache_entries"] == service.warmed_entries
+
+        serve_test(second_run, no_persist=False, cache_dir=cache_dir)

@@ -1,0 +1,144 @@
+"""Unit tests for the telemetry primitives and the service metric set."""
+
+import pytest
+
+from repro.service.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    ServiceTelemetry,
+)
+
+
+class TestCounter:
+    def test_unlabeled(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+
+    def test_labeled_split(self):
+        counter = Counter("c")
+        counter.inc(endpoint="/analyze", status="200")
+        counter.inc(endpoint="/analyze", status="200")
+        counter.inc(endpoint="/lint", status="400")
+        assert counter.value(endpoint="/analyze", status="200") == 2
+        assert counter.value(endpoint="/lint", status="400") == 1
+        assert counter.value() == 3
+
+    def test_render_prometheus_lines(self):
+        counter = Counter("repro_requests_total", "requests")
+        counter.inc(endpoint="/lint", status="200")
+        lines = counter.render()
+        assert "# TYPE repro_requests_total counter" in lines
+        assert 'repro_requests_total{endpoint="/lint",status="200"} 1' in lines
+
+    def test_render_empty_emits_zero_sample(self):
+        assert "c 0" in Counter("c").render()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value() == 4
+
+    def test_render(self):
+        gauge = Gauge("repro_queue_depth")
+        gauge.set(3)
+        assert "repro_queue_depth 3" in gauge.render()
+
+
+class TestHistogram:
+    def test_observe_updates_count_sum_mean(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        assert histogram.count == 2
+        assert histogram.sum == 2.0
+        assert histogram.mean == 1.0
+
+    def test_render_buckets_are_cumulative(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(99.0)
+        lines = histogram.render()
+        assert 'h_bucket{le="1.0"} 1' in lines
+        assert 'h_bucket{le="2.0"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_count 3" in lines
+
+    def test_quantile_interpolates(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        # all mass inside (1.0, 2.0]: the median interpolates inside it
+        assert 1.0 < histogram.quantile(0.5) <= 2.0
+
+    def test_quantile_empty(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_snapshot_keys(self):
+        histogram = Histogram("h")
+        histogram.observe(0.01)
+        snap = histogram.snapshot()
+        assert set(snap) == {"count", "sum", "mean", "p50", "p99"}
+        assert snap["count"] == 1
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = Registry()
+        registry.counter("c")
+        with pytest.raises(ValueError):
+            registry.gauge("c")
+
+    def test_render_ends_with_newline(self):
+        registry = Registry()
+        registry.counter("c").inc()
+        assert registry.render().endswith("\n")
+
+    def test_collector_polled_at_render_time(self):
+        registry = Registry()
+        box = {"n": 1}
+        registry.add_collector(lambda: {"repro_box": box["n"]})
+        assert "repro_box 1" in registry.render()
+        box["n"] = 7
+        assert "repro_box 7" in registry.render()
+        assert registry.snapshot()["repro_box"] == {"value": 7}
+
+
+class TestServiceTelemetry:
+    def test_metric_set_rendered(self):
+        telemetry = ServiceTelemetry()
+        text = telemetry.registry.render()
+        for name in (
+            "repro_requests_total",
+            "repro_request_seconds",
+            "repro_jobs_total",
+            "repro_job_seconds",
+            "repro_batches_total",
+            "repro_batch_size",
+            "repro_coalesced_total",
+            "repro_rejected_total",
+            "repro_deadline_timeouts_total",
+            "repro_queue_depth",
+            "repro_inflight_requests",
+        ):
+            assert name in text
+
+    def test_track_cache_exposes_counters(self):
+        from repro.core.cache import VerdictCache
+
+        telemetry = ServiceTelemetry()
+        cache = VerdictCache()
+        telemetry.track_cache(cache)
+        cache.store("formula", "k", "verdict")
+        cache.lookup("k", "other")
+        text = telemetry.registry.render()
+        assert "repro_verdict_cache_hits 1" in text
+        assert "repro_verdict_cache_entries 1" in text

@@ -285,3 +285,38 @@ class TestLintCommand:
     def test_lint_unknown_app_rejected(self):
         with pytest.raises(SystemExit, match="unknown application"):
             main(["lint", "nope"])
+
+
+class TestVersionAndExitCodes:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["--version"])
+        assert err.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_repro_error_maps_to_usage_exit(self, capsys, monkeypatch):
+        from repro.errors import ReproError
+
+        def explode(args):
+            raise ReproError("bad input")
+
+        monkeypatch.setattr("repro.cli.cmd_apps", explode)
+        code = main(["apps"])
+        assert code == 2
+        assert "repro: error: bad input" in capsys.readouterr().err
+
+    def test_internal_error_maps_to_exit_3(self, capsys, monkeypatch):
+        def explode(args):
+            raise RuntimeError("wires crossed")
+
+        monkeypatch.setattr("repro.cli.cmd_apps", explode)
+        code = main(["apps"])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "repro: internal error: RuntimeError: wires crossed" in err
+        assert "Traceback" not in err
+
+    def test_submit_unreachable_server_exit_4(self, capsys):
+        code = main(["submit", "lint", "banking", "--port", "1", "--timeout", "2"])
+        assert code == 4
+        assert "cannot reach repro service" in capsys.readouterr().err

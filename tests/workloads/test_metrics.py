@@ -66,6 +66,13 @@ class TestRunMetrics:
         assert len(metrics.row()) == 5
 
 
+    def test_multiple_violations_per_round(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(), violations=3)
+        metrics.add(fake_result(), violations=2)
+        assert metrics.semantic_violations == 5
+
+
 class TestMerge:
     def test_merge_sums(self):
         a, b = RunMetrics(), RunMetrics()
@@ -74,3 +81,42 @@ class TestMerge:
         total = merge([a, b])
         assert total.runs == 2
         assert total.committed == 6
+
+    def test_merge_covers_every_counter(self):
+        a = RunMetrics()
+        a.add(fake_result(), violations=2)
+        a.deadlocks, a.fcw_aborts, a.restarts = 1, 2, 3
+        total = merge([a, a])
+        assert total.as_dict() == {
+            **{k: 2 * v for k, v in a.as_dict().items()
+               if k not in ("throughput", "abort_rate", "wait_rate")},
+            "throughput": a.as_dict()["throughput"],
+            "abort_rate": a.as_dict()["abort_rate"],
+            "wait_rate": a.as_dict()["wait_rate"],
+        }
+
+    def test_merge_empty(self):
+        assert merge([]).runs == 0
+
+
+class TestDictRoundTrip:
+    def test_as_dict_includes_rates(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(committed=10, steps=1000, waits=50))
+        data = metrics.as_dict()
+        assert data["throughput"] == 10.0
+        assert data["wait_rate"] == 0.05
+        assert data["committed"] == 10
+
+    def test_round_trip(self):
+        metrics = RunMetrics()
+        metrics.add(fake_result(), violations=4)
+        rebuilt = RunMetrics.from_dict(metrics.as_dict())
+        assert rebuilt == metrics
+        assert rebuilt.as_dict() == metrics.as_dict()
+
+    def test_from_dict_ignores_derived_keys(self):
+        rebuilt = RunMetrics.from_dict({"runs": 1, "committed": 2, "throughput": 99.0})
+        assert rebuilt.runs == 1
+        assert rebuilt.committed == 2
+        assert rebuilt.steps == 0

@@ -42,6 +42,25 @@ class TestRunWorkload:
         assert metrics.committed > 0
         assert metrics.steps > 0
 
+    def test_surfaces_actual_violation_count(self, monkeypatch):
+        """One round with several failed clauses must count each of them."""
+        from repro.sched.semantic import SemanticReport
+        import repro.workloads.runner as runner_module
+
+        reports = iter([
+            SemanticReport(consistent=False,
+                           result_violations=["t0: Q_i false at commit", "t1: Q_i false at commit"]),
+            SemanticReport(consistent=True),
+            SemanticReport(consistent=True, cumulative_violations=["double delivery"]),
+        ])
+        monkeypatch.setattr(
+            runner_module, "check_semantic_correctness", lambda result, inv: next(reports)
+        )
+        specs = make_specs({name: "READ COMMITTED" for name in NAMES})
+        metrics = run_workload(banking_initial(ACCOUNTS), specs, rounds=3, seed=1,
+                               invariant=invariant())
+        assert metrics.semantic_violations == 4
+
 
 class TestSweeps:
     @pytest.fixture(scope="class")

@@ -201,6 +201,7 @@ def cmd_certify(args) -> int:
         use_sdg=not args.no_sdg,
         max_schedules=args.max_schedules,
         max_depth=args.max_depth,
+        dpor=args.dpor,
     )
     job = run_job(
         spec,
@@ -250,7 +251,9 @@ def cmd_explore(args) -> int:
     from repro.sched.semantic import check_semantic_correctness
 
     app = _load_app(args.app)
-    scenarios = {scenario.name: scenario for scenario in scenarios_for(args.app)}
+    # scenarios register under the application's own name ("tpcc-lite"),
+    # which may differ from the CLI registry key ("tpcc")
+    scenarios = {scenario.name: scenario for scenario in scenarios_for(app.name)}
     if not scenarios:
         raise SystemExit(f"no registered scenarios for application {args.app!r}")
     if args.scenario is None and len(scenarios) > 1 and not args.all:
@@ -276,6 +279,7 @@ def cmd_explore(args) -> int:
             max_schedules=args.max_schedules,
             max_depth=args.max_depth,
             pruning=not args.no_pruning,
+            dpor=args.dpor,
             workers=resolve_workers(args.workers),
         )
         violations = []
@@ -302,6 +306,10 @@ def cmd_explore(args) -> int:
                 f"  schedules: {result.schedules}  runs: {result.runs}"
                 f"  pruned(sleep/state): {result.pruned_sleep}/{result.pruned_state}"
                 f"  truncated: {result.truncated}"
+            )
+            print(
+                f"  pruning: {result.mode}  races: {result.races}"
+                f"  reversals: {result.reversals}"
             )
             print(f"  semantic violations: {len(violations)}")
             for summary, history in violations[:3]:
@@ -465,6 +473,7 @@ def _submit_options(args) -> dict:
         options["max_schedules"] = args.max_schedules
         if args.max_depth is not None:
             options["max_depth"] = args.max_depth
+        options["dpor"] = args.dpor
     if args.kind == "lint":
         # lint results depend on the app alone; a lean spec maximises the
         # service's chance to coalesce concurrent lint requests
@@ -649,6 +658,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling-decision budget per explored run",
     )
     certify.add_argument(
+        "--dpor", choices=("optimal", "lite"), default="optimal",
+        help="exploration pruning: source-set race reversal (optimal)"
+        " or sleep sets + state caching (lite)",
+    )
+    certify.add_argument(
         "--no-sdg", action="store_true",
         help="disable SDG obligation pre-pruning in the static layer",
     )
@@ -694,8 +708,13 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--max-schedules", type=int, default=500)
     explore.add_argument("--max-depth", type=int, default=None)
     explore.add_argument(
+        "--dpor", choices=("optimal", "lite"), default="optimal",
+        help="pruning algorithm: source-set race reversal (optimal)"
+        " or sleep sets + state caching (lite)",
+    )
+    explore.add_argument(
         "--no-pruning", action="store_true",
-        help="disable sleep-set and visited-state pruning (full DFS)",
+        help="disable all pruning (full DFS)",
     )
     explore.add_argument("--no-retry", action="store_true", help="no abort-retry loop")
     explore.add_argument("--workers", type=int, default=None, metavar="N")
@@ -808,6 +827,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--level", help="analyze at one level (with --transaction)")
     submit.add_argument("--max-schedules", type=int, default=500)
     submit.add_argument("--max-depth", type=int, default=None)
+    submit.add_argument("--dpor", choices=("optimal", "lite"), default="optimal")
     submit.add_argument("--no-sdg", action="store_true")
     submit.add_argument(
         "--json", action="store_true", help="print the full service response"

@@ -41,11 +41,20 @@ LONG = "long"
 
 
 class WouldBlock(Exception):
-    """The operation must wait for the given transactions."""
+    """The operation must wait for the given transactions.
 
-    def __init__(self, blockers: set) -> None:
+    ``key`` and ``mode`` identify the contested lock (the granule the
+    attempt probed and the mode it wanted) so schedule analyses — notably
+    the DPOR race detector — can treat a blocked attempt as an access on
+    that granule instead of re-deriving the conflict from lock-table
+    reprs.  They are ``None`` for legacy raisers that predate the field.
+    """
+
+    def __init__(self, blockers: set, key: tuple | None = None, mode: str | None = None) -> None:
         super().__init__(f"blocked by transactions {sorted(blockers)}")
         self.blockers = set(blockers)
+        self.key = key
+        self.mode = mode
 
 
 def _conflicts(held: str, wanted: str) -> bool:
@@ -79,7 +88,7 @@ class LockManager:
             if other != txn_id and (_conflicts(held_mode, mode) or _conflicts(mode, held_mode))
         }
         if blockers:
-            raise WouldBlock(blockers)
+            raise WouldBlock(blockers, key=key, mode=mode)
         current = holders.get(txn_id)
         if current == EXCLUSIVE:
             mode = EXCLUSIVE  # never downgrade
@@ -122,7 +131,7 @@ class LockManager:
                 if lock.txn_id != txn_id and lock.table == table and lock.mode == EXCLUSIVE
             }
             if blockers:
-                raise WouldBlock(blockers)
+                raise WouldBlock(blockers, key=("table", table), mode=mode)
         self._predicates.append(_PredicateLock(txn_id, table, predicate, mode, duration))
 
     def check_rows_against_predicates(
@@ -151,7 +160,7 @@ class LockManager:
                     blockers.add(lock.txn_id)
                     break
         if blockers:
-            raise WouldBlock(blockers)
+            raise WouldBlock(blockers, key=("table", table), mode=wanted_mode)
 
     def release_short_predicates(self, txn_id: int) -> None:
         self._predicates = [

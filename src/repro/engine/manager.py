@@ -100,7 +100,7 @@ class Engine:
         self.locks.release_all(txn.txn_id)
         txn.status = COMMITTED
         txn.commit_tick = self.tick
-        self._record(txn, "commit")
+        self._record(txn, "commit", info=self._txn_footprint(txn))
 
     def abort(self, txn: Txn, reason: str = "explicit") -> None:
         if txn.status in (COMMITTED, ABORTED):
@@ -111,7 +111,9 @@ class Engine:
         self.locks.release_all(txn.txn_id)
         txn.status = ABORTED
         txn.abort_reason = reason
-        self._record(txn, "abort", info={"reason": reason})
+        info = self._txn_footprint(txn)
+        info["reason"] = reason
+        self._record(txn, "abort", info=info)
 
     def _commit_snapshot(self, txn: Txn) -> None:
         begin_versions = getattr(txn, "begin_versions", {})
@@ -122,7 +124,7 @@ class Engine:
             holders = self.locks.holders(key)
             others = {t for t, mode in holders.items() if t != txn.txn_id and mode == EXCLUSIVE}
             if others:
-                raise WouldBlock(others)
+                raise WouldBlock(others, key=key, mode=EXCLUSIVE)
         # apply buffered writes to the live state, then reflect as committed
         for entry in txn.redo:
             kind = entry[0]
@@ -396,6 +398,20 @@ class Engine:
         return deleted
 
     # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _txn_footprint(txn: Txn) -> dict:
+        """Lock footprint published on commit/abort history ops.
+
+        ``writes`` are the keys the transaction installed (its write set —
+        what a commit publishes, what an abort's undo reverts); ``reads``
+        are the long shared locks it merely released.  Surfaced here so
+        schedule analyses (the DPOR race detector) read conflict granules
+        off the history instead of re-deriving them from lock-table state.
+        """
+        writes = tuple(sorted(txn.write_set))
+        reads = tuple(sorted(set(txn.long_locks) - set(txn.write_set)))
+        return {"writes": writes, "reads": reads}
+
     def _merge_snapshot_insert(self, txn: Txn, table: str, rid: int, delta: Mapping) -> None:
         for position, entry in enumerate(txn.redo):
             if entry[0] == "insert" and entry[1] == table and entry[2] == rid:

@@ -47,6 +47,7 @@ class JobSpec:
     level: str | None = None
     max_schedules: int = 500
     max_depth: int | None = None
+    dpor: str = "optimal"
 
     def validate(self) -> None:
         """Raise :class:`JobError` on any inconsistency a run would hit."""
@@ -69,6 +70,8 @@ class JobSpec:
             raise JobError(f"budget must be non-negative, got {self.budget}")
         if self.max_schedules is not None and self.max_schedules <= 0:
             raise JobError(f"max_schedules must be positive, got {self.max_schedules}")
+        if self.dpor not in ("optimal", "lite"):
+            raise JobError(f"unknown dpor mode {self.dpor!r}; choose optimal or lite")
         if (self.transaction is None) != (self.level is None):
             raise JobError("transaction and level must be given together")
         if self.level is not None and self.level not in LEVEL_ORDER:
@@ -236,6 +239,7 @@ def _run_certify_job(
         budget=spec.budget,
         max_schedules=spec.max_schedules,
         max_depth=spec.max_depth,
+        dpor=spec.dpor,
         use_sdg=spec.use_sdg,
         cache=cache,
         cache_dir=cache_dir,

@@ -93,6 +93,13 @@ def banking_scenarios() -> list:
             InstanceSpec(banking.DEPOSIT_SAV, {"i": 0, "d": 1}, level, "D2"),
         ]
 
+    def withdraw_race_3(levels: dict) -> list:
+        level = levels.get("Withdraw_sav", "SERIALIZABLE")
+        return [
+            InstanceSpec(banking.WITHDRAW_SAV, {"i": 0, "w": 1}, level, f"W{n}")
+            for n in (1, 2, 3)
+        ]
+
     def deposit_vs_withdraw(levels: dict) -> list:
         return [
             InstanceSpec(
@@ -130,6 +137,16 @@ def banking_scenarios() -> list:
             invariant=invariant,
         ),
         Scenario(
+            name="withdraw-race-3",
+            description="three withdrawals of 1 from the same savings balance"
+            " of 2 — the lost update with a third racer (the E16 benchmark"
+            " workload: race reversal prunes far below sleep sets here)",
+            focus=("Withdraw_sav",),
+            initial=_banking_state(sav=2, ch=0),
+            make_specs=withdraw_race_3,
+            invariant=invariant,
+        ),
+        Scenario(
             name="deposit-race",
             description="two deposits of 1 into the same savings balance"
             " — a lost deposit",
@@ -149,6 +166,146 @@ def banking_scenarios() -> list:
     ]
 
 
+def tpcc_scenarios() -> list:
+    from repro.apps import tpcc
+    from repro.core.formula import TRUE
+
+    def new_order_race(levels: dict) -> list:
+        level = levels.get("TPCC_NewOrder", "SERIALIZABLE")
+        return [
+            InstanceSpec(
+                tpcc.NEW_ORDER, {"d": 0, "c": 0, "item": 0, "qty": 1}, level, "NO1"
+            ),
+            InstanceSpec(
+                tpcc.NEW_ORDER, {"d": 0, "c": 1, "item": 1, "qty": 1}, level, "NO2"
+            ),
+        ]
+
+    def distinct_order_numbers(initial: DbState, final: DbState, committed: list):
+        """Q_Sch: every committed NewOrder got its own order number."""
+        problems = []
+        placed = [o for o in committed if o.txn_type.name == "TPCC_NewOrder"]
+        oids = [row["o_id"] for row in final.rows("ORDERS")]
+        if len(set(oids)) != len(oids):
+            problems.append(
+                "duplicate order numbers (lost update on district.next_o_id)"
+            )
+        expected = initial.read_field("district", 0, "next_o_id") + len(placed)
+        if final.read_field("district", 0, "next_o_id") != expected:
+            problems.append(
+                f"district.next_o_id advanced to"
+                f" {final.read_field('district', 0, 'next_o_id')}"
+                f" for {len(placed)} committed orders (expected {expected})"
+            )
+        return problems
+
+    def payment_race(levels: dict) -> list:
+        level = levels.get("TPCC_Payment", "SERIALIZABLE")
+        return [
+            InstanceSpec(tpcc.PAYMENT, {"c": 0, "d": 0, "amount": 1}, level, "P1"),
+            InstanceSpec(tpcc.PAYMENT, {"c": 0, "d": 0, "amount": 1}, level, "P2"),
+        ]
+
+    def ytd_accounts_for_payments(initial: DbState, final: DbState, committed: list):
+        """Q_Sch: the warehouse year-to-date reflects every committed payment."""
+        paid = sum(
+            o.args.get("amount", 0)
+            for o in committed
+            if o.txn_type.name == "TPCC_Payment"
+        )
+        expected = initial.read_field("warehouse", 0, "ytd") + paid
+        actual = final.read_field("warehouse", 0, "ytd")
+        if actual != expected:
+            return [
+                f"warehouse.ytd is {actual} after {paid} in committed payments"
+                f" (expected {expected}: a ytd update was lost)"
+            ]
+        return []
+
+    def delivery_vs_new_order(levels: dict) -> list:
+        return [
+            InstanceSpec(
+                tpcc.NEW_ORDER,
+                {"d": 0, "c": 0, "item": 0, "qty": 1},
+                levels.get("TPCC_NewOrder", "SERIALIZABLE"),
+                "NO",
+            ),
+            InstanceSpec(
+                tpcc.DELIVERY,
+                {"d": 0},
+                levels.get("TPCC_Delivery", "SERIALIZABLE"),
+                "DL",
+            ),
+        ]
+
+    def district_mix(levels: dict) -> list:
+        no_level = levels.get("TPCC_NewOrder", "SERIALIZABLE")
+        return [
+            InstanceSpec(
+                tpcc.NEW_ORDER, {"d": 0, "c": 0, "item": 0, "qty": 1}, no_level, "NO1"
+            ),
+            InstanceSpec(
+                tpcc.NEW_ORDER, {"d": 0, "c": 1, "item": 1, "qty": 1}, no_level, "NO2"
+            ),
+            InstanceSpec(
+                tpcc.PAYMENT,
+                {"c": 0, "d": 0, "amount": 1},
+                levels.get("TPCC_Payment", "SERIALIZABLE"),
+                "P",
+            ),
+        ]
+
+    stock_nonneg = conj(
+        *(
+            ge(Field("stock", IntConst(i), "quantity"), 0)
+            for i in range(tpcc.ITEMS)
+        )
+    )
+    return [
+        Scenario(
+            name="new-order-race",
+            description="two NewOrders race the same district's order-number"
+            " counter — a lost counter update hands out duplicate order ids",
+            focus=("TPCC_NewOrder",),
+            initial=tpcc.initial_state,
+            make_specs=new_order_race,
+            invariant=stock_nonneg,
+            cumulative=distinct_order_numbers,
+        ),
+        Scenario(
+            name="payment-race",
+            description="two payments debit the same customer balance"
+            " — the TPC-C flavour of the banking lost update",
+            focus=("TPCC_Payment",),
+            initial=tpcc.initial_state,
+            make_specs=payment_race,
+            invariant=TRUE,
+            cumulative=ytd_accounts_for_payments,
+        ),
+        Scenario(
+            name="district-mix",
+            description="two NewOrders and a Payment pile onto district 0"
+            " — the three-instance workload whose exhaustive certification"
+            " only the optimal explorer finishes within the run budget",
+            focus=("TPCC_NewOrder", "TPCC_Payment"),
+            initial=tpcc.initial_state,
+            make_specs=district_mix,
+            invariant=stock_nonneg,
+            cumulative=distinct_order_numbers,
+        ),
+        Scenario(
+            name="delivery-vs-new-order",
+            description="an order placed while the district's deliveries run"
+            " — Delivery's 'everything delivered' result meets a phantom",
+            focus=("TPCC_Delivery",),
+            initial=tpcc.initial_state,
+            make_specs=delivery_vs_new_order,
+            invariant=stock_nonneg,
+        ),
+    ]
+
+
 def scenarios_for(app_name: str) -> list:
     """The registered scenarios of an application (empty when none)."""
-    return {"banking": banking_scenarios}.get(app_name, lambda: [])()
+    registry = {"banking": banking_scenarios, "tpcc-lite": tpcc_scenarios}
+    return registry.get(app_name, lambda: [])()

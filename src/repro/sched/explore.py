@@ -1,43 +1,50 @@
-"""Systematic schedule exploration: DFS with sleep-set + state pruning.
+"""Systematic schedule exploration: source-set DPOR and DPOR-lite.
 
 :class:`~repro.sched.policy.ExhaustivePolicy` drives a single run down one
-branch of the scheduling tree; this module owns the backtracking.  Each run
-returns the :class:`~repro.sched.policy.Frame` stack of the decisions it
-took; the explorer backtracks to the deepest frame with an untried,
-not-asleep sibling and relaunches a fresh simulator with the corresponding
-decision prefix.  Because replay is deterministic, re-running the prefix
-reconstructs the node exactly (the simulator is cheap; cloning engine
-state mid-run would not be).
+branch of the scheduling tree; this module owns the backtracking.  Because
+replay is deterministic, re-running a decision prefix reconstructs a node
+exactly (the simulator is cheap; cloning engine state mid-run would not
+be).  Two pruning modes:
 
-Two prunings, both sound for state/outcome coverage:
+* ``dpor="optimal"`` — **source-set DPOR** (:mod:`repro.sched.dpor`): the
+  backtrack loop is driven by race reversal instead of sibling
+  enumeration.  After each run the analyzer derives level-aware access
+  sets from the engine history, finds the immediate races, and enqueues —
+  per race — one member of the source set at the decision depth of the
+  earlier step.  A shared LIFO frontier of pending reversals replaces the
+  per-branch recursion; parallel workers steal from it.  Sleep sets
+  (below) still apply.  Cross-run visited-state dedup is *off* in this
+  mode: cutting a run at a state first reached under a different prefix
+  would silence the races its continuation must register at this run's
+  own frames, losing reversals — the two prunings do not compose soundly.
 
-* **sleep sets** (DPOR-lite, after Godefroid): when branch ``i`` at a node
-  has been fully explored, sibling branches carry ``i``'s first-step
-  signature asleep — any schedule that would merely commute ``i`` past
-  independent steps is never re-explored.  Signatures come from the engine
-  history itself (:func:`repro.sched.policy.op_signature`), so "independent"
-  means *no shared lock granule with a write*; commits, aborts and blocked
-  attempts are conservatively dependent on everything.
-* **state fingerprints**: a run that reaches a previously-seen global state
-  (store + locks + waits-for edges + per-instance progress) stops — every
-  continuation from that state has been or will be explored from its first
-  visit.  This is the persistent-set-flavoured dedup of revisited prefixes.
+* ``dpor="lite"`` — the original DPOR-lite: full sibling enumeration,
+  pruned by sleep sets and by a **state-fingerprint** dedup (a run that
+  reaches a previously-seen global state stops; every continuation has
+  been or will be explored from the first visit).  Kept as the
+  differential-testing baseline; its parallel mode fans the root branches
+  across workers with probe-seeded sleep sets.
 
-``workers > 1`` fans the root branches across
-:func:`repro.core.parallel.parallel_map` threads; the visited set is
-shared, and sibling sleep sets are seeded from per-branch probe runs so
-the parallel tree prunes exactly like the sequential one.
+**Sleep sets** (after Godefroid) are shared by both modes: when branch
+``i`` at a node has been fully explored, sibling branches carry ``i``'s
+first-step signature asleep — any schedule that would merely commute ``i``
+past independent steps is never re-explored.  Signatures come from the
+engine history (:func:`repro.sched.policy.op_signature`).
+
+State fingerprints are structural token tuples (no ``repr`` on the hot
+path) stored in a stripe-locked visited set, so parallel lite exploration
+does not serialise on a single lock.
 """
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.parallel import parallel_map
 from repro.core.state import DbState
+from repro.sched.dpor import RaceAnalyzer, accesses_conflict
 from repro.sched.policy import DEPENDENT, ExhaustivePolicy
 from repro.sched.simulator import InstanceSpec, Simulator
 
@@ -46,15 +53,43 @@ from repro.sched.simulator import InstanceSpec, Simulator
 # ---------------------------------------------------------------------------
 
 
+def _freeze(value):
+    """Canonical hashable form of a value, structurally (no string
+    formatting): dicts become attr-sorted tuples, lists/sets become
+    tuples, scalars pass through."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(item) for item in value))
+    return value
+
+
+def _orderable(value):
+    """A type-tagged sort key: lets mixed-type frozen values sort stably."""
+    if isinstance(value, tuple):
+        return (0, tuple(_orderable(item) for item in value))
+    if isinstance(value, bool):
+        return (1, value)
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if value is None:
+        return (4, 0)
+    return (5, repr(value))
+
+
 def _state_token(state: DbState) -> tuple:
     return (
-        tuple(sorted((k, repr(v)) for k, v in state.items.items())),
+        tuple(sorted((k, _freeze(v)) for k, v in state.items.items())),
         tuple(
-            (array, tuple(sorted((index, repr(fields)) for index, fields in cells.items())))
+            (array, tuple(sorted((index, _freeze(fields)) for index, fields in cells.items())))
             for array, cells in sorted(state.arrays.items())
         ),
         tuple(
-            (table, tuple(sorted(repr(sorted(row.items())) for row in rows)))
+            (table, tuple(sorted((_freeze(row) for row in rows), key=_orderable)))
             for table, rows in sorted(state.tables.items())
         ),
     )
@@ -70,27 +105,37 @@ def _txn_token(txn) -> tuple | None:
         tuple(sorted(txn.long_locks)),
         tuple(sorted(txn.write_set)),
         tuple(sorted((k, v) for k, v in txn.read_versions.items())),
-        tuple(repr(entry) for entry in txn.redo),
-        tuple(repr(entry) for entry in txn.undo),
+        tuple(_freeze(entry) for entry in txn.redo),
+        tuple(_freeze(entry) for entry in txn.undo),
         None if txn.snapshot_state is None else _state_token(txn.snapshot_state),
     )
 
 
-def state_fingerprint(simulator: Simulator) -> str:
-    """A digest of everything that determines the simulator's future.
+def _env_token(env: dict) -> tuple:
+    # env keys are hash-consed Term refs (Param/Local/LogicalVar): sort by
+    # class and name rather than repr
+    return tuple(
+        sorted(
+            ((k.__class__.__name__, getattr(k, "name", repr(k))), _freeze(v))
+            for k, v in env.items()
+        )
+    )
+
+
+def state_fingerprint(simulator: Simulator) -> tuple:
+    """A structural token of everything that determines the future.
 
     Two runs whose fingerprints collide behave identically from here on:
-    the digest covers the versioned store (current + committed + version
+    the token covers the versioned store (current + committed + version
     counters), the lock table (granule holders and predicate locks),
     waits-for edges, and each instance's full progress (interpreter
-    position, workspace, transaction logs).  Conservative by construction —
-    anything hard to canonicalise (e.g. row ids) is included as-is, which
-    can only make distinct states *look* distinct, never merge them.
+    position, workspace, transaction logs).  Built from plain tuples —
+    no ``repr``/hashing round-trips on the exploration hot path.
     """
     engine = simulator.engine
     store = engine.store
     locks = engine.locks
-    token = (
+    return (
         _state_token(store.current),
         _state_token(store.committed),
         tuple(sorted((k, v) for k, v in store.versions.items())),
@@ -114,32 +159,48 @@ def state_fingerprint(simulator: Simulator) -> str:
                 rt.blocked,
                 rt.ops_done,
                 rt.restarts,
-                tuple(sorted((repr(k), repr(v)) for k, v in rt.env.items())),
-                tuple(sorted((repr(k), repr(v)) for k, v in rt.obs.items())),
+                _env_token(rt.env),
+                tuple(sorted(((k, _freeze(v)) for k, v in rt.obs.items()), key=_orderable)),
                 _txn_token(rt.txn),
             )
             for rt in simulator._runtimes
         ),
     )
-    return hashlib.sha256(repr(token).encode()).hexdigest()
 
 
 class _Visited:
-    """Thread-safe check-and-add set of state fingerprints."""
+    """Check-and-add map of visited state fingerprints, stripe-locked.
 
-    def __init__(self) -> None:
-        self._seen: set = set()
-        self._lock = threading.Lock()
+    Fingerprints are spread across ``stripes`` independent ``(dict, lock)``
+    pairs by hash, so parallel workers rarely contend on the same lock.
 
-    def seen(self, fingerprint: str) -> bool:
-        with self._lock:
-            if fingerprint in self._seen:
+    Plain state caching composes unsoundly with sleep sets: a state first
+    reached with sleep set ``S`` has only the futures outside ``S``
+    explored, so cutting a later visit whose sleep set allows *more* can
+    lose schedules (Godefroid).  Each fingerprint therefore stores the
+    antichain of sleep-index sets it was visited with, and a new visit is
+    pruned only when some stored visit slept on a subset of what the new
+    one sleeps on — everything the new visit could do, that visit did.
+    """
+
+    def __init__(self, stripes: int = 16) -> None:
+        self._stripes = [({}, threading.Lock()) for _ in range(stripes)]
+
+    def seen(self, fingerprint, sleep: frozenset = frozenset()) -> bool:
+        visits, lock = self._stripes[hash(fingerprint) % len(self._stripes)]
+        with lock:
+            stored = visits.get(fingerprint)
+            if stored is None:
+                visits[fingerprint] = [sleep]
+                return False
+            if any(previous <= sleep for previous in stored):
                 return True
-            self._seen.add(fingerprint)
+            stored[:] = [previous for previous in stored if not sleep <= previous]
+            stored.append(sleep)
             return False
 
     def __len__(self) -> int:
-        return len(self._seen)
+        return sum(len(visits) for visits, _lock in self._stripes)
 
 
 class _Budget:
@@ -169,20 +230,26 @@ class _Budget:
 class ExplorationResult:
     """Outcome of one :func:`explore` call."""
 
+    mode: str = "lite"  # optimal | lite | none (pruning disabled)
     runs: int = 0  # simulator runs launched (incl. pruned branches)
     schedules: int = 0  # runs that reached a quiescent end state
     pruned_sleep: int = 0  # branches cut because every child was asleep
     pruned_state: int = 0  # branches cut on a revisited state fingerprint
+    races: int = 0  # immediate races detected (optimal mode)
+    reversals: int = 0  # reversal candidates enqueued (optimal mode)
     truncated_depth: int = 0  # branches cut by the max_depth bound
     truncated: bool = False  # run budget exhausted before the tree was done
     results: list = field(default_factory=list)  # ScheduleResults (keep_results)
 
     def to_dict(self) -> dict:
         return {
+            "mode": self.mode,
             "runs": self.runs,
             "schedules": self.schedules,
             "pruned_sleep": self.pruned_sleep,
             "pruned_state": self.pruned_state,
+            "races": self.races,
+            "reversals": self.reversals,
             "truncated_depth": self.truncated_depth,
             "truncated": self.truncated,
         }
@@ -191,6 +258,26 @@ class ExplorationResult:
 # ---------------------------------------------------------------------------
 # the explorer
 # ---------------------------------------------------------------------------
+
+
+class _Node:
+    """One reached decision point, shared across runs (optimal mode)."""
+
+    __slots__ = ("runnable", "sleep", "scheduled", "queued", "signatures")
+
+    def __init__(self, runnable: tuple, sleep: dict, choice: int) -> None:
+        # reversals only schedule *runnable* instances: a blocked one
+        # would execute a lock re-attempt here, not its racing step, and
+        # at all-blocked nodes the deadlock resolution is trigger-
+        # independent (global cycle search, youngest-in-cycle victim)
+        self.runnable = runnable
+        self.sleep = dict(sleep)  # index -> signature asleep at entry
+        self.scheduled = {choice}  # candidates launched (or taken inline)
+        self.queued: set = set()  # candidates pending in the frontier
+        self.signatures: dict = {}  # candidate -> first-step signature
+
+
+_ROOT = object()  # frontier sentinel: the initial unconstrained run
 
 
 class Explorer:
@@ -206,25 +293,37 @@ class Explorer:
         max_schedules: int | None = None,
         max_depth: int | None = None,
         pruning: bool = True,
+        dpor: str = "optimal",
         workers: int = 1,
         observer_factory: Callable | None = None,
         on_schedule: Callable | None = None,
         keep_results: bool = True,
     ) -> None:
+        if dpor not in ("optimal", "lite"):
+            raise ValueError(f"dpor must be 'optimal' or 'lite', not {dpor!r}")
         self.initial = initial
         self.specs = list(specs)
         self.retry = retry
         self.max_steps = max_steps
         self.max_depth = max_depth
         self.pruning = pruning
+        self.dpor = dpor if pruning else "none"
         self.workers = max(1, workers)
         self.observer_factory = observer_factory
         self.on_schedule = on_schedule
         self.keep_results = keep_results
-        self.visited = _Visited() if pruning else None
+        # the visited-state dedup composes with sibling enumeration, not
+        # with race reversal (see module docstring): lite only
+        self.visited = _Visited() if pruning and self.dpor == "lite" else None
         self.budget = _Budget(max_schedules)
-        self.result = ExplorationResult()
+        self.result = ExplorationResult(mode=self.dpor)
         self._lock = threading.Lock()
+        # optimal-mode state: the node registry and the reversal frontier
+        self._nodes: dict = {}
+        self._frontier: list = []
+        self._registry_lock = threading.Lock()
+        self._analyzer = RaceAnalyzer(self.specs) if self.dpor == "optimal" else None
+        self._stop = False
 
     # -- single runs --------------------------------------------------------
     def _policy(self, prefix, entry_sleep, max_depth=None) -> ExhaustivePolicy:
@@ -233,8 +332,11 @@ class Explorer:
             entry_sleep,
             pruning=self.pruning,
             visited=self.visited,
-            fingerprint=state_fingerprint if self.pruning else None,
+            fingerprint=state_fingerprint if self.visited is not None else None,
             max_depth=self.max_depth if max_depth is None else max_depth,
+            record_steps=self._analyzer is not None,
+            signature_fn=self._analyzer.online_signature if self._analyzer else None,
+            conflict=accesses_conflict if self._analyzer else None,
         )
 
     def _run(self, policy: ExhaustivePolicy):
@@ -270,7 +372,7 @@ class Explorer:
             self.on_schedule(schedule_result)
         return schedule_result
 
-    # -- DFS ----------------------------------------------------------------
+    # -- DPOR-lite DFS (sibling enumeration) --------------------------------
     def _dfs(self, root_prefix: list, root_entry_sleep: dict) -> None:
         """Exhaust the subtree under ``root_prefix``.
 
@@ -323,8 +425,139 @@ class Explorer:
         ).run()
         return policy.candidate_signature or DEPENDENT
 
-    def run(self) -> ExplorationResult:
+    # -- source-set DPOR (race-driven frontier) -----------------------------
+    def _expand(self, item) -> None:
+        """Run one frontier item and enqueue the reversals it uncovers."""
+        if item is _ROOT:
+            prefix: list = []
+            entry_sleep: dict = {}
+        else:
+            key, candidate = item
+            with self._registry_lock:
+                node = self._nodes[key]
+                node.queued.discard(candidate)
+                if candidate in node.scheduled or candidate in node.sleep:
+                    return  # covered since it was enqueued
+                node.scheduled.add(candidate)
+                # descendants start with the node's entry sleep plus the
+                # signatures of the sibling branches explored before them
+                entry_sleep = dict(node.sleep)
+                entry_sleep.update(node.signatures)
+            prefix = list(key) + [candidate]
+        if not self.budget.take():
+            self._stop = True
+            return
+        policy = self._policy(prefix, entry_sleep)
+        self._run(policy)
+        self._integrate(policy, item)
+
+    def _integrate(self, policy: ExhaustivePolicy, item) -> None:
+        """Register the run's nodes and schedule its race reversals."""
+        races = self._analyzer.analyze(policy.steps)
+        decisions = list(policy.prefix) + [frame.choice for frame in policy.frames]
+        new_items: list = []
+        reversals = 0
+        with self._registry_lock:
+            if item is not _ROOT:
+                key, candidate = item
+                parent = self._nodes.get(key)
+                if parent is not None:
+                    signature = policy.candidate_signature
+                    parent.signatures[candidate] = (
+                        DEPENDENT if signature is None else signature
+                    )
+            offset = len(policy.prefix)
+            for position, frame in enumerate(policy.frames):
+                node_key = tuple(decisions[: offset + position])
+                node = self._nodes.get(node_key)
+                if node is None:
+                    node = _Node(frame.runnable, frame.sleep, frame.choice)
+                    self._nodes[node_key] = node
+                else:
+                    node.scheduled.add(frame.choice)
+                if frame.tried:
+                    node.signatures.setdefault(frame.choice, frame.tried[0][1])
+            for race in races:
+                if race.depth >= len(decisions):
+                    continue
+                node = self._nodes.get(tuple(decisions[: race.depth]))
+                if node is None:
+                    continue
+                covered = node.scheduled | node.queued | set(node.sleep)
+                if race.initials & covered:
+                    continue  # the reversed trace is already scheduled
+                enabled = [i for i in node.runnable if i not in covered]
+                if not enabled:
+                    continue
+                if race.preferred in race.initials and race.preferred in enabled:
+                    chosen = [race.preferred]
+                else:
+                    in_enabled = [i for i in sorted(race.initials) if i in enabled]
+                    # no initial is schedulable here (e.g. it was blocked at
+                    # this node): conservatively open every awake sibling
+                    chosen = in_enabled[:1] if in_enabled else enabled
+                for index in chosen:
+                    node.queued.add(index)
+                    new_items.append((tuple(decisions[: race.depth]), index))
+                    reversals += 1
+        with self._lock:
+            self.result.races += len(races)
+            self.result.reversals += reversals
+        if new_items:
+            self._push(new_items)
+
+    def _push(self, items: list) -> None:
         if self.workers <= 1:
+            self._frontier.extend(items)
+        else:
+            with self._frontier_cond:
+                self._frontier.extend(items)
+                self._frontier_cond.notify_all()
+
+    def _drain_sequential(self) -> None:
+        self._frontier = [_ROOT]
+        while self._frontier and not self._stop:
+            self._expand(self._frontier.pop())
+
+    def _drain_parallel(self) -> None:
+        self._frontier = [_ROOT]
+        self._frontier_cond = threading.Condition()
+        busy = [0]
+
+        def worker() -> None:
+            while True:
+                with self._frontier_cond:
+                    while not self._frontier and busy[0] > 0 and not self._stop:
+                        self._frontier_cond.wait()
+                    if (not self._frontier and busy[0] == 0) or self._stop:
+                        self._frontier_cond.notify_all()
+                        return
+                    item = self._frontier.pop()
+                    busy[0] += 1
+                try:
+                    self._expand(item)
+                finally:
+                    with self._frontier_cond:
+                        busy[0] -= 1
+                        self._frontier_cond.notify_all()
+
+        threads = [
+            threading.Thread(target=worker, name=f"dpor-worker-{i}", daemon=True)
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    # -- entry point --------------------------------------------------------
+    def run(self) -> ExplorationResult:
+        if self.dpor == "optimal":
+            if self.workers <= 1:
+                self._drain_sequential()
+            else:
+                self._drain_parallel()
+        elif self.workers <= 1:
             self._dfs([], {})
         else:
             # every instance is ready at the root, so the root's enabled
@@ -360,6 +593,7 @@ def explore(
     max_schedules: int | None = None,
     max_depth: int | None = None,
     pruning: bool = True,
+    dpor: str = "optimal",
     workers: int = 1,
     observer_factory: Callable | None = None,
     on_schedule: Callable | None = None,
@@ -371,10 +605,13 @@ def explore(
     ``result.results`` (``keep_results``) and streamed to ``on_schedule``.
     ``max_schedules`` bounds the total number of simulator runs (pruned
     branches included); ``max_depth`` bounds decisions per run; ``pruning``
-    toggles both sleep sets and the visited-state dedup (for measuring
-    their effect).  ``observer_factory`` builds fresh per-run observers
-    (e.g. an anomaly monitor); ``workers`` fans root branches across
-    threads.
+    toggles pruning entirely (full DFS when off), ``dpor`` selects the
+    pruning algorithm — ``"optimal"`` (source-set DPOR with level-aware
+    race reversal, the default) or ``"lite"`` (sleep sets + visited-state
+    dedup, the differential baseline).  ``observer_factory`` builds fresh
+    per-run observers (e.g. an anomaly monitor); ``workers`` fans the
+    exploration across threads (optimal mode steals pending reversals from
+    a shared frontier; lite mode pre-splits the root branches).
     """
     return Explorer(
         initial,
@@ -384,6 +621,7 @@ def explore(
         max_schedules=max_schedules,
         max_depth=max_depth,
         pruning=pruning,
+        dpor=dpor,
         workers=workers,
         observer_factory=observer_factory,
         on_schedule=on_schedule,

@@ -105,6 +105,13 @@ class ReplayPolicy(SchedulePolicy):
 #: and blocked attempts (they probe lock state without recording history).
 DEPENDENT = "<dependent>"
 
+#: Pseudo-granule ordering transaction begins: begin order assigns txn
+#: ids, and deadlock victim selection picks the youngest id in the cycle,
+#: so two begins never commute — treating them as no-ops makes sleep sets
+#: discard interleavings whose only difference is which instance ends up
+#: the perpetual deadlock victim.
+ORDER_GRANULE = ("<txn-order>",)
+
 
 def _resource(key: tuple):
     """Collapse engine lock keys to conflict granules (tables coarsened)."""
@@ -127,13 +134,14 @@ def op_signature(ops):
     signature = set()
     for op in ops:
         if op.kind == "begin":
+            signature.add((ORDER_GRANULE, True))
             continue
         if op.kind in ("commit", "abort") or op.key is None:
             return DEPENDENT
         signature.add((_resource(op.key), op.kind != "r"))
     if not signature:
-        # a bare begin: the step also executed nothing else observable,
-        # which cannot happen for a real op step — stay conservative
+        # nothing observable recorded, which cannot happen for a real op
+        # step — stay conservative
         return DEPENDENT
     return frozenset(signature)
 
@@ -155,6 +163,56 @@ def _filter_sleep(sleep: dict, signature) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# step records and happens-before (the DPOR substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StepRecord:
+    """One executed scheduler step, recorded for post-run race analysis.
+
+    ``ops`` is the slice of engine history the step produced (possibly
+    empty for a blocked attempt or a pure interpreter advance);
+    ``blocked_on`` is the ``(key, mode)`` of the contested lock when the
+    attempt raised :class:`~repro.engine.locks.WouldBlock`.
+    """
+
+    depth: int
+    index: int  # instance index that took the step
+    txn_id: int | None
+    level: str
+    ops: tuple
+    blocked_on: tuple | None = None
+
+
+def happens_before(steps: Sequence, dependent) -> list:
+    """Vector clocks over a run's steps, as predecessor bitmasks.
+
+    ``pred[j]`` has bit ``i`` set iff step ``i`` happens-before step ``j``
+    — the transitive closure of program order (same instance) and the
+    ``dependent(i, j)`` relation on step pairs.  The invariant that makes
+    one ascending pass sufficient: whenever bit ``i`` enters a mask,
+    ``pred[i]`` enters with it.
+    """
+    n = len(steps)
+    pred = [0] * n
+    last_of: dict = {}
+    for j in range(n):
+        mask = 0
+        prev = last_of.get(steps[j].index)
+        if prev is not None:
+            mask |= pred[prev] | (1 << prev)
+        for i in range(j):
+            if (mask >> i) & 1:
+                continue  # already a predecessor (with pred[i] merged)
+            if steps[i].index != steps[j].index and dependent(i, j):
+                mask |= pred[i] | (1 << i)
+        pred[j] = mask
+        last_of[steps[j].index] = j
+    return pred
+
+
+# ---------------------------------------------------------------------------
 # the exhaustive policy (one DFS branch)
 # ---------------------------------------------------------------------------
 
@@ -168,6 +226,11 @@ class Frame:
     sleep: dict  # index -> signature asleep at this node
     choice: int  # child currently on the path
     tried: list = dataclass_field(default_factory=list)  # [(index, signature)]
+    # the subset of enabled that was not blocked — the instances whose
+    # step here is a real program step rather than a lock re-attempt
+    # (enabled == runnable except at all-blocked deadlock-resolution
+    # nodes, where scheduling anybody just triggers the same resolution)
+    runnable: tuple = ()
 
     def next_candidate(self):
         """The next unexplored, not-asleep child, or ``None``."""
@@ -220,6 +283,9 @@ class ExhaustivePolicy(SchedulePolicy):
         visited=None,
         fingerprint=None,
         max_depth: int | None = None,
+        record_steps: bool = False,
+        signature_fn=None,
+        conflict=None,
     ) -> None:
         self.prefix = list(prefix)
         self.entry_sleep = dict(entry_sleep or {})
@@ -227,6 +293,13 @@ class ExhaustivePolicy(SchedulePolicy):
         self.visited = visited if pruning else None
         self.fingerprint = fingerprint
         self.max_depth = max_depth
+        self.record_steps = record_steps
+        # pluggable independence relation: the optimal explorer swaps in
+        # level-aware access signatures (repro.sched.dpor); defaults are
+        # the lite op signatures
+        self.signature_fn = signature_fn
+        self.conflict = conflict
+        self.steps: list = []  # StepRecords for every depth, prefix included
         self.depth = 0
         # live sleep set; seeded immediately for an empty prefix, otherwise
         # derived from entry_sleep when the candidate's signature arrives
@@ -234,6 +307,11 @@ class ExhaustivePolicy(SchedulePolicy):
         self.frames: list = []  # new frames (depths >= len(prefix))
         self.candidate_signature = None  # first-step signature of prefix[-1]
         self.stop_reason = None  # None | "sleep" | "state" | "depth"
+        # instances whose last step was a failed lock attempt that changed
+        # nothing: re-choosing one before anything else moves would loop
+        # forever on the identical no-op (lite mode only escaped via the
+        # state-fingerprint dedup; optimal mode has none)
+        self._no_progress: set = set()
 
     def choose(self, active, simulator):
         depth = self.depth
@@ -245,10 +323,14 @@ class ExhaustivePolicy(SchedulePolicy):
             self.stop_reason = "depth"
             return None
         if self.visited is not None and self.fingerprint is not None:
-            if self.visited.seen(self.fingerprint(simulator)):
+            if self.visited.seen(self.fingerprint(simulator), frozenset(self.sleep)):
                 self.stop_reason = "state"
                 return None
-        enabled = enabled_indices(active)
+        runnable = sorted(rt.index for rt in active if not rt.blocked)
+        waiting = sorted(
+            rt.index for rt in active if rt.blocked and rt.index not in self._no_progress
+        )
+        enabled = runnable or waiting or sorted(rt.index for rt in active)
         candidates = [index for index in enabled if index not in self.sleep]
         if not candidates:
             # every enabled decision is covered by a sibling branch
@@ -256,18 +338,51 @@ class ExhaustivePolicy(SchedulePolicy):
             return None
         choice = candidates[0]
         self.frames.append(
-            Frame(depth=depth, enabled=tuple(enabled), sleep=dict(self.sleep), choice=choice)
+            Frame(
+                depth=depth,
+                enabled=tuple(enabled),
+                sleep=dict(self.sleep),
+                choice=choice,
+                runnable=tuple(runnable),
+            )
         )
         self.depth += 1
         return simulator._runtimes[choice]
 
+    def _filter(self, sleep: dict, signature) -> dict:
+        if self.conflict is None:
+            return _filter_sleep(sleep, signature)
+        return {
+            index: sig for index, sig in sleep.items() if not self.conflict(sig, signature)
+        }
+
     def observe_step(self, simulator, runtime, ops):
-        signature = op_signature(ops)
+        if runtime.blocked and not ops:
+            # failed re-attempt, nothing recorded: identical retries stay
+            # no-ops until some other step changes lock state
+            self._no_progress.add(runtime.index)
+        else:
+            self._no_progress.clear()
+        if self.signature_fn is not None:
+            signature = self.signature_fn(runtime, ops)
+        else:
+            signature = op_signature(ops)
         depth = self.depth - 1  # the decision just executed
+        if self.record_steps:
+            self.steps.append(
+                StepRecord(
+                    depth=depth,
+                    index=runtime.index,
+                    txn_id=runtime.txn.txn_id if runtime.txn is not None else None,
+                    level=runtime.spec.level,
+                    ops=tuple(ops),
+                    blocked_on=runtime.last_block if runtime.blocked else None,
+                )
+            )
         if depth == len(self.prefix) - 1:
             # the candidate branch's own first step: seed the live sleep set
             self.candidate_signature = signature
-            self.sleep = _filter_sleep(self.entry_sleep, signature)
+            self.sleep = self._filter(self.entry_sleep, signature)
             return
         if depth < len(self.prefix):
             return  # interior prefix step: decisions already taken
@@ -278,4 +393,4 @@ class ExhaustivePolicy(SchedulePolicy):
             return
         frame = self.frames[-1]
         frame.tried.append((frame.choice, signature))
-        self.sleep = _filter_sleep(self.sleep, signature)
+        self.sleep = self._filter(self.sleep, signature)

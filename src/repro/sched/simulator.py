@@ -90,6 +90,7 @@ class _Runtime:
         self.started = False
         self.at_commit = False
         self.blocked = False
+        self.last_block = None  # (key, mode) of the most recent WouldBlock
         self.status = "ready"  # ready | running | committed | aborted
         self.ops_done = 0
         self.restarts = 0
@@ -263,6 +264,7 @@ class Simulator:
                 return
         except WouldBlock as block:
             self.stats["waits"] += 1
+            rt.last_block = (block.key, block.mode)
             self._note("blocked", rt, blockers=tuple(sorted(block.blockers)))
             if self.drop_blocked:
                 # history-DSL semantics: the blocked operation is dropped

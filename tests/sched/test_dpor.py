@@ -1,0 +1,358 @@
+"""Unit tests for the level-aware race analysis (repro.sched.dpor)."""
+
+from repro.apps import banking
+from repro.core.program import Read, TransactionType, Write
+from repro.core.state import DbState
+from repro.core.terms import Field, Item, Local, Param
+from repro.engine.manager import HistoryOp
+from repro.sched.dpor import (
+    ANY_GRANULE,
+    PROBE,
+    RaceAnalyzer,
+    accesses_conflict,
+    may_deadlock,
+    static_footprint,
+)
+from repro.sched.policy import DEPENDENT, ORDER_GRANULE, StepRecord, happens_before
+from repro.sched.simulator import InstanceSpec
+
+
+def incrementer(item="x"):
+    return TransactionType(
+        name=f"Inc_{item}",
+        body=(Read(Local("v"), Item(item)), Write(Item(item), Local("v") + 1)),
+    )
+
+
+def rw_record(name="T", array="acct", index_param=True):
+    """read field, write field — indices resolved from the parameter i."""
+    i = Param("i")
+    balance = Field(array, i, "bal")
+    return TransactionType(
+        name=name,
+        params=(i,),
+        body=(Read(Local("v"), balance), Write(balance, Local("v") + 1)),
+    )
+
+
+def op(kind, txn_id=1, key=None, **info):
+    return HistoryOp(tick=0, txn_id=txn_id, kind=kind, key=key, info=info)
+
+
+def step(depth, index, ops=(), txn_id=1, level="SERIALIZABLE", blocked_on=None):
+    return StepRecord(
+        depth=depth,
+        index=index,
+        txn_id=txn_id,
+        level=level,
+        ops=tuple(ops),
+        blocked_on=blocked_on,
+    )
+
+
+class TestStaticFootprint:
+    def test_item_incrementer_reads_and_writes_its_item(self):
+        ghost, reads, writes = static_footprint(incrementer("x"), {})
+        assert ghost == frozenset()
+        assert reads == {("item", "x")}
+        assert writes == {("item", "x")}
+
+    def test_record_indices_resolve_from_params(self):
+        _ghost, reads, writes = static_footprint(rw_record(), {"i": 3})
+        assert reads == {("record", "acct", 3)}
+        assert writes == {("record", "acct", 3)}
+
+    def test_unresolvable_index_degrades_to_whole_array(self):
+        _ghost, reads, _writes = static_footprint(rw_record(), {})
+        assert ("record", "acct", None) in reads
+
+    def test_banking_withdraw_has_ghost_granules(self):
+        ghost, reads, writes = static_footprint(banking.WITHDRAW_SAV, {"i": 0, "w": 1})
+        # the snapshot terms read both balances at begin
+        assert ("record", "acct_sav", 0) in ghost
+        assert ("record", "acct_ch", 0) in ghost
+        assert ("record", "acct_sav", 0) in writes
+
+    def test_table_statements_split_reads_from_writes(self):
+        from repro.apps import tpcc
+
+        _ghost, reads, writes = static_footprint(
+            tpcc.NEW_ORDER, {"d": 0, "c": 0, "item": 0, "qty": 1}
+        )
+        assert ("table", "ORDERS") in writes  # Insert
+        _ghost, reads, writes = static_footprint(tpcc.ORDER_STATUS, {"c": 0})
+        assert ("table", "ORDERS") in reads  # Select
+        assert ("table", "ORDERS") not in writes
+
+
+class TestAccessConflict:
+    def test_read_read_commutes(self):
+        a = frozenset({(("item", "x"), False)})
+        assert not accesses_conflict(a, a)
+
+    def test_write_conflicts_with_read(self):
+        r = frozenset({(("item", "x"), False)})
+        w = frozenset({(("item", "x"), True)})
+        assert accesses_conflict(r, w)
+
+    def test_disjoint_granules_commute(self):
+        a = frozenset({(("item", "x"), True)})
+        b = frozenset({(("item", "y"), True)})
+        assert not accesses_conflict(a, b)
+
+    def test_probe_conflicts_with_write_but_not_probe(self):
+        probe = frozenset({(("item", "x"), PROBE)})
+        write = frozenset({(("item", "x"), True)})
+        read = frozenset({(("item", "x"), False)})
+        assert accesses_conflict(probe, write)
+        assert accesses_conflict(probe, read)
+        assert not accesses_conflict(probe, probe)
+
+    def test_wildcard_conflicts_with_everything(self):
+        any_w = frozenset({(ANY_GRANULE, True)})
+        assert accesses_conflict(any_w, frozenset({(("item", "q"), False)}))
+
+    def test_dependent_and_none_are_always_conflicting(self):
+        a = frozenset({(("item", "x"), False)})
+        assert accesses_conflict(DEPENDENT, a)
+        assert accesses_conflict(None, a)
+
+    def test_coarse_array_granule_overlaps_every_index(self):
+        coarse = frozenset({(("record", "acct", None), True)})
+        fine = frozenset({(("record", "acct", 7), False)})
+        other = frozenset({(("record", "other", 7), True)})
+        assert accesses_conflict(coarse, fine)
+        assert not accesses_conflict(fine, other)
+
+
+class TestMayDeadlock:
+    def _specs(self, txn_types, levels, args=None):
+        args = args or [{} for _ in txn_types]
+        return [
+            InstanceSpec(t, a, level, f"T{i}")
+            for i, (t, a, level) in enumerate(zip(txn_types, args, levels))
+        ]
+
+    def _check(self, specs):
+        footprints = [static_footprint(s.txn_type, s.args) for s in specs]
+        return may_deadlock(specs, footprints)
+
+    def test_same_item_upgrade_deadlocks_at_repeatable_read(self):
+        # both hold S on x after the read, both then request X: the classic
+        # single-granule upgrade deadlock
+        specs = self._specs(
+            [incrementer("x"), incrementer("x")],
+            ["REPEATABLE READ", "REPEATABLE READ"],
+        )
+        assert self._check(specs)
+
+    def test_disjoint_items_never_deadlock(self):
+        specs = self._specs(
+            [incrementer("x"), incrementer("y")],
+            ["SERIALIZABLE", "SERIALIZABLE"],
+        )
+        assert not self._check(specs)
+
+    def test_snapshot_holds_nothing(self):
+        specs = self._specs(
+            [incrementer("x"), incrementer("x")], ["SNAPSHOT", "SNAPSHOT"]
+        )
+        assert not self._check(specs)
+
+    def test_read_committed_writers_cannot_upgrade_deadlock(self):
+        # at RC the S lock is short: no hold-and-wait on a single granule
+        specs = self._specs(
+            [incrementer("x"), incrementer("x")],
+            ["READ COMMITTED", "READ COMMITTED"],
+        )
+        assert not self._check(specs)
+
+
+class TestOnlineSignature:
+    def _analyzer(self, level="SERIALIZABLE"):
+        specs = [
+            InstanceSpec(incrementer("x"), {}, level, "T0"),
+            InstanceSpec(incrementer("x"), {}, level, "T1"),
+        ]
+        return RaceAnalyzer(specs)
+
+    def test_read_op_signature_is_a_read_access(self):
+        analyzer = self._analyzer("READ COMMITTED")
+
+        class FakeTxn:
+            txn_id = 1
+
+        class FakeRuntime:
+            index = 0
+            txn = FakeTxn()
+            blocked = False
+            last_block = None
+
+            class spec:
+                level = "READ COMMITTED"
+
+        sig = analyzer.online_signature(FakeRuntime(), [op("r", key=("item", "x"))])
+        assert sig == frozenset({(("item", "x"), False)})
+
+    def test_empty_step_without_block_is_wildcard(self):
+        analyzer = self._analyzer("READ COMMITTED")
+
+        class FakeRuntime:
+            index = 0
+            txn = None
+            blocked = False
+            last_block = None
+
+            class spec:
+                level = "READ COMMITTED"
+
+        assert analyzer.online_signature(FakeRuntime(), []) == frozenset(
+            {(ANY_GRANULE, True)}
+        )
+
+
+class TestStepAccesses:
+    def _analyzer(self, level="SERIALIZABLE"):
+        return RaceAnalyzer(
+            [
+                InstanceSpec(incrementer("x"), {}, level, "T0"),
+                InstanceSpec(incrementer("x"), {}, level, "T1"),
+            ]
+        )
+
+    def test_snapshot_body_ops_are_private(self):
+        analyzer = self._analyzer("SNAPSHOT")
+        record = step(0, 0, [op("r", key=("item", "x"))], level="SNAPSHOT")
+        assert analyzer.step_accesses(record, {}, False) == frozenset()
+
+    def test_snapshot_begin_reads_the_whole_static_footprint(self):
+        analyzer = self._analyzer("SNAPSHOT")
+        record = step(0, 0, [op("begin")], level="SNAPSHOT")
+        acc = analyzer.step_accesses(record, {}, False)
+        assert (("item", "x"), False) in acc
+
+    def test_begin_orders_only_when_deadlock_is_possible(self):
+        analyzer = self._analyzer("SERIALIZABLE")
+        record = step(0, 0, [op("begin")])
+        with_order = analyzer.step_accesses(record, {}, True)
+        without = analyzer.step_accesses(record, {}, False)
+        assert (ORDER_GRANULE, True) in with_order
+        assert (ORDER_GRANULE, True) not in without
+
+    def test_commit_publishes_its_write_set(self):
+        analyzer = self._analyzer()
+        record = step(0, 0, [op("commit", writes=[("item", "x")])])
+        acc = analyzer.step_accesses(record, {}, False)
+        assert (("item", "x"), True) in acc
+
+    def test_failed_si_commit_validation_reads_its_writes(self):
+        analyzer = self._analyzer("SNAPSHOT")
+        record = step(
+            0,
+            0,
+            [op("abort", reason="first-committer-wins", writes=[("item", "x")])],
+            level="SNAPSHOT",
+        )
+        acc = analyzer.step_accesses(record, {1: "SNAPSHOT"}, False)
+        assert acc == frozenset({(("item", "x"), False)})
+
+    def test_blocked_attempt_is_a_probe(self):
+        analyzer = self._analyzer()
+        record = step(0, 0, [], blocked_on=(("item", "x"), "X"))
+        acc = analyzer.step_accesses(record, {}, False)
+        assert acc == frozenset({(("item", "x"), PROBE)})
+
+
+class TestHappensBefore:
+    def test_program_order_is_always_inside(self):
+        steps = [step(0, 0), step(1, 0)]
+        pred = happens_before(steps, lambda i, j: False)
+        assert pred[1] & 1  # step 0 precedes step 1
+
+    def test_dependence_is_transitively_closed(self):
+        steps = [step(0, 0), step(1, 1), step(2, 2)]
+        dependent = lambda i, j: (i, j) in {(0, 1), (1, 2)}
+        pred = happens_before(steps, dependent)
+        assert pred[2] & 0b011 == 0b011  # both 0 and 1 precede 2
+
+    def test_independent_steps_stay_unordered(self):
+        steps = [step(0, 0), step(1, 1)]
+        pred = happens_before(steps, lambda i, j: False)
+        assert pred[1] & 1 == 0
+
+
+class TestRaceDetection:
+    def _analyzer(self):
+        return RaceAnalyzer(
+            [
+                InstanceSpec(incrementer("x"), {}, "READ COMMITTED", "T0"),
+                InstanceSpec(incrementer("x"), {}, "READ COMMITTED", "T1"),
+            ]
+        )
+
+    def test_conflicting_writes_race(self):
+        analyzer = self._analyzer()
+        steps = [
+            step(0, 0, [op("w", txn_id=1, key=("item", "x"))], txn_id=1),
+            step(1, 1, [op("w", txn_id=2, key=("item", "x"))], txn_id=2),
+        ]
+        races = analyzer.analyze(steps)
+        assert len(races) == 1
+        race = races[0]
+        assert race.depth == 0
+        assert race.preferred == 1
+        assert race.initials == frozenset({1})
+
+    def test_independent_steps_do_not_race(self):
+        analyzer = RaceAnalyzer(
+            [
+                InstanceSpec(incrementer("x"), {}, "READ COMMITTED", "T0"),
+                InstanceSpec(incrementer("y"), {}, "READ COMMITTED", "T1"),
+            ]
+        )
+        steps = [
+            step(0, 0, [op("w", txn_id=1, key=("item", "x"))], txn_id=1),
+            step(1, 1, [op("w", txn_id=2, key=("item", "y"))], txn_id=2),
+        ]
+        assert analyzer.analyze(steps) == []
+
+    def test_shielded_pairs_are_not_immediate(self):
+        # 0 -> 1 -> 2 all on x: (0, 2) is ordered through 1, only the
+        # adjacent pairs are immediate races
+        analyzer = self._analyzer()
+        steps = [
+            step(0, 0, [op("w", txn_id=1, key=("item", "x"))], txn_id=1),
+            step(1, 1, [op("w", txn_id=2, key=("item", "x"))], txn_id=2),
+            step(2, 0, [op("w", txn_id=1, key=("item", "x"))], txn_id=1),
+        ]
+        races = analyzer.analyze(steps)
+        assert {(race.depth, race.preferred) for race in races} == {(0, 1), (1, 0)}
+
+    def test_same_instance_never_races_with_itself(self):
+        analyzer = self._analyzer()
+        steps = [
+            step(0, 0, [op("w", txn_id=1, key=("item", "x"))], txn_id=1),
+            step(1, 0, [op("w", txn_id=1, key=("item", "x"))], txn_id=1),
+        ]
+        assert analyzer.analyze(steps) == []
+
+    def test_commit_commit_dependence_uses_full_footprints(self):
+        # disjoint write sets, but T2 read what T1 wrote: commit order is
+        # observable through the serial replay, so the commits race
+        analyzer = self._analyzer()
+        steps = [
+            step(
+                0,
+                0,
+                [op("commit", txn_id=1, writes=[("item", "x")])],
+                txn_id=1,
+            ),
+            step(
+                1,
+                1,
+                [op("commit", txn_id=2, writes=[("item", "y")], reads=[("item", "x")])],
+                txn_id=2,
+            ),
+        ]
+        races = analyzer.analyze(steps)
+        assert len(races) == 1

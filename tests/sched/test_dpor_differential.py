@@ -1,0 +1,94 @@
+"""Differential tests: optimal DPOR vs lite vs unpruned DFS.
+
+The reduction claims of the optimal explorer are only worth anything if
+they are *sound*: for every bundled scenario and level assignment, the
+set of reachable final states (state token + per-instance outcome census)
+and the set of semantic-violation summaries must be identical across
+pruning modes.  Small scenarios are additionally compared against the
+unpruned DFS ground truth; the three-instance workloads compare optimal
+against lite only (their full trees are too large for a test budget).
+"""
+
+import pytest
+
+from repro.pipeline.scenarios import scenarios_for
+from repro.sched.explore import _state_token, explore
+from repro.sched.semantic import check_semantic_correctness
+
+SMALL = [
+    ("banking", "withdraw-race"),
+    ("banking", "write-skew"),
+    ("banking", "deposit-race"),
+    ("banking", "deposit-vs-withdraw"),
+    ("tpcc-lite", "new-order-race"),
+    ("tpcc-lite", "payment-race"),
+    ("tpcc-lite", "delivery-vs-new-order"),
+]
+
+LARGE = [
+    ("banking", "withdraw-race-3", "READ COMMITTED"),
+    ("banking", "withdraw-race-3", "SNAPSHOT"),
+    ("tpcc-lite", "district-mix", "READ COMMITTED"),
+]
+
+LEVELS = ("READ COMMITTED", "REPEATABLE READ", "SNAPSHOT")
+
+
+def scenario(app, name):
+    return next(s for s in scenarios_for(app) if s.name == name)
+
+
+def run(scen, level, **kwargs):
+    levels = {spec.txn_type.name: level for spec in scen.specs({})}
+    return explore(
+        scen.initial(), scen.specs(levels), retry=True, max_schedules=50_000, **kwargs
+    )
+
+
+def final_states(result):
+    return {
+        (
+            _state_token(schedule.final),
+            tuple(sorted((o.name, o.status) for o in schedule.outcomes)),
+        )
+        for schedule in result.results
+    }
+
+
+def violation_summaries(scen, result):
+    summaries = set()
+    for schedule in result.results:
+        report = check_semantic_correctness(schedule, scen.invariant, scen.cumulative)
+        if not report.correct:
+            summaries.add(report.summary())
+    return summaries
+
+
+@pytest.mark.parametrize("app,name", SMALL, ids=[f"{a}:{n}" for a, n in SMALL])
+@pytest.mark.parametrize("level", LEVELS)
+def test_small_scenarios_agree_with_unpruned_dfs(app, name, level):
+    scen = scenario(app, name)
+    full = run(scen, level, pruning=False)
+    lite = run(scen, level, dpor="lite")
+    optimal = run(scen, level, dpor="optimal")
+    assert not full.truncated
+    truth = final_states(full)
+    assert final_states(lite) == truth
+    assert final_states(optimal) == truth
+    witnesses = violation_summaries(scen, full)
+    assert violation_summaries(scen, lite) == witnesses
+    assert violation_summaries(scen, optimal) == witnesses
+    assert optimal.runs <= full.runs
+
+
+@pytest.mark.parametrize(
+    "app,name,level", LARGE, ids=[f"{a}:{n}@{l}" for a, n, l in LARGE]
+)
+def test_large_scenarios_agree_across_pruning_modes(app, name, level):
+    scen = scenario(app, name)
+    lite = run(scen, level, dpor="lite")
+    optimal = run(scen, level, dpor="optimal")
+    assert not lite.truncated and not optimal.truncated
+    assert final_states(optimal) == final_states(lite)
+    assert violation_summaries(scen, optimal) == violation_summaries(scen, lite)
+    assert optimal.runs < lite.runs  # the reduction must actually reduce

@@ -1,4 +1,4 @@
-"""Tests for exhaustive schedule exploration with DPOR-lite pruning."""
+"""Tests for exhaustive schedule exploration (source-set DPOR and lite)."""
 
 from repro.core.program import Read, TransactionType, Write
 from repro.core.state import DbState
@@ -48,10 +48,28 @@ class TestPruning:
         initial = DbState(items={"x": 0, "y": 0})
         specs = specs_for(["x", "y"], level="SERIALIZABLE")
         full = explore(initial.copy(), specs, pruning=False)
-        pruned = explore(initial.copy(), specs, pruning=True)
+        pruned = explore(initial.copy(), specs, pruning=True, dpor="lite")
         assert pruned.runs < full.runs
         assert pruned.pruned_sleep + pruned.pruned_state > 0
         assert final_states(pruned) == final_states(full)
+
+    def test_disjoint_instances_race_free_under_dpor(self):
+        """Two instances on disjoint items have no races: one schedule."""
+        initial = DbState(items={"x": 0, "y": 0})
+        specs = specs_for(["x", "y"], level="SERIALIZABLE")
+        full = explore(initial.copy(), specs, pruning=False)
+        optimal = explore(initial.copy(), specs, dpor="optimal")
+        assert optimal.runs == 1
+        assert optimal.reversals == 0
+        assert final_states(optimal) == final_states(full)
+
+    def test_optimal_never_explores_more_runs_than_lite(self):
+        initial = DbState(items={"x": 0})
+        specs = specs_for(["x", "x"])
+        lite = explore(initial.copy(), specs, dpor="lite")
+        optimal = explore(initial.copy(), specs, dpor="optimal")
+        assert optimal.runs <= lite.runs
+        assert final_states(optimal) == final_states(lite)
 
     def test_lost_update_is_reached_at_read_committed(self):
         initial = DbState(items={"x": 0})
@@ -93,13 +111,25 @@ class TestBounds:
         initial = DbState(items={"x": 0})
         payload = explore(initial, specs_for(["x", "x"])).to_dict()
         assert set(payload) == {
+            "mode",
             "runs",
             "schedules",
             "pruned_sleep",
             "pruned_state",
+            "races",
+            "reversals",
             "truncated_depth",
             "truncated",
         }
+
+    def test_mode_reflects_pruning_configuration(self):
+        initial = DbState(items={"x": 0})
+        specs = specs_for(["x", "x"])
+        assert explore(initial.copy(), specs).to_dict()["mode"] == "optimal"
+        assert explore(initial.copy(), specs, dpor="lite").to_dict()["mode"] == "lite"
+        assert (
+            explore(initial.copy(), specs, pruning=False).to_dict()["mode"] == "none"
+        )
 
     def test_max_depth_zero_terminates_with_no_schedules(self):
         """Every run stops before its first decision; nothing completes."""
@@ -137,10 +167,20 @@ class TestParallelFanOut:
     def test_workers_agree_with_sequential(self):
         initial = DbState(items={"x": 0})
         specs = specs_for(["x", "x"])
-        sequential = explore(initial.copy(), specs, pruning=True, workers=1)
-        fanned = explore(initial.copy(), specs, pruning=True, workers=4)
+        sequential = explore(initial.copy(), specs, dpor="lite", workers=1)
+        fanned = explore(initial.copy(), specs, dpor="lite", workers=4)
         assert final_states(fanned) == final_states(sequential)
         assert fanned.schedules == sequential.schedules
+
+    def test_optimal_workers_reach_the_same_states(self):
+        """Frontier stealing may race sibling launches, so worker runs can
+        exceed the sequential count — but never lose an outcome."""
+        initial = DbState(items={"x": 0})
+        specs = specs_for(["x", "x"])
+        sequential = explore(initial.copy(), specs, dpor="optimal", workers=1)
+        fanned = explore(initial.copy(), specs, dpor="optimal", workers=4)
+        assert final_states(fanned) == final_states(sequential)
+        assert fanned.schedules >= sequential.schedules
 
 
 class TestObservers:

@@ -170,11 +170,15 @@ class TestExhaustivePolicy:
         assert first.enabled == (0, 1)
         index, signature = first.tried[0]
         assert index == 0
-        assert signature == frozenset({(("item", "x"), False)})
+        # the first step begins a transaction: it reads x and claims a slot
+        # in the global begin order (deadlock victims depend on it)
+        assert signature == frozenset(
+            {(("item", "x"), False), (("<txn-order>",), True)}
+        )
 
     def test_visited_state_stops_run(self):
         class AlwaysSeen:
-            def seen(self, fingerprint):
+            def seen(self, fingerprint, sleep):
                 return True
 
         policy = ExhaustivePolicy(

@@ -132,7 +132,10 @@ def legacy_fingerprint(simulator):
     scalar runtime progress.  Lock tables, waits-for edges, workspaces and
     transaction logs carry objects whose default reprs embed memory
     addresses, so the legacy token simply omitted them — cheaper per call,
-    but blind to state the structural fingerprint distinguishes.
+    but blind to state the structural fingerprint distinguishes.  Under
+    the MVCC store ``current``/``committed`` are materialised from the
+    version chains on every access, so this construction now also pays
+    two full materialisations per call.
     """
     store = simulator.engine.store
     parts = [

@@ -126,6 +126,20 @@ def _telemetry_summary(histogram) -> str:
     )
 
 
+def _storage_summary() -> str:
+    from repro.engine.storage import STORAGE_STATS
+
+    snap = STORAGE_STATS.snapshot()
+    captures = snap["snapshot_captures"]
+    capture_mean = snap["snapshot_capture_seconds"]["mean"]
+    return (
+        f"storage: {captures} snapshot captures,"
+        f" mean {capture_mean * 1e6:.2f} us,"
+        f" {snap['vacuum_passes']} vacuum passes,"
+        f" {snap['vacuum_reclaimed']} versions reclaimed"
+    )
+
+
 def cmd_analyze(args) -> int:
     from repro.pipeline.jobs import JobSpec, run_job
 
@@ -170,6 +184,7 @@ def cmd_analyze(args) -> int:
             print()
             print(analysis_stats_table(checker))
             print(_telemetry_summary(histogram))
+            print(_storage_summary())
         return job.exit_code
     if args.json:
         print(json.dumps({**job.payload, **job.extras}, indent=2))
@@ -185,6 +200,7 @@ def cmd_analyze(args) -> int:
         print()
         print(analysis_stats_table(checker))
         print(_telemetry_summary(histogram))
+        print(_storage_summary())
     return job.exit_code
 
 

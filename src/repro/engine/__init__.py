@@ -8,11 +8,15 @@ exactly the interleavings each level permits:
 
 * :mod:`repro.engine.locks` — the lock manager: shared/exclusive item,
   record and row locks of short or long duration, plus predicate locks;
-* :mod:`repro.engine.storage` — the versioned store: current (possibly
-  dirty) state, committed-version counters, and snapshots for SNAPSHOT
-  isolation;
+* :mod:`repro.engine.storage` — the MVCC store: per-location version
+  chains with ``xmin``/``xmax`` stamps, a commit log, O(1) snapshot
+  captures, first-committer-wins commit stamps, and a vacuum pass that
+  reclaims versions behind the oldest-active-snapshot horizon;
 * :mod:`repro.engine.transaction` — per-transaction runtime state: level,
-  read/write sets, undo log, deferred write buffer, lifecycle;
+  read/write sets, the op-ordered stamp log (unstamped on abort), and the
+  SNAPSHOT write overlay;
+* :mod:`repro.engine.legacy` — the frozen pre-MVCC store and engine, the
+  baseline for differential tests and the snapshot-cost benchmark;
 * :mod:`repro.engine.manager` — the engine proper: per-level read/write/
   commit/abort rules for READ UNCOMMITTED, READ COMMITTED, READ COMMITTED
   with first-committer-wins, REPEATABLE READ, SNAPSHOT and SERIALIZABLE;

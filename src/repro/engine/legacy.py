@@ -1,0 +1,726 @@
+"""The pre-MVCC store and engine, kept as the differential baseline.
+
+:mod:`repro.engine.storage` used to fake versioning with a flat pair of
+states — ``current`` (including dirty writes) plus ``committed`` — and a
+per-location commit counter; SNAPSHOT begins deep-copied the whole
+committed state and aborts replayed undo closures.  The engine was rebuilt
+around real tuple versioning (see :mod:`repro.engine.storage`), and this
+module preserves the old implementation verbatim so that:
+
+* the differential harness (``tests/engine/test_differential.py``) can
+  replay identical operation scripts through both engines and assert the
+  public states, outcomes and histories never diverge;
+* the E17 benchmark can plot the legacy deep-copy snapshot cost curve
+  against the MVCC O(1) capture.
+
+The only functional change from the historical code is the ``rid -> row``
+index (:attr:`LegacyVersionedStore._row_index`): ``find_row`` and
+``update_row`` were O(n) scans over the table list on every row touch, and
+the index — maintained across insert, delete and undo — makes them O(1)
+without changing any observable behaviour.
+
+Nothing in the library imports this module at runtime; it exists for
+tests and benchmarks only.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.core.state import DbState
+from repro.engine.locks import EXCLUSIVE, LONG, LockManager, SHARED, SHORT, WouldBlock
+from repro.engine.manager import HistoryOp
+from repro.engine.storage import RID, strip_rid
+from repro.engine.transaction import (
+    ABORTED,
+    ALL_LEVELS,
+    COMMITTED,
+    Txn,
+)
+from repro.errors import EngineError, FirstCommitterWinsAbort, TransactionAborted
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+@dataclass
+class LegacyTxn(Txn):
+    """The old transaction runtime: undo/redo logs and a private snapshot."""
+
+    #: undo log: closures' raw entries, applied in reverse on abort
+    undo: list = field(default_factory=list)
+    #: redo log reflected into the committed snapshot on commit
+    redo: list = field(default_factory=list)
+    #: SNAPSHOT: private snapshot state (reads and buffered writes)
+    snapshot_state: DbState | None = None
+    #: SNAPSHOT: committed version counters captured at begin (FCW baseline)
+    begin_versions: dict = field(default_factory=dict)
+    #: rids inserted by this SNAPSHOT transaction into its private state
+    snapshot_inserted: set = field(default_factory=set)
+
+
+@dataclass
+class LegacyVersionedStore:
+    """Current state + committed snapshot + per-location version counters."""
+
+    current: DbState = field(default_factory=DbState)
+    committed: DbState = field(default_factory=DbState)
+    versions: dict = field(default_factory=dict)  # location key -> int
+    _rid_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
+    #: table -> {rid -> live row dict}; the O(1) replacement for the old
+    #: per-operation linear scans, maintained across insert/delete/undo
+    _row_index: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_state(cls, initial: DbState) -> "LegacyVersionedStore":
+        """Initialise from a plain state; assigns row ids to table rows."""
+        store = cls()
+        store.current = initial.copy()
+        for table, rows in store.current.tables.items():
+            for row in rows:
+                row[RID] = next(store._rid_counter)
+                store._row_index.setdefault(table, {})[row[RID]] = row
+        store.committed = store.current.copy()
+        return store
+
+    def new_rid(self) -> int:
+        return next(self._rid_counter)
+
+    # -- version bookkeeping -------------------------------------------------
+    def version_of(self, key: tuple) -> int:
+        return self.versions.get(key, 0)
+
+    def bump_version(self, key: tuple) -> None:
+        self.versions[key] = self.versions.get(key, 0) + 1
+
+    # -- reads ---------------------------------------------------------------
+    def read_item(self, name: str):
+        return self.current.read_item(name)
+
+    def read_field(self, array: str, index: int, attr):
+        return self.current.read_field(array, index, attr)
+
+    def rows(self, table: str) -> Iterable[dict]:
+        return self.current.rows(table)
+
+    def find_row(self, table: str, rid: int) -> dict | None:
+        return self._row_index.get(table, {}).get(rid)
+
+    # -- in-place writes (locking levels) --------------------------------------
+    def write_item(self, name: str, value) -> object:
+        """Write in place; returns the undo closure's old value sentinel."""
+        old = self.current.items.get(name, _MISSING)
+        self.current.write_item(name, value)
+        return old
+
+    def write_field(self, array: str, index: int, attr, value) -> object:
+        old = (
+            self.current.arrays.get(array, {}).get(index, {}).get(attr, _MISSING)
+        )
+        self.current.write_field(array, index, attr, value)
+        return old
+
+    def insert_row(self, table: str, row: Mapping) -> int:
+        rid = self.new_rid()
+        stored = dict(row)
+        stored[RID] = rid
+        self.current.insert_row(table, stored)
+        # insert_row copies the mapping, so index the stored instance
+        self._row_index.setdefault(table, {})[rid] = self.current.tables[table][-1]
+        return rid
+
+    def delete_row(self, table: str, rid: int) -> dict:
+        row = self._row_index.get(table, {}).pop(rid, None)
+        if row is None:
+            raise EngineError(f"row {rid} not found in {table}")
+        rows = self.current.tables.get(table, [])
+        for position, candidate in enumerate(rows):
+            if candidate is row:
+                return rows.pop(position)
+        raise EngineError(f"row {rid} not found in {table}")  # pragma: no cover
+
+    def update_row(self, table: str, rid: int, changes: Mapping) -> dict:
+        row = self.find_row(table, rid)
+        if row is None:
+            raise EngineError(f"row {rid} not found in {table}")
+        old = {attr: row.get(attr, _MISSING) for attr in changes}
+        row.update(changes)
+        return old
+
+    # -- undo (abort of in-place writers) ---------------------------------------
+    def undo_item(self, name: str, old) -> None:
+        if old is _MISSING:
+            self.current.items.pop(name, None)
+        else:
+            self.current.write_item(name, old)
+
+    def undo_field(self, array: str, index: int, attr, old) -> None:
+        if old is _MISSING:
+            self.current.arrays.get(array, {}).get(index, {}).pop(attr, None)
+        else:
+            self.current.write_field(array, index, attr, old)
+
+    def undo_insert(self, table: str, rid: int) -> None:
+        self.delete_row(table, rid)
+
+    def undo_delete(self, table: str, row: dict) -> None:
+        stored = dict(row)
+        self.current.insert_row(table, stored)
+        self._row_index.setdefault(table, {})[stored[RID]] = (
+            self.current.tables[table][-1]
+        )
+
+    def undo_update(self, table: str, rid: int, old: Mapping) -> None:
+        row = self.find_row(table, rid)
+        if row is None:
+            raise EngineError(f"row {rid} vanished during undo in {table}")
+        for attr, value in old.items():
+            if value is _MISSING:
+                row.pop(attr, None)
+            else:
+                row[attr] = value
+
+    # -- commit reflection -------------------------------------------------------
+    def reflect_commit(self, writes: Iterable[tuple]) -> None:
+        """Propagate a committing transaction's writes into the committed
+        snapshot and bump the affected version counters.
+
+        ``writes`` is the transaction's redo log:
+        ``("item", name, value) | ("field", array, index, attr, value) |
+        ("insert", table, rid, row) | ("delete", table, rid, row) |
+        ("update", table, rid, changes)``.
+        """
+        for entry in writes:
+            kind = entry[0]
+            if kind == "item":
+                _k, name, value = entry
+                self.committed.write_item(name, value)
+                self.bump_version(("item", name))
+            elif kind == "field":
+                _k, array, index, attr, value = entry
+                self.committed.write_field(array, index, attr, value)
+                self.bump_version(("record", array, index))
+            elif kind == "insert":
+                _k, table, rid, row = entry
+                stored = dict(row)
+                stored[RID] = rid
+                self.committed.insert_row(table, stored)
+                self.bump_version(("row", table, rid))
+            elif kind == "delete":
+                _k, table, rid, _row = entry
+                self.committed.delete_rows(table, lambda r: r.get(RID) == rid)
+                self.bump_version(("row", table, rid))
+            elif kind == "update":
+                _k, table, rid, changes = entry
+                for row in self.committed.rows(table):
+                    if row.get(RID) == rid:
+                        row.update(changes)
+                        break
+                self.bump_version(("row", table, rid))
+            else:
+                raise EngineError(f"unknown redo entry {entry!r}")
+
+    def snapshot(self) -> DbState:
+        """A deep copy of the committed state (for SNAPSHOT transactions)."""
+        return self.committed.copy()
+
+    def public_state(self, committed_only: bool = True) -> DbState:
+        """The state without row ids, for assertion evaluation and oracles."""
+        base = self.committed if committed_only else self.current
+        clean = base.copy()
+        for table, rows in clean.tables.items():
+            clean.tables[table] = [strip_rid(row) for row in rows]
+        return clean
+
+
+class LegacyEngine:
+    """The undo-closure engine the MVCC rebuild replaced (baseline only)."""
+
+    def __init__(self, initial: DbState, phantom_protection: bool = True) -> None:
+        self.store = LegacyVersionedStore.from_state(initial)
+        self.locks = LockManager()
+        self.txns: dict = {}
+        self.history: list = []
+        self._next_id = 1
+        self.tick = 0
+        self.phantom_protection = phantom_protection
+
+    # -- lifecycle -----------------------------------------------------------
+    def begin(self, level: str) -> LegacyTxn:
+        if level not in ALL_LEVELS:
+            raise EngineError(f"unknown isolation level {level!r}")
+        txn = LegacyTxn(txn_id=self._next_id, level=level, begin_tick=self.tick)
+        self._next_id += 1
+        if txn.uses_snapshot:
+            txn.snapshot_state = self.store.snapshot()
+            txn.begin_versions = dict(self.store.versions)
+        self.txns[txn.txn_id] = txn
+        self._record(txn, "begin")
+        return txn
+
+    def commit(self, txn: LegacyTxn) -> None:
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            self._commit_snapshot(txn)
+        else:
+            self.store.reflect_commit(txn.redo)
+        self.locks.release_all(txn.txn_id)
+        txn.status = COMMITTED
+        txn.commit_tick = self.tick
+        self._record(txn, "commit", info=self._txn_footprint(txn))
+
+    def abort(self, txn: LegacyTxn, reason: str = "explicit") -> None:
+        if txn.status in (COMMITTED, ABORTED):
+            return
+        if not txn.uses_snapshot:
+            for entry in reversed(txn.undo):
+                self._apply_undo(entry)
+        self.locks.release_all(txn.txn_id)
+        txn.status = ABORTED
+        txn.abort_reason = reason
+        info = self._txn_footprint(txn)
+        info["reason"] = reason
+        self._record(txn, "abort", info=info)
+
+    def _commit_snapshot(self, txn: LegacyTxn) -> None:
+        begin_versions = getattr(txn, "begin_versions", {})
+        for key in txn.write_set:
+            if self.store.version_of(key) > begin_versions.get(key, 0):
+                self.abort(txn, reason=f"first-committer-wins on {key}")
+                raise FirstCommitterWinsAbort(txn.txn_id, str(key))
+            holders = self.locks.holders(key)
+            others = {t for t, mode in holders.items() if t != txn.txn_id and mode == EXCLUSIVE}
+            if others:
+                raise WouldBlock(others, key=key, mode=EXCLUSIVE)
+        # apply buffered writes to the live state, then reflect as committed
+        for entry in txn.redo:
+            kind = entry[0]
+            if kind == "item":
+                _k, name, value = entry
+                self.store.write_item(name, value)
+            elif kind == "field":
+                _k, array, index, attr, value = entry
+                self.store.write_field(array, index, attr, value)
+            elif kind == "insert":
+                _k, table, rid, row = entry
+                stored = dict(row)
+                stored[RID] = rid
+                self.store.current.insert_row(table, stored)
+                self.store._row_index.setdefault(table, {})[rid] = (
+                    self.store.current.tables[table][-1]
+                )
+            elif kind == "delete":
+                _k, table, rid, _row = entry
+                if self.store.find_row(table, rid) is not None:
+                    self.store.delete_row(table, rid)
+            elif kind == "update":
+                _k, table, rid, changes = entry
+                row = self.store.find_row(table, rid)
+                if row is not None:
+                    row.update(changes)
+        self.store.reflect_commit(txn.redo)
+
+    # -- conventional reads ----------------------------------------------------
+    def read_item(self, txn: LegacyTxn, name: str):
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            value = txn.snapshot_state.read_item(name)
+            self._record(txn, "r", ("item", name), info={"value": value})
+            return value
+        key = ("item", name)
+        self._read_lock(txn, key)
+        value = self.store.read_item(name)
+        txn.read_versions.setdefault(key, self.store.version_of(key))
+        self._record(
+            txn, "r", key, dirty_from=self._dirty_writer(txn, key), info={"value": value}
+        )
+        return value
+
+    def read_field(self, txn: LegacyTxn, array: str, index: int, attr):
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            value = txn.snapshot_state.read_field(array, index, attr)
+            self._record(txn, "r", ("record", array, index), info={"attr": attr, "value": value})
+            return value
+        key = ("record", array, index)
+        self._read_lock(txn, key)
+        value = self.store.read_field(array, index, attr)
+        txn.read_versions.setdefault(key, self.store.version_of(key))
+        self._record(
+            txn,
+            "r",
+            key,
+            dirty_from=self._dirty_writer(txn, key),
+            info={"attr": attr, "value": value},
+        )
+        return value
+
+    def read_record(self, txn: LegacyTxn, array: str, index: int, attrs: Iterable[str]) -> dict:
+        """Atomically read several attributes of one record (one lock)."""
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            values = {
+                attr: txn.snapshot_state.read_field(array, index, attr) for attr in attrs
+            }
+            self._record(
+                txn, "r", ("record", array, index), info={"attrs": tuple(attrs), "values": dict(values)}
+            )
+            return values
+        key = ("record", array, index)
+        self._read_lock(txn, key)
+        values = {attr: self.store.read_field(array, index, attr) for attr in attrs}
+        txn.read_versions.setdefault(key, self.store.version_of(key))
+        self._record(
+            txn,
+            "r",
+            key,
+            dirty_from=self._dirty_writer(txn, key),
+            info={"attrs": tuple(attrs), "values": dict(values)},
+        )
+        return values
+
+    # -- conventional writes -----------------------------------------------------
+    def write_item(self, txn: LegacyTxn, name: str, value) -> None:
+        self._require_active(txn)
+        key = ("item", name)
+        if txn.uses_snapshot:
+            txn.snapshot_state.write_item(name, value)
+            txn.write_set.add(key)
+            txn.redo.append(("item", name, value))
+            self._record(txn, "w", key, info={"value": value})
+            return
+        self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+        txn.long_locks.add(key)
+        self._validate_fcw(txn, key)
+        old = self.store.write_item(name, value)
+        txn.undo.append(("item", name, old))
+        txn.redo.append(("item", name, value))
+        txn.write_set.add(key)
+        self._record(txn, "w", key, info={"value": value})
+
+    def write_field(self, txn: LegacyTxn, array: str, index: int, attr, value) -> None:
+        self._require_active(txn)
+        key = ("record", array, index)
+        if txn.uses_snapshot:
+            txn.snapshot_state.write_field(array, index, attr, value)
+            txn.write_set.add(key)
+            txn.redo.append(("field", array, index, attr, value))
+            self._record(txn, "w", key, info={"attr": attr, "value": value})
+            return
+        self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+        txn.long_locks.add(key)
+        self._validate_fcw(txn, key)
+        old = self.store.write_field(array, index, attr, value)
+        txn.undo.append(("field", array, index, attr, old))
+        txn.redo.append(("field", array, index, attr, value))
+        txn.write_set.add(key)
+        self._record(txn, "w", key, info={"attr": attr, "value": value})
+
+    # -- relational operations ------------------------------------------------
+    def select(self, txn: LegacyTxn, table: str, predicate: Callable[[dict], bool]) -> list:
+        """Rows (without rids) satisfying the predicate, per-level semantics."""
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            rows = [strip_rid(r) for r in txn.snapshot_state.rows(table) if predicate(strip_rid(r))]
+            self._record(txn, "r", ("table", table))
+            return rows
+        if txn.level == "READ UNCOMMITTED":
+            rows = [strip_rid(r) for r in self.store.rows(table) if predicate(strip_rid(r))]
+            self._record(txn, "r", ("table", table))
+            return rows
+        matching = self._visible_matching(txn, table, predicate)
+        duration = LONG if txn.read_lock_duration == "long" else SHORT
+        acquired: list = []
+        try:
+            for rid, _image in matching:
+                key = ("row", table, rid)
+                self.locks.acquire(txn.txn_id, key, SHARED, duration)
+                acquired.append(key)
+                if duration == LONG:
+                    txn.long_locks.add(key)
+                txn.read_versions.setdefault(key, self.store.version_of(key))
+        except WouldBlock:
+            # drop the partial short locks so a retried select starts clean
+            for key in acquired:
+                if key not in txn.long_locks:
+                    self.locks.release(txn.txn_id, key)
+            raise
+        if txn.takes_predicate_read_locks and self.phantom_protection:
+            self.locks.acquire_predicate(txn.txn_id, table, predicate, SHARED, LONG)
+        if duration == SHORT:
+            for key in acquired:
+                if key not in txn.long_locks:
+                    self.locks.release(txn.txn_id, key)
+        self._record(txn, "r", ("table", table), info={"rids": [rid for rid, _ in matching]})
+        return [dict(image) for _rid, image in matching]
+
+    def insert(self, txn: LegacyTxn, table: str, row: Mapping) -> None:
+        self._require_active(txn)
+        image = dict(row)
+        if txn.uses_snapshot:
+            rid = self.store.new_rid()
+            stored = dict(image)
+            stored[RID] = rid
+            txn.snapshot_state.insert_row(table, stored)
+            txn.snapshot_inserted.add(rid)
+            txn.redo.append(("insert", table, rid, image))
+            txn.write_set.add(("row", table, rid))
+            self._record(txn, "ins", ("table", table), info={"row": dict(image)})
+            return
+        # phantom protection: the new row must not fall into another
+        # transaction's predicate (read or write) lock
+        if self.phantom_protection:
+            self.locks.check_rows_against_predicates(txn.txn_id, table, [image], EXCLUSIVE)
+        rid = self.store.insert_row(table, image)
+        key = ("row", table, rid)
+        self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+        txn.long_locks.add(key)
+        txn.undo.append(("insert", table, rid))
+        txn.redo.append(("insert", table, rid, image))
+        txn.write_set.add(key)
+        self._record(txn, "ins", key, info={"row": dict(image)})
+
+    def update(
+        self,
+        txn: LegacyTxn,
+        table: str,
+        predicate: Callable[[dict], bool],
+        changes: Callable[[dict], Mapping],
+    ) -> int:
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            updated = 0
+            for row in txn.snapshot_state.rows(table):
+                image = strip_rid(row)
+                if predicate(image):
+                    delta = dict(changes(image))
+                    row.update(delta)
+                    rid = row[RID]
+                    txn.write_set.add(("row", table, rid))
+                    if rid not in txn.snapshot_inserted:
+                        txn.redo.append(("update", table, rid, delta))
+                    else:
+                        self._merge_snapshot_insert(txn, table, rid, delta)
+                    updated += 1
+            self._record(txn, "upd", ("table", table))
+            return updated
+        matching = self._visible_matching(txn, table, predicate)
+        updated = 0
+        for rid, image in matching:
+            key = ("row", table, rid)
+            self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+            txn.long_locks.add(key)
+            self._validate_fcw(txn, key)
+            delta = dict(changes(dict(image)))
+            new_image = dict(image)
+            new_image.update(delta)
+            # moving a row into a SERIALIZABLE reader's predicate is a phantom
+            if self.phantom_protection:
+                self.locks.check_rows_against_predicates(
+                    txn.txn_id, table, [new_image], EXCLUSIVE
+                )
+            old = self.store.update_row(table, rid, delta)
+            txn.undo.append(("update", table, rid, old))
+            txn.redo.append(("update", table, rid, delta))
+            txn.write_set.add(key)
+            updated += 1
+        if self.phantom_protection:
+            self.locks.acquire_predicate(txn.txn_id, table, predicate, EXCLUSIVE, LONG)
+        self._record(txn, "upd", ("table", table), info={"count": updated})
+        return updated
+
+    def delete(self, txn: LegacyTxn, table: str, predicate: Callable[[dict], bool]) -> int:
+        self._require_active(txn)
+        if txn.uses_snapshot:
+            victims = [
+                row
+                for row in txn.snapshot_state.rows(table)
+                if predicate(strip_rid(row))
+            ]
+            for row in victims:
+                rid = row[RID]
+                txn.snapshot_state.delete_rows(table, lambda r: r.get(RID) == rid)
+                txn.write_set.add(("row", table, rid))
+                if rid not in txn.snapshot_inserted:
+                    txn.redo.append(("delete", table, rid, strip_rid(row)))
+                else:
+                    txn.redo = [
+                        entry
+                        for entry in txn.redo
+                        if not (entry[0] == "insert" and entry[2] == rid)
+                    ]
+            self._record(txn, "del", ("table", table))
+            return len(victims)
+        matching = self._visible_matching(txn, table, predicate)
+        deleted = 0
+        for rid, image in matching:
+            key = ("row", table, rid)
+            self.locks.acquire(txn.txn_id, key, EXCLUSIVE, LONG)
+            txn.long_locks.add(key)
+            self._validate_fcw(txn, key)
+            row = self.store.delete_row(table, rid)
+            txn.undo.append(("delete", table, rid, row))
+            txn.redo.append(("delete", table, rid, strip_rid(row)))
+            txn.write_set.add(key)
+            deleted += 1
+        if self.phantom_protection:
+            self.locks.acquire_predicate(txn.txn_id, table, predicate, EXCLUSIVE, LONG)
+        self._record(txn, "del", ("table", table), info={"count": deleted})
+        return deleted
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _txn_footprint(txn: LegacyTxn) -> dict:
+        writes = tuple(sorted(txn.write_set))
+        reads = tuple(sorted(set(txn.long_locks) - set(txn.write_set)))
+        return {"writes": writes, "reads": reads}
+
+    def _merge_snapshot_insert(self, txn: LegacyTxn, table: str, rid: int, delta: Mapping) -> None:
+        for position, entry in enumerate(txn.redo):
+            if entry[0] == "insert" and entry[1] == table and entry[2] == rid:
+                merged = dict(entry[3])
+                merged.update(delta)
+                txn.redo[position] = ("insert", table, rid, merged)
+                return
+
+    def _visible_matching(
+        self, txn: LegacyTxn, table: str, predicate: Callable[[dict], bool]
+    ) -> list:
+        images: dict = {}
+        for row in self.store.rows(table):
+            rid = row.get(RID)
+            images[rid] = strip_rid(row)
+        for row in self.store.committed.rows(table):
+            rid = row.get(RID)
+            key = ("row", table, rid)
+            holders = self.locks.holders(key)
+            locked_by_other = any(
+                holder != txn.txn_id and mode == EXCLUSIVE for holder, mode in holders.items()
+            )
+            if locked_by_other or rid not in images:
+                images[rid] = strip_rid(row)
+        matching = []
+        for rid, image in images.items():
+            if predicate(image):
+                matching.append((rid, image))
+        matching.sort(key=lambda pair: pair[0])
+        return matching
+
+    def _read_lock(self, txn: LegacyTxn, key: tuple) -> None:
+        duration = txn.read_lock_duration
+        if duration is None:
+            return
+        self.locks.acquire(txn.txn_id, key, SHARED, duration)
+        if duration == "long":
+            txn.long_locks.add(key)
+        elif key not in txn.long_locks:
+            self.locks.release(txn.txn_id, key)
+
+    def _validate_fcw(self, txn: LegacyTxn, key: tuple) -> None:
+        """READ COMMITTED FCW: abort if the item changed since we read it."""
+        if txn.level != "READ COMMITTED FCW":
+            return
+        read_version = txn.read_versions.get(key)
+        if read_version is not None and self.store.version_of(key) > read_version:
+            self.abort(txn, reason=f"first-committer-wins on {key}")
+            raise FirstCommitterWinsAbort(txn.txn_id, str(key))
+
+    def _dirty_writer(self, txn: LegacyTxn, key: tuple) -> int | None:
+        for holder, mode in self.locks.holders(key).items():
+            if holder != txn.txn_id and mode == EXCLUSIVE:
+                return holder
+        return None
+
+    def _apply_undo(self, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "item":
+            _k, name, old = entry
+            self.store.undo_item(name, old)
+        elif kind == "field":
+            _k, array, index, attr, old = entry
+            self.store.undo_field(array, index, attr, old)
+        elif kind == "insert":
+            _k, table, rid = entry
+            self.store.undo_insert(table, rid)
+        elif kind == "delete":
+            _k, table, rid, row = entry
+            self.store.undo_delete(table, row)
+        elif kind == "update":
+            _k, table, rid, old = entry
+            self.store.undo_update(table, rid, old)
+        else:
+            raise EngineError(f"unknown undo entry {entry!r}")
+
+    def _require_active(self, txn: LegacyTxn) -> None:
+        if txn.status == ABORTED:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason or "aborted")
+        if txn.status == COMMITTED:
+            raise EngineError(f"transaction {txn.txn_id} already committed")
+
+    def _record(
+        self,
+        txn: LegacyTxn,
+        kind: str,
+        key: tuple | None = None,
+        dirty_from: int | None = None,
+        info: dict | None = None,
+    ) -> None:
+        self.tick += 1
+        self.history.append(
+            HistoryOp(
+                tick=self.tick,
+                txn_id=txn.txn_id,
+                kind=kind,
+                key=key,
+                version=self.store.version_of(key) if key is not None else None,
+                dirty_from=dirty_from,
+                info=info or {},
+            )
+        )
+
+    # -- inspection ---------------------------------------------------------------
+    def preview_commit(self, txn: LegacyTxn) -> DbState:
+        if not txn.uses_snapshot:
+            return self.public_live()
+        preview = self.store.current.copy()
+        for entry in txn.redo:
+            kind = entry[0]
+            if kind == "item":
+                _k, name, value = entry
+                preview.write_item(name, value)
+            elif kind == "field":
+                _k, array, index, attr, value = entry
+                preview.write_field(array, index, attr, value)
+            elif kind == "insert":
+                _k, table, rid, row = entry
+                stored = dict(row)
+                stored[RID] = rid
+                preview.insert_row(table, stored)
+            elif kind == "delete":
+                _k, table, rid, _row = entry
+                preview.delete_rows(table, lambda r: r.get(RID) == rid)
+            elif kind == "update":
+                _k, table, rid, changes = entry
+                for row in preview.rows(table):
+                    if row.get(RID) == rid:
+                        row.update(changes)
+                        break
+        for table, rows in preview.tables.items():
+            preview.tables[table] = [strip_rid(row) for row in rows]
+        return preview
+
+    def public_live(self) -> DbState:
+        return self.store.public_state(committed_only=False)
+
+    def committed_state(self) -> DbState:
+        return self.store.public_state(committed_only=True)
+
+    def live_state(self) -> DbState:
+        return self.store.public_state(committed_only=False)

@@ -305,7 +305,151 @@ def tpcc_scenarios() -> list:
     ]
 
 
+def mvcc_scenarios() -> list:
+    """Storage-level stress scenarios enabled by the MVCC store.
+
+    Both revolve around a *long-running reader*: a SNAPSHOT transaction
+    whose begin pins a version horizon while writers commit past it.  The
+    old deep-copy store could simulate the reader, but it had no version
+    chains to retain or reclaim — these scenarios exist to exercise (and
+    differentially validate) snapshot resolution against multi-version
+    chains and the vacuum's oldest-active-snapshot horizon, so they
+    register under their own key (``"mvcc-stress"``) rather than under an
+    application whose certification surface is pinned.
+    """
+    from repro.core.formula import eq
+    from repro.core.program import Read, TransactionType, Write
+    from repro.core.terms import Local, Param
+
+    i = Param("i")
+    t = Param("t")
+    sav = Field("acct_sav", i, "bal")
+    ch = Field("acct_ch", i, "bal")
+
+    audit = TransactionType(
+        name="Audit",
+        params=(i,),
+        body=(
+            Read(Local("S1"), sav, label="first savings read"),
+            Read(Local("C1"), ch, label="first checking read"),
+            Read(Local("S2"), sav, label="second savings read"),
+            Read(Local("C2"), ch, label="second checking read"),
+        ),
+    )
+    transfer = TransactionType(
+        name="Transfer",
+        params=(i, t),
+        body=(
+            Read(Local("Sav"), sav, label="read sav"),
+            Write(sav, Local("Sav") - t, label="debit sav"),
+            Read(Local("Ch"), ch, label="read ch"),
+            Write(ch, Local("Ch") + t, label="credit ch"),
+        ),
+    )
+    credit = TransactionType(
+        name="Credit",
+        params=(i,),
+        body=(
+            Read(Local("B1"), ch, label="first read"),
+            Write(ch, Local("B1") + 1, label="first credit"),
+            Read(Local("B2"), ch, label="second read"),
+            Write(ch, Local("B2") + 1, label="second credit"),
+        ),
+    )
+
+    def long_reader(levels: dict) -> list:
+        return [
+            InstanceSpec(audit, {"i": 0}, levels.get("Audit", "SNAPSHOT"), "A"),
+            InstanceSpec(transfer, {"i": 0, "t": 1}, levels.get("Transfer", "SNAPSHOT"), "T1"),
+            InstanceSpec(transfer, {"i": 0, "t": 1}, levels.get("Transfer", "SNAPSHOT"), "T2"),
+        ]
+
+    def version_bloat(levels: dict) -> list:
+        return [
+            InstanceSpec(audit, {"i": 0}, levels.get("Audit", "SNAPSHOT"), "A"),
+            InstanceSpec(credit, {"i": 0}, levels.get("Credit", "SNAPSHOT"), "C1"),
+            InstanceSpec(credit, {"i": 0}, levels.get("Credit", "SNAPSHOT"), "C2"),
+        ]
+
+    total = 4  # sav=3 + ch=1; transfers move value, never create or destroy it
+
+    def conserved_and_stable(initial: DbState, final: DbState, committed: list):
+        """Q_Sch: money is conserved and every audit saw one consistent sum."""
+        problems = []
+        actual = final.read_field("acct_sav", 0, "bal") + final.read_field(
+            "acct_ch", 0, "bal"
+        )
+        if actual != total:
+            problems.append(
+                f"combined balance drifted to {actual} (expected {total}:"
+                " a transfer leg was lost)"
+            )
+        for outcome in committed:
+            if outcome.txn_type.name != "Audit":
+                continue
+            first = outcome.env[Local("S1")] + outcome.env[Local("C1")]
+            second = outcome.env[Local("S2")] + outcome.env[Local("C2")]
+            if first != total or second != total:
+                problems.append(
+                    f"audit {outcome.name} observed a torn transfer"
+                    f" (sums {first} then {second}, expected {total})"
+                )
+        return problems
+
+    def credits_accounted(initial: DbState, final: DbState, committed: list):
+        """Q_Sch: the checking balance reflects every committed credit."""
+        credits = sum(1 for o in committed if o.txn_type.name == "Credit")
+        expected = initial.read_field("acct_ch", 0, "bal") + 2 * credits
+        actual = final.read_field("acct_ch", 0, "bal")
+        if actual != expected:
+            return [
+                f"checking balance is {actual} after {credits} committed"
+                f" credits of 2 (expected {expected}: an increment was lost)"
+            ]
+        return []
+
+    conservation = eq(
+        Field("acct_sav", IntConst(0), "bal") + Field("acct_ch", IntConst(0), "bal"),
+        total,
+    )
+    return [
+        Scenario(
+            name="long-reader",
+            description="a four-read audit spans two transfers between the"
+            " same accounts — its snapshot pins pre-transfer versions that"
+            " vacuum must retain until it commits, and at weaker levels its"
+            " re-reads watch the transfer tear",
+            focus=("Audit", "Transfer"),
+            initial=_banking_state(sav=3, ch=1),
+            make_specs=long_reader,
+            invariant=conservation,
+            cumulative=conserved_and_stable,
+        ),
+        Scenario(
+            name="version-bloat",
+            description="two double-increment writers grow one checking-"
+            "balance version chain under a pinned audit snapshot — the"
+            " version-retention workload for the vacuum horizon and the"
+            " E17 bloat metric",
+            focus=("Audit", "Credit"),
+            initial=_banking_state(sav=3, ch=1),
+            make_specs=version_bloat,
+            invariant=ge(Field("acct_ch", IntConst(0), "bal"), 0),
+            cumulative=credits_accounted,
+        ),
+    ]
+
+
 def scenarios_for(app_name: str) -> list:
-    """The registered scenarios of an application (empty when none)."""
-    registry = {"banking": banking_scenarios, "tpcc-lite": tpcc_scenarios}
+    """The registered scenarios of an application (empty when none).
+
+    ``"mvcc-stress"`` is not an application: it is the storage-stress
+    suite (:func:`mvcc_scenarios`) addressed directly by the differential
+    tests and the CI vacuum smoke.
+    """
+    registry = {
+        "banking": banking_scenarios,
+        "tpcc-lite": tpcc_scenarios,
+        "mvcc-stress": mvcc_scenarios,
+    }
     return registry.get(app_name, lambda: [])()

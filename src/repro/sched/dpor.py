@@ -23,11 +23,13 @@ sharp for this engine rather than a generic one:
   leaves the waits-for graph, the victim choice and every outcome
   untouched, and treating them as racy spins an unbounded family of
   schedules differing only in no-op attempt placement;
-* SNAPSHOT operations are private (reads come from the begin snapshot,
-  writes are buffered): only the *begin* (which reads the transaction's
-  whole static footprint — its snapshot baseline and first-committer-wins
-  versions) and the *commit* (which publishes the write set, or
-  validation-reads it when FCW fails) carry accesses.  Two SI writers'
+* SNAPSHOT operations are private (reads resolve version chains against
+  the begin snapshot, writes are buffered in the overlay): only the
+  *begin* (which fixes the visibility of every chain in the transaction's
+  static footprint — its snapshot baseline and the commit stamps that
+  first-committer-wins will validate) and the *commit* (which publishes
+  the write set as committed versions, or validation-reads the chains'
+  commit stamps when FCW fails) carry accesses.  Two SI writers'
   in-flight operations therefore never race; their interaction is fully
   captured at begin/commit, so no reversal that first-committer-wins
   already forbids is ever enqueued;
@@ -315,7 +317,7 @@ class RaceAnalyzer:
                 aborted_snapshot = levels.get(op.txn_id) == _SNAPSHOT
                 if "first-committer-wins" in reason and aborted_snapshot:
                     # failed SI commit: validation read the write set's
-                    # version counters; nothing was published
+                    # chain commit stamps; nothing was published
                     for key in op.info.get("writes", ()):
                         acc.add((_resource(key), False))
                 elif "first-committer-wins" in reason or "guard veto" in reason:
@@ -323,8 +325,9 @@ class RaceAnalyzer:
                 elif aborted_snapshot:
                     pass  # buffered writes discarded privately
                 else:
-                    # the undo reverts in-place writes and the lock release
-                    # unblocks queued readers/writers
+                    # unstamping drops the pending versions (restoring the
+                    # prior chain heads) and the lock release unblocks
+                    # queued readers/writers
                     for key in op.info.get("writes", ()):
                         acc.add((_resource(key), True))
                     for key in op.info.get("reads", ()):

@@ -95,7 +95,27 @@ def _state_token(state: DbState) -> tuple:
     )
 
 
-def _txn_token(txn) -> tuple | None:
+def _overlay_token(overlay) -> tuple | None:
+    if overlay is None:
+        return None
+    return (
+        tuple(sorted((name, _freeze(v)) for name, v in overlay.items.items())),
+        tuple(sorted((key, _freeze(attrs)) for key, attrs in overlay.records.items())),
+        # op order of own inserts is observable (they trail snapshot rows)
+        tuple(
+            (table, tuple((rid, _freeze(image)) for rid, image in rows.items()))
+            for table, rows in sorted(overlay.inserted.items())
+        ),
+        tuple((table, tuple(sorted(rids))) for table, rids in sorted(overlay.deleted.items())),
+        tuple(
+            (table, tuple(sorted((rid, _freeze(delta)) for rid, delta in rows.items())))
+            for table, rows in sorted(overlay.updated.items())
+        ),
+        tuple(sorted(overlay.bumps.items())),
+    )
+
+
+def _txn_token(txn, store) -> tuple | None:
     if txn is None:
         return None
     return (
@@ -105,9 +125,19 @@ def _txn_token(txn) -> tuple | None:
         tuple(sorted(txn.long_locks)),
         tuple(sorted(txn.write_set)),
         tuple(sorted((k, v) for k, v in txn.read_versions.items())),
-        tuple(_freeze(entry) for entry in txn.redo),
-        tuple(_freeze(entry) for entry in txn.undo),
-        None if txn.snapshot_state is None else _state_token(txn.snapshot_state),
+        tuple(_freeze(entry) for entry in txn.stamped),
+        tuple(sorted(txn.bump_counts.items())),
+        # an active snapshot pins *historical* versions the global views
+        # below don't cover: token the resolved snapshot view itself (the
+        # old fingerprint tokened the deep-copied private state the same way)
+        None
+        if txn.snapshot is None
+        else (
+            txn.snapshot.xmax,
+            tuple(sorted(txn.snapshot.xip)),
+            _state_token(store.materialize(snap=txn.snapshot)),
+        ),
+        _overlay_token(txn.overlay),
     )
 
 
@@ -126,19 +156,30 @@ def state_fingerprint(simulator: Simulator) -> tuple:
     """A structural token of everything that determines the future.
 
     Two runs whose fingerprints collide behave identically from here on:
-    the token covers the versioned store (current + committed + version
-    counters), the lock table (granule holders and predicate locks),
-    waits-for edges, and each instance's full progress (interpreter
-    position, workspace, transaction logs).  Built from plain tuples —
-    no ``repr``/hashing round-trips on the exploration hot path.
+    the token covers the version chains (dirty view, committed view,
+    per-chain commit stamps — which first-committer-wins compares against
+    recorded read stamps — and the commit counters), the lock table
+    (granule holders and predicate locks), waits-for edges, and each
+    instance's full progress (interpreter position, workspace, transaction
+    state including pinned snapshot views and write overlays).  Built from
+    plain tuples — no ``repr``/hashing round-trips on the hot path.
     """
     engine = simulator.engine
     store = engine.store
     locks = engine.locks
+    commit_stamps = []
+    for name, chain in store.items.items():
+        commit_stamps.append((("item", name), chain.last_commit_xid))
+    for (array, index), chain in store.records.items():
+        commit_stamps.append((("record", array, index), chain.last_commit_xid))
+    for table, chains in store.tables.items():
+        for rid, chain in chains.items():
+            commit_stamps.append((("row", table, rid), chain.last_commit_xid))
     return (
         _state_token(store.current),
         _state_token(store.committed),
         tuple(sorted((k, v) for k, v in store.versions.items())),
+        tuple(sorted(commit_stamps)),
         tuple(
             (key, tuple(sorted(holders.items())))
             for key, holders in sorted(locks._held.items())
@@ -161,7 +202,7 @@ def state_fingerprint(simulator: Simulator) -> tuple:
                 rt.restarts,
                 _env_token(rt.env),
                 tuple(sorted(((k, _freeze(v)) for k, v in rt.obs.items()), key=_orderable)),
-                _txn_token(rt.txn),
+                _txn_token(rt.txn, store),
             )
             for rt in simulator._runtimes
         ),
@@ -298,9 +339,11 @@ class Explorer:
         observer_factory: Callable | None = None,
         on_schedule: Callable | None = None,
         keep_results: bool = True,
+        engine_opts: dict | None = None,
     ) -> None:
         if dpor not in ("optimal", "lite"):
             raise ValueError(f"dpor must be 'optimal' or 'lite', not {dpor!r}")
+        self.engine_opts = dict(engine_opts or {})
         self.initial = initial
         self.specs = list(specs)
         self.retry = retry
@@ -351,6 +394,7 @@ class Explorer:
             max_steps=self.max_steps,
             policy=policy,
             observers=observers,
+            engine_opts=self.engine_opts,
         )
         schedule_result = simulator.run()
         # let consumers (e.g. the certification pipeline) read per-run
@@ -422,6 +466,7 @@ class Explorer:
             retry=self.retry,
             max_steps=self.max_steps,
             policy=policy,
+            engine_opts=self.engine_opts,
         ).run()
         return policy.candidate_signature or DEPENDENT
 
@@ -598,6 +643,7 @@ def explore(
     observer_factory: Callable | None = None,
     on_schedule: Callable | None = None,
     keep_results: bool = True,
+    engine_opts: dict | None = None,
 ) -> ExplorationResult:
     """Explore the scheduling tree of ``specs`` over ``initial``.
 
@@ -612,6 +658,8 @@ def explore(
     per-run observers (e.g. an anomaly monitor); ``workers`` fans the
     exploration across threads (optimal mode steals pending reversals from
     a shared frontier; lite mode pre-splits the root branches).
+    ``engine_opts`` passes extra Engine keyword options to every run
+    (e.g. ``{"vacuum": "off"}`` to disable version GC).
     """
     return Explorer(
         initial,
@@ -626,4 +674,5 @@ def explore(
         observer_factory=observer_factory,
         on_schedule=on_schedule,
         keep_results=keep_results,
+        engine_opts=engine_opts,
     ).run()

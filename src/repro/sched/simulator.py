@@ -115,8 +115,14 @@ class Simulator:
         policy: SchedulePolicy | None = None,
         collect_trace: bool = False,
         drop_blocked: bool = False,
+        engine_opts: dict | None = None,
     ) -> None:
-        self.engine = Engine(initial, phantom_protection=phantom_protection)
+        #: extra Engine keyword options (e.g. ``{"vacuum": "off"}``) —
+        #: threaded from explore() so scenarios can pin a GC policy
+        self.engine_opts = dict(engine_opts or {})
+        self.engine = Engine(
+            initial, phantom_protection=phantom_protection, **self.engine_opts
+        )
         #: callables invoked as ``observer(self, runtime)`` after every
         #: successful engine operation — the hook the assertion monitor
         #: (:mod:`repro.sched.monitor`) attaches to

@@ -118,6 +118,7 @@ class ReproService:
         self.telemetry = ServiceTelemetry()
         self.cache = VerdictCache()
         self.telemetry.track_cache(self.cache)
+        self.telemetry.track_storage()
         self.store = open_store(self.config.cache_dir, no_persist=self.config.no_persist)
         self.warmed_entries = 0
         self.batcher = Batcher(

@@ -213,13 +213,22 @@ class Registry:
         return metric
 
     def add_collector(self, collector) -> None:
-        """Register a callable returning ``{metric_name: value}`` gauges.
+        """Register a callable returning ``{metric_name: value}`` metrics.
 
-        Collectors surface externally owned counters (e.g. the shared
-        verdict cache's hit/miss totals) without copying them on every
-        mutation; they are polled at render time only.
+        Collectors surface externally owned state (e.g. the shared verdict
+        cache's hit/miss totals, the storage layer's capture/vacuum stats)
+        without copying it on every mutation; they are polled at render
+        time only.  A scalar value renders as a gauge (counter when the
+        name ends in ``_total``); a dict of the shape
+        ``{"buckets": {le: cumulative}, "sum": s, "count": n}`` — the
+        engine histograms' :meth:`~repro.engine.storage._FixedHistogram.expose`
+        contract — renders as a full Prometheus histogram.
         """
         self._collectors.append(collector)
+
+    @staticmethod
+    def _is_histogram_value(value) -> bool:
+        return isinstance(value, dict) and "buckets" in value
 
     def render(self) -> str:
         """Prometheus text exposition format (one trailing newline)."""
@@ -228,8 +237,17 @@ class Registry:
             lines.extend(metric.render())
         for collector in self._collectors:
             for name, value in sorted(collector().items()):
-                lines.append(f"# TYPE {name} gauge")
-                lines.append(f"{name} {_format_value(float(value))}")
+                if self._is_histogram_value(value):
+                    lines.append(f"# TYPE {name} histogram")
+                    for bound, cumulative in sorted(value["buckets"].items()):
+                        lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+                    lines.append(f'{name}_bucket{{le="+Inf"}} {value["count"]}')
+                    lines.append(f"{name}_sum {_format_value(float(value['sum']))}")
+                    lines.append(f"{name}_count {value['count']}")
+                else:
+                    kind = "counter" if name.endswith("_total") else "gauge"
+                    lines.append(f"# TYPE {name} {kind}")
+                    lines.append(f"{name} {_format_value(float(value))}")
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> dict:
@@ -237,7 +255,16 @@ class Registry:
         out = {name: metric.snapshot() for name, metric in self._metrics.items()}
         for collector in self._collectors:
             for name, value in collector().items():
-                out[name] = {"value": value}
+                if self._is_histogram_value(value):
+                    count = value["count"]
+                    total = value["sum"]
+                    out[name] = {
+                        "count": count,
+                        "sum": round(total, 9),
+                        "mean": round(total / count, 9) if count else 0.0,
+                    }
+                else:
+                    out[name] = {"value": value}
         return out
 
 
@@ -292,6 +319,27 @@ class ServiceTelemetry:
                 "repro_verdict_cache_misses": stats.misses,
                 "repro_verdict_cache_entries": len(cache),
                 "repro_verdict_cache_persist_hits": stats.persist_hits,
+            }
+
+        self.registry.add_collector(collect)
+
+    def track_storage(self, stats=None) -> None:
+        """Expose the MVCC store's capture/vacuum stats as collected metrics.
+
+        ``stats`` defaults to the process-wide
+        :data:`repro.engine.storage.STORAGE_STATS` every engine reports
+        into; every analysis job the service executes in-process feeds it.
+        """
+        if stats is None:
+            from repro.engine.storage import STORAGE_STATS as stats
+
+        def collect() -> dict:
+            return {
+                "repro_storage_snapshot_captures_total": stats.snapshot_captures,
+                "repro_storage_snapshot_capture_seconds": stats.capture_seconds.expose(),
+                "repro_storage_vacuum_passes_total": stats.vacuum_passes,
+                "repro_storage_vacuum_reclaimed_total": stats.vacuum_reclaimed,
+                "repro_storage_vacuum_seconds": stats.vacuum_seconds.expose(),
             }
 
         self.registry.add_collector(collect)

@@ -29,6 +29,11 @@ LARGE = [
     ("banking", "withdraw-race-3", "READ COMMITTED"),
     ("banking", "withdraw-race-3", "SNAPSHOT"),
     ("tpcc-lite", "district-mix", "READ COMMITTED"),
+    # the MVCC storage-stress workloads: a long-running snapshot reader
+    # over committing writers (version retention + snapshot-read stability)
+    ("mvcc-stress", "long-reader", "READ COMMITTED"),
+    ("mvcc-stress", "long-reader", "SNAPSHOT"),
+    ("mvcc-stress", "version-bloat", "SNAPSHOT"),
 ]
 
 LEVELS = ("READ COMMITTED", "REPEATABLE READ", "SNAPSHOT")

@@ -142,3 +142,55 @@ class TestServiceTelemetry:
         text = telemetry.registry.render()
         assert "repro_verdict_cache_hits 1" in text
         assert "repro_verdict_cache_entries 1" in text
+
+    def test_track_storage_exposes_counters_and_histograms(self):
+        from repro.engine.storage import StorageStats
+
+        stats = StorageStats()
+        stats.record_capture(0.000004, inflight=2)
+        stats.record_capture(0.000006, inflight=0)
+        stats.record_vacuum(0.00002, reclaimed=3)
+        telemetry = ServiceTelemetry()
+        telemetry.track_storage(stats)
+        text = telemetry.registry.render()
+        assert "repro_storage_snapshot_captures_total 2" in text
+        assert "repro_storage_vacuum_passes_total 1" in text
+        assert "repro_storage_vacuum_reclaimed_total 3" in text
+        # histogram-shaped collected values render as real histograms
+        assert "# TYPE repro_storage_snapshot_capture_seconds histogram" in text
+        assert 'repro_storage_snapshot_capture_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_storage_snapshot_capture_seconds_count 2" in text
+        assert 'repro_storage_vacuum_seconds_bucket{le="+Inf"} 1' in text
+
+    def test_track_storage_snapshot_summarises_histograms(self):
+        from repro.engine.storage import StorageStats
+
+        stats = StorageStats()
+        stats.record_capture(0.000004, inflight=1)
+        telemetry = ServiceTelemetry()
+        telemetry.track_storage(stats)
+        snap = telemetry.registry.snapshot()
+        assert snap["repro_storage_snapshot_captures_total"] == {"value": 1}
+        capture = snap["repro_storage_snapshot_capture_seconds"]
+        assert capture["count"] == 1
+        assert capture["sum"] == pytest.approx(0.000004)
+        assert capture["mean"] == pytest.approx(0.000004)
+
+    def test_track_storage_defaults_to_engine_global_stats(self):
+        from repro.core.state import DbState
+        from repro.engine.manager import Engine
+        from repro.engine.storage import STORAGE_STATS
+
+        STORAGE_STATS.reset()
+        try:
+            telemetry = ServiceTelemetry()
+            telemetry.track_storage()
+            engine = Engine(DbState(items={"x": 1}))
+            txn = engine.begin("SNAPSHOT")
+            engine.write_item(txn, "x", 2)
+            engine.commit(txn)
+            text = telemetry.registry.render()
+            assert "repro_storage_snapshot_captures_total 1" in text
+            assert "repro_storage_vacuum_passes_total 1" in text
+        finally:
+            STORAGE_STATS.reset()

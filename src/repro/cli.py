@@ -452,6 +452,33 @@ def cmd_lint(args) -> int:
     return EXIT_VERDICT if failed else EXIT_OK
 
 
+def cmd_infer(args) -> int:
+    from repro.pipeline.jobs import APPGEN_PREFIX, JobSpec, run_job
+
+    if not args.app.startswith(APPGEN_PREFIX):
+        _load_app(args.app)  # canonical unknown-app rejection before any work
+    spec = JobSpec(kind="infer", app=args.app, budget=args.budget, seed=args.seed)
+    job = run_job(spec, workers=resolve_workers(args.workers))
+    if args.json:
+        print(json.dumps(job.payload, indent=2))
+        return job.exit_code
+    print(job.report.render())
+    print()
+    if "declared_levels" in job.payload:
+        print("inferred-vs-declared level assignment:")
+        for name, declared in job.payload["declared_levels"].items():
+            inferred = job.payload["levels"][name]
+            marker = "==" if job.payload["matches"][name] else "!="
+            print(f"  {name}: declared {declared} {marker} inferred {inferred}")
+        verdict = "AGREE" if job.payload["agreement"] else "DISAGREE"
+        print(f"agreement: {verdict}")
+    else:
+        print("chooser levels for the inferred annotations:")
+        for name, level in job.payload["levels"].items():
+            print(f"  {name}: {level}")
+    return job.exit_code
+
+
 def cmd_serve(args) -> int:
     from repro.service.server import ServiceConfig, serve
 
@@ -494,6 +521,9 @@ def _submit_options(args) -> dict:
         # lint results depend on the app alone; a lean spec maximises the
         # service's chance to coalesce concurrent lint requests
         options = {}
+    if args.kind == "infer":
+        # inference depends only on budget and seed
+        options = {"budget": args.budget, "seed": args.seed}
     return options
 
 
@@ -710,6 +740,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.set_defaults(func=cmd_lint)
 
+    infer = sub.add_parser(
+        "infer", help="derive I/B/Q annotations statically and compare levels"
+    )
+    infer.add_argument("app", help="bundled application name or appgen:<seed>")
+    infer.add_argument("--budget", type=int, default=3000)
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument("--workers", type=int, default=None, metavar="N")
+    infer.add_argument("--json", action="store_true")
+    infer.set_defaults(func=cmd_infer)
+
     explore = sub.add_parser(
         "explore", help="exhaustively enumerate one scenario's schedules"
     )
@@ -824,7 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit = sub.add_parser(
         "submit", help="send jobs to a running analysis service"
     )
-    submit.add_argument("kind", choices=("analyze", "certify", "lint"))
+    submit.add_argument("kind", choices=("analyze", "certify", "lint", "infer"))
     submit.add_argument("apps", nargs="+", help="application name(s)")
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=8923)

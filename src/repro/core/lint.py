@@ -23,6 +23,19 @@ unbound-assertion-variable error     ``I_i``/``Q_i``/an explicit read post
                                      the assertion can never be evaluated
 dead-statement             warning   a statement follows an unconditional
                                      ROLLBACK in the same sequence
+unused-invariant           warning   an ``I_i`` conjunct mentions only
+                                     resources no statement in the whole
+                                     application touches — no execution
+                                     can establish or violate it, so it
+                                     weighs down the prover for nothing
+footprint-mismatch         warning   an explicit read post or snapshot
+                                     source term mentions a resource
+                                     outside both the transaction's
+                                     statically computed read/write
+                                     footprint (:func:`repro.core.sdg.
+                                     transaction_footprint`) and its
+                                     ``I_i`` — the declared footprint
+                                     diverges from the program text
 sdg-write-skew             warning   SDG dangerous structure (see
                                      :func:`repro.core.sdg.
                                      dangerous_structures`)
@@ -45,7 +58,7 @@ from dataclasses import dataclass, field
 
 from repro.core import sdg
 from repro.core.application import Application
-from repro.core.formula import Formula, conj
+from repro.core.formula import Formula, conj, conjuncts, eq
 from repro.core.program import (
     ForEach,
     If,
@@ -279,6 +292,80 @@ def check_unannotated_writes(txn: TransactionType) -> list:
     return findings
 
 
+def check_unused_invariant(txn: TransactionType, touched: frozenset) -> list:
+    """``I_i`` conjuncts over resources no statement anywhere touches.
+
+    ``touched`` is the union of read and write resources across *every*
+    transaction type in the application.  A conjunct whose resources all
+    fall outside it is inert: no execution can establish it, no partner
+    write can violate it, and the checker drags it through every proof
+    obligation regardless.  Conjuncts with no resources at all (pure
+    parameter or constant facts) are exempt — they constrain the argument
+    space, not the database.
+    """
+    findings = []
+    for part in conjuncts(txn.consistency):
+        resources = part.resources()
+        if not resources:
+            continue
+        if not overlaps(resources, touched):
+            findings.append(
+                Finding(
+                    "unused-invariant", WARNING, txn.name,
+                    f"I_i conjunct {part!r} mentions only resources no"
+                    " statement in the application touches",
+                )
+            )
+    return findings
+
+
+def check_footprint_mismatch(txn: TransactionType) -> list:
+    """Declared resources outside the statically computed footprint.
+
+    The *declared* footprint is everything the annotations claim the type
+    *observed*: explicit read postconditions and the source terms of the
+    logical-variable snapshot.  The *computed* footprint is what the
+    program text actually reads or writes
+    (:func:`repro.core.sdg.transaction_footprint`).  A declared resource
+    outside the computed one usually means an annotation survived a body
+    edit — the assertion now talks about state the type never looks at.
+    Two surfaces are deliberately exempt.  ``I_i`` and ``Q_i`` are not
+    checked at all: both legitimately assert invariants over
+    partner-maintained state.  And resources mentioned by ``I_i`` are
+    allowed to appear in read posts, because the canonical pattern (the
+    paper's banking example) has each read post re-assert the consistency
+    constraint at the read point — including the partner-account state the
+    type never touches.
+    """
+    footprint = sdg.transaction_footprint(txn)
+    computed = (
+        footprint.reads
+        | footprint.writes
+        | footprint.predicate_reads
+        | txn.consistency.resources()
+    )
+    declared: dict = {}
+    for stmt in txn.statements():
+        post = getattr(stmt, "post", None)
+        if post is not None:
+            for resource in post.resources():
+                declared.setdefault(resource, f"post of {stmt!r}")
+    for _logical, term in txn.snapshot:
+        for resource in eq(term, term).resources():
+            declared.setdefault(resource, "snapshot")
+    findings = []
+    for resource in sorted(declared, key=repr):
+        if not overlaps((resource,), computed):
+            findings.append(
+                Finding(
+                    "footprint-mismatch", WARNING, txn.name,
+                    f"{declared[resource]} mentions {resource!r}, which is"
+                    " outside the statically computed read/write footprint",
+                )
+            )
+    return findings
+
+
 def sdg_findings(graph: sdg.ConflictGraph) -> list:
     """Dangerous structures reported as lint warnings."""
     rule = {sdg.WRITE_SKEW: "sdg-write-skew", sdg.LOST_UPDATE: "sdg-lost-update"}
@@ -304,10 +391,15 @@ def lint_transactions(name: str, transactions) -> LintReport:
     """
     report = LintReport(application=name)
     report.findings.extend(check_duplicate_names(transactions))
+    touched = frozenset().union(
+        *(txn.read_resources() | txn.written_resources() for txn in transactions)
+    ) if transactions else frozenset()
     for txn in transactions:
         report.findings.extend(check_precondition(txn))
         report.findings.extend(check_assertion_variables(txn))
         report.findings.extend(check_dead_statements(txn))
+        report.findings.extend(check_unused_invariant(txn, touched))
+        report.findings.extend(check_footprint_mismatch(txn))
         report.findings.extend(check_unannotated_writes(txn))
     report.sort()
     return report

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field, fields
 from repro.errors import ReproError
 
 #: The job kinds the service and ``repro submit`` accept.
-JOB_KINDS = ("analyze", "certify", "lint")
+JOB_KINDS = ("analyze", "certify", "lint", "infer")
+
+#: Application references of the form ``appgen:<seed>`` resolve to
+#: generated unannotated programs (see :mod:`repro.workloads.appgen`);
+#: they are accepted by ``infer`` jobs only.
+APPGEN_PREFIX = "appgen:"
 
 
 class JobError(ReproError):
@@ -59,10 +64,19 @@ class JobSpec:
                 f"unknown job kind {self.kind!r}; choose from {', '.join(JOB_KINDS)}"
             )
         apps = registry()
-        if self.app not in apps:
+        if self.app.startswith(APPGEN_PREFIX):
+            if self.kind != "infer":
+                raise JobError(
+                    f"generated applications ({APPGEN_PREFIX}<seed>) are only"
+                    f" accepted by infer jobs, not {self.kind!r}"
+                )
+            seed = self.app[len(APPGEN_PREFIX) :]
+            if not (seed.isdigit() or (seed[:1] == "-" and seed[1:].isdigit())):
+                raise JobError(f"appgen seed must be an integer, got {seed!r}")
+        elif self.app not in apps:
             raise JobError(
                 f"unknown application {self.app!r};"
-                f" choose from {', '.join(sorted(apps))}"
+                f" choose from {', '.join(sorted(apps))} or {APPGEN_PREFIX}<seed>"
             )
         if self.ladder not in ("ansi", "extended"):
             raise JobError(f"unknown ladder {self.ladder!r}; choose ansi or extended")
@@ -164,6 +178,8 @@ def run_job(
             spec, cache=cache, workers=workers, backend=backend,
             cache_dir=cache_dir, no_persist=no_persist,
         )
+    if spec.kind == "infer":
+        return _run_infer_job(spec, workers=workers)
     return _run_lint_job(spec)
 
 
@@ -256,6 +272,61 @@ def _run_certify_job(
         exit_code=0 if report.agreement else 1,
         extras=extras,
         report=report,
+    )
+
+
+def _resolve_infer_app(ref: str):
+    """Registry app or ``appgen:<seed>`` generated program."""
+    if ref.startswith(APPGEN_PREFIX):
+        from repro.workloads.appgen import resolve_app_ref
+
+        return resolve_app_ref(ref)
+    from repro.apps import registry
+
+    return registry()[ref]()
+
+
+def _run_infer_job(spec: JobSpec, *, workers) -> JobResult:
+    from repro.core.chooser import analyze_application
+    from repro.core.formula import TRUE
+    from repro.core.infer import agreement, infer_application
+    from repro.core.interference import InterferenceChecker
+    from repro.core.parallel import resolve_workers
+
+    app = _resolve_infer_app(spec.app)
+    inferred, report = infer_application(app, seed=spec.seed)
+    payload = {
+        "application": app.name,
+        "inference": report.to_dict(),
+    }
+    declared = any(
+        txn.consistency is not TRUE
+        or txn.param_pre is not TRUE
+        or txn.result is not TRUE
+        for txn in app.transactions
+    )
+    exit_code = 0
+    if declared:
+        compared = agreement(
+            app, inferred, budget=spec.budget, seed=spec.seed, workers=workers
+        )
+        payload["declared_levels"] = compared["declared"]
+        payload["matches"] = compared["matches"]
+        payload["agreement"] = compared["agreement"]
+        payload["levels"] = compared["inferred"]
+        exit_code = 0 if compared["agreement"] else 1
+    else:
+        checker = InterferenceChecker(
+            inferred.spec, budget=spec.budget, seed=spec.seed,
+            workers=resolve_workers(workers),
+        )
+        payload["levels"] = analyze_application(inferred, checker).levels()
+    return JobResult(
+        spec=spec,
+        payload=payload,
+        exit_code=exit_code,
+        report=report,
+        artifacts={"inferred": inferred},
     )
 
 

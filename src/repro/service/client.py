@@ -109,6 +109,9 @@ class ServiceClient:
     def lint(self, apps, **options) -> dict:
         return self.submit("lint", apps, **options)
 
+    def infer(self, apps, **options) -> dict:
+        return self.submit("infer", apps, **options)
+
     def health(self, raise_for_status: bool = False) -> dict:
         status, text = self.request("GET", "/healthz")
         try:

@@ -9,7 +9,7 @@ keep the drain logic exact.
 
 Endpoints (schemas in ``docs/SERVICE.md``):
 
-* ``POST /analyze`` / ``POST /certify`` / ``POST /lint`` — run jobs for
+* ``POST /analyze`` / ``POST /certify`` / ``POST /lint`` / ``POST /infer`` — run jobs for
   one ``app`` or a list of ``apps``; options mirror the batch CLI flags.
   Responses carry per-unit ``result`` payloads byte-identical to the
   batch CLI's JSON (both fronts call :func:`repro.pipeline.jobs.run_job`).
@@ -307,7 +307,7 @@ class ReproService:
             if method != "GET":
                 raise _HttpError(405, "use GET /metrics")
             return 200, self.telemetry.registry.render(), "text/plain; version=0.0.4"
-        if path in ("/analyze", "/certify", "/lint"):
+        if path in ("/analyze", "/certify", "/lint", "/infer"):
             if method != "POST":
                 raise _HttpError(405, f"use POST {path}")
             if self._draining:

@@ -26,6 +26,22 @@ class WorkloadConfig:
     hot_fraction: float = 0.5
     seed: int = 0
 
+    def rng(self, consumer: str = "") -> random.Random:
+        """A fresh deterministic stream derived from the config seed.
+
+        Every consumer must derive its randomness here — never from the
+        module-level :mod:`random` state — so that equal seeds produce
+        byte-identical workloads regardless of what else has drawn from
+        the global RNG.  The unlabelled stream is ``Random(seed)``: the
+        bundled workload generators all draw from it, and each gets its
+        own instance, so interleaving generator calls never perturbs any
+        of them.  A nonempty ``consumer`` label keys an independent
+        stream for new consumers that must not replay the default draws.
+        """
+        if consumer:
+            return random.Random(f"{self.seed}:{consumer}")
+        return random.Random(self.seed)
+
 
 def pick_weighted(rng: random.Random, weights: Mapping[str, float]) -> str:
     """Pick a key proportionally to its weight."""
@@ -50,7 +66,7 @@ def banking_workload(config: WorkloadConfig, accounts: int = 4, levels: Mapping[
     """Withdrawals and deposits over ``accounts`` accounts."""
     from repro.apps import banking
 
-    rng = random.Random(config.seed)
+    rng = config.rng()
     mix = {
         "Withdraw_sav": 0.3,
         "Withdraw_ch": 0.3,
@@ -89,7 +105,7 @@ def tpcc_workload(config: WorkloadConfig, levels: Mapping[str, str] | None = Non
     """The standard TPC-C-lite mix at the configured contention."""
     from repro.apps import tpcc
 
-    rng = random.Random(config.seed)
+    rng = config.rng()
     types = {txn.name: txn for txn in tpcc.ALL_TYPES}
     specs = []
     for position in range(config.size):
@@ -119,7 +135,7 @@ def order_entry_workload(
     """The Section 6 application under load (New_Order heavy)."""
     from repro.apps import orders
 
-    rng = random.Random(config.seed)
+    rng = config.rng()
     mailing = orders.make_mailing_list()
     new_order = orders.make_new_order(rule)
     delivery = orders.make_delivery()

@@ -140,3 +140,126 @@ class TestAnnotatePaths:
         paths = annotate_paths(body, ge(Item("x"), 2))
         point = next(p for p in paths[0].points if p.statement is write)
         assert entails(point.pre, ge(Local("v"), 2))
+
+
+class TestLoopHandling:
+    """Loop unrolling: nesting, exit guards, and exactness degradation."""
+
+    @staticmethod
+    def _counter_loop(local, bound, unroll_body=None):
+        return While(
+            lt(Local(local), bound),
+            body=unroll_body or (LocalAssign(Local(local), Local(local) + 1),),
+        )
+
+    def test_nested_while_forks_inner_per_outer_iteration(self):
+        # outer 0x -> 1 path; outer 1x -> the inner loop runs once and
+        # itself forks 0x/1x -> 2 paths; 3 total at max_loop_unroll=1
+        inner = self._counter_loop("j", 1)
+        outer = While(
+            lt(Local("i"), 1),
+            body=(LocalAssign(Local("j"), IntConst(0)), inner,
+                  LocalAssign(Local("i"), Local("i") + 1)),
+        )
+        body = (LocalAssign(Local("i"), IntConst(0)), outer)
+        paths = annotate_paths(body, TRUE, max_loop_unroll=1)
+        assert len(paths) == 3
+
+    def test_nested_while_inner_exit_guard_in_final(self):
+        inner = self._counter_loop("j", 1)
+        outer = While(
+            lt(Local("i"), 1),
+            body=(LocalAssign(Local("j"), IntConst(0)), inner,
+                  LocalAssign(Local("i"), Local("i") + 1)),
+        )
+        body = (LocalAssign(Local("i"), IntConst(0)), outer)
+        paths = annotate_paths(body, TRUE, max_loop_unroll=1)
+        # the path that entered both loops carries both negated guards
+        both = [p for p in paths if entails(p.final, ge(Local("i"), 1))
+                and entails(p.final, ge(Local("j"), 1))]
+        assert both
+
+    def test_loop_exit_conjoins_negated_guard(self):
+        body = (
+            LocalAssign(Local("k"), IntConst(0)),
+            self._counter_loop("k", 2),
+        )
+        paths = annotate_paths(body, TRUE, max_loop_unroll=2)
+        # the 2x-unrolled path knows k == 2 exactly: two increments from 0
+        # plus the negated guard not(k < 2)
+        full = [p for p in paths if entails(p.final, eq(Local("k"), 2))]
+        assert full
+        # and every path's final conjoins the negated guard (k >= 2) or is
+        # a truncated unrolling marked inexact
+        for path in paths:
+            assert entails(path.final, ge(Local("k"), 2)) or not path.points[-1].exact
+
+    def test_loop_exit_point_attributed_to_loop_statement(self):
+        loop = self._counter_loop("k", 1)
+        body = (LocalAssign(Local("k"), IntConst(0)), loop)
+        paths = annotate_paths(body, TRUE, max_loop_unroll=1)
+        one_iter = max(paths, key=lambda p: len(p.points))
+        # the synthetic _LoopExit point reports the While itself
+        loop_points = [pt for pt in one_iter.points if pt.statement is loop]
+        assert len(loop_points) == 2  # loop entry + loop exit
+
+    def test_exactness_degrades_at_unroll_bound(self):
+        body = (
+            LocalAssign(Local("k"), IntConst(0)),
+            self._counter_loop("k", 1),
+        )
+        paths = annotate_paths(body, TRUE, max_loop_unroll=2)
+        assert len(paths) == 3
+        by_unroll = {
+            next(n for n in p.condition_notes if "unrolled" in n): p for p in paths
+        }
+        # 0x: guard refuted but propagation itself stays exact
+        assert by_unroll["loop unrolled 0x"].points[-1].exact
+        # 1x: below the bound, still exact
+        assert by_unroll["loop unrolled 1x"].points[-1].exact
+        # 2x: at the bound the unrolling may be truncated -> inexact
+        assert not by_unroll["loop unrolled 2x"].points[-1].exact
+
+    def test_relational_statement_poisons_exactness(self):
+        body = (
+            Read(Local("v"), Item("x")),
+            Select("T", Local("buff", "str")),
+            LocalAssign(Local("v"), Local("v") + 1),
+        )
+        paths = annotate_paths(body, ge(Item("x"), 0))
+        (path,) = paths
+        read_pt, select_pt, assign_pt = path.points
+        assert read_pt.exact
+        assert not select_pt.exact  # disjoint passthrough is sound, not sp
+        assert not assign_pt.exact  # poisoned from the Select onward
+
+    def test_relational_without_sp_degrades_to_true_weakening(self):
+        from repro.core.formula import ForAllRows, RowAttr
+        from repro.core.program import Insert
+
+        pre = ForAllRows("T", "r", ge(RowAttr("r", "k"), 0))
+        body = (Insert("T", (("k", IntConst(1)),)),)
+        paths = annotate_paths(body, pre)
+        (path,) = paths
+        (point,) = path.points
+        assert not point.exact
+        assert point.derived_post == TRUE  # sound but maximally weak
+
+    def test_relational_with_explicit_post_trusted_but_inexact(self):
+        from repro.core.formula import ForAllRows, RowAttr
+        from repro.core.program import Insert
+
+        pre = ForAllRows("T", "r", ge(RowAttr("r", "k"), 0))
+        declared = ge(Item("x"), 0)
+        body = (
+            Insert("T", (("k", IntConst(1)),), post=declared),
+            Read(Local("v"), Item("x")),
+        )
+        paths = annotate_paths(body, pre)
+        (path,) = paths
+        insert_pt, read_pt = path.points
+        assert insert_pt.derived_post == declared
+        assert not insert_pt.exact
+        # downstream propagation continues from the declared post
+        assert entails(read_pt.derived_post, ge(Local("v"), 0))
+        assert not read_pt.exact

@@ -44,6 +44,21 @@ class TestValidation:
     def test_valid_spec_passes(self):
         JobSpec(kind="analyze", app="banking").validate()
 
+    def test_appgen_ref_accepted_for_infer(self):
+        JobSpec(kind="infer", app="appgen:7").validate()
+        JobSpec(kind="infer", app="appgen:-2").validate()
+
+    def test_appgen_ref_rejected_for_other_kinds(self):
+        with pytest.raises(JobError, match="only.*infer"):
+            JobSpec(kind="analyze", app="appgen:7").validate()
+
+    def test_appgen_seed_must_be_integer(self):
+        with pytest.raises(JobError, match="must be an integer"):
+            JobSpec(kind="infer", app="appgen:banana").validate()
+
+    def test_infer_accepts_registry_apps(self):
+        JobSpec(kind="infer", app="banking").validate()
+
 
 class TestFromDict:
     def test_round_trip(self):

@@ -90,6 +90,20 @@ class TestEndpoints:
 
         serve_test(handler)
 
+    def test_infer_appgen_matches_batch_byte_for_byte(self):
+        spec = JobSpec(kind="infer", app="appgen:1", budget=300)
+        batch = run_job(spec, no_persist=True)
+
+        async def handler(service, client):
+            response = await asyncio.to_thread(client.infer, "appgen:1", budget=300)
+            (entry,) = response["results"]
+            assert entry["fingerprint"] == spec.fingerprint()
+            assert json.dumps(entry["result"]) == json.dumps(batch.payload)
+            assert entry["exit_code"] == 0
+            assert entry["result"]["levels"]
+
+        serve_test(handler)
+
     def test_certify_matches_batch_byte_for_byte(self):
         spec = JobSpec(kind="certify", app="banking", budget=200, max_schedules=200)
         batch = run_job(spec, no_persist=True)

@@ -4,14 +4,42 @@ Every benchmark regenerates one of the paper's artifacts (see DESIGN.md's
 experiment index).  Since pytest captures stdout, each experiment writes
 its table to ``benchmarks/results/<exp>.txt`` as well as printing it, so
 the reproduced rows survive a quiet run and EXPERIMENTS.md can cite them.
+
+Every ``BENCH_*.json`` additionally records the machine and process
+topology it was measured on (:func:`topology`): scaling numbers from a
+1-core CI container and a 32-core workstation are not comparable, and a
+result file that does not say which it came from is a trap for whoever
+reads it later.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def topology() -> dict:
+    """The machine/process topology a benchmark ran under.
+
+    ``usable_cores`` is the scheduling affinity (what a cgroup-limited CI
+    container actually gets), which may be far below ``cpu_count``; scaling
+    assertions should gate on it.
+    """
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        usable = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "usable_cores": usable,
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
 
 
 def emit(experiment: str, text: str) -> None:
@@ -31,10 +59,13 @@ def emit_json(bench: str, payload: dict) -> pathlib.Path:
         {bench, config, wall_ms, obligations, tier_counts}
 
     Extra keys are allowed; ``bench`` is filled in from the argument so
-    callers cannot mislabel a file.  CI picks these up as artifacts.
+    callers cannot mislabel a file, and ``topology`` is filled in from
+    :func:`topology` unless the caller already recorded one (fleet benches
+    extend it with their worker counts).  CI picks these up as artifacts.
     """
     record = dict(payload)
     record["bench"] = bench
+    record.setdefault("topology", topology())
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{bench}.json"
     path.write_text(json.dumps(record, indent=2, sort_keys=True, default=str) + "\n")

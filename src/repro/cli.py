@@ -23,9 +23,12 @@ Commands:
   ``error``-severity finding;
 * ``serve`` — run the long-lived analysis service (``repro.service``):
   an asyncio JSON-over-HTTP server with request batching, admission
-  control and Prometheus telemetry (see ``docs/SERVICE.md``);
+  control and Prometheus telemetry; ``--fleet N`` puts a consistent-hash
+  router in front of N worker processes (see ``docs/SERVICE.md``);
 * ``submit <kind> <app> ...`` — send analyze/certify/lint jobs to a
   running service and render the results;
+* ``compact`` — merge the persistent verdict store's segments into one
+  (safe to run while a fleet is serving; see ``repro.core.persist``);
 * ``apps`` — list the bundled applications;
 * ``levels`` — list the supported isolation levels.
 
@@ -46,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.core.cache import VerdictCache, shared_cache
@@ -482,6 +486,11 @@ def cmd_infer(args) -> int:
 def cmd_serve(args) -> int:
     from repro.service.server import ServiceConfig, serve
 
+    persist_interval = args.persist_interval
+    if persist_interval is None:
+        # fleet shards flush/refresh periodically so verdicts propagate
+        # across workers; the single server keeps its flush-on-drain default
+        persist_interval = 5.0 if (args.fleet and not args.no_persist) else 0.0
     config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -495,8 +504,43 @@ def cmd_serve(args) -> int:
         cache_dir=args.cache_dir,
         no_persist=args.no_persist,
         backend=args.backend,
+        persist_interval=persist_interval,
     )
+    if args.fleet:
+        from repro.service.router import FleetConfig, serve_fleet
+
+        return serve_fleet(FleetConfig(
+            host=args.host,
+            port=args.port,
+            fleet=args.fleet,
+            worker=config,
+            max_inflight=args.max_inflight,
+            max_body=args.max_body,
+            drain_timeout=args.drain_timeout,
+        ))
     return serve(config)
+
+
+def cmd_compact(args) -> int:
+    from repro.core.persist import DEFAULT_CACHE_DIR, PersistentStore
+
+    directory = (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    )
+    store = PersistentStore(directory)
+    count = store.segment_count()
+    if count == 0:
+        print(f"{directory}: no verdict segments to compact")
+        return EXIT_OK
+    summary = store.compact()
+    if not summary["compacted"]:
+        print(f"{directory}: skipped — another process holds the compaction claim")
+        return EXIT_OK
+    print(
+        f"{directory}: compacted {summary['segments_in']} segments into 1"
+        f" ({summary['entries']} entries)"
+    )
+    return EXIT_OK
 
 
 def _submit_options(args) -> dict:
@@ -859,7 +903,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=("thread", "process"), default="thread",
         help="executor for per-job obligation dispatch (with --job-workers > 1)",
     )
+    serve.add_argument(
+        "--fleet", type=int, default=0, metavar="N",
+        help="run a sharded fleet: a consistent-hash router in front of"
+        " N worker processes (0 = single-process service)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32, metavar="N",
+        help="router backpressure: in-flight forwarded requests per worker"
+        " shard before 429 (with --fleet)",
+    )
+    serve.add_argument(
+        "--persist-interval", type=float, default=None, metavar="SECONDS",
+        help="flush/refresh the persistent verdict store every SECONDS"
+        " (default: 5 for fleet workers with persistence on, else only"
+        " at drain)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    compact = sub.add_parser(
+        "compact", help="merge the persistent verdict store's segments into one"
+    )
+    compact.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="verdict store directory (default: $REPRO_CACHE_DIR, else"
+        " .repro-cache)",
+    )
+    compact.set_defaults(func=cmd_compact)
 
     submit = sub.add_parser(
         "submit", help="send jobs to a running analysis service"

@@ -24,7 +24,17 @@ Design constraints, in order:
   (``verdicts-<pid>-<uuid>.jsonl``) via a temp-file rename; two processes
   sharing a cache directory only ever append distinct files.  Compaction
   merges segments into a fresh uniquely named file before unlinking the
-  inputs, tolerating races with other compactors.
+  inputs, and is serialised across processes by an advisory claim file
+  (``compact.lock``, created with ``O_EXCL``): two compactors never
+  double-unlink, a loser simply skips its turn, and a claim left behind by
+  a killed compactor is broken once it goes stale (dead pid or old mtime).
+
+The store is also the analysis fleet's cross-process verdict bus
+(``repro serve --fleet``): every worker shard periodically *flushes* its
+newly decided verdicts as a fresh segment and *refreshes* its in-memory
+cache from segments it has not absorbed yet (:meth:`PersistentStore.refresh`
+tracks seen segment names), so a verdict decided on one shard warms every
+other shard within one persist interval.
 
 Witnesses are persisted in stripped form (kind and description only): the
 concrete states and environments exist to render one report and are not
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import uuid
 from pathlib import Path
 
@@ -52,7 +63,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 #: Compaction triggers when a directory accumulates more segments than this.
 COMPACT_THRESHOLD = 8
 
+#: A compaction claim older than this is considered abandoned (seconds).
+LOCK_STALE_SECONDS = 300.0
+
 _SEGMENT_GLOB = "verdicts-*.jsonl"
+_LOCK_NAME = "compact.lock"
 
 
 def store_salt() -> str:
@@ -107,13 +122,17 @@ class PersistentStore:
     def __init__(self, directory: str | os.PathLike, salt: str | None = None) -> None:
         self.directory = Path(directory)
         self.salt = store_salt() if salt is None else salt
+        self._seen: set = set()  # segment names already absorbed (refresh)
         self.stats = {
             "segments_loaded": 0,
             "segments_skipped": 0,  # wrong salt/format or unreadable
             "entries_loaded": 0,
+            "entries_refreshed": 0,
             "lines_skipped": 0,  # corrupted or truncated
             "entries_flushed": 0,
             "compactions": 0,
+            "compactions_skipped": 0,  # another process held the claim
+            "refreshes": 0,
         }
 
     # -- loading -------------------------------------------------------------
@@ -128,8 +147,28 @@ class PersistentStore:
         """
         absorbed = 0
         for segment in sorted(self.directory.glob(_SEGMENT_GLOB)):
+            self._seen.add(segment.name)
             absorbed += self._load_segment(segment, cache)
         self.stats["entries_loaded"] += absorbed
+        return absorbed
+
+    def refresh(self, cache: VerdictCache) -> int:
+        """Absorb segments that appeared since our last load/refresh/flush.
+
+        The fleet's cross-shard path: other worker processes flush their
+        verdicts as new uniquely named segments; refreshing picks exactly
+        those up (segments this store already read — or itself wrote — are
+        tracked by name and skipped).  In-memory entries always win, so a
+        refresh can never regress a verdict this process decided.
+        """
+        absorbed = 0
+        for segment in sorted(self.directory.glob(_SEGMENT_GLOB)):
+            if segment.name in self._seen:
+                continue
+            self._seen.add(segment.name)
+            absorbed += self._load_segment(segment, cache)
+        self.stats["refreshes"] += 1
+        self.stats["entries_refreshed"] += absorbed
         return absorbed
 
     def _load_segment(self, path: Path, cache: VerdictCache) -> int:
@@ -185,7 +224,8 @@ class PersistentStore:
             if not persisted
         ]
         if entries:
-            self._write_segment(entries)
+            written = self._write_segment(entries)
+            self._seen.add(written.name)
             self.stats["entries_flushed"] += len(entries)
         self._maybe_compact(cache)
         return len(entries)
@@ -209,28 +249,116 @@ class PersistentStore:
 
     # -- compaction ----------------------------------------------------------
 
+    def _claim_compaction(self) -> bool:
+        """Try to acquire the advisory compaction claim (non-blocking).
+
+        The claim is a file created with ``O_CREAT | O_EXCL`` — atomic on
+        every filesystem we care about — holding our pid.  A claim whose
+        holder is dead or whose mtime is older than
+        :data:`LOCK_STALE_SECONDS` is broken (unlinked) and contention is
+        retried once; losing the retry means another live compactor is at
+        work, and skipping is the correct move (its merge covers our
+        segments too).
+        """
+        lock = self.directory / _LOCK_NAME
+        for _attempt in (0, 1):
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if not self._break_stale_claim(lock):
+                    return False
+                continue
+            except OSError:
+                return False
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{os.getpid()}\n")
+            return True
+        return False
+
+    def _break_stale_claim(self, lock: Path) -> bool:
+        """Unlink an abandoned claim; True when a retry is worthwhile."""
+        try:
+            age = time.time() - lock.stat().st_mtime
+        except OSError:
+            # raced with the holder's own release — treat as contended
+            return False
+        try:
+            holder = int(lock.read_text(encoding="utf-8").strip() or "0")
+        except (OSError, ValueError):
+            holder = 0  # unreadable or garbage claim: age alone decides
+        stale = age > LOCK_STALE_SECONDS
+        if not stale and holder > 0:
+            try:
+                os.kill(holder, 0)  # signal 0: existence probe only
+            except ProcessLookupError:
+                stale = True
+            except OSError:
+                pass  # exists but not ours to probe — assume alive
+        if not stale:
+            return False
+        try:
+            lock.unlink()
+        except OSError:
+            pass
+        return True
+
+    def _release_compaction(self) -> None:
+        try:
+            (self.directory / _LOCK_NAME).unlink()
+        except OSError:  # pragma: no cover - release is best-effort
+            pass
+
     def _maybe_compact(self, cache: VerdictCache) -> None:
         try:
-            segments = sorted(self.directory.glob(_SEGMENT_GLOB))
+            count = sum(1 for _ in self.directory.glob(_SEGMENT_GLOB))
         except OSError:
             return
-        if len(segments) <= COMPACT_THRESHOLD:
+        if count <= COMPACT_THRESHOLD:
             return
-        merged = VerdictCache(cap=cache.cap)
-        for segment in segments:
-            self._load_segment(segment, merged)
-        entries = [(scope_key, verdict) for scope_key, verdict, _ in merged.items()]
-        if entries:
-            self._write_segment(entries)
-        for segment in segments:
-            # A concurrent compactor may have beaten us to the unlink; the
-            # merged segment we just wrote is self-sufficient either way.
-            # Stale-salt segments are dropped too: no future run loads them.
-            try:
-                segment.unlink()
-            except OSError:
-                pass
-        self.stats["compactions"] += 1
+        self.compact(cap=cache.cap)
+
+    def compact(self, cap: int | None = None) -> dict:
+        """Merge every readable segment into one, under the advisory claim.
+
+        Returns a summary dict (``{"compacted": bool, "segments_in":  n,
+        "entries": m}``).  Safe to call concurrently from any number of
+        processes sharing the directory: exactly one wins the claim and
+        unlinks the inputs it merged; the rest skip.  Segments that appear
+        *while* we hold the claim (a concurrent flush) are untouched — we
+        only unlink the inputs we actually read.
+        """
+        if cap is None:
+            from repro.core.cache import DEFAULT_CACHE_CAP as cap
+        if not self._claim_compaction():
+            self.stats["compactions_skipped"] += 1
+            return {"compacted": False, "segments_in": 0, "entries": 0}
+        try:
+            segments = sorted(self.directory.glob(_SEGMENT_GLOB))
+            merged = VerdictCache(cap=cap)
+            for segment in segments:
+                self._load_segment(segment, merged)
+            entries = [(scope_key, verdict) for scope_key, verdict, _ in merged.items()]
+            all_seen = all(segment.name in self._seen for segment in segments)
+            if entries:
+                written = self._write_segment(entries)
+                if all_seen:
+                    # the merge holds nothing we have not absorbed already
+                    self._seen.add(written.name)
+            for segment in segments:
+                # stale-salt segments are dropped too: no future run loads them
+                try:
+                    segment.unlink()
+                except OSError:  # pragma: no cover - racing an external rm
+                    pass
+                self._seen.discard(segment.name)
+            self.stats["compactions"] += 1
+            return {
+                "compacted": True,
+                "segments_in": len(segments),
+                "entries": len(entries),
+            }
+        finally:
+            self._release_compaction()
 
     # -- introspection -------------------------------------------------------
 

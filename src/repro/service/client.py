@@ -1,26 +1,47 @@
-"""A small blocking client for the analysis service.
+"""Clients for the analysis service: blocking and pooled-async.
 
-Used by ``repro submit``, the service tests and the E15 benchmark.  One
-HTTP/1.1 request per connection (matching the server's connection-per-
-request model), stdlib :mod:`http.client` underneath, JSON in and out.
+Two transports share one protocol and one exception ladder:
+
+* :class:`ServiceClient` — the blocking client behind ``repro submit``,
+  the service tests and the E15 benchmark.  One HTTP/1.1 request per
+  connection, stdlib :mod:`http.client` underneath, JSON in and out.
+* :class:`AsyncServiceClient` — the pooled asyncio client the fleet
+  router and the E19 benchmark drive traffic with: a bounded pool of
+  keep-alive connections, requests pipelined back to back on each
+  (connect once, then request/response cycles), and the same JSON
+  surface as the blocking client, awaitable.
+
+Both honour admission control the same way: a 429 raises
+:class:`ServiceBusyError` immediately by default; ``submit(...,
+retries=N)`` opts into capped, jittered backoff that honours the
+server's ``Retry-After`` header before giving up.
 
 Errors map onto a small exception ladder so callers can translate them
 into the CLI's exit-code contract (see ``docs/SERVICE.md``):
 
 * :class:`ServiceConnectionError` — the server is unreachable;
-* :class:`ServiceBusyError` — admission control said 429;
+* :class:`ServiceBusyError` — admission control said 429 (carries
+  ``retry_after`` when the server sent one);
 * :class:`ServiceError` — any other non-2xx answer (carries status and
   the decoded error payload).
 """
 
 from __future__ import annotations
 
+import asyncio
 import http.client
 import json
+import random
 import socket
 import time
 
 from repro.errors import ReproError
+
+#: Hard ceiling on one backoff sleep (seconds) regardless of Retry-After.
+RETRY_BACKOFF_CAP = 5.0
+
+#: First backoff step (seconds) when the server sent no Retry-After.
+RETRY_BACKOFF_BASE = 0.05
 
 
 class ServiceError(ReproError):
@@ -36,9 +57,68 @@ class ServiceError(ReproError):
 class ServiceBusyError(ServiceError):
     """Admission control rejected the request (HTTP 429)."""
 
+    def __init__(self, status: int, payload, retry_after: float | None = None) -> None:
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
 
 class ServiceConnectionError(ReproError):
     """The service could not be reached at all."""
+
+
+def _parse_retry_after(value) -> float | None:
+    """Seconds from a ``Retry-After`` header value (delta form only)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return seconds if seconds >= 0 else None
+
+
+def backoff_delay(attempt: int, retry_after: float | None, *,
+                  base: float = RETRY_BACKOFF_BASE,
+                  cap: float = RETRY_BACKOFF_CAP,
+                  rng: random.Random | None = None) -> float:
+    """One capped, jittered backoff sleep for retry number ``attempt`` (0-based).
+
+    The server's ``Retry-After`` is the floor when present — retrying
+    sooner than the server asked just buys another 429.  On top of it (or
+    of exponential ``base * 2**attempt`` without one) goes up to 25%
+    random jitter, so a fleet of synchronized clients de-synchronizes
+    instead of re-flooding in lockstep; the whole delay is capped.
+    """
+    delay = base * (2 ** attempt)
+    if retry_after is not None:
+        delay = max(delay, retry_after)
+    jitter = (rng.random() if rng is not None else random.random()) * 0.25
+    return min(cap, delay * (1.0 + jitter))
+
+
+def _decode_body(status: int, text: str) -> dict:
+    try:
+        return json.loads(text)
+    except ValueError:
+        return {"error": text.strip()}
+
+
+def _raise_for_status(status: int, decoded, retry_after: float | None = None):
+    if status == 429:
+        raise ServiceBusyError(status, decoded, retry_after=retry_after)
+    if not 200 <= status < 300:
+        raise ServiceError(status, decoded)
+
+
+def _job_payload(kind: str, apps, deadline_ms, options) -> tuple[str, dict]:
+    if isinstance(apps, str):
+        payload: dict = {"app": apps}
+    else:
+        payload = {"apps": list(apps)}
+    if deadline_ms is not None:
+        payload["deadline_ms"] = deadline_ms
+    payload.update(options)
+    return f"/{kind}", payload
 
 
 class ServiceClient:
@@ -53,8 +133,8 @@ class ServiceClient:
 
     # -- transport -----------------------------------------------------------
 
-    def request(self, method: str, path: str, payload: dict | None = None):
-        """One request; returns ``(status, body_text)`` or raises."""
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        """One request; returns ``(status, body_text, headers)`` or raises."""
         body = None
         headers = {}
         if payload is not None:
@@ -67,7 +147,7 @@ class ServiceClient:
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             text = response.read().decode("utf-8", "replace")
-            return response.status, text
+            return response.status, text, dict(response.getheaders())
         except (ConnectionError, socket.timeout, OSError) as exc:
             raise ServiceConnectionError(
                 f"cannot reach repro service at {self.host}:{self.port}: {exc}"
@@ -75,30 +155,48 @@ class ServiceClient:
         finally:
             connection.close()
 
+    def request(self, method: str, path: str, payload: dict | None = None):
+        """One request; returns ``(status, body_text)`` or raises."""
+        status, text, _headers = self._request(method, path, payload)
+        return status, text
+
     def request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
-        status, text = self.request(method, path, payload)
-        try:
-            decoded = json.loads(text)
-        except ValueError:
-            decoded = {"error": text.strip()}
-        if status == 429:
-            raise ServiceBusyError(status, decoded)
-        if not 200 <= status < 300:
-            raise ServiceError(status, decoded)
+        status, text, headers = self._request(method, path, payload)
+        decoded = _decode_body(status, text)
+        retry_after = _parse_retry_after(
+            {k.lower(): v for k, v in headers.items()}.get("retry-after")
+        )
+        _raise_for_status(status, decoded, retry_after)
         return decoded
 
     # -- endpoints -----------------------------------------------------------
 
-    def submit(self, kind: str, apps, deadline_ms: int | None = None, **options) -> dict:
-        """POST one job request; ``apps`` is a name or a list of names."""
-        if isinstance(apps, str):
-            payload: dict = {"app": apps}
-        else:
-            payload = {"apps": list(apps)}
-        if deadline_ms is not None:
-            payload["deadline_ms"] = deadline_ms
-        payload.update(options)
-        return self.request_json("POST", f"/{kind}", payload)
+    def submit(
+        self,
+        kind: str,
+        apps,
+        deadline_ms: int | None = None,
+        retries: int = 0,
+        **options,
+    ) -> dict:
+        """POST one job request; ``apps`` is a name or a list of names.
+
+        ``retries`` opts into busy-retry: up to that many additional
+        attempts after a 429, sleeping a capped jittered backoff that
+        honours the server's ``Retry-After`` between attempts
+        (:func:`backoff_delay`).  The default (0) keeps the historical
+        fail-fast contract: the first 429 raises
+        :class:`ServiceBusyError`.
+        """
+        path, payload = _job_payload(kind, apps, deadline_ms, options)
+        for attempt in range(retries + 1):
+            try:
+                return self.request_json("POST", path, payload)
+            except ServiceBusyError as exc:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff_delay(attempt, exc.retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def analyze(self, apps, **options) -> dict:
         return self.submit("analyze", apps, **options)
@@ -139,6 +237,229 @@ class ServiceClient:
             except ServiceConnectionError as exc:
                 last = exc
                 time.sleep(interval)
+        raise ServiceConnectionError(
+            f"service at {self.host}:{self.port} not ready after {timeout}s: {last}"
+        )
+
+
+class _PooledConnection:
+    """One keep-alive connection of an :class:`AsyncServiceClient`."""
+
+    __slots__ = ("reader", "writer", "requests")
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.requests = 0  # served on this connection (pool telemetry)
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # noqa: BLE001 - closing is best-effort
+            pass
+
+
+class AsyncServiceClient:
+    """Pooled asyncio JSON client bound to one host/port.
+
+    Holds at most ``pool_size`` open connections; requests beyond that
+    wait for a slot instead of opening more sockets (bounded pressure on
+    the server's accept loop).  Idle connections are reused back to back —
+    the server keeps them alive — and a connection the server closed while
+    idle (read timeout, drain) is detected on first use and replaced with
+    a fresh one, transparently retrying the request once.
+
+    Counters (``stats``): ``requests``, ``connects``, ``reuses``,
+    ``stale_retries``, ``busy_retries``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8923,
+        *,
+        pool_size: int = 8,
+        timeout: float = 300.0,
+        retries: int = 0,
+    ) -> None:
+        if pool_size < 1:
+            raise ReproError(f"pool_size must be >= 1, got {pool_size!r}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self._slots = asyncio.Semaphore(pool_size)
+        self._idle: list[_PooledConnection] = []
+        self._closed = False
+        self.stats = {
+            "requests": 0, "connects": 0, "reuses": 0,
+            "stale_retries": 0, "busy_retries": 0,
+        }
+
+    # -- pool ----------------------------------------------------------------
+
+    async def _connect(self) -> _PooledConnection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), timeout=self.timeout
+            )
+        except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
+            raise ServiceConnectionError(
+                f"cannot reach repro service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        self.stats["connects"] += 1
+        return _PooledConnection(reader, writer)
+
+    async def aclose(self) -> None:
+        """Close every idle pooled connection (in-flight ones close on release)."""
+        self._closed = True
+        while self._idle:
+            self._idle.pop().close()
+
+    # -- transport -----------------------------------------------------------
+
+    async def request(self, method: str, path: str, payload: dict | None = None):
+        """One request via the pool; returns ``(status, body_text, headers)``."""
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Connection: keep-alive\r\n"
+        )
+        if payload is not None:
+            head += "Content-Type: application/json\r\n"
+        head += f"Content-Length: {len(body)}\r\n\r\n"
+        request_bytes = head.encode("latin-1") + body
+        await self._slots.acquire()
+        try:
+            # a pooled connection may have been closed by the server while
+            # idle; retry once on a fresh socket before giving up
+            for attempt in (0, 1):
+                reused = bool(self._idle)
+                if reused:
+                    conn = self._idle.pop()
+                    self.stats["reuses"] += 1
+                else:
+                    conn = await self._connect()
+                try:
+                    status, text, headers = await asyncio.wait_for(
+                        self._roundtrip(conn, request_bytes), timeout=self.timeout
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError, OSError,
+                        asyncio.TimeoutError) as exc:
+                    conn.close()
+                    if reused and attempt == 0:
+                        self.stats["stale_retries"] += 1
+                        continue
+                    raise ServiceConnectionError(
+                        f"cannot reach repro service at {self.host}:{self.port}: {exc}"
+                    ) from exc
+                conn.requests += 1
+                self.stats["requests"] += 1
+                keep = "close" not in headers.get("connection", "").lower()
+                if keep and not self._closed:
+                    self._idle.append(conn)
+                else:
+                    conn.close()
+                return status, text, headers
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            self._slots.release()
+
+    async def _roundtrip(self, conn: _PooledConnection, request_bytes: bytes):
+        conn.writer.write(request_bytes)
+        await conn.writer.drain()
+        status_line = (await conn.reader.readline()).decode("latin-1").strip()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict = {}
+        while True:
+            line = (await conn.reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not line:
+                break
+            name, _sep, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        text = (await conn.reader.readexactly(length)).decode("utf-8", "replace")
+        return status, text, headers
+
+    async def request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, text, headers = await self.request(method, path, payload)
+        decoded = _decode_body(status, text)
+        _raise_for_status(status, decoded, _parse_retry_after(headers.get("retry-after")))
+        return decoded
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def submit(
+        self,
+        kind: str,
+        apps,
+        deadline_ms: int | None = None,
+        retries: int | None = None,
+        **options,
+    ) -> dict:
+        """POST one job request, with the same busy-retry contract as the
+        blocking client (``retries`` defaults to the pool's constructor
+        value; backoff honours Retry-After, capped and jittered)."""
+        if retries is None:
+            retries = self.retries
+        path, payload = _job_payload(kind, apps, deadline_ms, options)
+        for attempt in range(retries + 1):
+            try:
+                return await self.request_json("POST", path, payload)
+            except ServiceBusyError as exc:
+                if attempt >= retries:
+                    raise
+                self.stats["busy_retries"] += 1
+                await asyncio.sleep(backoff_delay(attempt, exc.retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def analyze(self, apps, **options) -> dict:
+        return await self.submit("analyze", apps, **options)
+
+    async def certify(self, apps, **options) -> dict:
+        return await self.submit("certify", apps, **options)
+
+    async def lint(self, apps, **options) -> dict:
+        return await self.submit("lint", apps, **options)
+
+    async def infer(self, apps, **options) -> dict:
+        return await self.submit("infer", apps, **options)
+
+    async def health(self, raise_for_status: bool = False) -> dict:
+        status, text, _headers = await self.request("GET", "/healthz")
+        try:
+            decoded = json.loads(text)
+        except ValueError:
+            decoded = {"status": text.strip()}
+        if raise_for_status and status != 200:
+            raise ServiceError(status, decoded)
+        decoded["http_status"] = status
+        return decoded
+
+    async def metrics(self) -> str:
+        status, text, _headers = await self.request("GET", "/metrics")
+        if status != 200:
+            raise ServiceError(status, {"error": text.strip()})
+        return text
+
+    async def wait_ready(self, timeout: float = 15.0, interval: float = 0.05) -> dict:
+        """Poll /healthz until the server answers; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return await self.health()
+            except ServiceConnectionError as exc:
+                last = exc
+                await asyncio.sleep(interval)
         raise ServiceConnectionError(
             f"service at {self.host}:{self.port} not ready after {timeout}s: {last}"
         )

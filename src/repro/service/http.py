@@ -1,0 +1,145 @@
+"""Shared HTTP/1.1 plumbing for the analysis server and the fleet router.
+
+Both fronts speak the same hand-rolled, stdlib-only dialect: request line,
+headers, ``Content-Length`` bodies (chunked uploads are refused with 501),
+and persistent connections.  Factoring the parser and the response writer
+here keeps the two servers byte-compatible — a client cannot tell whether
+it is talking to a single worker or to the router in front of a fleet.
+
+Keep-alive rules (HTTP/1.1 defaults, deliberately minimal):
+
+* a connection stays open after a response unless the request carried
+  ``Connection: close``, the server is draining, or the response itself is
+  an error the connection cannot recover from (malformed head);
+* an EOF at a request boundary is a clean close, not an error — clients
+  that open one connection per request (the blocking
+  :class:`~repro.service.client.ServiceClient`) hit exactly this path;
+* the response always announces its intent in a ``Connection`` header so
+  pooled clients know whether the socket is reusable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ReproError
+
+#: HTTP status reasons for the subset of codes the service emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(ReproError):
+    """Abort the current request with this status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def read_head(reader):
+    """Parse one request head; ``None`` on clean EOF at a request boundary.
+
+    Returns ``(method, path, headers)`` with header names lower-cased and
+    the query string stripped from the path.
+    """
+    raw_line = await reader.readline()
+    if not raw_line:
+        return None  # client closed between requests: clean keep-alive end
+    request_line = raw_line.decode("latin-1").rstrip("\r\n")
+    if not request_line:
+        raise HttpError(400, "empty request")
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, path, _version = parts
+    headers = {}
+    while True:
+        line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        if not line:
+            break
+        if len(headers) > 100:
+            raise HttpError(400, "too many headers")
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, path.split("?", 1)[0], headers
+
+
+async def read_body(reader, method: str, headers: dict, *, max_body: int,
+                    read_timeout: float) -> bytes:
+    """Read a ``Content-Length`` body (POST only; empty for other methods)."""
+    if method != "POST":
+        return b""
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked uploads are not supported")
+    raw_length = headers.get("content-length")
+    if raw_length is None:
+        raise HttpError(411, "POST requires Content-Length")
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}")
+    if length < 0:
+        raise HttpError(400, f"bad Content-Length {raw_length!r}")
+    if length > max_body:
+        raise HttpError(
+            413, f"request body of {length} bytes exceeds limit {max_body}"
+        )
+    try:
+        return await asyncio.wait_for(
+            reader.readexactly(length), timeout=read_timeout
+        )
+    except asyncio.TimeoutError:
+        raise HttpError(408, "timed out reading request body")
+
+
+def encode_response(status: int, payload, content_type: str, *,
+                    keep_alive: bool, extra_headers: dict | None = None) -> bytes:
+    """Serialise one response (dict/list payloads become indented JSON)."""
+    if isinstance(payload, (dict, list)):
+        body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+    elif isinstance(payload, bytes):
+        body = payload
+    else:
+        body = str(payload).encode("utf-8")
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+    )
+    if status == 429 and not (extra_headers and "Retry-After" in extra_headers):
+        head += "Retry-After: 1\r\n"
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+async def write_response(writer, status: int, payload, content_type: str, *,
+                         keep_alive: bool, extra_headers: dict | None = None) -> None:
+    writer.write(encode_response(
+        status, payload, content_type,
+        keep_alive=keep_alive, extra_headers=extra_headers,
+    ))
+    await writer.drain()
+
+
+def wants_close(headers: dict) -> bool:
+    """Did the request ask for the connection to be closed after the reply?"""
+    return "close" in headers.get("connection", "").lower()

@@ -1,11 +1,14 @@
 """The asyncio JSON-over-HTTP analysis server.
 
-Stdlib only: :func:`asyncio.start_server` plus a hand-rolled HTTP/1.1
-request parser (request line, headers, ``Content-Length`` body; chunked
-uploads are refused with 501).  Every connection serves one request and is
-closed — the clients this server exists for (CI jobs, benchmark loops,
-``repro submit``) open cheap local connections, and one-shot connections
-keep the drain logic exact.
+Stdlib only: :func:`asyncio.start_server` plus the hand-rolled HTTP/1.1
+layer in :mod:`repro.service.http` (request line, headers,
+``Content-Length`` body; chunked uploads are refused with 501).
+Connections are persistent by default — one connection may carry many
+requests back to back, which is what the router's pooled
+:class:`~repro.service.client.AsyncServiceClient` relies on to forward
+work without a connect per request.  Clients that prefer one-shot
+connections (the blocking client) simply close after the first response;
+an EOF at a request boundary is a clean end, not an error.
 
 Endpoints (schemas in ``docs/SERVICE.md``):
 
@@ -27,15 +30,23 @@ Robustness invariants, each enforced here and pinned by tests:
 * **isolation** — a malformed request dies with a 400 and a crashing job
   is confined to its per-unit error entry; the loop and the shared verdict
   cache survive both;
-* **lifecycle** — SIGTERM/SIGINT stop the listener, drain in-flight work
-  (bounded by ``drain_timeout``), flush the persistent verdict store once,
-  then exit; the store is also what ``start`` warms the cache from.
+* **lifecycle** — SIGTERM/SIGINT stop the listener, close idle keep-alive
+  connections, drain in-flight work (bounded by ``drain_timeout``), flush
+  the persistent verdict store once, then exit; the store is also what
+  ``start`` warms the cache from.
+
+As a fleet shard (``repro serve --fleet N`` spawns these as worker
+processes) the server additionally runs a periodic persistence cycle
+(``persist_interval``): flush newly decided verdicts as a fresh segment,
+then refresh the cache from segments other shards persisted — the shared
+``--cache-dir`` is the fleet's cross-process verdict bus.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import time
 
@@ -44,40 +55,41 @@ from repro.core.persist import open_store
 from repro.errors import ReproError
 from repro.pipeline.jobs import JobError, JobSpec, run_job
 from repro.service.batcher import Batcher, QueueFullError
+from repro.service.http import (
+    REASONS,
+    HttpError,
+    read_body,
+    read_head,
+    wants_close,
+    write_response,
+)
 from repro.service.telemetry import ServiceTelemetry
 
-#: HTTP status reasons for the subset of codes the service emits.
-REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    408: "Request Timeout",
-    411: "Length Required",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    501: "Not Implemented",
-    503: "Service Unavailable",
-}
+__all__ = [
+    "REASONS", "JOB_OPTION_FIELDS", "ServiceConfig", "ReproService",
+    "parse_job_payload", "serve",
+]
 
 #: Option fields a job request may carry besides app/apps/deadline_ms.
 JOB_OPTION_FIELDS = (
     "budget", "seed", "ladder", "snapshot", "use_sdg",
-    "transaction", "level", "max_schedules", "max_depth",
+    "transaction", "level", "max_schedules", "max_depth", "dpor",
 )
 
-
-class _HttpError(ReproError):
-    """Internal: abort the request with this status and message."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
+# backwards-compatible alias: the server's request-abort exception now
+# lives in repro.service.http, shared with the fleet router
+_HttpError = HttpError
 
 
 class ServiceConfig:
-    """Tunables of one :class:`ReproService` (defaults suit local use)."""
+    """Tunables of one :class:`ReproService` (defaults suit local use).
+
+    Construction validates the numeric knobs outright: a ``workers=0``
+    pool or a zero ``max_pending`` would not fail here but deep inside the
+    batcher's first dispatch, long after the flags were parsed.  Every
+    rejection is a :class:`~repro.errors.ReproError` naming the field, so
+    the CLI renders it as a one-line usage error (exit 2).
+    """
 
     def __init__(
         self,
@@ -94,6 +106,7 @@ class ServiceConfig:
         cache_dir: str | None = None,
         no_persist: bool = False,
         backend: str = "thread",
+        persist_interval: float = 0.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -108,6 +121,85 @@ class ServiceConfig:
         self.cache_dir = cache_dir
         self.no_persist = no_persist
         self.backend = backend
+        self.persist_interval = persist_interval
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical tunables with a clear error (see class doc)."""
+        if not isinstance(self.port, int) or not 0 <= self.port <= 65535:
+            raise ReproError(f"port must be an integer in 0..65535, got {self.port!r}")
+        for name, minimum in (
+            ("workers", 1), ("job_workers", 1), ("max_pending", 1), ("max_body", 1),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < minimum:
+                raise ReproError(
+                    f"{name} must be an integer >= {minimum}, got {value!r}"
+                )
+        for name, minimum in (
+            ("window", 0.0), ("drain_timeout", 0.0), ("persist_interval", 0.0),
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < minimum:
+                raise ReproError(f"{name} must be a number >= {minimum}, got {value!r}")
+        if not isinstance(self.read_timeout, (int, float)) or self.read_timeout <= 0:
+            raise ReproError(
+                f"read_timeout must be a positive number, got {self.read_timeout!r}"
+            )
+        if self.default_deadline_ms is not None and (
+            not isinstance(self.default_deadline_ms, int)
+            or self.default_deadline_ms <= 0
+        ):
+            raise ReproError(
+                "default_deadline_ms must be a positive integer or None,"
+                f" got {self.default_deadline_ms!r}"
+            )
+        if self.backend not in ("thread", "process"):
+            raise ReproError(
+                f"backend must be 'thread' or 'process', got {self.backend!r}"
+            )
+        if self.persist_interval and self.no_persist:
+            raise ReproError("persist_interval requires persistence to be enabled")
+
+
+def parse_job_payload(kind: str, payload, default_deadline_ms: int | None = None):
+    """Validate one job-request JSON object into ``(specs, deadline_ms, options)``.
+
+    Shared by the worker server (which executes the specs) and the fleet
+    router (which shards them by fingerprint and forwards the *options*
+    verbatim so worker-side parsing reproduces identical specs).  Raises
+    :class:`~repro.service.http.HttpError` (400) on any malformed field.
+    """
+    if not isinstance(payload, dict):
+        raise HttpError(400, "request body must be a JSON object")
+    apps = payload.get("apps")
+    if apps is None:
+        app = payload.get("app")
+        if not isinstance(app, str):
+            raise HttpError(400, "request needs an 'app' string or 'apps' list")
+        apps = [app]
+    if not isinstance(apps, list) or not all(isinstance(a, str) for a in apps):
+        raise HttpError(400, "'apps' must be a list of application names")
+    if not apps:
+        raise HttpError(400, "'apps' must not be empty")
+    deadline_ms = payload.get("deadline_ms", default_deadline_ms)
+    if deadline_ms is not None and (
+        not isinstance(deadline_ms, int) or deadline_ms <= 0
+    ):
+        raise HttpError(400, "'deadline_ms' must be a positive integer")
+    options = {key: payload[key] for key in JOB_OPTION_FIELDS if key in payload}
+    unknown = set(payload) - set(JOB_OPTION_FIELDS) - {"app", "apps", "deadline_ms"}
+    if unknown:
+        raise HttpError(400, f"unknown request fields: {', '.join(sorted(unknown))}")
+    specs = []
+    for app in apps:
+        try:
+            spec = JobSpec.from_dict({**options, "app": app}, kind=kind)
+            spec.validate()
+        except JobError as exc:
+            raise HttpError(400, str(exc))
+        specs.append(spec)
+    return specs, deadline_ms, options
 
 
 class ReproService:
@@ -132,10 +224,12 @@ class ReproService:
         self._server: asyncio.base_events.Server | None = None
         self._started = time.monotonic()
         self._draining = False
-        self._active = 0
+        self._active = 0  # requests currently being parsed/served
+        self._connections: dict = {}  # writer -> busy flag (idle keep-alives)
         self._idle = None  # asyncio.Event set whenever _active == 0
         self._stopped = None  # asyncio.Event set when drain completes
         self._drain_task = None
+        self._persist_task = None
 
     # -- job execution (pool threads) ----------------------------------------
 
@@ -146,7 +240,7 @@ class ReproService:
             cache=self.cache,
             workers=self.config.job_workers,
             backend=self.config.backend,
-            no_persist=True,  # the service owns persistence (boot/drain)
+            no_persist=True,  # the service owns persistence (boot/drain/cycle)
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -163,6 +257,32 @@ class ReproService:
             self._handle, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.store is not None and self.config.persist_interval > 0:
+            self._persist_task = asyncio.get_running_loop().create_task(
+                self._persist_cycle()
+            )
+
+    async def _persist_cycle(self) -> None:
+        """Fleet mode: periodically flush our verdicts, absorb other shards'.
+
+        Flush-then-refresh makes the shared cache directory a cross-process
+        verdict bus: every shard's newly decided verdicts become a segment,
+        and every shard absorbs the segments it has not seen yet.  Run in a
+        worker thread — segment IO must never stall the accept loop.
+        """
+        interval = self.config.persist_interval
+        while not self._draining:
+            await asyncio.sleep(interval)
+            if self._draining:
+                return
+            try:
+                await asyncio.to_thread(self._persist_once)
+            except Exception:  # noqa: BLE001 - persistence is best-effort
+                pass
+
+    def _persist_once(self) -> None:
+        self.store.flush(self.cache)
+        self.store.refresh(self.cache)
 
     def install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -183,6 +303,13 @@ class ReproService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._persist_task is not None:
+            self._persist_task.cancel()
+        # idle keep-alive connections hold no work; close them so the
+        # request loop sees EOF and exits cleanly
+        for writer, busy in list(self._connections.items()):
+            if not busy:
+                writer.close()
         deadline = time.monotonic() + self.config.drain_timeout
         await self.batcher.drain(timeout=self.config.drain_timeout)
         # handlers finish right after their jobs resolve; give them the rest
@@ -211,115 +338,130 @@ class ReproService:
     # -- connection handling -------------------------------------------------
 
     async def _handle(self, reader, writer) -> None:
-        self._active += 1
-        self._idle.clear()
-        self.telemetry.inflight_requests.inc()
-        started = time.perf_counter()
-        endpoint, status = "?", 500
+        """Serve one connection: a keep-alive loop of request/response."""
+        self._connections[writer] = False
         try:
-            try:
-                method, path, headers = await asyncio.wait_for(
-                    self._read_head(reader), timeout=self.config.read_timeout
-                )
-            except asyncio.TimeoutError:
-                raise _HttpError(408, "timed out reading request head")
-            endpoint = path
-            body = await self._read_body(reader, method, headers)
-            status, payload, content_type = await self._route(method, path, body)
-            await self._respond(writer, status, payload, content_type)
-        except _HttpError as exc:
-            status = exc.status
-            await self._respond_safely(writer, exc.status, {"error": str(exc)})
-        except (ConnectionError, asyncio.IncompleteReadError):
-            status = 0  # client went away; nothing to answer
-        except Exception as exc:  # noqa: BLE001 - the loop must survive anything
-            status = 500
-            await self._respond_safely(
-                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
-            )
+            first = True
+            while True:
+                keep_alive = await self._serve_one(reader, writer, first)
+                first = False
+                if not keep_alive:
+                    break
         finally:
+            self._connections.pop(writer, None)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            self.telemetry.inflight_requests.dec()
-            self.telemetry.requests.inc(endpoint=endpoint, status=str(status))
-            self.telemetry.request_seconds.observe(time.perf_counter() - started)
-            self._active -= 1
-            if self._active == 0:
-                self._idle.set()
 
-    async def _read_head(self, reader):
-        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-        if not request_line:
-            raise _HttpError(400, "empty request")
-        parts = request_line.split(" ")
-        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _HttpError(400, f"malformed request line {request_line!r}")
-        method, path, _version = parts
-        headers = {}
-        while True:
-            line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
-            if not line:
-                break
-            if len(headers) > 100:
-                raise _HttpError(400, "too many headers")
-            name, sep, value = line.partition(":")
-            if not sep:
-                raise _HttpError(400, f"malformed header line {line!r}")
-            headers[name.strip().lower()] = value.strip()
-        return method, path.split("?", 1)[0], headers
-
-    async def _read_body(self, reader, method: str, headers: dict) -> bytes:
-        if method != "POST":
-            return b""
-        if "chunked" in headers.get("transfer-encoding", "").lower():
-            raise _HttpError(501, "chunked uploads are not supported")
-        raw_length = headers.get("content-length")
-        if raw_length is None:
-            raise _HttpError(411, "POST requires Content-Length")
+    async def _serve_one(self, reader, writer, first: bool) -> bool:
+        """Serve one request; returns whether the connection stays open."""
         try:
-            length = int(raw_length)
-        except ValueError:
-            raise _HttpError(400, f"bad Content-Length {raw_length!r}")
-        if length < 0:
-            raise _HttpError(400, f"bad Content-Length {raw_length!r}")
-        if length > self.config.max_body:
-            raise _HttpError(
-                413, f"request body of {length} bytes exceeds limit {self.config.max_body}"
-            )
-        try:
-            return await asyncio.wait_for(
-                reader.readexactly(length), timeout=self.config.read_timeout
+            head = await asyncio.wait_for(
+                read_head(reader), timeout=self.config.read_timeout
             )
         except asyncio.TimeoutError:
-            raise _HttpError(408, "timed out reading request body")
+            if first:
+                # a fresh connection that never sent a head gets told why;
+                # an idle keep-alive just expires silently
+                await self._begin_request(writer)
+                try:
+                    await self._respond_safely(
+                        writer, 408, {"error": "timed out reading request head"}
+                    )
+                    self._count(408, "?", time.perf_counter())
+                finally:
+                    self._end_request(writer)
+            return False
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return False
+        if head is None:
+            return False  # clean EOF between requests
+        self._begin_request(writer)
+        started = time.perf_counter()
+        endpoint, status = "?", 500
+        keep_alive = True
+        try:
+            method, path, headers = head
+            endpoint = path
+            if wants_close(headers):
+                keep_alive = False
+            body = await read_body(
+                reader, method, headers,
+                max_body=self.config.max_body,
+                read_timeout=self.config.read_timeout,
+            )
+            status, payload, content_type = await self._route(method, path, body)
+            if self._draining:
+                keep_alive = False
+            await write_response(
+                writer, status, payload, content_type, keep_alive=keep_alive
+            )
+        except HttpError as exc:
+            status = exc.status
+            keep_alive = keep_alive and status in (404, 405, 429, 503) and not self._draining
+            await self._respond_safely(
+                writer, exc.status, {"error": str(exc)}, keep_alive=keep_alive
+            )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            status = 0  # client went away; nothing to answer
+            keep_alive = False
+        except Exception as exc:  # noqa: BLE001 - the loop must survive anything
+            status = 500
+            keep_alive = False
+            await self._respond_safely(
+                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        finally:
+            self._count(status, endpoint, started)
+            self._end_request(writer)
+        return keep_alive
+
+    def _begin_request(self, writer) -> None:
+        self._active += 1
+        if writer in self._connections:
+            self._connections[writer] = True
+        self._idle.clear()
+        self.telemetry.inflight_requests.inc()
+
+    def _end_request(self, writer) -> None:
+        self.telemetry.inflight_requests.dec()
+        if writer in self._connections:
+            self._connections[writer] = False
+        self._active -= 1
+        if self._active == 0:
+            self._idle.set()
+
+    def _count(self, status: int, endpoint: str, started: float) -> None:
+        self.telemetry.requests.inc(endpoint=endpoint, status=str(status))
+        self.telemetry.request_seconds.observe(time.perf_counter() - started)
 
     # -- routing -------------------------------------------------------------
 
     async def _route(self, method: str, path: str, body: bytes):
         if path == "/healthz":
             if method != "GET":
-                raise _HttpError(405, "use GET /healthz")
+                raise HttpError(405, "use GET /healthz")
             return self._healthz()
         if path == "/metrics":
             if method != "GET":
-                raise _HttpError(405, "use GET /metrics")
+                raise HttpError(405, "use GET /metrics")
             return 200, self.telemetry.registry.render(), "text/plain; version=0.0.4"
         if path in ("/analyze", "/certify", "/lint", "/infer"):
             if method != "POST":
-                raise _HttpError(405, f"use POST {path}")
+                raise HttpError(405, f"use POST {path}")
             if self._draining:
-                raise _HttpError(503, "service is draining")
+                raise HttpError(503, "service is draining")
             payload = await self._handle_jobs(path.lstrip("/"), body)
             return 200, payload, "application/json"
-        raise _HttpError(404, f"no route for {path}")
+        raise HttpError(404, f"no route for {path}")
 
     def _healthz(self):
         status = "draining" if self._draining else "ok"
         payload = {
             "status": status,
+            "pid": os.getpid(),
             "uptime_seconds": round(time.monotonic() - self._started, 3),
             "queue_depth": self.batcher.admitted,
             "warmed_entries": self.warmed_entries,
@@ -331,38 +473,10 @@ class ReproService:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (ValueError, UnicodeDecodeError) as exc:
-            raise _HttpError(400, f"request body is not valid JSON: {exc}")
-        if not isinstance(payload, dict):
-            raise _HttpError(400, "request body must be a JSON object")
-        apps = payload.get("apps")
-        if apps is None:
-            app = payload.get("app")
-            if not isinstance(app, str):
-                raise _HttpError(400, "request needs an 'app' string or 'apps' list")
-            apps = [app]
-        if not isinstance(apps, list) or not all(isinstance(a, str) for a in apps):
-            raise _HttpError(400, "'apps' must be a list of application names")
-        if not apps:
-            raise _HttpError(400, "'apps' must not be empty")
-        deadline_ms = payload.get("deadline_ms", self.config.default_deadline_ms)
-        if deadline_ms is not None and (
-            not isinstance(deadline_ms, int) or deadline_ms <= 0
-        ):
-            raise _HttpError(400, "'deadline_ms' must be a positive integer")
-        options = {
-            key: payload[key] for key in JOB_OPTION_FIELDS if key in payload
-        }
-        unknown = set(payload) - set(JOB_OPTION_FIELDS) - {"app", "apps", "deadline_ms"}
-        if unknown:
-            raise _HttpError(400, f"unknown request fields: {', '.join(sorted(unknown))}")
-        specs = []
-        for app in apps:
-            try:
-                spec = JobSpec.from_dict({**options, "app": app}, kind=kind)
-                spec.validate()
-            except JobError as exc:
-                raise _HttpError(400, str(exc))
-            specs.append(spec)
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        specs, deadline_ms, _options = parse_job_payload(
+            kind, payload, self.config.default_deadline_ms
+        )
         return specs, deadline_ms
 
     async def _handle_jobs(self, kind: str, body: bytes) -> dict:
@@ -374,7 +488,7 @@ class ReproService:
             for spec in specs:
                 units.append((spec, *self.batcher.admit(spec)))
         except QueueFullError as exc:
-            raise _HttpError(429, str(exc))
+            raise HttpError(429, str(exc))
         entries = []
         any_timeout = False
         for spec, future, coalesced in units:
@@ -417,26 +531,13 @@ class ReproService:
 
     # -- responses -----------------------------------------------------------
 
-    async def _respond(self, writer, status: int, payload, content_type: str) -> None:
-        if isinstance(payload, (dict, list)):
-            body = (json.dumps(payload, indent=2) + "\n").encode("utf-8")
-        else:
-            body = str(payload).encode("utf-8")
-        reason = REASONS.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-        )
-        if status == 429:
-            head += "Retry-After: 1\r\n"
-        head += "Connection: close\r\n\r\n"
-        writer.write(head.encode("latin-1") + body)
-        await writer.drain()
-
-    async def _respond_safely(self, writer, status: int, payload) -> None:
+    async def _respond_safely(
+        self, writer, status: int, payload, keep_alive: bool = False
+    ) -> None:
         try:
-            await self._respond(writer, status, payload, "application/json")
+            await write_response(
+                writer, status, payload, "application/json", keep_alive=keep_alive
+            )
         except (ConnectionError, OSError):  # pragma: no cover - client gone
             pass
 

@@ -1,0 +1,215 @@
+"""Cross-process safety of the persistent verdict store.
+
+The fleet shares one cache directory between N worker shards; these tests
+pin the two invariants that makes safe:
+
+* concurrent compaction never loses a verdict and never crashes — the
+  advisory claim file serialises compactors, a loser skips its turn;
+* truncated segments (a worker killed mid-write, a full disk) degrade to
+  skipped lines, never to exceptions or lost sibling entries.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.core.cache import FORMULA_SCOPE, VerdictCache
+from repro.core.interference import InterferenceVerdict
+from repro.core.persist import (
+    LOCK_STALE_SECONDS,
+    PersistentStore,
+    store_salt,
+)
+
+
+def _verdict(note=""):
+    return InterferenceVerdict(
+        interferes=False, confidence="proved", method="symbolic", note=note
+    )
+
+
+def _flush_keys(directory, keys):
+    cache = VerdictCache()
+    for key in keys:
+        cache.store(FORMULA_SCOPE, key, _verdict(note=f"note:{key}"))
+    PersistentStore(directory).flush(cache)
+
+
+def _loaded_keys(directory):
+    cache = VerdictCache()
+    PersistentStore(directory).load(cache)
+    return {key for (_scope, key), _verdict, _persisted in cache.items()}
+
+
+def _compact_in_process(directory, barrier, queue):
+    """Child-process body: rendezvous, then race to compact."""
+    store = PersistentStore(directory)
+    barrier.wait(timeout=30)
+    try:
+        queue.put(store.compact())
+    except Exception as exc:  # noqa: BLE001 - the test asserts no crashes
+        queue.put({"crashed": f"{type(exc).__name__}: {exc}"})
+
+
+class TestConcurrentCompaction:
+    def test_two_processes_compacting_simultaneously_lose_nothing(self, tmp_path):
+        # run the race several times: the interleaving differs per run and
+        # the invariant must hold in every one
+        for round_number in range(3):
+            directory = tmp_path / f"round-{round_number}"
+            expected = set()
+            for segment in range(6):
+                keys = [f"r{round_number}-s{segment}-k{i}" for i in range(4)]
+                _flush_keys(directory, keys)
+                expected.update(keys)
+
+            barrier = multiprocessing.Barrier(2)
+            queue = multiprocessing.Queue()
+            children = [
+                multiprocessing.Process(
+                    target=_compact_in_process, args=(directory, barrier, queue)
+                )
+                for _ in range(2)
+            ]
+            for child in children:
+                child.start()
+            summaries = [queue.get(timeout=60) for _ in children]
+            for child in children:
+                child.join(timeout=60)
+                assert child.exitcode == 0
+
+            assert all("crashed" not in summary for summary in summaries)
+            # at least one compactor won the claim; a loser skipping is fine
+            assert any(summary["compacted"] for summary in summaries)
+            assert _loaded_keys(directory) == expected
+            # no claim file left behind
+            assert not (directory / "compact.lock").exists()
+
+    def test_compaction_with_concurrent_flush_keeps_the_new_segment(self, tmp_path):
+        _flush_keys(tmp_path, ["old-1", "old-2"])
+        store = PersistentStore(tmp_path)
+
+        # simulate a flush landing while the compactor holds the claim by
+        # writing the new segment between claim and merge
+        original_claim = store._claim_compaction
+
+        def claim_then_flush():
+            ok = original_claim()
+            _flush_keys(tmp_path, ["landed-during-compaction"])
+            return ok
+
+        store._claim_compaction = claim_then_flush
+        summary = store.compact()
+        assert summary["compacted"]
+        assert _loaded_keys(tmp_path) >= {"old-1", "old-2", "landed-during-compaction"}
+
+
+class TestTruncatedSegments:
+    def _truncated_segment(self, directory, keys, cut=10):
+        """Write a valid segment, then chop bytes off its tail."""
+        _flush_keys(directory, keys)
+        segment = max(directory.glob("verdicts-*.jsonl"), key=lambda p: p.stat().st_mtime)
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-cut])
+        return segment
+
+    def test_truncated_segment_never_crashes_load_or_compaction(self, tmp_path):
+        _flush_keys(tmp_path, ["good-1", "good-2"])
+        self._truncated_segment(tmp_path, ["torn-1", "torn-2"], cut=15)
+
+        loaded = _loaded_keys(tmp_path)
+        assert {"good-1", "good-2"} <= loaded  # intact entries all survive
+
+        summary = PersistentStore(tmp_path).compact()
+        assert summary["compacted"]
+        assert {"good-1", "good-2"} <= _loaded_keys(tmp_path)
+
+    def test_truncation_inside_the_header_drops_only_that_segment(self, tmp_path):
+        _flush_keys(tmp_path, ["keep-me"])
+        bad = tmp_path / "verdicts-0-torn.jsonl"
+        bad.write_text(json.dumps({"format": 1, "salt": store_salt()})[:20])
+        store = PersistentStore(tmp_path)
+        cache = VerdictCache()
+        store.load(cache)
+        assert store.stats["segments_skipped"] == 1
+        assert _loaded_keys(tmp_path) == {"keep-me"}
+
+
+class TestCompactionClaim:
+    def test_live_holder_is_respected(self, tmp_path):
+        _flush_keys(tmp_path, ["k"])
+        lock = tmp_path / "compact.lock"
+        lock.write_text(f"{os.getpid()}\n")  # we are alive: claim is live
+        store = PersistentStore(tmp_path)
+        summary = store.compact()
+        assert summary == {"compacted": False, "segments_in": 0, "entries": 0}
+        assert store.stats["compactions_skipped"] == 1
+        assert _loaded_keys(tmp_path) == {"k"}  # nothing was touched
+        lock.unlink()
+
+    def test_dead_holder_claim_is_broken(self, tmp_path):
+        _flush_keys(tmp_path, ["k1"])
+        _flush_keys(tmp_path, ["k2"])
+        lock = tmp_path / "compact.lock"
+        # find a pid that is certainly dead
+        child = multiprocessing.Process(target=lambda: None)
+        child.start()
+        child.join()
+        lock.write_text(f"{child.pid}\n")
+        summary = PersistentStore(tmp_path).compact()
+        assert summary["compacted"]
+        assert _loaded_keys(tmp_path) == {"k1", "k2"}
+
+    def test_stale_mtime_claim_is_broken(self, tmp_path):
+        _flush_keys(tmp_path, ["k"])
+        lock = tmp_path / "compact.lock"
+        lock.write_text("not-a-pid\n")
+        ancient = lock.stat().st_mtime - (LOCK_STALE_SECONDS + 60)
+        os.utime(lock, (ancient, ancient))
+        summary = PersistentStore(tmp_path).compact()
+        assert summary["compacted"]
+
+    def test_claim_released_after_compaction(self, tmp_path):
+        _flush_keys(tmp_path, ["k"])
+        PersistentStore(tmp_path).compact()
+        assert not (tmp_path / "compact.lock").exists()
+
+
+class TestRefresh:
+    def test_refresh_absorbs_only_unseen_segments(self, tmp_path):
+        shard_a = PersistentStore(tmp_path)
+        cache_a = VerdictCache()
+        cache_a.store(FORMULA_SCOPE, "from-a", _verdict())
+        shard_a.flush(cache_a)
+
+        shard_b = PersistentStore(tmp_path)
+        cache_b = VerdictCache()
+        assert shard_b.load(cache_b) == 1
+
+        # nothing new yet: refresh is a no-op
+        assert shard_b.refresh(cache_b) == 0
+
+        cache_a.store(FORMULA_SCOPE, "from-a-later", _verdict())
+        shard_a.flush(cache_a)
+        assert shard_b.refresh(cache_b) == 1
+        assert cache_b.lookup("from-a-later", "unused") is not None
+
+    def test_own_flush_is_not_reabsorbed(self, tmp_path):
+        shard = PersistentStore(tmp_path)
+        cache = VerdictCache()
+        cache.store(FORMULA_SCOPE, "mine", _verdict())
+        shard.flush(cache)
+        assert shard.refresh(cache) == 0
+        assert shard.stats["entries_refreshed"] == 0
+
+    def test_in_memory_verdicts_win_over_refreshed_segments(self, tmp_path):
+        shard_b = PersistentStore(tmp_path)
+        cache_b = VerdictCache()
+        cache_b.store(FORMULA_SCOPE, "contested", _verdict(note="mine"))
+
+        other = VerdictCache()
+        other.store(FORMULA_SCOPE, "contested", _verdict(note="theirs"))
+        PersistentStore(tmp_path).flush(other)
+
+        shard_b.refresh(cache_b)
+        assert cache_b.lookup("contested", "unused").note == "mine"

@@ -1,0 +1,228 @@
+"""Client retry/backoff behaviour against scripted fake sockets.
+
+Nothing here runs a real analysis: the "server" is a socket that replays
+canned HTTP responses, so every 429/Retry-After/connection-drop scenario
+is deterministic and fast.
+"""
+
+import asyncio
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    RETRY_BACKOFF_BASE,
+    RETRY_BACKOFF_CAP,
+    AsyncServiceClient,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceConnectionError,
+    backoff_delay,
+)
+
+
+def _response(status, payload, *, retry_after=None, keep_alive=False) -> bytes:
+    body = json.dumps(payload).encode()
+    head = f"HTTP/1.1 {status} X\r\nContent-Type: application/json\r\n"
+    if retry_after is not None:
+        head += f"Retry-After: {retry_after}\r\n"
+    head += f"Content-Length: {len(body)}\r\n"
+    head += f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+    return head.encode() + body
+
+
+BUSY = _response(429, {"error": "queue full"}, retry_after=0.01)
+OK = _response(200, {"kind": "lint", "results": []})
+
+
+class TestBackoffDelay:
+    def test_grows_exponentially_without_retry_after(self):
+        rng = random.Random(0)
+        delays = [
+            backoff_delay(attempt, None, rng=random.Random(0))
+            for attempt in range(4)
+        ]
+        assert delays == sorted(delays)
+        assert delays[0] >= RETRY_BACKOFF_BASE
+        del rng
+
+    def test_retry_after_is_a_floor_not_a_ceiling(self):
+        delay = backoff_delay(0, 2.0, rng=random.Random(1))
+        assert delay >= 2.0
+        # a large exponential step still wins over a small Retry-After
+        assert backoff_delay(5, 0.001, rng=random.Random(1)) >= RETRY_BACKOFF_BASE * 32
+
+    def test_cap_always_wins(self):
+        assert backoff_delay(50, 9999.0) == RETRY_BACKOFF_CAP
+
+    def test_jitter_stays_within_25_percent(self):
+        for seed in range(20):
+            delay = backoff_delay(0, 1.0, rng=random.Random(seed))
+            assert 1.0 <= delay <= 1.25
+
+
+class ScriptedServer:
+    """Replays one canned response per accepted connection, in order."""
+
+    def __init__(self, scripts) -> None:
+        self.scripts = list(scripts)
+        self.hits = 0
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(len(self.scripts))
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self) -> None:
+        for script in self.scripts:
+            try:
+                conn, _addr = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                conn.settimeout(5)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                head, _sep, rest = data.partition(b"\r\n\r\n")
+                length = 0
+                for line in head.split(b"\r\n"):
+                    if line.lower().startswith(b"content-length:"):
+                        length = int(line.split(b":", 1)[1])
+                while len(rest) < length:
+                    rest += conn.recv(4096)
+                self.hits += 1
+                conn.sendall(script)
+
+    def close(self) -> None:
+        self.sock.close()
+        self.thread.join(timeout=5)
+
+
+class TestBlockingClientRetry:
+    def test_default_is_fail_fast_on_429(self):
+        server = ScriptedServer([BUSY])
+        try:
+            client = ServiceClient(port=server.port, timeout=5)
+            with pytest.raises(ServiceBusyError) as excinfo:
+                client.lint("banking")
+            assert excinfo.value.retry_after == pytest.approx(0.01)
+        finally:
+            server.close()
+
+    def test_retries_honour_retry_after_then_succeed(self):
+        server = ScriptedServer([BUSY, BUSY, OK])
+        try:
+            client = ServiceClient(port=server.port, timeout=5)
+            response = client.submit("lint", "banking", retries=2)
+            assert response["kind"] == "lint"
+            assert server.hits == 3
+        finally:
+            server.close()
+
+    def test_retry_budget_exhausted_reraises(self):
+        server = ScriptedServer([BUSY, BUSY])
+        try:
+            client = ServiceClient(port=server.port, timeout=5)
+            with pytest.raises(ServiceBusyError):
+                client.submit("lint", "banking", retries=1)
+            assert server.hits == 2
+        finally:
+            server.close()
+
+
+class _AsyncScriptedServer:
+    """One asyncio connection replaying a list of responses back to back."""
+
+    def __init__(self, scripts, close_after=None) -> None:
+        self.scripts = list(scripts)
+        self.close_after = close_after  # close the connection after N replies
+        self.port = None
+        self._server = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._handle, host="127.0.0.1", port=0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer) -> None:
+        served = 0
+        try:
+            while self.scripts:
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    chunk = await reader.read(4096)
+                    if not chunk:
+                        return
+                    head += chunk
+                writer.write(self.scripts.pop(0))
+                await writer.drain()
+                served += 1
+                if self.close_after is not None and served >= self.close_after:
+                    break
+        finally:
+            writer.close()
+
+
+class TestAsyncClientRetry:
+    def test_busy_retry_reuses_the_pooled_connection(self):
+        async def main():
+            busy_keep = _response(
+                429, {"error": "queue full"}, retry_after=0.01, keep_alive=True
+            )
+            ok_keep = _response(
+                200, {"kind": "lint", "results": []}, keep_alive=True
+            )
+            async with _AsyncScriptedServer([busy_keep, ok_keep]) as server:
+                client = AsyncServiceClient("127.0.0.1", server.port, pool_size=1)
+                response = await client.submit("lint", "banking", retries=1)
+                assert response["kind"] == "lint"
+                assert client.stats["busy_retries"] == 1
+                assert client.stats["connects"] == 1
+                assert client.stats["reuses"] == 1
+                await client.aclose()
+
+        asyncio.run(main())
+
+    def test_stale_pooled_connection_is_replaced_transparently(self):
+        async def main():
+            ok_keep = _response(200, {"ok": 1}, keep_alive=True)
+            # first connection dies after one response; the pooled socket is
+            # stale on reuse and the client must retry on a fresh connection
+            async with _AsyncScriptedServer(
+                [ok_keep, ok_keep], close_after=1
+            ) as server:
+                client = AsyncServiceClient("127.0.0.1", server.port, pool_size=1)
+                await client.request_json("GET", "/healthz")
+                response = await client.request_json("GET", "/healthz")
+                assert response == {"ok": 1}
+                assert client.stats["stale_retries"] == 1
+                assert client.stats["connects"] == 2
+                await client.aclose()
+
+        asyncio.run(main())
+
+    def test_unreachable_server_raises_connection_error(self):
+        async def main():
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+            sock.close()  # nothing listens here any more
+            client = AsyncServiceClient("127.0.0.1", port, timeout=2)
+            with pytest.raises(ServiceConnectionError):
+                await client.request_json("GET", "/healthz")
+
+        asyncio.run(main())

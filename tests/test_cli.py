@@ -320,3 +320,84 @@ class TestVersionAndExitCodes:
         code = main(["submit", "lint", "banking", "--port", "1", "--timeout", "2"])
         assert code == 4
         assert "cannot reach repro service" in capsys.readouterr().err
+
+
+class TestServeAndFleetFlags:
+    def test_serve_defaults_to_single_process(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.fleet == 0
+        assert args.max_inflight == 32
+        assert args.persist_interval is None
+
+    def test_fleet_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--fleet", "4", "--max-inflight", "8",
+             "--persist-interval", "2.5"]
+        )
+        assert args.fleet == 4
+        assert args.max_inflight == 8
+        assert args.persist_interval == 2.5
+
+    def test_serve_rejects_zero_queue_limit(self, capsys):
+        code = main(["serve", "--queue-limit", "0"])
+        assert code == 2
+        assert "max_pending" in capsys.readouterr().err
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        code = main(["serve", "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_serve_rejects_persist_interval_with_no_persist(self, capsys):
+        code = main(["serve", "--no-persist", "--persist-interval", "5"])
+        assert code == 2
+        assert "persist_interval" in capsys.readouterr().err
+
+    def test_fleet_rejects_nonpositive_max_inflight(self, capsys):
+        code = main(["serve", "--fleet", "2", "--max-inflight", "0"])
+        assert code == 2
+        assert "max_inflight" in capsys.readouterr().err
+
+
+class TestCompactCommand:
+    def _seed_segments(self, directory, count=3):
+        from repro.core.cache import FORMULA_SCOPE, VerdictCache
+        from repro.core.interference import InterferenceVerdict
+        from repro.core.persist import PersistentStore
+
+        for i in range(count):
+            cache = VerdictCache()
+            cache.store(
+                FORMULA_SCOPE,
+                f"key-{i}",
+                InterferenceVerdict(
+                    interferes=False, confidence="proved", method="symbolic"
+                ),
+            )
+            PersistentStore(directory).flush(cache)
+
+    def test_compact_merges_segments(self, tmp_path, capsys):
+        from repro.core.cache import VerdictCache
+        from repro.core.persist import PersistentStore
+
+        self._seed_segments(tmp_path, count=3)
+        code = main(["compact", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compacted 3 segments into 1" in out
+        store = PersistentStore(tmp_path)
+        assert store.segment_count() == 1
+        cache = VerdictCache()
+        assert store.load(cache) == 3
+
+    def test_compact_empty_directory_is_a_noop(self, tmp_path, capsys):
+        code = main(["compact", "--cache-dir", str(tmp_path)])
+        assert code == 0
+        assert "no verdict segments" in capsys.readouterr().out
+
+    def test_compact_env_fallback(self, tmp_path, capsys, monkeypatch):
+        self._seed_segments(tmp_path, count=2)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["compact"])
+        assert code == 0
+        assert "compacted 2 segments" in capsys.readouterr().out

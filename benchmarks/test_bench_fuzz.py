@@ -1,0 +1,229 @@
+"""E20 — corpus fuzzing throughput: seeds/hour at 1 vs N workers, warm skips.
+
+``repro fuzz`` settles one differential case per seed (inference +
+chooser + probe exploration), and every settled case lands in the
+append-only corpus ledger.  This bench measures the three numbers that
+matter operationally:
+
+* cold local throughput (seeds/hour with the in-process runner),
+* fleet speedup (the same seed range driven through ``serve --fleet N``
+  via the ``/fuzz`` job kind — fuzz cases are embarrassingly parallel
+  across seeds, so this should track usable cores), and
+* the ledger-warm skip rate (a re-run must answer ~everything from the
+  corpus without re-exploring).
+
+Determinism ride-along: the local and fleet corpora are checked
+byte-identical (``canonical_bytes``), which is the strongest cheap pin on
+the whole pipeline — a worker computing anything differently from the
+in-process runner flips the comparison before any verdict test would.
+
+Scaling honesty (same policy as E19): the 2-worker >= 1.3x assertion only
+fires with >= 2 usable cores; otherwise the ratio is recorded with the
+topology and only a no-collapse floor is asserted.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from benchmarks._report import emit, emit_json, topology
+from repro.core.report import format_table
+from repro.fuzz.case import SOUND, UNSOUND
+from repro.fuzz.ledger import CorpusLedger
+from repro.fuzz.runner import FuzzRunner
+
+SEEDS = range(0, 6)
+MAX_SCHEDULES = 96
+FLEETS = (1, 2)
+
+#: 2-worker speedup target, asserted only with >= 2 usable cores.
+SCALING_TARGET = 1.3
+#: Everywhere else the fleet must at least not collapse under transport.
+NO_COLLAPSE_FLOOR = 0.5
+#: A warm re-run does no exploration; it must be at least this much
+#: faster than the cold run (in practice it is ~100x).
+WARM_SPEEDUP_FLOOR = 5.0
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _serve_env() -> dict:
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _canonical(corpus_dir) -> bytes:
+    ledger = CorpusLedger(corpus_dir)
+    ledger.load()
+    return ledger.canonical_bytes()
+
+
+def _timed_local(corpus_dir) -> dict:
+    runner = FuzzRunner(SEEDS, corpus_dir=corpus_dir, probe_schedules=MAX_SCHEDULES)
+    start = time.perf_counter()
+    summary = runner.run()
+    return {"wall_s": time.perf_counter() - start, "summary": summary}
+
+
+def _timed_fleet(corpus_dir, fleet: int) -> dict:
+    port = _free_port()
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--fleet", str(fleet), "--port", str(port), "--no-persist",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.STDOUT,
+        env=_serve_env(),
+    )
+    try:
+        from repro.service.client import ServiceClient
+
+        ServiceClient(port=port).wait_ready(timeout=60)
+        runner = FuzzRunner(
+            SEEDS, corpus_dir=corpus_dir, probe_schedules=MAX_SCHEDULES
+        )
+        start = time.perf_counter()
+        summary = runner.run_fleet("127.0.0.1", port, inflight=len(SEEDS))
+        wall = time.perf_counter() - start
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=60)
+    return {"wall_s": wall, "summary": summary}
+
+
+@pytest.fixture(scope="module")
+def measurements(tmp_path_factory):
+    base = tmp_path_factory.mktemp("fuzz-bench")
+    cold = _timed_local(base / "local")
+    warm_start = time.perf_counter()
+    warm_summary = FuzzRunner(
+        SEEDS, corpus_dir=base / "local", probe_schedules=MAX_SCHEDULES
+    ).run()
+    warm = {"wall_s": time.perf_counter() - warm_start, "summary": warm_summary}
+    fleets = {
+        fleet: _timed_fleet(base / f"fleet{fleet}", fleet) for fleet in FLEETS
+    }
+    corpora = {
+        "local": _canonical(base / "local"),
+        **{f"fleet{fleet}": _canonical(base / f"fleet{fleet}") for fleet in FLEETS},
+    }
+    return {"cold": cold, "warm": warm, "fleets": fleets, "corpora": corpora}
+
+
+def _seeds_per_hour(run: dict) -> float:
+    return len(SEEDS) * 3600.0 / run["wall_s"]
+
+
+def test_bench_fuzz(measurements):
+    """Emit the E20 table and BENCH_fuzz.json."""
+    machine = topology()
+    cold, warm = measurements["cold"], measurements["warm"]
+    rows = [
+        ("local cold", f"{cold['wall_s']:.1f}", f"{_seeds_per_hour(cold):.0f}",
+         str(cold["summary"]["explored"])),
+        ("local warm", f"{warm['wall_s']:.2f}", "-",
+         str(warm["summary"]["explored"])),
+    ]
+    fleet_payload = {}
+    for fleet in FLEETS:
+        run = measurements["fleets"][fleet]
+        rows.append(
+            (f"fleet {fleet}", f"{run['wall_s']:.1f}",
+             f"{_seeds_per_hour(run):.0f}", str(run["summary"]["explored"]))
+        )
+        fleet_payload[str(fleet)] = {
+            "wall_s": round(run["wall_s"], 2),
+            "seeds_per_hour": round(_seeds_per_hour(run), 1),
+            "remote_errors": run["summary"].get("errors", 0),
+        }
+    ratio = measurements["fleets"][2]["wall_s"] and (
+        _seeds_per_hour(measurements["fleets"][2])
+        / _seeds_per_hour(measurements["fleets"][1])
+    )
+    asserted = machine["usable_cores"] >= 2
+    rows.append(("2 vs 1", "-", f"{ratio:.2f}x", "-"))
+    emit(
+        "E20-fuzz",
+        format_table(("topology", "wall s", "seeds/hour", "explored"), rows)
+        + f"\nwarm skip rate: {warm['summary']['skip_rate']:.0%}"
+        + f"\nscaling 2v1: {ratio:.2f}x"
+        f" ({'asserted >= ' + str(SCALING_TARGET) if asserted else 'recorded only: ' + str(machine['usable_cores']) + ' usable cores'})",
+    )
+    emit_json(
+        "BENCH_fuzz",
+        {
+            "config": {
+                "seeds": [SEEDS.start, SEEDS.stop],
+                "max_schedules": MAX_SCHEDULES,
+                "fleet_sizes": list(FLEETS),
+            },
+            "local": {
+                "cold_wall_s": round(cold["wall_s"], 2),
+                "cold_seeds_per_hour": round(_seeds_per_hour(cold), 1),
+                "warm_wall_s": round(warm["wall_s"], 3),
+                "warm_skip_rate": warm["summary"]["skip_rate"],
+            },
+            "fleets": fleet_payload,
+            "scaling_ratio_2v1": round(ratio, 3),
+            "scaling_assertion": (
+                f"asserted >= {SCALING_TARGET}" if asserted
+                else f"recorded only ({machine['usable_cores']} usable cores < 2)"
+            ),
+            "verdicts": cold["summary"]["verdicts"],
+            "topology": {**machine, "fleet_sizes": list(FLEETS)},
+        },
+    )
+
+
+def test_chooser_is_sound_on_the_bench_corpus(measurements):
+    """Every transport settles every seed, and none is UNSOUND."""
+    for name, run in (
+        ("cold", measurements["cold"]),
+        *((f"fleet{f}", measurements["fleets"][f]) for f in FLEETS),
+    ):
+        verdicts = run["summary"]["verdicts"]
+        assert sum(verdicts.values()) == len(SEEDS), name
+        assert verdicts[UNSOUND] == 0, (name, verdicts)
+        assert verdicts[SOUND] >= 1, (name, verdicts)
+
+
+def test_ledger_warm_rerun_skips_everything(measurements):
+    warm = measurements["warm"]["summary"]
+    assert warm["explored"] == 0
+    assert warm["skip_rate"] == 1.0
+    assert (
+        measurements["cold"]["wall_s"]
+        >= WARM_SPEEDUP_FLOOR * measurements["warm"]["wall_s"]
+    )
+
+
+def test_local_and_fleet_corpora_are_byte_identical(measurements):
+    corpora = measurements["corpora"]
+    for name, canonical in corpora.items():
+        assert canonical == corpora["local"], (
+            f"{name} corpus diverged from the local runner's"
+        )
+
+
+def test_fleet_scaling_or_honestly_recorded(measurements):
+    ratio = _seeds_per_hour(measurements["fleets"][2]) / _seeds_per_hour(
+        measurements["fleets"][1]
+    )
+    if topology()["usable_cores"] >= 2:
+        assert ratio >= SCALING_TARGET, f"2-worker fleet only {ratio:.2f}x"
+    else:
+        assert ratio >= NO_COLLAPSE_FLOOR, f"fleet collapse: {ratio:.2f}x"

@@ -456,31 +456,189 @@ def cmd_lint(args) -> int:
     return EXIT_VERDICT if failed else EXIT_OK
 
 
+def _appgen_knobs(args) -> str | None:
+    """Canonical generator knob string from the shaping flags, or None.
+
+    Round-trips through :meth:`AppGenConfig.from_knobs` so bad spans and
+    unknown profile names fail here, as a usage error, not mid-corpus.
+    """
+    from repro.workloads.appgen import AppGenConfig, parse_span
+
+    flags = (args.txns, args.accounts, args.balance, args.max_stmts, args.profile)
+    if not any(value is not None for value in flags):
+        return None
+    values: dict = {}
+    if args.txns is not None:
+        lo, hi = parse_span(args.txns, what="--txns")
+        values["min_transactions"], values["max_transactions"] = lo, hi
+    if args.accounts is not None:
+        values["accounts"] = args.accounts
+    if args.balance is not None:
+        values["max_balance"] = args.balance
+    if args.max_stmts is not None:
+        values["max_stmts"] = args.max_stmts
+    if args.profile is not None:
+        values["profile"] = args.profile
+    knobs = AppGenConfig(seed=0, **values).knobs()
+    AppGenConfig.from_knobs(0, knobs)  # validates bounds and profile name
+    return knobs
+
+
+def _add_appgen_flags(parser) -> None:
+    """The generator shaping knobs shared by ``infer`` and ``fuzz``."""
+    parser.add_argument(
+        "--txns", metavar="N|LO..HI", default=None,
+        help="transactions per generated application (inclusive span)",
+    )
+    parser.add_argument(
+        "--accounts", type=int, default=None,
+        help="records in the generated array (default 2)",
+    )
+    parser.add_argument(
+        "--balance", type=int, default=None,
+        help="maximum balance/amount in the generated domains (default 2)",
+    )
+    parser.add_argument(
+        "--max-stmts", type=int, default=None,
+        help="statement budget per generated application (default: unbounded)",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="NAME",
+        help="shape-weight preset: uniform, write-heavy, read-heavy,"
+        " transfer-heavy (default: legacy uniform draws)",
+    )
+
+
 def cmd_infer(args) -> int:
     from repro.pipeline.jobs import APPGEN_PREFIX, JobSpec, run_job
 
-    if not args.app.startswith(APPGEN_PREFIX):
-        _load_app(args.app)  # canonical unknown-app rejection before any work
-    spec = JobSpec(kind="infer", app=args.app, budget=args.budget, seed=args.seed)
-    job = run_job(spec, workers=resolve_workers(args.workers))
-    if args.json:
-        print(json.dumps(job.payload, indent=2))
-        return job.exit_code
-    print(job.report.render())
-    print()
-    if "declared_levels" in job.payload:
-        print("inferred-vs-declared level assignment:")
-        for name, declared in job.payload["declared_levels"].items():
-            inferred = job.payload["levels"][name]
-            marker = "==" if job.payload["matches"][name] else "!="
-            print(f"  {name}: declared {declared} {marker} inferred {inferred}")
-        verdict = "AGREE" if job.payload["agreement"] else "DISAGREE"
-        print(f"agreement: {verdict}")
+    knobs = _appgen_knobs(args)
+    if args.app.startswith(APPGEN_PREFIX):
+        from repro.workloads.appgen import parse_seed_range
+
+        refs = [f"{APPGEN_PREFIX}{seed}" for seed in parse_seed_range(args.app)]
     else:
-        print("chooser levels for the inferred annotations:")
-        for name, level in job.payload["levels"].items():
-            print(f"  {name}: {level}")
-    return job.exit_code
+        _load_app(args.app)  # canonical unknown-app rejection before any work
+        if knobs is not None:
+            print(
+                "repro: error: generator knobs only apply to appgen: references",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        refs = [args.app]
+    workers = resolve_workers(args.workers)
+    jobs = []
+    for ref in refs:
+        spec = JobSpec(
+            kind="infer", app=ref, budget=args.budget, seed=args.seed, profile=knobs
+        )
+        jobs.append(run_job(spec, workers=workers))
+    exit_code = max(job.exit_code for job in jobs)
+    if args.json:
+        if len(jobs) == 1:
+            print(json.dumps(jobs[0].payload, indent=2))
+        else:
+            print(json.dumps([job.payload for job in jobs], indent=2))
+        return exit_code
+    for position, job in enumerate(jobs):
+        if position:
+            print()
+        print(job.report.render())
+        print()
+        if "declared_levels" in job.payload:
+            print("inferred-vs-declared level assignment:")
+            for name, declared in job.payload["declared_levels"].items():
+                inferred = job.payload["levels"][name]
+                marker = "==" if job.payload["matches"][name] else "!="
+                print(f"  {name}: declared {declared} {marker} inferred {inferred}")
+            verdict = "AGREE" if job.payload["agreement"] else "DISAGREE"
+            print(f"agreement: {verdict}")
+        else:
+            print("chooser levels for the inferred annotations:")
+            for name, level in job.payload["levels"].items():
+                print(f"  {name}: {level}")
+    return exit_code
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz.runner import FuzzRunner
+    from repro.pipeline.jobs import APPGEN_PREFIX
+    from repro.workloads.appgen import parse_seed_range
+
+    if (args.app is None) == (args.seeds is None):
+        print(
+            "repro: error: give either an appgen:LO..HI reference or --seeds N",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.app is not None:
+        if not args.app.startswith(APPGEN_PREFIX):
+            print(
+                f"repro: error: fuzz takes {APPGEN_PREFIX}<seed|LO..HI> references,"
+                f" got {args.app!r}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        seeds = parse_seed_range(args.app)
+    else:
+        seeds = range(args.seeds)
+    if args.force_level is not None:
+        _validate_level(args.force_level)
+    runner = FuzzRunner(
+        seeds,
+        _appgen_knobs(args),
+        args.corpus_dir,
+        budget=args.budget,
+        pairs=args.pairs,
+        probe_schedules=args.max_schedules,
+        force_level=args.force_level,
+        shrink=not args.no_shrink,
+        progress=None if args.json else print,
+    )
+    if args.service:
+        host, _sep, port = args.service.rpartition(":")
+        try:
+            port = int(port)
+        except ValueError:
+            print(
+                f"repro: error: --service expects HOST:PORT, got {args.service!r}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        summary = runner.run_fleet(
+            host or "127.0.0.1", port,
+            inflight=args.inflight, deadline_ms=args.deadline_ms,
+        )
+    else:
+        summary = runner.run()
+    findings = runner.findings()
+    if args.json:
+        print(json.dumps({"summary": summary, "findings": findings}, indent=2))
+    else:
+        verdicts = summary["verdicts"]
+        tightness = summary["tightness"]
+        line = (
+            f"fuzz: {summary['seeds']} seeds — explored {summary['explored']},"
+            f" answered from ledger {summary['skipped']}"
+            f" (warm rate {summary['skip_rate']:.0%})"
+        )
+        if summary["interrupted"]:
+            line += " — INTERRUPTED (resume with the same command)"
+        if summary.get("errors"):
+            line += f" — {summary['errors']} remote errors"
+        print(line)
+        print(
+            f"  verdicts: SOUND {verdicts['SOUND']}"
+            f"  UNSOUND {verdicts['UNSOUND']}"
+            f"  UNSTABLE {verdicts['UNSTABLE']}"
+            f"  (tight {tightness['TIGHT']}, loose {tightness['LOOSE']},"
+            f" open {summary['open']})"
+        )
+        for finding in findings:
+            print(f"  [{finding['severity']}] {finding['rule']}: {finding['message']}")
+            if finding.get("witness"):
+                print(f"    witness: repro replay {finding['witness']!r}")
+    return EXIT_VERDICT if summary["verdicts"]["UNSOUND"] else EXIT_OK
 
 
 def cmd_serve(args) -> int:
@@ -566,8 +724,20 @@ def _submit_options(args) -> dict:
         # service's chance to coalesce concurrent lint requests
         options = {}
     if args.kind == "infer":
-        # inference depends only on budget and seed
+        # inference depends only on budget, seed and generator knobs
         options = {"budget": args.budget, "seed": args.seed}
+        if args.knobs:
+            options["profile"] = args.knobs
+    if args.kind == "fuzz":
+        options = {
+            "budget": args.budget,
+            "pairs": args.pairs,
+            "max_schedules": args.max_schedules,
+        }
+        if args.level:
+            options["level"] = args.level  # the forced chooser override
+        if args.knobs:
+            options["profile"] = args.knobs
     return options
 
 
@@ -629,6 +799,11 @@ def cmd_submit(args) -> int:
                 print(f"  agreement: {result['agreement']}")
             if "ok" in result:
                 print(f"  ok: {result['ok']}")
+            if "verdict" in result:
+                line = f"  verdict: {result['verdict']}"
+                if result.get("tightness"):
+                    line += f" ({result['tightness']})"
+                print(line)
     exit_code = EXIT_OK
     for entry in entries:
         if entry.get("timed_out"):
@@ -787,12 +962,76 @@ def build_parser() -> argparse.ArgumentParser:
     infer = sub.add_parser(
         "infer", help="derive I/B/Q annotations statically and compare levels"
     )
-    infer.add_argument("app", help="bundled application name or appgen:<seed>")
+    infer.add_argument(
+        "app", help="bundled application name, appgen:<seed> or appgen:LO..HI"
+    )
     infer.add_argument("--budget", type=int, default=3000)
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument("--workers", type=int, default=None, metavar="N")
+    _add_appgen_flags(infer)
     infer.add_argument("--json", action="store_true")
     infer.set_defaults(func=cmd_infer)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz static level choices against exhaustive"
+        " exploration (docs/FUZZING.md)",
+    )
+    fuzz.add_argument(
+        "app", nargs="?", default=None,
+        help="appgen:<seed> or appgen:LO..HI seed range (or use --seeds)",
+    )
+    fuzz.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="fuzz seeds 0..N (shorthand for appgen:0..N)",
+    )
+    fuzz.add_argument(
+        "--corpus-dir", default=".repro-corpus", metavar="DIR",
+        help="corpus ledger directory (default: .repro-corpus)",
+    )
+    fuzz.add_argument(
+        "--resume", action="store_true",
+        help="resume from the corpus ledger (always on; settled seeds are"
+        " answered from the ledger — delete DIR for a fresh corpus)",
+    )
+    fuzz.add_argument("--budget", type=int, default=1500,
+                      help="interference-checker budget for the chooser pass")
+    fuzz.add_argument(
+        "--pairs", type=int, default=3,
+        help="probe instance sets explored per seed",
+    )
+    fuzz.add_argument(
+        "--max-schedules", type=int, default=96,
+        help="simulator-run budget per probe exploration",
+    )
+    fuzz.add_argument(
+        "--force-level", default=None, metavar="LEVEL",
+        help="override the chooser with one level everywhere (the weakened-"
+        "chooser fixture; e.g. 'READ COMMITTED')",
+    )
+    fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip greedy witness shrinking on UNSOUND findings",
+    )
+    _add_appgen_flags(fuzz)
+    fuzz.add_argument(
+        "--service", default=None, metavar="HOST:PORT",
+        help="fan unsettled seeds out across a running fleet (repro serve"
+        " --fleet N) instead of exploring locally",
+    )
+    fuzz.add_argument(
+        "--inflight", type=int, default=8,
+        help="concurrent in-flight fuzz jobs with --service",
+    )
+    fuzz.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="server-side deadline per fuzz job with --service",
+    )
+    fuzz.add_argument(
+        "--json", action="store_true",
+        help="emit the run summary plus lint-style findings as JSON",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     explore = sub.add_parser(
         "explore", help="exhaustively enumerate one scenario's schedules"
@@ -934,8 +1173,11 @@ def build_parser() -> argparse.ArgumentParser:
     submit = sub.add_parser(
         "submit", help="send jobs to a running analysis service"
     )
-    submit.add_argument("kind", choices=("analyze", "certify", "lint", "infer"))
-    submit.add_argument("apps", nargs="+", help="application name(s)")
+    submit.add_argument("kind", choices=("analyze", "certify", "lint", "infer", "fuzz"))
+    submit.add_argument(
+        "apps", nargs="+",
+        help="application name(s); infer/fuzz also accept appgen:<seed>",
+    )
     submit.add_argument("--host", default="127.0.0.1")
     submit.add_argument("--port", type=int, default=8923)
     submit.add_argument(
@@ -955,6 +1197,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-depth", type=int, default=None)
     submit.add_argument("--dpor", choices=("optimal", "lite"), default="optimal")
     submit.add_argument("--no-sdg", action="store_true")
+    submit.add_argument(
+        "--pairs", type=int, default=3,
+        help="probe instance sets per fuzz case (fuzz jobs only)",
+    )
+    submit.add_argument(
+        "--knobs", default=None, metavar="KNOBS",
+        help="generator knob string for appgen refs (infer/fuzz jobs;"
+        " e.g. 'txns=3..5;accounts=2;balance=2;stmts=-;profile=-')",
+    )
     submit.add_argument(
         "--json", action="store_true", help="print the full service response"
     )

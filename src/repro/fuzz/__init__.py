@@ -1,0 +1,38 @@
+"""Corpus-scale differential fuzzing of static level choices.
+
+The last open soundness item of the roadmap: synthesize unannotated
+applications (:mod:`repro.workloads.appgen`), infer their annotations
+(:mod:`repro.core.infer`), let the Section 5 chooser assign levels, and
+cross-check the assignment against exhaustive source-set DPOR
+exploration (:mod:`repro.sched.explore`) — at the chosen levels *and*
+one rung below, the native form of the HyperLTL-style "does level L
+admit outcomes level L' forbids" comparison.
+
+* :mod:`repro.fuzz.case` — the verdict taxonomy and the corpus row schema;
+* :mod:`repro.fuzz.differential` — one seed end to end: infer, choose,
+  probe, classify;
+* :mod:`repro.fuzz.shrink` — greedy instance/statement deletion of
+  UNSOUND findings, every step re-checked against the explorer;
+* :mod:`repro.fuzz.ledger` — the append-only JSONL corpus ledger
+  (:class:`repro.core.persist.SegmentLog` underneath) that makes runs
+  resumable and re-runs cheap;
+* :mod:`repro.fuzz.runner` — the corpus loop: resume, record, interrupt
+  handling, optional fleet fan-out.
+
+See ``docs/FUZZING.md`` for the corpus format and resume semantics.
+"""
+
+from repro.fuzz.case import (  # noqa: F401
+    FUZZ_VERSION,
+    FuzzCase,
+    LOOSE,
+    SOUND,
+    TIGHT,
+    UNSOUND,
+    UNSTABLE,
+    case_fingerprint,
+    probe_knobs,
+)
+from repro.fuzz.differential import run_case  # noqa: F401
+from repro.fuzz.ledger import CorpusLedger  # noqa: F401
+from repro.fuzz.runner import FuzzRunner  # noqa: F401

@@ -1,0 +1,177 @@
+"""Corpus case records: the verdict taxonomy and the ledger row schema.
+
+Every fuzzed seed settles into exactly one **soundness verdict**:
+
+``SOUND``
+    No explored schedule at the chooser's assignment violates the
+    semantic criterion — the paper's claim held for this program.
+``UNSOUND``
+    Some schedule at a level the chooser *admitted* violates the
+    criterion while the same instance set is clean at SERIALIZABLE — a
+    real chooser (or theorem-encoding) bug, reported with a replayable
+    witness and a shrunk reproducer.
+``UNSTABLE``
+    A violation was observed, but the same instance set violates at
+    SERIALIZABLE too.  The "invariant" inference produced is not
+    actually preserved by the program (template over-claim the CEGIS
+    pass missed), so the case says nothing about the chooser and is
+    excluded from the soundness accounting.
+
+Sound cases additionally carry a **tightness verdict** — the native
+level-comparison check: weaken every transaction one rung down the
+chooser's ladder and re-explore.  ``TIGHT`` means the weaker assignment
+exhibits a violation witness (the chooser's level was necessary);
+``LOOSE`` means even the weaker levels are clean on the explored probes
+(the choice may be conservative — or the probes too small to show why
+not).  ``None`` when every transaction already sits at the ladder floor.
+
+A case is keyed by ``(seed, fingerprint)`` where the fingerprint digests
+the fuzz algorithm version, the generator knob string and the generated
+program text — any change to either re-opens the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.application import Application
+from repro.workloads.appgen import AppGenConfig
+
+#: Bump on any change to the differential algorithm or the row schema:
+#: old corpus entries then miss cleanly and re-runs re-settle every seed.
+FUZZ_VERSION = "fuzz1"
+
+SOUND = "SOUND"
+UNSOUND = "UNSOUND"
+UNSTABLE = "UNSTABLE"
+
+TIGHT = "TIGHT"
+LOOSE = "LOOSE"
+
+VERDICTS = (SOUND, UNSOUND, UNSTABLE)
+TIGHTNESS = (TIGHT, LOOSE)
+
+
+def probe_knobs(
+    budget: int, pairs: int, probe_schedules: int, force_level: str | None
+) -> str:
+    """Canonical string of the check parameters that shape a verdict."""
+    return (
+        f"budget={budget};pairs={pairs};schedules={probe_schedules}"
+        f";force={force_level or '-'}"
+    )
+
+
+def case_fingerprint(app: Application, config: AppGenConfig, probe: str = "") -> str:
+    """Digest of everything that determines a seed's verdict.
+
+    ``probe`` is the :func:`probe_knobs` string — different check budgets
+    or a forced chooser override are different experiments and must not
+    answer each other from the ledger.  Strings only —
+    :func:`repro.core.cache.fingerprint_many` digests strings
+    structurally, so the fingerprint is stable across processes (a fleet
+    worker and the local runner agree on the key).
+    """
+    from repro.core.cache import fingerprint_many
+
+    return fingerprint_many(FUZZ_VERSION, config.knobs(), probe, repr(app.transactions))
+
+
+@dataclass
+class FuzzCase:
+    """One settled corpus case — the in-memory form of a ledger row.
+
+    Deliberately excludes wall-clock times and worker counts: rows must
+    be byte-identical between an interrupted-and-resumed run and an
+    uninterrupted one (the resumability contract the tests enforce).
+    """
+
+    seed: int
+    fingerprint: str
+    knobs: str
+    verdict: str
+    tightness: str | None = None
+    levels: dict = field(default_factory=dict)  # txn name -> chosen level
+    probes: int = 0  # probe instance sets explored
+    schedules: int = 0  # completed schedules across all explorations
+    violation: dict | None = None  # first witness at the admitted levels
+    shrunk: dict | None = None  # shrunk reproducer (UNSOUND only)
+
+    def to_row(self) -> dict:
+        """The JSONL ledger row (sorted keys via json.dumps at write)."""
+        return {
+            "seed": self.seed,
+            "fingerprint": self.fingerprint,
+            "knobs": self.knobs,
+            "verdict": self.verdict,
+            "tightness": self.tightness,
+            "levels": dict(sorted(self.levels.items())),
+            "probes": self.probes,
+            "schedules": self.schedules,
+            "violation": self.violation,
+            "shrunk": self.shrunk,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "FuzzCase | None":
+        """Decode a ledger row; ``None`` when it is not a valid case."""
+        try:
+            seed = row["seed"]
+            fingerprint = row["fingerprint"]
+            verdict = row["verdict"]
+        except (KeyError, TypeError):
+            return None
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            return None
+        if not isinstance(fingerprint, str) or verdict not in VERDICTS:
+            return None
+        tightness = row.get("tightness")
+        if tightness is not None and tightness not in TIGHTNESS:
+            return None
+        return cls(
+            seed=seed,
+            fingerprint=fingerprint,
+            knobs=row.get("knobs") or "",
+            verdict=verdict,
+            tightness=tightness,
+            levels=dict(row.get("levels") or {}),
+            probes=int(row.get("probes") or 0),
+            schedules=int(row.get("schedules") or 0),
+            violation=row.get("violation"),
+            shrunk=row.get("shrunk"),
+        )
+
+    def finding(self) -> dict | None:
+        """A ``repro lint``-style finding for a non-SOUND case, else None."""
+        if self.verdict == UNSOUND:
+            witness = (self.violation or {}).get("history")
+            message = (
+                f"appgen:{self.seed}: violation at admitted levels"
+                f" {self.levels} — {(self.violation or {}).get('summary', '?')}"
+            )
+            return {
+                "rule": "fuzz-unsound",
+                "severity": "error",
+                "transaction": None,
+                "message": message,
+                "seed": self.seed,
+                "fingerprint": self.fingerprint,
+                "witness": witness,
+                "shrunk": self.shrunk,
+            }
+        if self.verdict == UNSTABLE:
+            return {
+                "rule": "fuzz-unstable-invariant",
+                "severity": "warning",
+                "transaction": None,
+                "message": (
+                    f"appgen:{self.seed}: inferred invariant violated even at"
+                    " SERIALIZABLE — inference over-claimed; excluded from"
+                    " soundness accounting"
+                ),
+                "seed": self.seed,
+                "fingerprint": self.fingerprint,
+                "witness": (self.violation or {}).get("history"),
+                "shrunk": None,
+            }
+        return None

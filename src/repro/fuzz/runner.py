@@ -1,0 +1,257 @@
+"""The resumable corpus runner: seeds in, settled ledger rows out.
+
+One :class:`FuzzRunner` owns one seed range, one generator knob string
+and one corpus directory.  Per seed it (cheaply) regenerates the
+application, fingerprints it, skips the seed when the ledger already
+holds its row, and otherwise runs the full differential check
+(:func:`repro.fuzz.differential.run_case`) and records the row
+immediately — per-case durability is what makes SIGKILL mid-corpus lose
+at most one seed.
+
+Interruption contract: SIGTERM flips a flag checked between cases, so
+the runner finishes the case in flight, leaves a loadable ledger and
+reports ``interrupted: True``.  A rerun with the same arguments settles
+exactly the remaining seeds and the final ledger is byte-identical to an
+uninterrupted run's (:meth:`CorpusLedger.canonical_bytes`).
+
+Fan-out: :meth:`FuzzRunner.run_fleet` dispatches unsettled seeds as
+``fuzz`` jobs across a running PR-9 fleet via
+:class:`repro.service.client.AsyncServiceClient` — the differential
+check is deterministic, so remote rows are byte-identical to local ones
+and land in the same ledger.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+from repro.fuzz.case import (
+    FuzzCase,
+    LOOSE,
+    SOUND,
+    TIGHT,
+    UNSOUND,
+    UNSTABLE,
+    case_fingerprint,
+    probe_knobs,
+)
+from repro.fuzz.differential import (
+    DEFAULT_BUDGET,
+    DEFAULT_PAIRS,
+    DEFAULT_PROBE_SCHEDULES,
+    run_case,
+)
+from repro.fuzz.ledger import CorpusLedger
+from repro.workloads.appgen import AppGenConfig, generate_application
+
+#: Default corpus directory, next to the verdict cache's ``.repro-cache``.
+DEFAULT_CORPUS_DIR = ".repro-corpus"
+
+
+class FuzzRunner:
+    """Drive one corpus of seeds through the differential check."""
+
+    def __init__(
+        self,
+        seeds: range,
+        knobs: str | None = None,
+        corpus_dir: str = DEFAULT_CORPUS_DIR,
+        *,
+        budget: int = DEFAULT_BUDGET,
+        pairs: int = DEFAULT_PAIRS,
+        probe_schedules: int = DEFAULT_PROBE_SCHEDULES,
+        force_level: str | None = None,
+        shrink: bool = True,
+        progress=None,
+    ) -> None:
+        self.seeds = seeds
+        self.knobs = knobs
+        self.budget = budget
+        self.pairs = pairs
+        self.probe_schedules = probe_schedules
+        self.force_level = force_level
+        self.shrink = shrink
+        self.progress = progress  # callable(str) or None
+        self.ledger = CorpusLedger(corpus_dir)
+        self._stop = threading.Event()
+
+    # -- interruption --------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Finish the case in flight, then stop (the SIGTERM path)."""
+        self._stop.set()
+
+    def _install_sigterm(self):
+        """Route SIGTERM to :meth:`request_stop`; returns a restore thunk."""
+        try:
+            previous = signal.signal(
+                signal.SIGTERM, lambda _signum, _frame: self.request_stop()
+            )
+        except ValueError:  # not the main thread: rely on request_stop()
+            return lambda: None
+        return lambda: signal.signal(signal.SIGTERM, previous)
+
+    # -- the corpus loop -----------------------------------------------------
+
+    def _case_key(self, seed: int) -> tuple:
+        config = AppGenConfig.from_knobs(seed, self.knobs)
+        probe = probe_knobs(
+            self.budget, self.pairs, self.probe_schedules, self.force_level
+        )
+        return config, case_fingerprint(generate_application(config), config, probe)
+
+    def _note(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self) -> dict:
+        """Settle every unsettled seed in range; returns the run summary."""
+        self.ledger.load()
+        restore = self._install_sigterm()
+        explored = skipped = 0
+        interrupted = False
+        try:
+            for seed in self.seeds:
+                if self._stop.is_set():
+                    interrupted = True
+                    break
+                config, fingerprint = self._case_key(seed)
+                if self.ledger.settled(seed, fingerprint) is not None:
+                    skipped += 1
+                    continue
+                case = run_case(
+                    config,
+                    budget=self.budget,
+                    pairs=self.pairs,
+                    probe_schedules=self.probe_schedules,
+                    force_level=self.force_level,
+                    shrink=self.shrink,
+                )
+                self.ledger.record(case.to_row())
+                explored += 1
+                self._note(
+                    f"appgen:{seed}: {case.verdict}"
+                    + (f"/{case.tightness}" if case.tightness else "")
+                    + f" ({case.schedules} schedules)"
+                )
+        finally:
+            restore()
+        return self.summary(explored=explored, skipped=skipped, interrupted=interrupted)
+
+    # -- fleet fan-out -------------------------------------------------------
+
+    def run_fleet(
+        self,
+        host: str,
+        port: int,
+        *,
+        inflight: int = 8,
+        deadline_ms: int | None = None,
+    ) -> dict:
+        """Settle unsettled seeds via ``fuzz`` jobs on a running service.
+
+        The check is deterministic, so a remote worker's row equals the
+        row the local loop would have written; rows are recorded as
+        results stream back, preserving per-case durability.
+        """
+        import asyncio
+
+        self.ledger.load()
+        pending = []
+        skipped = 0
+        for seed in self.seeds:
+            _config, fingerprint = self._case_key(seed)
+            if self.ledger.settled(seed, fingerprint) is not None:
+                skipped += 1
+            else:
+                pending.append(seed)
+
+        explored = errors = 0
+
+        async def drive() -> None:
+            nonlocal explored, errors
+            from repro.service.client import AsyncServiceClient
+
+            client = AsyncServiceClient(host, port, pool_size=inflight)
+            gate = asyncio.Semaphore(inflight)
+
+            async def one(seed: int) -> None:
+                nonlocal explored, errors
+                options = {
+                    "budget": self.budget,
+                    "pairs": self.pairs,
+                    "max_schedules": self.probe_schedules,
+                }
+                if self.knobs:
+                    options["profile"] = self.knobs
+                if self.force_level:
+                    options["level"] = self.force_level
+                async with gate:
+                    response = await client.fuzz(
+                        f"appgen:{seed}", deadline_ms=deadline_ms, **options
+                    )
+                for entry in response.get("results", []):
+                    row = entry.get("result")
+                    if entry.get("timed_out") or "error" in entry or not row:
+                        errors += 1
+                        continue
+                    if FuzzCase.from_row(row) is None:
+                        errors += 1
+                        continue
+                    self.ledger.record(row)
+                    explored += 1
+                    self._note(f"appgen:{seed}: {row['verdict']} (remote)")
+
+            try:
+                await asyncio.gather(*(one(seed) for seed in pending))
+            finally:
+                await client.aclose()
+
+        asyncio.run(drive())
+        summary = self.summary(explored=explored, skipped=skipped, interrupted=False)
+        summary["errors"] = errors
+        return summary
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self, *, explored: int, skipped: int, interrupted: bool) -> dict:
+        """Run summary plus verdict tallies over the requested seed range."""
+        verdicts = {SOUND: 0, UNSOUND: 0, UNSTABLE: 0}
+        tightness = {TIGHT: 0, LOOSE: 0}
+        open_seeds = 0
+        for seed in self.seeds:
+            _config, fingerprint = self._case_key(seed)
+            row = self.ledger.settled(seed, fingerprint)
+            case = FuzzCase.from_row(row) if row else None
+            if case is None:
+                open_seeds += 1
+                continue
+            verdicts[case.verdict] += 1
+            if case.tightness is not None:
+                tightness[case.tightness] += 1
+        total = len(self.seeds)
+        return {
+            "seeds": total,
+            "explored": explored,
+            "skipped": skipped,
+            "skip_rate": (skipped / total) if total else 0.0,
+            "open": open_seeds,
+            "interrupted": interrupted,
+            "verdicts": verdicts,
+            "tightness": tightness,
+        }
+
+    def findings(self) -> list:
+        """Lint-style findings for every non-SOUND case in the seed range."""
+        out = []
+        for seed in self.seeds:
+            _config, fingerprint = self._case_key(seed)
+            row = self.ledger.settled(seed, fingerprint)
+            case = FuzzCase.from_row(row) if row else None
+            if case is None:
+                continue
+            finding = case.finding()
+            if finding is not None:
+                out.append(finding)
+        return out

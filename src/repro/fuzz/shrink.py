@@ -1,0 +1,186 @@
+"""Greedy shrinking of UNSOUND findings, re-checked against the explorer.
+
+A raw UNSOUND witness names a whole generated application plus a probe
+pair; most of it is usually irrelevant.  The shrinker minimises in two
+greedy passes, each candidate deletion accepted only when the *shrunken*
+case still reproduces the finding — a semantic violation at the admitted
+levels whose probe stays clean at SERIALIZABLE (the same double check
+:mod:`repro.fuzz.differential` classifies with, so shrinking can never
+turn an UNSOUND case into an UNSTABLE one):
+
+1. **instance deletion** — drop probe instances one at a time;
+2. **statement deletion** — drop top-level statements from the involved
+   transaction bodies one at a time, rebuilding the type with a trivial
+   ``Q_i``/snapshot (a deleted statement's locals must not linger in the
+   result formula).  A statement whose bound locals a later statement
+   still references is never deleted — the shrunken program must stay
+   executable, not merely re-checkable.
+
+Deletion order is fixed (last to first), so equal inputs shrink to equal
+reproducers — the shrunk dict is part of the deterministic ledger row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.conditions import SERIALIZABLE
+from repro.core.formula import TRUE, Formula
+from repro.core.program import TransactionType
+from repro.core.terms import Local, Term
+
+
+def _node_locals(value) -> set:
+    """Every :class:`Local` mentioned anywhere inside a statement field."""
+    if isinstance(value, (Term, Formula)):
+        return {atom for atom in value.atoms() if isinstance(atom, Local)}
+    if isinstance(value, Local):
+        return {value}
+    if isinstance(value, (tuple, list)):
+        out: set = set()
+        for item in value:
+            out |= _node_locals(item)
+        return out
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = set()
+        for field in dataclasses.fields(value):
+            out |= _node_locals(getattr(value, field.name))
+        return out
+    return set()
+
+
+def _bound_locals(stmt) -> set:
+    """Locals a statement binds (its dataflow outputs)."""
+    bound: set = set()
+    into = getattr(stmt, "into", None)
+    if isinstance(into, Local):
+        bound.add(into)
+    for attr in ("binds", "bind"):
+        for pair in getattr(stmt, attr, ()) or ():
+            if isinstance(pair, tuple) and len(pair) == 2 and isinstance(pair[1], Local):
+                bound.add(pair[1])
+    return bound
+
+
+def _deletable(body: tuple, index: int) -> bool:
+    """A statement may go only if no later statement uses what it binds."""
+    bound = _bound_locals(body[index])
+    if not bound:
+        return True
+    used_later: set = set()
+    for stmt in body[index + 1 :]:
+        used_later |= _node_locals(stmt)
+    return not (bound & used_later)
+
+
+def _without_statement(txn: TransactionType, index: int) -> TransactionType:
+    body = txn.body[:index] + txn.body[index + 1 :]
+    # the deleted statement's locals may appear in Q_i/snapshot; weaken both
+    # — the violation-persistence re-check decides if that loses the bug
+    return TransactionType(
+        name=txn.name,
+        params=txn.params,
+        body=body,
+        consistency=txn.consistency,
+        param_pre=txn.param_pre,
+        result=TRUE,
+        snapshot=(),
+    )
+
+
+def _distinct_txns(instances) -> list:
+    """Distinct transaction objects in probe order (a same-type pair
+    shares one object, shrunk once for both instances)."""
+    seen: list = []
+    for txn, _args, _name in instances:
+        if not any(txn is known for known in seen):
+            seen.append(txn)
+    return seen
+
+
+def _reproduces(instances, levels, invariant, initial, probe_schedules) -> bool:
+    """Does the candidate still violate at ``levels`` but not SERIALIZABLE?"""
+    from repro.fuzz.differential import explore_probe
+
+    _schedules, violations = explore_probe(
+        initial, instances, levels, invariant, max_schedules=probe_schedules
+    )
+    if not violations:
+        return False
+    serializable = {levels_name: SERIALIZABLE for levels_name in levels}
+    _schedules, baseline = explore_probe(
+        initial, instances, serializable, invariant, max_schedules=probe_schedules
+    )
+    return not baseline
+
+
+def shrink_unsound(
+    app,
+    instances: list,
+    levels: dict,
+    invariant,
+    initial,
+    *,
+    probe_schedules: int,
+) -> dict | None:
+    """Minimise one UNSOUND probe; returns the shrunk reproducer row.
+
+    ``instances`` is the probe's ``(txn, args, name)`` list.  Returns
+    ``None`` only if the finding stopped reproducing outright (a flake the
+    deterministic explorer should never produce — reported as such).
+    """
+    from repro.fuzz.differential import explore_probe
+
+    current = list(instances)
+    if not _reproduces(current, levels, invariant, initial, probe_schedules):
+        return None
+
+    removed_instances = 0
+    for index in range(len(current) - 1, -1, -1):
+        if len(current) <= 1:
+            break
+        candidate = current[:index] + current[index + 1 :]
+        if _reproduces(candidate, levels, invariant, initial, probe_schedules):
+            current = candidate
+            removed_instances += 1
+
+    removed_statements = 0
+    worklist = _distinct_txns(current)
+    while worklist:
+        txn = worklist.pop(0)
+        index = len(txn.body) - 1
+        while index >= 0 and len(txn.body) > 1:
+            if not _deletable(txn.body, index):
+                index -= 1
+                continue
+            shrunk_txn = _without_statement(txn, index)
+            candidate = [
+                (shrunk_txn, a, n) if t is txn else (t, a, n)
+                for t, a, n in current
+            ]
+            if _reproduces(candidate, levels, invariant, initial, probe_schedules):
+                current = candidate
+                txn = shrunk_txn
+                removed_statements += 1
+            index -= 1
+
+    _schedules, violations = explore_probe(
+        initial, current, levels, invariant, max_schedules=probe_schedules
+    )
+    summary, history, committed = violations[0]
+    return {
+        "instances": [name for _txn, _args, name in current],
+        "args": [dict(sorted(args.items())) for _txn, args, _name in current],
+        "bodies": {
+            txn.name: [
+                getattr(stmt, "label", None) or type(stmt).__name__
+                for stmt in txn.body
+            ]
+            for txn, _args, _name in current
+        },
+        "removed_instances": removed_instances,
+        "removed_statements": removed_statements,
+        "summary": summary,
+        "history": history,
+        "committed": committed,
+    }

@@ -25,11 +25,11 @@ from dataclasses import dataclass, field, fields
 from repro.errors import ReproError
 
 #: The job kinds the service and ``repro submit`` accept.
-JOB_KINDS = ("analyze", "certify", "lint", "infer")
+JOB_KINDS = ("analyze", "certify", "lint", "infer", "fuzz")
 
 #: Application references of the form ``appgen:<seed>`` resolve to
 #: generated unannotated programs (see :mod:`repro.workloads.appgen`);
-#: they are accepted by ``infer`` jobs only.
+#: they are accepted by ``infer`` and ``fuzz`` jobs only.
 APPGEN_PREFIX = "appgen:"
 
 
@@ -53,6 +53,11 @@ class JobSpec:
     max_schedules: int = 500
     max_depth: int | None = None
     dpor: str = "optimal"
+    #: Generator knob string for appgen refs (``fuzz``/``infer`` jobs);
+    #: part of the fingerprint — different knobs are different programs.
+    profile: str | None = None
+    #: Probe instance sets per fuzz case (``fuzz`` jobs only).
+    pairs: int = 3
 
     def validate(self) -> None:
         """Raise :class:`JobError` on any inconsistency a run would hit."""
@@ -65,19 +70,35 @@ class JobSpec:
             )
         apps = registry()
         if self.app.startswith(APPGEN_PREFIX):
-            if self.kind != "infer":
+            if self.kind not in ("infer", "fuzz"):
                 raise JobError(
                     f"generated applications ({APPGEN_PREFIX}<seed>) are only"
-                    f" accepted by infer jobs, not {self.kind!r}"
+                    f" accepted by infer and fuzz jobs, not {self.kind!r}"
                 )
             seed = self.app[len(APPGEN_PREFIX) :]
             if not (seed.isdigit() or (seed[:1] == "-" and seed[1:].isdigit())):
-                raise JobError(f"appgen seed must be an integer, got {seed!r}")
+                raise JobError(
+                    f"appgen seed must be an integer, got {seed!r}"
+                    " (seed ranges are expanded client-side; specs carry one seed)"
+                )
+        elif self.kind == "fuzz":
+            raise JobError(
+                f"fuzz jobs take {APPGEN_PREFIX}<seed> references, not {self.app!r}"
+            )
         elif self.app not in apps:
             raise JobError(
                 f"unknown application {self.app!r};"
                 f" choose from {', '.join(sorted(apps))} or {APPGEN_PREFIX}<seed>"
             )
+        if self.profile is not None:
+            if self.kind not in ("infer", "fuzz"):
+                raise JobError("profile (generator knobs) only applies to appgen jobs")
+            from repro.workloads.appgen import AppGenConfig
+
+            try:
+                AppGenConfig.from_knobs(0, self.profile)
+            except Exception as exc:
+                raise JobError(f"bad generator knobs {self.profile!r}: {exc}") from None
         if self.ladder not in ("ansi", "extended"):
             raise JobError(f"unknown ladder {self.ladder!r}; choose ansi or extended")
         if self.budget < 0:
@@ -86,7 +107,12 @@ class JobSpec:
             raise JobError(f"max_schedules must be positive, got {self.max_schedules}")
         if self.dpor not in ("optimal", "lite"):
             raise JobError(f"unknown dpor mode {self.dpor!r}; choose optimal or lite")
-        if (self.transaction is None) != (self.level is None):
+        if self.pairs <= 0:
+            raise JobError(f"pairs must be positive, got {self.pairs}")
+        if self.kind == "fuzz":
+            if self.transaction is not None:
+                raise JobError("fuzz jobs take no transaction filter")
+        elif (self.transaction is None) != (self.level is None):
             raise JobError("transaction and level must be given together")
         if self.level is not None and self.level not in LEVEL_ORDER:
             raise JobError(
@@ -129,10 +155,12 @@ class JobSpec:
         for name, kind_ in (("kind", str), ("app", str)):
             if not isinstance(getattr(spec, name), kind_):
                 raise JobError(f"job field {name!r} must be a string")
-        for name in ("budget", "seed", "max_schedules", "max_depth"):
+        for name in ("budget", "seed", "max_schedules", "max_depth", "pairs"):
             value = getattr(spec, name)
             if value is not None and not isinstance(value, int):
                 raise JobError(f"job field {name!r} must be an integer")
+        if spec.profile is not None and not isinstance(spec.profile, str):
+            raise JobError("job field 'profile' must be a string")
         return spec
 
 
@@ -180,6 +208,8 @@ def run_job(
         )
     if spec.kind == "infer":
         return _run_infer_job(spec, workers=workers)
+    if spec.kind == "fuzz":
+        return _run_fuzz_job(spec)
     return _run_lint_job(spec)
 
 
@@ -275,12 +305,12 @@ def _run_certify_job(
     )
 
 
-def _resolve_infer_app(ref: str):
+def _resolve_infer_app(ref: str, knobs: str | None = None):
     """Registry app or ``appgen:<seed>`` generated program."""
     if ref.startswith(APPGEN_PREFIX):
         from repro.workloads.appgen import resolve_app_ref
 
-        return resolve_app_ref(ref)
+        return resolve_app_ref(ref, knobs=knobs)
     from repro.apps import registry
 
     return registry()[ref]()
@@ -293,7 +323,7 @@ def _run_infer_job(spec: JobSpec, *, workers) -> JobResult:
     from repro.core.interference import InterferenceChecker
     from repro.core.parallel import resolve_workers
 
-    app = _resolve_infer_app(spec.app)
+    app = _resolve_infer_app(spec.app, knobs=spec.profile)
     inferred, report = infer_application(app, seed=spec.seed)
     payload = {
         "application": app.name,
@@ -314,6 +344,15 @@ def _run_infer_job(spec: JobSpec, *, workers) -> JobResult:
         payload["matches"] = compared["matches"]
         payload["agreement"] = compared["agreement"]
         payload["levels"] = compared["inferred"]
+        payload["disagreements"] = [
+            {
+                "transaction": name,
+                "declared": compared["declared"][name],
+                "inferred": compared["inferred"][name],
+            }
+            for name in sorted(compared["matches"])
+            if not compared["matches"][name]
+        ]
         exit_code = 0 if compared["agreement"] else 1
     else:
         checker = InterferenceChecker(
@@ -321,12 +360,43 @@ def _run_infer_job(spec: JobSpec, *, workers) -> JobResult:
             workers=resolve_workers(workers),
         )
         payload["levels"] = analyze_application(inferred, checker).levels()
+        payload["disagreements"] = []  # nothing declared to disagree with
     return JobResult(
         spec=spec,
         payload=payload,
         exit_code=exit_code,
         report=report,
         artifacts={"inferred": inferred},
+    )
+
+
+def _run_fuzz_job(spec: JobSpec) -> JobResult:
+    """One differential fuzz case (see :mod:`repro.fuzz.differential`).
+
+    The spec reuses existing fields for the fuzz knobs: ``profile`` is
+    the generator knob string, ``level`` the forced chooser override,
+    ``max_schedules`` the per-probe exploration budget.  The payload is
+    the corpus ledger row — deterministic, so a fleet worker's row is
+    byte-identical to the one the local runner would have written.
+    """
+    from repro.fuzz.case import UNSOUND
+    from repro.fuzz.differential import run_case
+    from repro.workloads.appgen import AppGenConfig
+
+    seed = int(spec.app[len(APPGEN_PREFIX) :])
+    config = AppGenConfig.from_knobs(seed, spec.profile)
+    case = run_case(
+        config,
+        budget=spec.budget,
+        pairs=spec.pairs,
+        probe_schedules=spec.max_schedules,
+        force_level=spec.level,
+    )
+    return JobResult(
+        spec=spec,
+        payload=case.to_row(),
+        exit_code=1 if case.verdict == UNSOUND else 0,
+        report=case,
     )
 
 

@@ -210,6 +210,9 @@ class ServiceClient:
     def infer(self, apps, **options) -> dict:
         return self.submit("infer", apps, **options)
 
+    def fuzz(self, apps, **options) -> dict:
+        return self.submit("fuzz", apps, **options)
+
     def health(self, raise_for_status: bool = False) -> dict:
         status, text = self.request("GET", "/healthz")
         try:
@@ -432,6 +435,9 @@ class AsyncServiceClient:
 
     async def infer(self, apps, **options) -> dict:
         return await self.submit("infer", apps, **options)
+
+    async def fuzz(self, apps, **options) -> dict:
+        return await self.submit("fuzz", apps, **options)
 
     async def health(self, raise_for_status: bool = False) -> dict:
         status, text, _headers = await self.request("GET", "/healthz")

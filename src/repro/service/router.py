@@ -614,7 +614,7 @@ class FleetRouter:
             if method != "GET":
                 raise HttpError(405, "use GET /metrics")
             return 200, await self._metrics(), "text/plain; version=0.0.4"
-        if path in ("/analyze", "/certify", "/lint", "/infer"):
+        if path in ("/analyze", "/certify", "/lint", "/infer", "/fuzz"):
             if method != "POST":
                 raise HttpError(405, f"use POST {path}")
             if self._draining:

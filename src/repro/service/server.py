@@ -74,6 +74,7 @@ __all__ = [
 JOB_OPTION_FIELDS = (
     "budget", "seed", "ladder", "snapshot", "use_sdg",
     "transaction", "level", "max_schedules", "max_depth", "dpor",
+    "profile", "pairs",
 )
 
 # backwards-compatible alias: the server's request-abort exception now
@@ -448,7 +449,7 @@ class ReproService:
             if method != "GET":
                 raise HttpError(405, "use GET /metrics")
             return 200, self.telemetry.registry.render(), "text/plain; version=0.0.4"
-        if path in ("/analyze", "/certify", "/lint", "/infer"):
+        if path in ("/analyze", "/certify", "/lint", "/infer", "/fuzz"):
             if method != "POST":
                 raise HttpError(405, f"use POST {path}")
             if self._draining:

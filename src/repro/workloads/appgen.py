@@ -38,13 +38,95 @@ APPGEN_PREFIX = "appgen:"
 
 @dataclass(frozen=True)
 class AppGenConfig:
-    """Knobs for one generated application."""
+    """Knobs for one generated application.
+
+    The defaults reproduce the historical generator byte for byte; the
+    shaping knobs (``max_stmts``, ``profile``) only change the draw
+    sequence when explicitly set, so every previously published seed keeps
+    its program text.
+    """
 
     seed: int = 0
     accounts: int = 2
     min_transactions: int = 3
     max_transactions: int = 5
     max_balance: int = 2
+    #: statement budget: shape picks stop once the next shape's statement
+    #: count would push the total past this bound (None = unbounded)
+    max_stmts: int | None = None
+    #: named shape-weight preset (see :data:`PROFILES`; None = legacy
+    #: uniform ``rng.choice`` draws)
+    profile: str | None = None
+
+    def knobs(self) -> str:
+        """Canonical knob string — the shape identity of this config.
+
+        Everything except the seed, in a fixed order: two configs with
+        equal knob strings generate structurally comparable corpora, and
+        the string travels through :class:`~repro.pipeline.jobs.JobSpec`
+        (the ``profile`` job field) so a service-side ``fuzz``/``infer``
+        job regenerates the exact same application.
+        """
+        return (
+            f"txns={self.min_transactions}..{self.max_transactions}"
+            f";accounts={self.accounts}"
+            f";balance={self.max_balance}"
+            f";stmts={'-' if self.max_stmts is None else self.max_stmts}"
+            f";profile={self.profile or '-'}"
+        )
+
+    @classmethod
+    def from_knobs(cls, seed: int, knobs: str | None) -> "AppGenConfig":
+        """Inverse of :meth:`knobs`; ``None``/empty means all defaults."""
+        if not knobs:
+            return cls(seed=seed)
+        values: dict = {"seed": seed}
+        for part in knobs.split(";"):
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise AnalysisError(f"malformed appgen knob {part!r} in {knobs!r}")
+            if key == "txns":
+                lo, hi = parse_span(raw, what="txns")
+                values["min_transactions"], values["max_transactions"] = lo, hi
+            elif key == "accounts":
+                values["accounts"] = _knob_int(raw, "accounts")
+            elif key == "balance":
+                values["max_balance"] = _knob_int(raw, "balance")
+            elif key == "stmts":
+                values["max_stmts"] = None if raw == "-" else _knob_int(raw, "stmts")
+            elif key == "profile":
+                if raw != "-" and raw not in PROFILES:
+                    raise AnalysisError(
+                        f"unknown appgen profile {raw!r};"
+                        f" choose from {', '.join(sorted(PROFILES))}"
+                    )
+                values["profile"] = None if raw == "-" else raw
+            else:
+                raise AnalysisError(f"unknown appgen knob {key!r} in {knobs!r}")
+        return cls(**values)
+
+
+def _knob_int(raw: str, what: str) -> int:
+    try:
+        value = int(raw)
+    except ValueError:
+        raise AnalysisError(f"appgen {what} must be an integer, got {raw!r}")
+    if value <= 0:
+        raise AnalysisError(f"appgen {what} must be positive, got {value}")
+    return value
+
+
+def parse_span(text: str, *, what: str = "span") -> tuple:
+    """Parse ``"3..5"`` (inclusive bounds) or ``"4"`` into ``(lo, hi)``."""
+    lo_text, sep, hi_text = text.partition("..")
+    try:
+        lo = int(lo_text)
+        hi = int(hi_text) if sep else lo
+    except ValueError:
+        raise AnalysisError(f"{what} must be N or LO..HI, got {text!r}")
+    if lo <= 0 or hi < lo:
+        raise AnalysisError(f"{what} bounds must satisfy 0 < LO <= HI, got {text!r}")
+    return lo, hi
 
 
 def _field(index) -> Field:
@@ -112,6 +194,26 @@ _SHAPES = (
     ("Report", _make_reporter),
 )
 
+#: Statements per shape (walked, nested included) — the ``max_stmts`` cost.
+SHAPE_COSTS = {
+    name: sum(1 for _ in factory("probe").walk()) for name, factory in _SHAPES
+}
+
+#: Named shape-weight presets, aligned with :data:`_SHAPES` order.
+PROFILES = {
+    "uniform": {"Deposit": 1, "Withdraw": 1, "Transfer": 1, "Report": 1},
+    "write-heavy": {"Deposit": 3, "Withdraw": 3, "Transfer": 2, "Report": 1},
+    "read-heavy": {"Deposit": 1, "Withdraw": 1, "Transfer": 1, "Report": 4},
+    "transfer-heavy": {"Deposit": 1, "Withdraw": 1, "Transfer": 4, "Report": 1},
+}
+
+
+def _pick_shape(rng: random.Random, shapes, profile: str | None):
+    if profile is None:
+        return rng.choice(shapes)
+    weights = [PROFILES[profile][name] for name, _factory in shapes]
+    return rng.choices(shapes, weights=weights, k=1)[0]
+
 
 def generate_application(config: AppGenConfig | int) -> Application:
     """A deterministic unannotated application for the given seed/config."""
@@ -121,9 +223,17 @@ def generate_application(config: AppGenConfig | int) -> Application:
     count = rng.randint(config.min_transactions, config.max_transactions)
     # always include one writer and one reader so analysis is non-trivial,
     # then fill the rest of the mix randomly
-    picks = [rng.choice(_SHAPES[:3]), _SHAPES[3]]
+    picks = [_pick_shape(rng, _SHAPES[:3], config.profile), _SHAPES[3]]
+    spent = sum(SHAPE_COSTS[name] for name, _factory in picks)
     while len(picks) < count:
-        picks.append(rng.choice(_SHAPES))
+        pick = _pick_shape(rng, _SHAPES, config.profile)
+        if (
+            config.max_stmts is not None
+            and spent + SHAPE_COSTS[pick[0]] > config.max_stmts
+        ):
+            break
+        picks.append(pick)
+        spent += SHAPE_COSTS[pick[0]]
     rng.shuffle(picks)
     used: dict = {}
     transactions = []
@@ -158,16 +268,38 @@ def generate_application(config: AppGenConfig | int) -> Application:
     )
 
 
-def resolve_app_ref(ref: str) -> Application:
-    """Resolve ``appgen:<seed>`` to its generated application."""
+def parse_seed_range(ref: str) -> range:
+    """Seeds of an ``appgen:`` reference — single or half-open range.
+
+    ``appgen:7`` names the one seed 7; ``appgen:100..200`` names seeds 100
+    (inclusive) through 200 (*exclusive*), so adjacent ranges
+    ``0..100``/``100..200`` tile a corpus without overlap.  The syntax is
+    shared by ``repro infer`` and ``repro fuzz``.
+    """
     if not ref.startswith(APPGEN_PREFIX):
         raise AnalysisError(f"not an appgen reference: {ref!r}")
     raw = ref[len(APPGEN_PREFIX) :]
+    start_text, sep, stop_text = raw.partition("..")
     try:
-        seed = int(raw)
+        start = int(start_text)
+        stop = int(stop_text) if sep else start + 1
     except ValueError:
-        raise AnalysisError(f"appgen seed must be an integer, got {raw!r}")
-    return generate_application(seed)
+        raise AnalysisError(
+            f"appgen seed must be an integer or LO..HI range, got {raw!r}"
+        )
+    if sep and stop <= start:
+        raise AnalysisError(f"empty appgen seed range {raw!r} (LO..HI is half-open)")
+    return range(start, stop)
+
+
+def resolve_app_ref(ref: str, knobs: str | None = None) -> Application:
+    """Resolve a single-seed ``appgen:<seed>`` to its generated application."""
+    seeds = parse_seed_range(ref)
+    if len(seeds) != 1:
+        raise AnalysisError(
+            f"{ref!r} names {len(seeds)} seeds; a single application is needed here"
+        )
+    return generate_application(AppGenConfig.from_knobs(seeds[0], knobs))
 
 
 def initial_state(config: AppGenConfig | int, balance: int = 1):

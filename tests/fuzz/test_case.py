@@ -1,0 +1,140 @@
+"""Tests for the corpus row schema and case fingerprints."""
+
+from repro.fuzz.case import (
+    FUZZ_VERSION,
+    FuzzCase,
+    LOOSE,
+    SOUND,
+    TIGHT,
+    UNSOUND,
+    UNSTABLE,
+    case_fingerprint,
+    probe_knobs,
+)
+from repro.workloads.appgen import AppGenConfig, generate_application
+
+
+def _case(**overrides) -> FuzzCase:
+    base = dict(
+        seed=3,
+        fingerprint="abc123",
+        knobs="txns=3..5;accounts=2;balance=2;stmts=-;profile=-",
+        verdict=SOUND,
+        tightness=TIGHT,
+        levels={"Deposit": "REPEATABLE READ"},
+        probes=3,
+        schedules=42,
+    )
+    base.update(overrides)
+    return FuzzCase(**base)
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        config = AppGenConfig(seed=5)
+        app = generate_application(config)
+        assert case_fingerprint(app, config) == case_fingerprint(app, config)
+
+    def test_distinct_seeds_distinct_fingerprints(self):
+        prints = set()
+        for seed in range(6):
+            config = AppGenConfig(seed=seed)
+            prints.add(case_fingerprint(generate_application(config), config))
+        assert len(prints) == 6
+
+    def test_probe_knobs_reopen_the_seed(self):
+        config = AppGenConfig(seed=0)
+        app = generate_application(config)
+        plain = case_fingerprint(app, config, probe_knobs(1500, 3, 96, None))
+        forced = case_fingerprint(
+            app, config, probe_knobs(1500, 3, 96, "READ COMMITTED")
+        )
+        assert plain != forced
+
+    def test_generator_knobs_reopen_the_seed(self):
+        a = AppGenConfig(seed=0)
+        b = AppGenConfig(seed=0, max_stmts=10)
+        assert case_fingerprint(generate_application(a), a) != case_fingerprint(
+            generate_application(b), b
+        )
+
+    def test_version_in_every_fingerprint(self):
+        # bumping FUZZ_VERSION must change the digest: it's an input
+        config = AppGenConfig(seed=1)
+        app = generate_application(config)
+        from repro.core.cache import fingerprint_many
+
+        assert case_fingerprint(app, config) == fingerprint_many(
+            FUZZ_VERSION, config.knobs(), "", repr(app.transactions)
+        )
+
+
+class TestRowRoundTrip:
+    def test_round_trips_losslessly(self):
+        case = _case(
+            verdict=UNSOUND,
+            tightness=None,
+            violation={"probe": "a+b@0", "history": "r1[x] c1"},
+            shrunk={"instances": ["a#1"]},
+        )
+        decoded = FuzzCase.from_row(case.to_row())
+        assert decoded == case
+
+    def test_levels_sorted_in_row(self):
+        case = _case(levels={"Z": "SERIALIZABLE", "A": "READ COMMITTED"})
+        assert list(case.to_row()["levels"]) == ["A", "Z"]
+
+    def test_row_has_no_wallclock_fields(self):
+        row = _case().to_row()
+        assert not any("time" in key or "seconds" in key for key in row)
+
+    def test_rejects_bad_rows(self):
+        good = _case().to_row()
+        bad_rows = [
+            None,
+            [],
+            {},
+            {**good, "seed": "3"},
+            {**good, "seed": True},
+            {**good, "fingerprint": 7},
+            {**good, "verdict": "MAYBE"},
+            {**good, "tightness": "SNUG"},
+        ]
+        for row in bad_rows:
+            assert FuzzCase.from_row(row) is None
+
+    def test_accepts_every_verdict(self):
+        for verdict in (SOUND, UNSOUND, UNSTABLE):
+            row = _case(verdict=verdict, tightness=None).to_row()
+            assert FuzzCase.from_row(row).verdict == verdict
+
+    def test_accepts_every_tightness(self):
+        for tightness in (TIGHT, LOOSE, None):
+            row = _case(tightness=tightness).to_row()
+            assert FuzzCase.from_row(row).tightness == tightness
+
+
+class TestFindings:
+    def test_sound_cases_yield_nothing(self):
+        assert _case(verdict=SOUND).finding() is None
+
+    def test_unsound_finding_is_an_error_with_witness(self):
+        case = _case(
+            verdict=UNSOUND,
+            tightness=None,
+            violation={"history": "r1[x] w2[x=1] c1 c2", "summary": "boom"},
+            shrunk={"instances": ["Deposit#1"]},
+        )
+        finding = case.finding()
+        assert finding["rule"] == "fuzz-unsound"
+        assert finding["severity"] == "error"
+        assert finding["witness"] == "r1[x] w2[x=1] c1 c2"
+        assert finding["shrunk"] == {"instances": ["Deposit#1"]}
+        assert finding["seed"] == case.seed
+
+    def test_unstable_finding_is_a_warning(self):
+        case = _case(verdict=UNSTABLE, tightness=None, violation={"history": "c1"})
+        finding = case.finding()
+        assert finding["rule"] == "fuzz-unstable-invariant"
+        assert finding["severity"] == "warning"
+        assert "excluded from" in finding["message"]

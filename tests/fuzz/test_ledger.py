@@ -1,0 +1,150 @@
+"""Tests for the append-only corpus ledger."""
+
+import json
+
+import pytest
+
+from repro.fuzz.case import FuzzCase, SOUND, UNSOUND
+from repro.fuzz.ledger import COMPACT_THRESHOLD, CorpusLedger, ledger_salt
+
+
+def _row(seed: int, fingerprint: str = "fp", verdict: str = SOUND, **extra) -> dict:
+    row = FuzzCase(
+        seed=seed,
+        fingerprint=fingerprint,
+        knobs="k",
+        verdict=verdict,
+        levels={"T": "SERIALIZABLE"},
+        probes=1,
+        schedules=7,
+    ).to_row()
+    row.update(extra)
+    return row
+
+
+class TestRecordAndLoad:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = CorpusLedger(tmp_path)
+        assert first.record(_row(0)) is True
+        assert first.record(_row(1)) is True
+
+        second = CorpusLedger(tmp_path)
+        assert second.load() == 2
+        assert second.settled(0, "fp")["seed"] == 0
+        assert second.settled(9, "fp") is None
+        assert len(second) == 2
+
+    def test_one_segment_per_case(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        for seed in range(5):
+            ledger.record(_row(seed))
+        assert ledger.segment_count() == 5
+
+    def test_settled_keys_never_rewritten(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        assert ledger.record(_row(0, verdict=SOUND)) is True
+        assert ledger.record(_row(0, verdict=UNSOUND)) is False
+        assert ledger.settled(0, "fp")["verdict"] == SOUND
+        assert ledger.segment_count() == 1
+
+    def test_same_seed_different_fingerprint_is_open(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        ledger.record(_row(0, fingerprint="old"))
+        assert ledger.settled(0, "new") is None
+        assert ledger.record(_row(0, fingerprint="new")) is True
+
+    def test_invalid_rows_rejected_loudly_on_record(self, tmp_path):
+        with pytest.raises(ValueError):
+            CorpusLedger(tmp_path).record({"seed": "zero"})
+
+    def test_invalid_rows_skipped_quietly_on_load(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        ledger.record(_row(0))
+        ledger._log.write_segment([{"not": "a case"}])
+        fresh = CorpusLedger(tmp_path)
+        assert fresh.load() == 1
+        assert fresh.stats["lines_skipped"] == 1
+
+    def test_foreign_salt_segments_miss_cleanly(self, tmp_path):
+        CorpusLedger(tmp_path, salt="old-algorithm").record(_row(0))
+        fresh = CorpusLedger(tmp_path)
+        assert fresh.load() == 0
+        assert fresh.stats["segments_skipped"] == 1
+
+    def test_refresh_absorbs_only_new_segments(self, tmp_path):
+        writer = CorpusLedger(tmp_path)
+        reader = CorpusLedger(tmp_path)
+        writer.record(_row(0))
+        assert reader.load() == 1
+        writer.record(_row(1))
+        assert reader.refresh() == 1
+        assert reader.stats["segments_loaded"] == 2
+
+    def test_salt_binds_store_and_fuzz_versions(self):
+        from repro.core.persist import store_salt
+        from repro.fuzz.case import FUZZ_VERSION
+
+        assert store_salt() in ledger_salt()
+        assert FUZZ_VERSION in ledger_salt()
+
+
+class TestCompaction:
+    def test_compact_merges_everything_into_one_segment(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        for seed in range(6):
+            ledger.record(_row(seed))
+        summary = ledger.compact()
+        assert summary["compacted"] is True
+        assert summary["segments_in"] == 6
+        assert summary["entries"] == 6
+        assert ledger.segment_count() == 1
+
+        fresh = CorpusLedger(tmp_path)
+        assert fresh.load() == 6
+
+    def test_record_compacts_past_the_threshold(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        for seed in range(COMPACT_THRESHOLD + 1):
+            ledger.record(_row(seed))
+        assert ledger.segment_count() <= COMPACT_THRESHOLD
+        fresh = CorpusLedger(tmp_path)
+        assert fresh.load() == COMPACT_THRESHOLD + 1
+
+    def test_cases_decoded_in_canonical_order(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        for seed in (5, 1, 3):
+            ledger.record(_row(seed))
+        assert [case.seed for case in ledger.cases()] == [1, 3, 5]
+
+
+class TestCanonicalBytes:
+    def test_independent_of_segment_layout(self, tmp_path):
+        split = CorpusLedger(tmp_path / "split")
+        for seed in (2, 0, 1):
+            split.record(_row(seed))
+
+        merged = CorpusLedger(tmp_path / "merged")
+        for seed in (2, 0, 1):
+            merged.record(_row(seed))
+        merged.compact()
+
+        reload_split = CorpusLedger(tmp_path / "split")
+        reload_split.load()
+        reload_merged = CorpusLedger(tmp_path / "merged")
+        reload_merged.load()
+        assert reload_split.canonical_bytes() == reload_merged.canonical_bytes()
+        assert reload_split.canonical_bytes() == split.canonical_bytes()
+
+    def test_one_sorted_json_object_per_line(self, tmp_path):
+        ledger = CorpusLedger(tmp_path)
+        ledger.record(_row(1))
+        ledger.record(_row(0))
+        lines = ledger.canonical_bytes().decode().splitlines()
+        assert len(lines) == 2
+        decoded = [json.loads(line) for line in lines]
+        assert [row["seed"] for row in decoded] == [0, 1]
+        for line, row in zip(lines, decoded):
+            assert line == json.dumps(row, sort_keys=True)
+
+    def test_empty_ledger_is_empty_bytes(self, tmp_path):
+        assert CorpusLedger(tmp_path).canonical_bytes() == b""

@@ -1,0 +1,122 @@
+"""Tests for the greedy UNSOUND-witness shrinker."""
+
+import json
+
+from repro.core.conditions import SERIALIZABLE
+from repro.core.formula import TRUE
+from repro.core.program import Read, TransactionType, Write
+from repro.core.terms import Field, Local, Param
+from repro.fuzz.differential import probe_sets, run_case
+from repro.fuzz.shrink import (
+    _bound_locals,
+    _deletable,
+    _distinct_txns,
+    _without_statement,
+    shrink_unsound,
+)
+from repro.workloads.appgen import AppGenConfig, generate_application, initial_state
+
+
+def _deposit() -> TransactionType:
+    i = Param("i")
+    d = Param("d")
+    bal = Local("Bal")
+    return TransactionType(
+        name="Deposit",
+        params=(i, d),
+        body=(
+            Read(bal, Field("acct", i, "bal"), label="read balance"),
+            Write(Field("acct", i, "bal"), bal + d, label="deposit"),
+        ),
+    )
+
+
+class TestDataflowGuards:
+    def test_read_binds_its_local(self):
+        txn = _deposit()
+        assert _bound_locals(txn.body[0]) == {Local("Bal")}
+
+    def test_read_not_deletable_while_write_uses_it(self):
+        txn = _deposit()
+        assert not _deletable(txn.body, 0)
+
+    def test_last_statement_deletable(self):
+        txn = _deposit()
+        assert _deletable(txn.body, 1)
+
+    def test_without_statement_rebuilds_the_type(self):
+        txn = _deposit()
+        shrunk = _without_statement(txn, 1)
+        assert len(shrunk.body) == 1
+        assert shrunk.name == txn.name
+        assert shrunk.result is TRUE
+        assert shrunk.snapshot == ()
+
+    def test_distinct_txns_dedupes_by_identity(self):
+        txn = _deposit()
+        other = _deposit()
+        instances = [(txn, {}, "a"), (txn, {}, "b"), (other, {}, "c")]
+        assert _distinct_txns(instances) == [txn, other]
+
+
+class TestShrinkUnsound:
+    def _unsound_probe(self):
+        """The seed-0 lost-update probe at forced READ COMMITTED."""
+        config = AppGenConfig(seed=0)
+        app = generate_application(config)
+        from repro.core.infer import infer_application
+
+        inferred, report = infer_application(app, seed=0)
+        levels = {t.name: "READ COMMITTED" for t in inferred.transactions}
+        invariant = report.closed_invariant(app.spec)
+        initial = initial_state(config, balance=1)
+        probes = probe_sets(inferred, config)
+        # the Deposit+Deposit probe carries the lost update
+        label, instances = next(
+            (label, instances)
+            for label, instances in probes
+            if instances[0][0].name.startswith("Deposit")
+        )
+        return inferred, instances, levels, invariant, initial
+
+    def test_shrunk_reproducer_still_reproduces(self):
+        inferred, instances, levels, invariant, initial = self._unsound_probe()
+        shrunk = shrink_unsound(
+            inferred, instances, levels, invariant, initial, probe_schedules=96
+        )
+        assert shrunk is not None
+        assert shrunk["history"]
+        assert shrunk["summary"]
+        assert len(shrunk["instances"]) >= 1
+        assert len(shrunk["bodies"]) >= 1
+        for statements in shrunk["bodies"].values():
+            assert len(statements) >= 1
+
+    def test_shrinking_is_deterministic(self):
+        inferred, instances, levels, invariant, initial = self._unsound_probe()
+        first = shrink_unsound(
+            inferred, instances, levels, invariant, initial, probe_schedules=96
+        )
+        second = shrink_unsound(
+            inferred, instances, levels, invariant, initial, probe_schedules=96
+        )
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_non_reproducing_input_returns_none(self):
+        inferred, instances, _levels, invariant, initial = self._unsound_probe()
+        serial = {t.name: SERIALIZABLE for t in inferred.transactions}
+        assert (
+            shrink_unsound(
+                inferred, instances, serial, invariant, initial, probe_schedules=96
+            )
+            is None
+        )
+
+    def test_counts_report_what_was_deleted(self):
+        case = run_case(0, force_level="READ COMMITTED")
+        shrunk = case.shrunk
+        assert shrunk["removed_instances"] >= 0
+        assert shrunk["removed_statements"] >= 0
+        # whatever was removed, the reproducer must keep a runnable core
+        assert shrunk["instances"]
+        assert shrunk["committed"]

@@ -202,8 +202,11 @@ class TestFleetEndToEnd:
 
     def test_worker_kill_rebalances_then_respawns(self):
         async def handler(router, client):
-            health = await asyncio.to_thread(client.health)
-            victim = health["workers"][0]["pid"]
+            # kill the shard that owns the lint fingerprint, so the follow-up
+            # request provably re-routes instead of landing on the survivor
+            spec = JobSpec(kind="lint", app="banking")
+            owner = router.ring.lookup(spec.fingerprint())
+            victim = router.workers[owner].pid
             os.kill(victim, signal.SIGKILL)
             # requests issued right after the kill re-route to the survivor —
             # graceful degradation, never a 5xx
@@ -212,12 +215,14 @@ class TestFleetEndToEnd:
             deadline = time.monotonic() + 30
             while time.monotonic() < deadline:
                 health = await asyncio.to_thread(client.health)
-                if health["healthy_workers"] == 2:
+                if health["healthy_workers"] == 2 and any(
+                    w["restarts"] for w in health["workers"]
+                ):
                     break
                 await asyncio.sleep(0.2)
             assert health["healthy_workers"] == 2
             assert any(w["restarts"] == 1 for w in health["workers"])
-            assert health["workers"][0]["pid"] != victim
+            assert victim not in {w["pid"] for w in health["workers"]}
 
         fleet_test(handler)
 

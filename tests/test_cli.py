@@ -401,3 +401,98 @@ class TestCompactCommand:
         code = main(["compact"])
         assert code == 0
         assert "compacted 2 segments" in capsys.readouterr().out
+
+
+class TestInferCommand:
+    def test_infer_seed_range_expands_to_one_report_per_seed(self, capsys):
+        import json
+
+        code = main(["infer", "appgen:0..2", "--json"])
+        assert code == 0
+        payloads = json.loads(capsys.readouterr().out)
+        assert isinstance(payloads, list)
+        assert len(payloads) == 2
+        for payload in payloads:
+            assert "levels" in payload
+            assert "disagreements" in payload
+
+    def test_infer_single_ref_emits_one_object(self, capsys):
+        import json
+
+        code = main(["infer", "appgen:0", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, dict)
+        assert payload["disagreements"] == []
+
+    def test_declared_apps_report_disagreements_structurally(self, capsys):
+        import json
+
+        main(["infer", "banking", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "agreement" in payload
+        for entry in payload["disagreements"]:
+            assert set(entry) == {"transaction", "declared", "inferred"}
+
+    def test_generator_knobs_rejected_for_registry_apps(self, capsys):
+        code = main(["infer", "banking", "--txns", "3..5"])
+        assert code == 2
+        assert "appgen" in capsys.readouterr().err
+
+
+class TestFuzzCommand:
+    def test_fuzz_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz", "--seeds", "10"])
+        assert args.app is None
+        assert args.seeds == 10
+        assert args.corpus_dir == ".repro-corpus"
+        assert args.budget == 1500
+        assert args.pairs == 3
+        assert args.max_schedules == 96
+        assert args.inflight == 8
+        assert not args.no_shrink
+
+    def test_fuzz_requires_exactly_one_seed_source(self, tmp_path, capsys):
+        assert main(["fuzz", "--corpus-dir", str(tmp_path)]) == 2
+        assert "either" in capsys.readouterr().err
+        code = main(
+            ["fuzz", "appgen:0..2", "--seeds", "3", "--corpus-dir", str(tmp_path)]
+        )
+        assert code == 2
+
+    def test_fuzz_rejects_registry_apps(self, tmp_path, capsys):
+        code = main(["fuzz", "banking", "--corpus-dir", str(tmp_path)])
+        assert code == 2
+        assert "appgen" in capsys.readouterr().err
+
+    def test_fuzz_rejects_unknown_force_level(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["fuzz", "appgen:0", "--force-level", "CASUAL",
+                 "--corpus-dir", str(tmp_path)]
+            )
+
+    def test_fuzz_json_summary_and_warm_rerun(self, tmp_path, capsys):
+        import json
+
+        argv = ["fuzz", "appgen:0..1", "--corpus-dir", str(tmp_path), "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["summary"]["explored"] == 1
+        assert cold["summary"]["verdicts"]["UNSOUND"] == 0
+        assert cold["findings"] == []
+
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["summary"]["explored"] == 0
+        assert warm["summary"]["skip_rate"] == 1.0
+
+    def test_fuzz_unsound_exit_code_and_witness(self, tmp_path, capsys):
+        code = main(
+            ["fuzz", "appgen:0", "--force-level", "READ COMMITTED",
+             "--corpus-dir", str(tmp_path)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "UNSOUND" in out
+        assert "repro replay" in out

@@ -6,10 +6,14 @@ from repro.core.formula import TRUE
 from repro.core.program import Read
 from repro.errors import AnalysisError
 from repro.workloads.appgen import (
+    PROFILES,
+    SHAPE_COSTS,
     AppGenConfig,
     generate_application,
     initial_state,
     make_inferred_scenario,
+    parse_seed_range,
+    parse_span,
     resolve_app_ref,
 )
 
@@ -61,6 +65,96 @@ class TestGeneration:
                 assert tuple(app.spec.values_for(param))
 
 
+class TestKnobs:
+    def test_default_config_knobs_round_trip(self):
+        config = AppGenConfig(seed=9)
+        assert AppGenConfig.from_knobs(9, config.knobs()) == config
+
+    def test_every_knob_round_trips(self):
+        config = AppGenConfig(
+            seed=3, accounts=4, min_transactions=2, max_transactions=6,
+            max_balance=5, max_stmts=12, profile="write-heavy",
+        )
+        assert AppGenConfig.from_knobs(3, config.knobs()) == config
+
+    def test_none_knobs_means_defaults(self):
+        assert AppGenConfig.from_knobs(7, None) == AppGenConfig(seed=7)
+        assert AppGenConfig.from_knobs(7, "") == AppGenConfig(seed=7)
+
+    def test_unset_knobs_keep_legacy_byte_identity(self):
+        # the shaping knobs must not perturb the historical draw sequence
+        for seed in range(6):
+            legacy = _render(generate_application(seed))
+            assert _render(generate_application(AppGenConfig(seed=seed))) == legacy
+
+    def test_equal_knobs_byte_identical(self):
+        config = AppGenConfig(seed=4, max_stmts=10, profile="read-heavy")
+        assert _render(generate_application(config)) == _render(
+            generate_application(AppGenConfig.from_knobs(4, config.knobs()))
+        )
+
+    def test_profile_changes_the_shape_mix(self):
+        renders = {
+            profile: [
+                _render(generate_application(AppGenConfig(seed=s, profile=profile)))
+                for s in range(12)
+            ]
+            for profile in ("write-heavy", "read-heavy")
+        }
+        assert renders["write-heavy"] != renders["read-heavy"]
+
+    def test_max_stmts_bounds_the_statement_total(self):
+        for seed in range(8):
+            app = generate_application(AppGenConfig(seed=seed, max_stmts=8))
+            total = sum(sum(1 for _ in t.walk()) for t in app.transactions)
+            # the mandatory writer+reader pair may alone exceed tiny budgets;
+            # beyond that the generator must respect the bound
+            floor = max(SHAPE_COSTS.values()) + min(SHAPE_COSTS.values())
+            assert total <= max(8, floor)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(AnalysisError):
+            AppGenConfig.from_knobs(0, "profile=bogus")
+        assert "bogus" not in PROFILES
+
+    def test_malformed_knobs_rejected(self):
+        for knobs in ("txns", "txns=0..2", "accounts=x", "mystery=1"):
+            with pytest.raises(AnalysisError):
+                AppGenConfig.from_knobs(0, knobs)
+
+
+class TestSpans:
+    def test_single_value(self):
+        assert parse_span("4") == (4, 4)
+
+    def test_inclusive_range(self):
+        assert parse_span("3..5") == (3, 5)
+
+    def test_rejects_bad_bounds(self):
+        for text in ("0", "5..3", "a..b", ""):
+            with pytest.raises(AnalysisError):
+                parse_span(text)
+
+
+class TestSeedRanges:
+    def test_single_seed(self):
+        assert parse_seed_range("appgen:7") == range(7, 8)
+
+    def test_half_open_range(self):
+        assert parse_seed_range("appgen:100..200") == range(100, 200)
+
+    def test_adjacent_ranges_tile_without_overlap(self):
+        left = set(parse_seed_range("appgen:0..100"))
+        right = set(parse_seed_range("appgen:100..200"))
+        assert not (left & right)
+        assert left | right == set(range(200))
+
+    def test_rejects_empty_and_malformed(self):
+        for ref in ("appgen:5..5", "appgen:9..3", "appgen:a..b", "banking"):
+            with pytest.raises(AnalysisError):
+                parse_seed_range(ref)
+
+
 class TestResolveRef:
     def test_round_trip(self):
         assert resolve_app_ref("appgen:7").name == "appgen-7"
@@ -68,6 +162,14 @@ class TestResolveRef:
     def test_rejects_non_integer_seed(self):
         with pytest.raises(AnalysisError):
             resolve_app_ref("appgen:banana")
+
+    def test_rejects_multi_seed_ranges(self):
+        with pytest.raises(AnalysisError, match="names 3 seeds"):
+            resolve_app_ref("appgen:1..4")
+
+    def test_knobs_shape_the_resolved_app(self):
+        shaped = resolve_app_ref("appgen:2", knobs="txns=6..6")
+        assert len(shaped.transactions) == 6
 
     def test_rejects_other_prefixes(self):
         with pytest.raises(AnalysisError):
